@@ -1,0 +1,67 @@
+//! Figure regeneration benches: shortened versions of the Figure 3/4 RTT
+//! traces and the Figure 5 threshold sweep (full-size versions:
+//! `cargo run --release -p experiments --bin fig3|fig4|fig5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use experiments::{fig5_point, run_fig3, run_fig4, run_scenario, ScenarioConfig};
+use mead::RecoveryScheme;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_reactive_traces");
+    group.sample_size(10);
+    group.bench_function("both_reactive_schemes_400inv", |b| {
+        b.iter(|| run_fig3(400, 42))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_proactive_traces");
+    group.sample_size(10);
+    group.bench_function("three_proactive_schemes_400inv", |b| {
+        b.iter(|| run_fig4(400, 42))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_threshold_sweep");
+    group.sample_size(10);
+    for pct in [20u32, 80] {
+        group.bench_with_input(BenchmarkId::new("mead_threshold", pct), &pct, |b, &pct| {
+            b.iter(|| {
+                let out = run_scenario(&ScenarioConfig {
+                    threshold: Some(pct as f64 / 100.0),
+                    ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, 400)
+                });
+                fig5_point(RecoveryScheme::MeadFailover, pct, &out)
+            })
+        });
+    }
+    group.finish();
+
+    // Verification series: the Figure 5 monotonicity must hold even on
+    // shortened runs.
+    let mut last = f64::INFINITY;
+    println!("\nfig5 verification series (1500 invocations, MEAD):");
+    for pct in [20u32, 40, 60, 80] {
+        let out = run_scenario(&ScenarioConfig {
+            threshold: Some(pct as f64 / 100.0),
+            ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, 1500)
+        });
+        let p = fig5_point(RecoveryScheme::MeadFailover, pct, &out);
+        println!(
+            "  threshold {:>2}% -> {:>8.0} B/s ({} restarts)",
+            pct, p.bandwidth_bytes_per_sec, p.restarts
+        );
+        assert!(
+            p.bandwidth_bytes_per_sec < last,
+            "bandwidth must fall as the threshold rises"
+        );
+        last = p.bandwidth_bytes_per_sec;
+    }
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4, bench_fig5);
+criterion_main!(benches);

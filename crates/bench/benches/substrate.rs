@@ -1,0 +1,144 @@
+//! Substrate benches: raw event throughput of the discrete-event kernel
+//! and the group-communication system — the machinery every experiment
+//! rides on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use groupcomm::{GcsClient, GcsConfig, GcsDaemon, GcsDelivery, GCS_PORT};
+use simnet::*;
+
+/// A ping-pong pair exchanging small messages as fast as the simulated
+/// network allows.
+struct Echo;
+impl Process for Echo {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        sys.listen(Port(9)).expect("port free");
+    }
+    fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+        if let Event::DataReadable { conn } = ev {
+            let got = sys.read(conn, usize::MAX).expect("open");
+            if !got.data.is_empty() {
+                let _ = sys.write(conn, &got.data);
+            }
+        }
+    }
+}
+
+struct Pinger {
+    target: Addr,
+    remaining: u32,
+}
+impl Process for Pinger {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        sys.connect(self.target);
+    }
+    fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+        match ev {
+            Event::ConnEstablished { conn } => {
+                let _ = sys.write(conn, &[1u8; 64]);
+            }
+            Event::DataReadable { conn } => {
+                let got = sys.read(conn, usize::MAX).expect("open");
+                if !got.data.is_empty() && self.remaining > 0 {
+                    self.remaining -= 1;
+                    let _ = sys.write(conn, &got.data);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("simnet/ping_pong_1000_roundtrips", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig {
+                noise: NoiseModel::none(),
+                ..SimConfig::default()
+            });
+            let a = sim.add_node("a");
+            let z = sim.add_node("b");
+            sim.spawn(a, "echo", Box::new(Echo));
+            sim.spawn(
+                z,
+                "pinger",
+                Box::new(Pinger {
+                    target: Addr::new(a, Port(9)),
+                    remaining: 1000,
+                }),
+            );
+            sim.run_until(SimTime::from_secs(10));
+            sim.events_processed()
+        })
+    });
+}
+
+/// A member that multicasts `n` messages and counts deliveries.
+struct Blaster {
+    gcs: GcsClient,
+    to_send: u32,
+    received: Rc<RefCell<u32>>,
+}
+impl Process for Blaster {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        self.gcs.start(sys);
+        self.gcs.join(sys, "bench");
+    }
+    fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+        if let Some(deliveries) = self.gcs.handle_event(sys, &ev) {
+            for d in deliveries {
+                match d {
+                    // Wait until all three members are in the view so every
+                    // multicast reaches everyone (no retroactive delivery).
+                    GcsDelivery::View { members, .. } if members.len() == 3 => {
+                        for _ in 0..std::mem::take(&mut self.to_send) {
+                            self.gcs.multicast(sys, "bench", &[7u8; 100]);
+                        }
+                    }
+                    GcsDelivery::Message { .. } => {
+                        *self.received.borrow_mut() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn bench_gcs(c: &mut Criterion) {
+    c.bench_function("groupcomm/ordered_multicast_500_msgs_3_members", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig {
+                noise: NoiseModel::none(),
+                ..SimConfig::default()
+            });
+            let nodes: Vec<NodeId> = (0..3).map(|i| sim.add_node(&format!("n{i}"))).collect();
+            let seq = Addr::new(nodes[0], GCS_PORT);
+            for &n in &nodes {
+                sim.spawn(n, "daemon", Box::new(GcsDaemon::new(seq, GcsConfig::default())));
+            }
+            let received = Rc::new(RefCell::new(0u32));
+            for (i, &n) in nodes.iter().enumerate() {
+                sim.spawn(
+                    n,
+                    "blaster",
+                    Box::new(Blaster {
+                        gcs: GcsClient::new(format!("m{i}"), 100),
+                        to_send: if i == 0 { 500 } else { 0 },
+                        received: received.clone(),
+                    }),
+                );
+            }
+            sim.run_until(SimTime::from_secs(5));
+            let got = *received.borrow();
+            assert_eq!(got, 1500, "500 messages x 3 members");
+            got
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernel, bench_gcs);
+criterion_main!(benches);

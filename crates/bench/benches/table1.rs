@@ -1,0 +1,45 @@
+//! Table 1 regeneration bench: one benchmark per recovery strategy,
+//! running a shortened evaluation scenario end to end (the full 10 000-
+//! invocation table is produced by `cargo run --release -p experiments
+//! --bin table1`). After measuring, prints the Table 1 row extracted from
+//! a verification run so the bench doubles as a correctness harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use experiments::{failover_episodes_ms, run_scenario, steady_state_rtt_ms, ScenarioConfig};
+use mead::RecoveryScheme;
+
+const BENCH_INVOCATIONS: u32 = 400;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for scheme in RecoveryScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name().replace(' ', "_")),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| run_scenario(&ScenarioConfig::quick(scheme, BENCH_INVOCATIONS)))
+            },
+        );
+    }
+    group.finish();
+
+    // One verification pass per scheme, printed as the table row.
+    println!("\ntable1 verification rows ({} invocations):", BENCH_INVOCATIONS * 4);
+    for scheme in RecoveryScheme::ALL {
+        let out = run_scenario(&ScenarioConfig::quick(scheme, BENCH_INVOCATIONS * 4));
+        let eps = failover_episodes_ms(&out, scheme);
+        let failover = eps.iter().sum::<f64>() / eps.len().max(1) as f64;
+        println!(
+            "  {:<24} steady={:.3}ms failures={:.0}% failover={:.2}ms",
+            scheme.name(),
+            steady_state_rtt_ms(&out),
+            out.client_failure_pct(),
+            failover,
+        );
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark-only crate; all content lives in `benches/`. See the
+//! workspace README for how each bench maps onto the paper's tables and
+//! figures.

@@ -1,0 +1,119 @@
+//! Adaptive-threshold evaluation — the paper's future work, implemented
+//! and measured.
+//!
+//! Preset thresholds (80 %/90 %) assume the operator knows how fast the
+//! resource will be consumed. The sweep here varies the leak speed and
+//! compares the preset against [`faults::AdaptivePredictor`], which
+//! estimates the consumption rate online and fires when the *predicted
+//! time to exhaustion* crosses its safety margins.
+//!
+//! Expected shape: on fast leaks the preset's 90 % trigger leaves too
+//! little time to hand clients off (crashes and client-visible failures
+//! appear), while the adaptive trigger fires earlier in fraction terms and
+//! keeps masking; on slow leaks the adaptive trigger fires *later* than
+//! 90 %, wringing more useful life out of each replica (fewer restarts).
+
+use mead::{MeadConfig, RecoveryScheme};
+
+use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+
+/// One row of the adaptive-vs-preset comparison.
+#[derive(Clone, Debug)]
+pub struct AdaptiveRow {
+    /// Leak speed multiplier (1.0 = the calibrated paper rate).
+    pub speed: f64,
+    /// `"preset"` or `"adaptive"`.
+    pub strategy: &'static str,
+    /// Server restarts over the run (rejuvenations + crashes).
+    pub restarts: u64,
+    /// Crashes that beat the migration (exhaustion).
+    pub crashes: u64,
+    /// Exceptions that reached the client.
+    pub client_failures: u32,
+    /// Invocations completed.
+    pub completed: bool,
+}
+
+fn set_speed(cfg: &mut MeadConfig, mult: f64) {
+    if let Some(leak) = cfg.leak.as_mut() {
+        leak.chunk_unit_bytes = ((19.0 * mult).round() as u64).max(1);
+    }
+}
+
+// `ScenarioConfig::tweak` is a plain fn pointer, so each (speed, strategy)
+// pair gets a named function.
+macro_rules! tweaks {
+    ($($name:ident, $aname:ident => $mult:expr;)*) => {
+        $(
+            fn $name(cfg: &mut MeadConfig) {
+                set_speed(cfg, $mult);
+            }
+            fn $aname(cfg: &mut MeadConfig) {
+                set_speed(cfg, $mult);
+                cfg.adaptive = Some(faults::AdaptiveConfig::default());
+            }
+        )*
+    };
+}
+
+tweaks! {
+    preset_half, adaptive_half => 0.5;
+    preset_one, adaptive_one => 1.0;
+    preset_triple, adaptive_triple => 3.0;
+    preset_six, adaptive_six => 6.0;
+}
+
+/// A configuration tweak applied to the scenario's [`MeadConfig`].
+type Tweak = fn(&mut MeadConfig);
+
+/// The (speed, preset tweak, adaptive tweak) sweep points.
+const SWEEP: [(f64, Tweak, Tweak); 4] = [
+    (0.5, preset_half, adaptive_half),
+    (1.0, preset_one, adaptive_one),
+    (3.0, preset_triple, adaptive_triple),
+    (6.0, preset_six, adaptive_six),
+];
+
+fn row(speed: f64, strategy: &'static str, outcome: &ScenarioOutcome) -> AdaptiveRow {
+    AdaptiveRow {
+        speed,
+        strategy,
+        restarts: outcome.server_failures(),
+        crashes: outcome.metrics.counter("mead.crash_exhaustion"),
+        client_failures: outcome.report.client_failures(),
+        completed: outcome.report.completed,
+    }
+}
+
+/// Runs the full comparison (MEAD-message scheme throughout).
+pub fn run_adaptive_comparison(invocations: u32, seed: u64) -> Vec<AdaptiveRow> {
+    let mut rows = Vec::new();
+    for (speed, preset, adaptive) in SWEEP {
+        for (strategy, tweak) in [("preset", preset), ("adaptive", adaptive)] {
+            let out = run_scenario(&ScenarioConfig {
+                seed,
+                tweak: Some(tweak),
+                ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, invocations)
+            });
+            rows.push(row(speed, strategy, &out));
+        }
+    }
+    rows
+}
+
+/// Formats the comparison as an aligned table.
+pub fn format_adaptive(rows: &[AdaptiveRow]) -> String {
+    let mut out = String::from(
+        "Leak speed | Strategy  | Restarts | Crashes | Client failures | Completed\n",
+    );
+    out.push_str(
+        "-----------+-----------+----------+---------+-----------------+----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>9.1}x | {:<9} | {:>8} | {:>7} | {:>15} | {}\n",
+            r.speed, r.strategy, r.restarts, r.crashes, r.client_failures, r.completed,
+        ));
+    }
+    out
+}

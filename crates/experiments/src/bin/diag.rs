@@ -1,0 +1,24 @@
+//! Ad-hoc diagnostic: run one scenario and dump every metric counter.
+
+use experiments::{run_scenario, ScenarioConfig};
+use mead::RecoveryScheme;
+
+fn main() {
+    let scheme = match std::env::args().nth(1).as_deref() {
+        Some("na") => RecoveryScheme::NeedsAddressing,
+        Some("lf") => RecoveryScheme::LocationForward,
+        Some("rc") => RecoveryScheme::ReactiveCache,
+        Some("rn") => RecoveryScheme::ReactiveNoCache,
+        _ => RecoveryScheme::MeadFailover,
+    };
+    let n: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1200);
+    let out = run_scenario(&ScenarioConfig::quick(scheme, n));
+    for (k, v) in out.metrics.counters() {
+        println!("{k} = {v}");
+    }
+    println!(
+        "comm={} trans={} lookups={} records={}",
+        out.report.comm_failures, out.report.transients,
+        out.report.naming_lookups, out.report.records.len()
+    );
+}

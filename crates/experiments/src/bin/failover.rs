@@ -1,0 +1,15 @@
+//! Regenerates the section 5.2.3 fail-over decomposition: measured episode
+//! distributions next to the cost-model stage budget.
+
+use experiments::{failover_row, format_failover};
+use mead::RecoveryScheme;
+
+fn main() {
+    let invocations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let rows: Vec<_> = RecoveryScheme::ALL
+        .into_iter()
+        .map(|scheme| failover_row(scheme, invocations, 42))
+        .collect();
+    println!("\nFail-over decomposition (section 5.2.3)\n");
+    println!("{}", format_failover(&rows));
+}

@@ -1,0 +1,32 @@
+//! Quick end-to-end smoke run of every recovery scheme.
+
+use experiments::{run_scenario, ScenarioConfig, Summary};
+use mead::RecoveryScheme;
+
+fn main() {
+    for scheme in RecoveryScheme::ALL {
+        let cfg = ScenarioConfig::quick(scheme, 1500);
+        let out = run_scenario(&cfg);
+        let rtts = out.report.rtts_ms();
+        let s = Summary::of(&rtts);
+        println!(
+            "{:<24} done={} n={} completed={} mean={:.3} p50={:.3} max={:.2} comm={} trans={} srv_fail={} crashes={} rejuv={} forwards={} resents={} redirects={} launches={}",
+            scheme.name(),
+            out.finished_at,
+            rtts.len(),
+            out.report.completed,
+            s.as_ref().map(|s| s.mean).unwrap_or(f64::NAN),
+            s.as_ref().map(|s| s.p50).unwrap_or(f64::NAN),
+            s.as_ref().map(|s| s.max).unwrap_or(f64::NAN),
+            out.report.comm_failures,
+            out.report.transients,
+            out.server_failures(),
+            out.metrics.counter("mead.crash_exhaustion"),
+            out.metrics.counter("mead.graceful_rejuvenations"),
+            out.metrics.counter("mead.forwards_sent"),
+            out.metrics.counter("orb.needs_addressing_resend"),
+            out.metrics.counter("mead.client.redirects_completed"),
+            out.metrics.counter("rm.launches"),
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! Drivers for every table and figure of *Proactive Recovery in
+//! Distributed CORBA Applications* (DSN 2004); see `DESIGN.md` for the
+//! experiment index. The [`scenario`] module assembles the five-node
+//! topology; [`workload`] is the measuring client; the remaining modules
+//! each regenerate one artefact of section 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod counter;
+pub mod failover;
+pub mod figures;
+pub mod jitter;
+pub mod report;
+pub mod scenario;
+pub mod stats;
+pub mod workload;
+
+pub use adaptive::{format_adaptive, run_adaptive_comparison, AdaptiveRow};
+pub use counter::{counter_key, run_counter_scenario, CounterConfig, CounterOutcome};
+pub use failover::{failover_row, failover_row_from, format_failover, model_budget, FailoverRow};
+pub use figures::{
+    fig5_csv, fig5_point, format_fig5, run_fig3, run_fig4, run_fig5, Fig5Point, Trace,
+};
+pub use jitter::{format_jitter, jitter_stats, run_jitter_suite, JitterStats};
+pub use report::{
+    failover_episodes_ms, format_table1, steady_state_rtt_ms, table1_row, trace_ascii, trace_csv,
+    Table1Row,
+};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use stats::{percentile, Summary};
+pub use workload::{
+    ClientPolicy, ClientWorkload, InvocationRecord, ReportHandle, WorkloadConfig, WorkloadReport,
+};

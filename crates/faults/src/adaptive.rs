@@ -1,0 +1,230 @@
+//! Adaptive rejuvenation thresholds — the paper's stated future work:
+//! "We also plan to integrate adaptive thresholds into our framework
+//! rather than relying on preset thresholds supplied by the user"
+//! (section 6).
+//!
+//! Instead of firing at fixed usage fractions, [`AdaptivePredictor`]
+//! estimates the resource-consumption *rate* online (an exponentially
+//! weighted moving average over observed usage deltas) and predicts the
+//! time remaining until exhaustion. Recovery actions fire when the
+//! predicted remaining time drops below safety margins derived from how
+//! long replacement launch and client hand-off actually take — so the
+//! trigger point self-adjusts to the fault's speed, firing early for fast
+//! leaks and late (wasting nothing) for slow ones. This is exactly the
+//! "ideal scenario" of section 5.2.4: "delay proactive recovery so that
+//! the proactive dependability framework has just enough time to redirect
+//! clients".
+
+use simnet::{SimDuration, SimTime};
+
+use crate::resource::ThresholdAction;
+
+/// Configuration for adaptive triggering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Fire [`ThresholdAction::LaunchReplacement`] when the predicted time
+    /// to exhaustion drops below this (covers process launch + group join
+    /// + advertisement).
+    pub launch_margin: SimDuration,
+    /// Fire [`ThresholdAction::MigrateClients`] when the predicted time to
+    /// exhaustion drops below this (covers redirecting every client plus
+    /// the drain delay, with slack).
+    pub migrate_margin: SimDuration,
+    /// EWMA smoothing factor for the rate estimate, in `(0, 1]`; higher
+    /// weights the newest observation more.
+    pub alpha: f64,
+}
+
+impl Default for AdaptiveConfig {
+    /// Margins sized for the reproduction's deployment: launch latency
+    /// 30 ms + join/advert ≈ 15 ms (margin 120 ms with slack); redirect +
+    /// drain ≈ 10 ms (margin 45 ms with slack).
+    fn default() -> Self {
+        AdaptiveConfig {
+            launch_margin: SimDuration::from_millis(120),
+            migrate_margin: SimDuration::from_millis(45),
+            alpha: 0.3,
+        }
+    }
+}
+
+/// Online estimator of time-to-exhaustion with margin-based triggering.
+#[derive(Clone, Debug)]
+pub struct AdaptivePredictor {
+    cfg: AdaptiveConfig,
+    last: Option<(SimTime, f64)>,
+    /// EWMA of usage growth per second (fraction/s).
+    rate: Option<f64>,
+    launch_fired: bool,
+    migrate_fired: bool,
+}
+
+impl AdaptivePredictor {
+    /// Creates a predictor with the given margins.
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptivePredictor {
+            cfg,
+            last: None,
+            rate: None,
+            launch_fired: false,
+            migrate_fired: false,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Current rate estimate, fraction per second (None until two
+    /// observations).
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        self.rate
+    }
+
+    /// Predicted time until exhaustion at the current rate.
+    pub fn predicted_remaining(&self, fraction: f64) -> Option<SimDuration> {
+        let rate = self.rate?;
+        if rate <= 0.0 {
+            return None; // not growing: no exhaustion in sight
+        }
+        let secs = ((1.0 - fraction).max(0.0)) / rate;
+        Some(SimDuration::from_nanos((secs * 1e9) as u64))
+    }
+
+    /// Feeds a fresh usage observation; returns an action if a margin was
+    /// newly crossed. Each action fires once per cycle, like the preset
+    /// [`ResourceMonitor`](crate::ResourceMonitor).
+    pub fn observe(&mut self, now: SimTime, fraction: f64) -> Option<ThresholdAction> {
+        if let Some((t0, f0)) = self.last {
+            let dt = now.saturating_since(t0).as_secs_f64();
+            if dt > 0.0 {
+                let inst = ((fraction - f0) / dt).max(0.0);
+                self.rate = Some(match self.rate {
+                    Some(prev) => prev + self.cfg.alpha * (inst - prev),
+                    None => inst,
+                });
+            }
+        }
+        self.last = Some((now, fraction));
+        let remaining = self.predicted_remaining(fraction)?;
+        if !self.migrate_fired && remaining <= self.cfg.migrate_margin {
+            self.migrate_fired = true;
+            self.launch_fired = true;
+            return Some(ThresholdAction::MigrateClients);
+        }
+        if !self.launch_fired && remaining <= self.cfg.launch_margin {
+            self.launch_fired = true;
+            return Some(ThresholdAction::LaunchReplacement);
+        }
+        None
+    }
+
+    /// `true` once migration has been triggered this cycle.
+    pub fn migration_initiated(&self) -> bool {
+        self.migrate_fired
+    }
+
+    /// Resets for a new rejuvenation cycle.
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.rate = None;
+        self.launch_fired = false;
+        self.migrate_fired = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_linear(p: &mut AdaptivePredictor, rate_per_sec: f64, steps: u32, dt_ms: u64) -> Vec<ThresholdAction> {
+        let mut actions = Vec::new();
+        for i in 0..steps {
+            let t = SimTime::from_millis(i as u64 * dt_ms);
+            let frac = rate_per_sec * t.as_secs_f64();
+            if let Some(a) = p.observe(t, frac.min(1.0)) {
+                actions.push(a);
+            }
+        }
+        actions
+    }
+
+    #[test]
+    fn linear_growth_rate_is_estimated() {
+        let mut p = AdaptivePredictor::new(AdaptiveConfig::default());
+        // 2.0 fraction/s: exhaustion in 0.5 s from empty.
+        feed_linear(&mut p, 2.0, 10, 15);
+        let rate = p.rate_per_sec().expect("rate estimated");
+        assert!((rate - 2.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn fires_launch_then_migrate_in_order() {
+        let mut p = AdaptivePredictor::new(AdaptiveConfig::default());
+        let actions = feed_linear(&mut p, 2.0, 40, 15);
+        assert_eq!(
+            actions,
+            vec![
+                ThresholdAction::LaunchReplacement,
+                ThresholdAction::MigrateClients
+            ]
+        );
+        assert!(p.migration_initiated());
+    }
+
+    #[test]
+    fn fast_leak_fires_earlier_in_fraction_terms_than_slow_leak() {
+        // The whole point of adaptivity: for a fast leak the margin is hit
+        // at a lower usage fraction than for a slow one.
+        let fire_fraction = |rate: f64| -> f64 {
+            let mut p = AdaptivePredictor::new(AdaptiveConfig::default());
+            for i in 0..10_000 {
+                let t = SimTime::from_millis(i * 5);
+                let frac = (rate * t.as_secs_f64()).min(1.0);
+                if let Some(ThresholdAction::MigrateClients) = p.observe(t, frac) {
+                    return frac;
+                }
+                if frac >= 1.0 {
+                    break;
+                }
+            }
+            panic!("never fired at rate {rate}");
+        };
+        let fast = fire_fraction(8.0); // exhausts in 125 ms
+        let slow = fire_fraction(0.4); // exhausts in 2.5 s
+        assert!(
+            fast < slow,
+            "fast leak must trigger at lower usage: fast {fast} vs slow {slow}"
+        );
+        assert!(slow > 0.9, "slow leak should run deep before migrating: {slow}");
+    }
+
+    #[test]
+    fn flat_usage_never_fires() {
+        let mut p = AdaptivePredictor::new(AdaptiveConfig::default());
+        for i in 0..100 {
+            let t = SimTime::from_millis(i * 15);
+            assert_eq!(p.observe(t, 0.5), None, "constant usage is not a fault");
+        }
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let mut p = AdaptivePredictor::new(AdaptiveConfig::default());
+        feed_linear(&mut p, 2.0, 40, 15);
+        assert!(p.migration_initiated());
+        p.reset();
+        assert!(!p.migration_initiated());
+        assert!(p.rate_per_sec().is_none());
+    }
+
+    #[test]
+    fn predicted_remaining_tracks_fraction() {
+        let mut p = AdaptivePredictor::new(AdaptiveConfig::default());
+        p.observe(SimTime::from_millis(0), 0.0);
+        p.observe(SimTime::from_millis(100), 0.2); // 2.0/s
+        let remaining = p.predicted_remaining(0.5).expect("rate known");
+        assert!((remaining.as_millis_f64() - 250.0).abs() < 5.0, "{remaining}");
+    }
+}

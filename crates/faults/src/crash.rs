@@ -1,0 +1,84 @@
+//! Crash-fault scheduling.
+//!
+//! The paper's fault model also covers abrupt process- and node-crash
+//! faults (section 3). [`CrashSchedule`] produces deterministic crash
+//! times for experiments that inject them (e.g. the NEEDS_ADDRESSING
+//! scheme is evaluated as "a proactive recovery scheme with insufficient
+//! advance warning of the impending failure" — an abrupt crash).
+
+use rand::Rng;
+use simnet::{SimDuration, SimTime};
+
+use crate::weibull::Weibull;
+
+/// A generator of crash instants.
+#[derive(Clone, Debug)]
+pub enum CrashSchedule {
+    /// Never crash.
+    Never,
+    /// Crash exactly once, `after` the reference instant.
+    At {
+        /// Delay from the reference instant.
+        after: SimDuration,
+    },
+    /// Repeated crashes with Weibull-distributed inter-crash times (in
+    /// milliseconds).
+    Weibull {
+        /// Distribution of inter-crash gaps, in milliseconds.
+        dist: Weibull,
+    },
+}
+
+impl CrashSchedule {
+    /// The next crash instant at or after `from`, if any.
+    pub fn next_after<R: Rng + ?Sized>(&self, from: SimTime, rng: &mut R) -> Option<SimTime> {
+        match self {
+            CrashSchedule::Never => None,
+            CrashSchedule::At { after } => Some(from + *after),
+            CrashSchedule::Weibull { dist } => {
+                let gap_ms = dist.sample(rng).max(0.001);
+                Some(from + SimDuration::from_millis_f64(gap_ms))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_yields_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(CrashSchedule::Never.next_after(SimTime::ZERO, &mut rng), None);
+    }
+
+    #[test]
+    fn fixed_delay_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = CrashSchedule::At {
+            after: SimDuration::from_millis(250),
+        };
+        assert_eq!(
+            s.next_after(SimTime::from_millis(100), &mut rng),
+            Some(SimTime::from_millis(350))
+        );
+    }
+
+    #[test]
+    fn weibull_gaps_are_positive_and_deterministic() {
+        let s = CrashSchedule::Weibull {
+            dist: Weibull::new(500.0, 2.0),
+        };
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let a = s.next_after(SimTime::from_secs(1), &mut r1).expect("some");
+            let b = s.next_after(SimTime::from_secs(1), &mut r2).expect("some");
+            assert_eq!(a, b);
+            assert!(a > SimTime::from_secs(1));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # faults — fault injection and resource monitoring
+//!
+//! Implements the paper's fault-injection strategy (section 5.1) and the
+//! two-step threshold scheme of the Proactive Fault-Tolerance Manager
+//! (section 3.2):
+//!
+//! * [`Weibull`] — the distribution driving the leak (scale 64, shape 2),
+//! * [`MemoryLeak`] — the 32 KB-buffer memory-exhaustion fault, activated
+//!   on the first client request and stepped every 150 ms,
+//! * [`ResourceMonitor`] — the 80 %/90 % two-step thresholds with
+//!   fire-once semantics,
+//! * [`AdaptivePredictor`] — rate-estimating adaptive thresholds (the
+//!   paper's stated future work), and
+//! * [`CrashSchedule`] — abrupt crash-fault scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod crash;
+mod memleak;
+mod resource;
+mod weibull;
+
+pub use adaptive::{AdaptiveConfig, AdaptivePredictor};
+pub use crash::CrashSchedule;
+pub use memleak::{LeakConfig, MemoryLeak};
+pub use resource::{ResourceMonitor, ThresholdAction};
+pub use weibull::Weibull;

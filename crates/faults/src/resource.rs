@@ -1,0 +1,172 @@
+//! Two-step threshold resource monitoring.
+//!
+//! Section 3.2: "We implemented proactive recovery using a two-step
+//! threshold-based scheme similar to the soft hand-off process employed in
+//! cellular systems. When a replica's resource usage exceeds our first
+//! threshold, e.g. 80 % ..., the Proactive Fault-Tolerance Manager at that
+//! replica requests the Recovery Manager to launch a new replica. If the
+//! replica's resource usage exceeds our second threshold, e.g. 90 % ...,
+//! the Proactive Fault-Tolerance Manager can initiate the migration of all
+//! its current clients to the next non-faulty server replica."
+//!
+//! [`ResourceMonitor`] is event-driven: the interceptor feeds it fresh
+//! usage fractions (on `writev`, per the paper's design choice against a
+//! polling thread) and it reports threshold crossings exactly once per
+//! rejuvenation cycle.
+
+/// A proactive action demanded by a threshold crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ThresholdAction {
+    /// First threshold: ask the Recovery Manager for a fresh replica.
+    LaunchReplacement,
+    /// Second threshold: migrate clients to the next non-faulty replica.
+    MigrateClients,
+}
+
+/// Two-step threshold monitor over a resource-usage fraction.
+///
+/// ```
+/// use faults::{ResourceMonitor, ThresholdAction};
+///
+/// let mut m = ResourceMonitor::new(0.8, 0.9);
+/// assert_eq!(m.observe(0.5), None);
+/// assert_eq!(m.observe(0.85), Some(ThresholdAction::LaunchReplacement));
+/// assert_eq!(m.observe(0.86), None); // fired once
+/// assert_eq!(m.observe(0.95), Some(ThresholdAction::MigrateClients));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ResourceMonitor {
+    launch_threshold: f64,
+    migrate_threshold: f64,
+    launch_fired: bool,
+    migrate_fired: bool,
+    last_fraction: f64,
+}
+
+impl ResourceMonitor {
+    /// Creates a monitor with the two thresholds (fractions in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < launch <= migrate <= 1`.
+    pub fn new(launch: f64, migrate: f64) -> Self {
+        assert!(
+            launch > 0.0 && launch <= migrate && migrate <= 1.0,
+            "thresholds must satisfy 0 < launch ({launch}) <= migrate ({migrate}) <= 1"
+        );
+        ResourceMonitor {
+            launch_threshold: launch,
+            migrate_threshold: migrate,
+            launch_fired: false,
+            migrate_fired: false,
+            last_fraction: 0.0,
+        }
+    }
+
+    /// The paper's running example: launch at 80 %, migrate at 90 %.
+    pub fn paper_default() -> Self {
+        ResourceMonitor::new(0.8, 0.9)
+    }
+
+    /// First (launch) threshold.
+    pub fn launch_threshold(&self) -> f64 {
+        self.launch_threshold
+    }
+
+    /// Second (migrate) threshold.
+    pub fn migrate_threshold(&self) -> f64 {
+        self.migrate_threshold
+    }
+
+    /// Most recent usage fraction observed.
+    pub fn last_fraction(&self) -> f64 {
+        self.last_fraction
+    }
+
+    /// Feeds a fresh usage fraction; returns the action to take, if a
+    /// threshold was newly crossed. Each threshold fires at most once per
+    /// cycle; a single observation jumping over both reports
+    /// [`ThresholdAction::MigrateClients`] (launching is then implied and
+    /// also marked fired).
+    pub fn observe(&mut self, fraction: f64) -> Option<ThresholdAction> {
+        self.last_fraction = fraction;
+        if !self.migrate_fired && fraction >= self.migrate_threshold {
+            self.migrate_fired = true;
+            self.launch_fired = true;
+            return Some(ThresholdAction::MigrateClients);
+        }
+        if !self.launch_fired && fraction >= self.launch_threshold {
+            self.launch_fired = true;
+            return Some(ThresholdAction::LaunchReplacement);
+        }
+        None
+    }
+
+    /// `true` once the migrate threshold has fired this cycle.
+    pub fn migration_initiated(&self) -> bool {
+        self.migrate_fired
+    }
+
+    /// Resets for a new rejuvenation cycle.
+    pub fn reset(&mut self) {
+        self.launch_fired = false;
+        self.migrate_fired = false;
+        self.last_fraction = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order_once_each() {
+        let mut m = ResourceMonitor::paper_default();
+        assert_eq!(m.observe(0.1), None);
+        assert_eq!(m.observe(0.79), None);
+        assert_eq!(m.observe(0.80), Some(ThresholdAction::LaunchReplacement));
+        assert_eq!(m.observe(0.85), None);
+        assert_eq!(m.observe(0.90), Some(ThresholdAction::MigrateClients));
+        assert_eq!(m.observe(0.99), None);
+        assert!(m.migration_initiated());
+    }
+
+    #[test]
+    fn jumping_both_thresholds_reports_migrate() {
+        let mut m = ResourceMonitor::paper_default();
+        assert_eq!(m.observe(0.95), Some(ThresholdAction::MigrateClients));
+        // Launch is implied and must not fire separately afterwards.
+        assert_eq!(m.observe(0.96), None);
+    }
+
+    #[test]
+    fn reset_rearms_both() {
+        let mut m = ResourceMonitor::paper_default();
+        m.observe(0.95);
+        m.reset();
+        assert!(!m.migration_initiated());
+        assert_eq!(m.last_fraction(), 0.0);
+        assert_eq!(m.observe(0.81), Some(ThresholdAction::LaunchReplacement));
+        assert_eq!(m.observe(0.91), Some(ThresholdAction::MigrateClients));
+    }
+
+    #[test]
+    fn equal_thresholds_fire_migrate_only() {
+        let mut m = ResourceMonitor::new(0.9, 0.9);
+        assert_eq!(m.observe(0.9), Some(ThresholdAction::MigrateClients));
+        assert_eq!(m.observe(0.95), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds must satisfy")]
+    fn inverted_thresholds_rejected() {
+        let _ = ResourceMonitor::new(0.9, 0.8);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = ResourceMonitor::new(0.2, 0.5);
+        assert_eq!(m.launch_threshold(), 0.2);
+        assert_eq!(m.migrate_threshold(), 0.5);
+    }
+}

@@ -1,0 +1,417 @@
+//! Common Data Representation (CDR) marshalling.
+//!
+//! CDR is CORBA's on-the-wire encoding: primitives are aligned to their
+//! natural size and may be little- or big-endian, with the sender's byte
+//! order flagged in the GIOP header. This module implements the subset the
+//! test application and the MEAD infrastructure exchange: fixed-size
+//! integers, booleans, octet sequences and strings.
+//!
+//! Alignment is computed relative to the start of the encapsulation (the
+//! GIOP message body), which is itself 8-byte aligned by the fixed 12-byte
+//! header in GIOP 1.0's layout convention.
+
+use core::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Byte order of a CDR stream, carried in the GIOP header flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Endian {
+    /// Big-endian ("network order"); flag bit 0 clear.
+    #[default]
+    Big,
+    /// Little-endian; flag bit 0 set.
+    Little,
+}
+
+/// Errors raised while decoding a CDR stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CdrError {
+    /// The stream ended inside a value.
+    UnexpectedEof {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A string was not NUL-terminated or not valid UTF-8.
+    InvalidString,
+    /// An enum discriminant had no defined meaning.
+    InvalidEnum {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The offending discriminant.
+        value: u32,
+    },
+    /// A declared length exceeds the remaining bytes (corrupt or hostile).
+    LengthOverrun {
+        /// The declared length.
+        declared: u32,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::UnexpectedEof { what } => write!(f, "unexpected end of stream in {what}"),
+            CdrError::InvalidString => write!(f, "malformed CDR string"),
+            CdrError::InvalidEnum { what, value } => {
+                write!(f, "invalid {what} discriminant {value}")
+            }
+            CdrError::LengthOverrun { declared, remaining } => {
+                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}
+
+/// A CDR encoder.
+///
+/// ```
+/// use giop::{CdrReader, CdrWriter, Endian};
+///
+/// let mut w = CdrWriter::new(Endian::Little);
+/// w.write_u32(7);
+/// w.write_string("tick");
+/// let bytes = w.finish();
+/// let mut r = CdrReader::new(bytes, Endian::Little);
+/// assert_eq!(r.read_u32().unwrap(), 7);
+/// assert_eq!(r.read_string().unwrap(), "tick");
+/// ```
+#[derive(Debug)]
+pub struct CdrWriter {
+    buf: BytesMut,
+    endian: Endian,
+}
+
+impl CdrWriter {
+    /// Creates an encoder producing `endian`-ordered output.
+    pub fn new(endian: Endian) -> Self {
+        CdrWriter {
+            buf: BytesMut::with_capacity(64),
+            endian,
+        }
+    }
+
+    /// Pads with zero bytes so the next value starts `align`-aligned.
+    fn align(&mut self, align: usize) {
+        let pos = self.buf.len();
+        let pad = (align - pos % align) % align;
+        for _ in 0..pad {
+            self.buf.put_u8(0);
+        }
+    }
+
+    /// Writes a single octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Writes a boolean as one octet (0 or 1).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Writes an unsigned short, 2-aligned.
+    pub fn write_u16(&mut self, v: u16) {
+        self.align(2);
+        match self.endian {
+            Endian::Big => self.buf.put_u16(v),
+            Endian::Little => self.buf.put_u16_le(v),
+        }
+    }
+
+    /// Writes an unsigned long, 4-aligned.
+    pub fn write_u32(&mut self, v: u32) {
+        self.align(4);
+        match self.endian {
+            Endian::Big => self.buf.put_u32(v),
+            Endian::Little => self.buf.put_u32_le(v),
+        }
+    }
+
+    /// Writes a signed long, 4-aligned.
+    pub fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+
+    /// Writes an unsigned long long, 8-aligned.
+    pub fn write_u64(&mut self, v: u64) {
+        self.align(8);
+        match self.endian {
+            Endian::Big => self.buf.put_u64(v),
+            Endian::Little => self.buf.put_u64_le(v),
+        }
+    }
+
+    /// Writes an IEEE double, 8-aligned.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a CDR string: u32 length *including* the terminating NUL,
+    /// then the bytes, then NUL.
+    pub fn write_string(&mut self, s: &str) {
+        self.write_u32(s.len() as u32 + 1);
+        self.buf.put_slice(s.as_bytes());
+        self.buf.put_u8(0);
+    }
+
+    /// Writes `sequence<octet>`: u32 length then raw bytes.
+    pub fn write_octets(&mut self, bytes: &[u8]) {
+        self.write_u32(bytes.len() as u32);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Current encoded length (useful for headers that carry body size).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finalises and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A CDR decoder over a byte buffer.
+///
+/// See [`CdrWriter`] for a round-trip example.
+#[derive(Debug)]
+pub struct CdrReader {
+    buf: Bytes,
+    pos: usize,
+    endian: Endian,
+}
+
+impl CdrReader {
+    /// Creates a decoder over `buf` in `endian` order.
+    pub fn new(buf: Bytes, endian: Endian) -> Self {
+        CdrReader { buf, pos: 0, endian }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn align(&mut self, align: usize) {
+        let pad = (align - self.pos % align) % align;
+        self.pos += pad;
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&[u8], CdrError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CdrError::UnexpectedEof { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one octet.
+    pub fn read_u8(&mut self) -> Result<u8, CdrError> {
+        Ok(self.take(1, "octet")?[0])
+    }
+
+    /// Reads a boolean octet.
+    pub fn read_bool(&mut self) -> Result<bool, CdrError> {
+        Ok(self.read_u8()? != 0)
+    }
+
+    /// Reads an unsigned short (2-aligned).
+    pub fn read_u16(&mut self) -> Result<u16, CdrError> {
+        self.align(2);
+        let endian = self.endian;
+        let mut s = self.take(2, "ushort")?;
+        Ok(match endian {
+            Endian::Big => s.get_u16(),
+            Endian::Little => s.get_u16_le(),
+        })
+    }
+
+    /// Reads an unsigned long (4-aligned).
+    pub fn read_u32(&mut self) -> Result<u32, CdrError> {
+        self.align(4);
+        let endian = self.endian;
+        let mut s = self.take(4, "ulong")?;
+        Ok(match endian {
+            Endian::Big => s.get_u32(),
+            Endian::Little => s.get_u32_le(),
+        })
+    }
+
+    /// Reads a signed long (4-aligned).
+    pub fn read_i32(&mut self) -> Result<i32, CdrError> {
+        Ok(self.read_u32()? as i32)
+    }
+
+    /// Reads an unsigned long long (8-aligned).
+    pub fn read_u64(&mut self) -> Result<u64, CdrError> {
+        self.align(8);
+        let endian = self.endian;
+        let mut s = self.take(8, "ulonglong")?;
+        Ok(match endian {
+            Endian::Big => s.get_u64(),
+            Endian::Little => s.get_u64_le(),
+        })
+    }
+
+    /// Reads an IEEE double (8-aligned).
+    pub fn read_f64(&mut self) -> Result<f64, CdrError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a CDR string.
+    ///
+    /// # Errors
+    ///
+    /// [`CdrError::InvalidString`] if the terminator is missing or the bytes
+    /// are not UTF-8; [`CdrError::LengthOverrun`] on a hostile length.
+    pub fn read_string(&mut self) -> Result<String, CdrError> {
+        let len = self.read_u32()?;
+        if len == 0 {
+            return Err(CdrError::InvalidString);
+        }
+        if len as usize > self.remaining() {
+            return Err(CdrError::LengthOverrun {
+                declared: len,
+                remaining: self.remaining(),
+            });
+        }
+        let raw = self.take(len as usize, "string")?;
+        let (body, nul) = raw.split_at(len as usize - 1);
+        if nul != [0] {
+            return Err(CdrError::InvalidString);
+        }
+        String::from_utf8(body.to_vec()).map_err(|_| CdrError::InvalidString)
+    }
+
+    /// Reads `sequence<octet>`.
+    pub fn read_octets(&mut self) -> Result<Vec<u8>, CdrError> {
+        let len = self.read_u32()?;
+        if len as usize > self.remaining() {
+            return Err(CdrError::LengthOverrun {
+                declared: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(self.take(len as usize, "octet sequence")?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(endian: Endian) {
+        let mut w = CdrWriter::new(endian);
+        w.write_u8(0xAB);
+        w.write_bool(true);
+        w.write_u16(0x1234);
+        w.write_u32(0xDEADBEEF);
+        w.write_u64(0x0102030405060708);
+        w.write_f64(3.5);
+        w.write_string("hello");
+        w.write_octets(&[9, 8, 7]);
+        let b = w.finish();
+        let mut r = CdrReader::new(b, endian);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_u16().unwrap(), 0x1234);
+        assert_eq!(r.read_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_u64().unwrap(), 0x0102030405060708);
+        assert_eq!(r.read_f64().unwrap(), 3.5);
+        assert_eq!(r.read_string().unwrap(), "hello");
+        assert_eq!(r.read_octets().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_big_endian() {
+        roundtrip(Endian::Big);
+    }
+
+    #[test]
+    fn roundtrip_little_endian() {
+        roundtrip(Endian::Little);
+    }
+
+    #[test]
+    fn alignment_is_padded() {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_u8(1); // pos 1
+        w.write_u32(2); // pads to 4
+        assert_eq!(w.len(), 8);
+        let b = w.finish();
+        assert_eq!(&b[1..4], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn u64_aligns_to_eight() {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_u8(1);
+        w.write_u64(2);
+        assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut r = CdrReader::new(Bytes::from_static(&[1, 2]), Endian::Big);
+        assert!(matches!(
+            r.read_u32(),
+            Err(CdrError::UnexpectedEof { what: "ulong" })
+        ));
+    }
+
+    #[test]
+    fn hostile_string_length_is_rejected() {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_u32(1_000_000); // declared length
+        let b = w.finish();
+        let mut r = CdrReader::new(b, Endian::Big);
+        assert!(matches!(r.read_string(), Err(CdrError::LengthOverrun { .. })));
+    }
+
+    #[test]
+    fn string_missing_nul_is_rejected() {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_u32(3);
+        w.write_u8(b'a');
+        w.write_u8(b'b');
+        w.write_u8(b'c'); // should be NUL
+        let mut r = CdrReader::new(w.finish(), Endian::Big);
+        assert_eq!(r.read_string(), Err(CdrError::InvalidString));
+    }
+
+    #[test]
+    fn big_endian_wire_layout() {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_u32(0x01020304);
+        assert_eq!(&w.finish()[..], &[1, 2, 3, 4]);
+        let mut w = CdrWriter::new(Endian::Little);
+        w.write_u32(0x01020304);
+        assert_eq!(&w.finish()[..], &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_octets_roundtrip() {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_octets(&[]);
+        let mut r = CdrReader::new(w.finish(), Endian::Big);
+        assert_eq!(r.read_octets().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CdrError::InvalidEnum { what: "ReplyStatus", value: 9 };
+        assert_eq!(e.to_string(), "invalid ReplyStatus discriminant 9");
+    }
+}

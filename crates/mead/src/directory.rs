@@ -1,0 +1,290 @@
+//! The replica directory: who is in the group, in what order, and where.
+//!
+//! Each MEAD Fault-Tolerance Manager keeps this directory so it can pick
+//! "the next non-faulty server replica in the group" (sections 4.1/4.3).
+//! It is fed by GCS membership views, `AddrAdvert`/`IorAdvert` multicasts,
+//! and the `SyncList` messages the first-listed replica sends after every
+//! view change.
+
+use std::collections::BTreeMap;
+
+use giop::{Ior, ObjectKey};
+
+/// Member-name prefix identifying replicas (other group members, like the
+/// Recovery Manager, are ignored when selecting fail-over targets).
+pub const REPLICA_PREFIX: &str = "replica/";
+
+/// Builds the canonical member name for a replica instance.
+pub fn replica_member_name(slot: u32, pid: u64) -> String {
+    format!("{REPLICA_PREFIX}{slot}/{pid}")
+}
+
+/// Extracts the slot number from a replica member name.
+pub fn slot_of_member(member: &str) -> Option<u32> {
+    member
+        .strip_prefix(REPLICA_PREFIX)?
+        .split('/')
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Directory of live replicas and their advertised addresses/IORs.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaDirectory {
+    /// Current view (all members, in view order).
+    view: Vec<String>,
+    /// member -> (host, port)
+    addrs: BTreeMap<String, (String, u16)>,
+    /// member -> advertised IORs, each stored with its precomputed 16-bit
+    /// object-key hash (the point of section 4.1's optimisation is that
+    /// the hash is computed once at registration, not per lookup).
+    iors: BTreeMap<String, Vec<(u16, Ior)>>,
+}
+
+impl ReplicaDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a new membership view.
+    ///
+    /// Adverts of members that *departed* (present in the previous view,
+    /// absent now) are garbage-collected so stale addresses are never
+    /// handed out as fail-over targets. Adverts of processes not yet in
+    /// the view are kept: a newcomer's advert may be ordered before its
+    /// join view while the membership protocol deliberates.
+    pub fn on_view(&mut self, members: Vec<String>) {
+        let departed: Vec<String> = self
+            .view
+            .iter()
+            .filter(|m| !members.contains(m))
+            .cloned()
+            .collect();
+        for m in &departed {
+            self.addrs.remove(m);
+            self.iors.remove(m);
+        }
+        self.view = members;
+    }
+
+    /// The current view, unfiltered.
+    pub fn view(&self) -> &[String] {
+        &self.view
+    }
+
+    /// Live replicas, in view order.
+    pub fn replicas(&self) -> impl Iterator<Item = &str> {
+        self.view
+            .iter()
+            .filter(|m| m.starts_with(REPLICA_PREFIX))
+            .map(String::as_str)
+    }
+
+    /// Number of live replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas().count()
+    }
+
+    /// `true` if `member` is the first replica in the view (the paper's
+    /// "first replica listed", responsible for sync and query answers).
+    pub fn is_first_replica(&self, member: &str) -> bool {
+        self.replicas().next() == Some(member)
+    }
+
+    /// The first live replica, if any.
+    pub fn first_replica(&self) -> Option<&str> {
+        self.replicas().next()
+    }
+
+    /// The next live replica after `member` in view order, wrapping, and
+    /// excluding `member` itself — the fail-over target.
+    pub fn next_after(&self, member: &str) -> Option<&str> {
+        let replicas: Vec<&str> = self.replicas().collect();
+        if replicas.is_empty() {
+            return None;
+        }
+        match replicas.iter().position(|m| *m == member) {
+            Some(i) => {
+                let next = replicas[(i + 1) % replicas.len()];
+                (next != member).then_some(next)
+            }
+            // We are not (or no longer) in the view: any replica will do.
+            None => Some(replicas[0]),
+        }
+    }
+
+    /// Records an address advert.
+    pub fn record_addr(&mut self, member: &str, host: &str, port: u16) {
+        self.addrs
+            .insert(member.to_string(), (host.to_string(), port));
+    }
+
+    /// Records an IOR advert (deduplicated by object key, hash computed
+    /// once here).
+    pub fn record_ior(&mut self, member: &str, ior: Ior) {
+        let entry = self.iors.entry(member.to_string()).or_default();
+        let hash = ior
+            .primary_profile()
+            .map(|p| p.object_key.hash16())
+            .unwrap_or(0);
+        if let Some(profile) = ior.primary_profile() {
+            entry.retain(|(_, existing)| {
+                existing
+                    .primary_profile()
+                    .map(|p| p.object_key != profile.object_key)
+                    .unwrap_or(true)
+            });
+        }
+        entry.push((hash, ior));
+    }
+
+    /// Applies a `SyncList` of (member, host, port) triples.
+    pub fn apply_sync(&mut self, entries: &[(String, String, u16)]) {
+        for (m, h, p) in entries {
+            self.addrs.insert(m.clone(), (h.clone(), *p));
+        }
+    }
+
+    /// All known (member, host, port) triples, for emitting a `SyncList`.
+    pub fn sync_entries(&self) -> Vec<(String, String, u16)> {
+        self.addrs
+            .iter()
+            .map(|(m, (h, p))| (m.clone(), h.clone(), *p))
+            .collect()
+    }
+
+    /// Advertised address of `member`.
+    pub fn addr_of(&self, member: &str) -> Option<(&str, u16)> {
+        self.addrs.get(member).map(|(h, p)| (h.as_str(), *p))
+    }
+
+    /// Looks up the IOR `member` advertises for `object_key`.
+    ///
+    /// With `use_hash` the comparison is by the 16-bit key hash first
+    /// (section 4.1's optimisation), verified byte-wise on a hit; without
+    /// it, byte-wise only (the ablation baseline).
+    pub fn ior_of(&self, member: &str, object_key: &ObjectKey, use_hash: bool) -> Option<&Ior> {
+        let iors = self.iors.get(member)?;
+        let wanted_hash = use_hash.then(|| object_key.hash16());
+        iors.iter()
+            .find(|(stored_hash, ior)| {
+                if let Some(h) = wanted_hash {
+                    // Cheap 16-bit comparison first; verify bytes on a hit.
+                    if *stored_hash != h {
+                        return false;
+                    }
+                }
+                ior.primary_profile()
+                    .map(|p| p.object_key == *object_key)
+                    .unwrap_or(false)
+            })
+            .map(|(_, ior)| ior)
+    }
+
+    /// Number of IORs known for `member` (IOR-table footprint; the paper
+    /// notes this state grows with the number of server objects).
+    pub fn ior_count(&self, member: &str) -> usize {
+        self.iors.get(member).map(Vec::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ior(host: &str, port: u16, obj: &str) -> Ior {
+        Ior::singleton("IDL:T:1.0", host, port, ObjectKey::persistent("P", obj))
+    }
+
+    #[test]
+    fn member_name_roundtrip() {
+        let m = replica_member_name(2, 77);
+        assert_eq!(m, "replica/2/77");
+        assert_eq!(slot_of_member(&m), Some(2));
+        assert_eq!(slot_of_member("mgr/recovery"), None);
+    }
+
+    #[test]
+    fn replicas_filter_out_manager() {
+        let mut d = ReplicaDirectory::new();
+        d.on_view(vec![
+            "mgr/recovery".into(),
+            "replica/0/10".into(),
+            "replica/1/11".into(),
+        ]);
+        assert_eq!(d.replica_count(), 2);
+        assert_eq!(d.first_replica(), Some("replica/0/10"));
+        assert!(!d.is_first_replica("mgr/recovery"));
+        assert!(d.is_first_replica("replica/0/10"));
+    }
+
+    #[test]
+    fn next_after_wraps_and_excludes_self() {
+        let mut d = ReplicaDirectory::new();
+        d.on_view(vec![
+            "replica/0/10".into(),
+            "replica/1/11".into(),
+            "replica/2/12".into(),
+        ]);
+        assert_eq!(d.next_after("replica/0/10"), Some("replica/1/11"));
+        assert_eq!(d.next_after("replica/2/12"), Some("replica/0/10"));
+        d.on_view(vec!["replica/0/10".into()]);
+        assert_eq!(d.next_after("replica/0/10"), None, "alone in the group");
+        // Departed member still finds a target.
+        d.on_view(vec!["replica/1/11".into()]);
+        assert_eq!(d.next_after("replica/0/10"), Some("replica/1/11"));
+    }
+
+    #[test]
+    fn view_change_garbage_collects_adverts() {
+        let mut d = ReplicaDirectory::new();
+        d.on_view(vec!["replica/0/10".into(), "replica/1/11".into()]);
+        d.record_addr("replica/0/10", "node1", 20000);
+        d.record_addr("replica/1/11", "node2", 20001);
+        d.on_view(vec!["replica/1/11".into()]);
+        assert_eq!(d.addr_of("replica/0/10"), None);
+        assert_eq!(d.addr_of("replica/1/11"), Some(("node2", 20001)));
+    }
+
+    #[test]
+    fn sync_entries_roundtrip() {
+        let mut d = ReplicaDirectory::new();
+        d.on_view(vec!["replica/0/10".into()]);
+        d.record_addr("replica/0/10", "node1", 20000);
+        let entries = d.sync_entries();
+        let mut d2 = ReplicaDirectory::new();
+        d2.on_view(vec!["replica/0/10".into()]);
+        d2.apply_sync(&entries);
+        assert_eq!(d2.addr_of("replica/0/10"), Some(("node1", 20000)));
+    }
+
+    #[test]
+    fn ior_lookup_by_hash_and_bytewise() {
+        let mut d = ReplicaDirectory::new();
+        d.on_view(vec!["replica/0/10".into()]);
+        d.record_ior("replica/0/10", ior("node1", 20000, "TimeOfDay"));
+        d.record_ior("replica/0/10", ior("node1", 20000, "Counter"));
+        let key = ObjectKey::persistent("P", "Counter");
+        for use_hash in [true, false] {
+            let found = d.ior_of("replica/0/10", &key, use_hash).expect("found");
+            assert_eq!(found.primary_profile().unwrap().object_key, key);
+        }
+        let missing = ObjectKey::persistent("P", "Nope");
+        assert!(d.ior_of("replica/0/10", &missing, true).is_none());
+        assert_eq!(d.ior_count("replica/0/10"), 2);
+    }
+
+    #[test]
+    fn ior_readvert_replaces_same_key() {
+        let mut d = ReplicaDirectory::new();
+        d.on_view(vec!["replica/0/10".into()]);
+        d.record_ior("replica/0/10", ior("node1", 20000, "TimeOfDay"));
+        d.record_ior("replica/0/10", ior("node1", 30000, "TimeOfDay"));
+        assert_eq!(d.ior_count("replica/0/10"), 1);
+        let key = ObjectKey::persistent("P", "TimeOfDay");
+        let found = d.ior_of("replica/0/10", &key, true).expect("found");
+        assert_eq!(found.primary_profile().unwrap().port, 30000);
+    }
+}

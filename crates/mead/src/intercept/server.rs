@@ -1,0 +1,836 @@
+//! The server-side MEAD Interceptor with its embedded Proactive
+//! Fault-Tolerance Manager.
+//!
+//! Wraps an *unmodified* server process (ORB + servants + naming
+//! registration) exactly as the paper's `LD_PRELOAD` library wraps a TAO
+//! server: the application's `listen`/`connect`/`read`/`write`/`close`
+//! all pass through this layer, which
+//!
+//! * classifies sockets (accepted = client-side traffic, initiated =
+//!   outbound traffic such as the Naming Service registration),
+//! * hosts the memory-leak fault injector (section 5.1 injects the leak
+//!   "within the Interceptor") and the two-step threshold monitor, checked
+//!   on the write path (the paper rejects a polling thread, section 3.1),
+//! * joins the replica group over GCS, advertises its address (from the
+//!   intercepted `listen()`, section 4.3) and its IORs (from the
+//!   intercepted Naming Service registration, section 4.1),
+//! * past the migrate threshold, redirects clients by the configured
+//!   scheme: replacing replies with `LOCATION_FORWARD`, or piggybacking
+//!   MEAD fail-over notices onto replies, and
+//! * answers `AddressQuery` multicasts when it is the first live replica
+//!   (section 4.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use faults::{AdaptivePredictor, MemoryLeak, ResourceMonitor, ThresholdAction};
+use giop::{Endian, Frame, FrameKind, Message, MsgType, ObjectKey, ReplyBody, ReplyMessage};
+use groupcomm::{GcsClient, GcsDelivery};
+use simnet::{
+    ConnId, Event, ExitReason, ListenerId, Port, Process, ProcessFactory, ProcessId,
+    ReadOutcome, SimDuration, SimRng, SimTime, SysError, SysApi, TimerId,
+};
+
+use crate::config::{MeadConfig, RecoveryScheme};
+use crate::directory::{replica_member_name, ReplicaDirectory};
+use crate::intercept::common::{
+    is_intercept_token, Stream, TOKEN_CHECKPOINT, TOKEN_DRAIN, TOKEN_GCS, TOKEN_LEAK,
+};
+use crate::messages::{FailoverNotice, GroupMsg};
+
+/// Hooks through which the interceptor captures and restores application
+/// state for warm-passive replication. The application itself stays
+/// MEAD-unaware: it shares its state (e.g. through an `Rc<Cell<..>>`)
+/// with whoever builds the interceptor — the reproduction's stand-in for
+/// MEAD's checkpointing library.
+pub struct StateHooks {
+    /// Serialises the current application state.
+    pub capture: CaptureFn,
+    /// Installs a received checkpoint into the application state.
+    pub restore: RestoreFn,
+}
+
+/// Serialises the application state for a checkpoint.
+pub type CaptureFn = Box<dyn Fn() -> Vec<u8>>;
+/// Installs a received checkpoint into the application state.
+pub type RestoreFn = Box<dyn Fn(&[u8])>;
+
+/// The server-side interceptor process: `Interceptor(app)` in Figure 1.
+pub struct ServerInterceptor {
+    inner: Box<dyn Process>,
+    st: ServerState,
+    label: String,
+}
+
+struct ServerState {
+    cfg: MeadConfig,
+    slot: u32,
+    member: String,
+    gcs: Option<GcsClient>,
+    dir: ReplicaDirectory,
+    leak: Option<MemoryLeak>,
+    monitor: ResourceMonitor,
+    adaptive: Option<AdaptivePredictor>,
+    listen_port: Option<Port>,
+    app_listeners: BTreeSet<ListenerId>,
+    client_streams: BTreeMap<ConnId, Stream>,
+    out_streams: BTreeMap<ConnId, Stream>,
+    /// LOCATION_FORWARD bookkeeping: per-connection request_id → object key
+    /// harvested from parsed requests.
+    request_keys: BTreeMap<ConnId, BTreeMap<u32, ObjectKey>>,
+    /// IORs captured from the app's Naming Service registrations.
+    my_iors: Vec<giop::Ior>,
+    /// Clients already told to move away.
+    notified: BTreeSet<ConnId>,
+    state_hooks: Option<StateHooks>,
+    /// Has served at least one client request (making this instance the
+    /// acting primary for warm-passive purposes).
+    ever_served: bool,
+    /// Served a request since the last checkpoint (state is dirty).
+    served_since_checkpoint: bool,
+    migrating: bool,
+    draining: bool,
+    /// Launch already requested this rejuvenation cycle.
+    launch_requested: bool,
+    /// We have seen ourselves in a view and re-advertised once.
+    advertised_in_view: bool,
+}
+
+impl ServerInterceptor {
+    /// Wraps `inner` (an unmodified server process) for replica `slot`.
+    pub fn new(cfg: MeadConfig, slot: u32, inner: Box<dyn Process>) -> Self {
+        let leak = cfg.leak.clone().map(MemoryLeak::new);
+        let monitor = ResourceMonitor::new(cfg.launch_threshold, cfg.migrate_threshold);
+        let adaptive = cfg.adaptive.clone().map(AdaptivePredictor::new);
+        ServerInterceptor {
+            label: format!("mead-server-interceptor/{slot}"),
+            inner,
+            st: ServerState {
+                cfg,
+                slot,
+                member: String::new(),
+                gcs: None,
+                dir: ReplicaDirectory::new(),
+                leak,
+                monitor,
+                adaptive,
+                listen_port: None,
+                app_listeners: BTreeSet::new(),
+                client_streams: BTreeMap::new(),
+                out_streams: BTreeMap::new(),
+                request_keys: BTreeMap::new(),
+                my_iors: Vec::new(),
+                notified: BTreeSet::new(),
+                state_hooks: None,
+                ever_served: false,
+                served_since_checkpoint: false,
+                migrating: false,
+                draining: false,
+                launch_requested: false,
+                advertised_in_view: false,
+            },
+        }
+    }
+}
+
+impl ServerInterceptor {
+    /// Attaches warm-passive state hooks: the primary's checkpoints carry
+    /// `capture()`'s bytes, and checkpoints received from the primary are
+    /// fed to `restore()` (backups track the primary's state).
+    pub fn with_state_hooks(mut self, hooks: StateHooks) -> Self {
+        self.st.state_hooks = Some(hooks);
+        self
+    }
+}
+
+impl Process for ServerInterceptor {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        self.st.member = replica_member_name(self.st.slot, sys.my_pid().raw());
+        let mut gcs = GcsClient::new(self.st.member.clone(), TOKEN_GCS);
+        gcs.start(sys);
+        let group = self.st.cfg.server_group.clone();
+        gcs.join(sys, &group);
+        self.st.gcs = Some(gcs);
+        if self.st.leak.is_some() {
+            let interval = self
+                .st
+                .cfg
+                .leak
+                .as_ref()
+                .expect("leak config present")
+                .interval;
+            sys.set_timer(interval, TOKEN_LEAK);
+        }
+        sys.set_timer(self.st.cfg.checkpoint_interval, TOKEN_CHECKPOINT);
+        let mut facade = ServerFacade { sys, st: &mut self.st };
+        self.inner.on_start(&mut facade);
+    }
+
+    fn on_event(&mut self, sys: &mut dyn SysApi, event: Event) {
+        // 1. Group-communication traffic is interceptor-internal.
+        let deliveries = self
+            .st
+            .gcs
+            .as_mut()
+            .and_then(|gcs| gcs.handle_event(sys, &event));
+        if let Some(deliveries) = deliveries {
+            for d in deliveries {
+                self.st.on_gcs(sys, d);
+            }
+            return;
+        }
+        // 2. Interceptor timers.
+        if let Event::TimerFired { token, .. } = event {
+            if is_intercept_token(token) {
+                self.st.on_timer(sys, token);
+                return;
+            }
+        }
+        // 3. Transport events on intercepted streams.
+        match event {
+            Event::Accepted { listener, conn, .. } if self.st.app_listeners.contains(&listener) => {
+                self.st.client_streams.insert(conn, Stream::new(conn));
+                let mut facade = ServerFacade { sys, st: &mut self.st };
+                self.inner.on_event(&mut facade, event);
+            }
+            Event::DataReadable { conn }
+                if self.st.client_streams.contains_key(&conn)
+                    || self.st.out_streams.contains_key(&conn) =>
+            {
+                let staged = self.st.pump_incoming(sys, conn);
+                if staged {
+                    let mut facade = ServerFacade { sys, st: &mut self.st };
+                    self.inner.on_event(&mut facade, Event::DataReadable { conn });
+                }
+            }
+            Event::PeerClosed { conn }
+                if self.st.client_streams.contains_key(&conn)
+                    || self.st.out_streams.contains_key(&conn) =>
+            {
+                if let Some(s) = self
+                    .st
+                    .client_streams
+                    .get_mut(&conn)
+                    .or_else(|| self.st.out_streams.get_mut(&conn))
+                {
+                    s.stage_eof = true;
+                }
+                // A departed client no longer needs a migration notice.
+                self.st.notified.insert(conn);
+                let mut facade = ServerFacade { sys, st: &mut self.st };
+                self.inner.on_event(&mut facade, event);
+                self.st.maybe_drain(sys);
+            }
+            other => {
+                let mut facade = ServerFacade { sys, st: &mut self.st };
+                self.inner.on_event(&mut facade, other);
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl ServerState {
+    /// Drains real bytes on `conn` into its stream, consuming control
+    /// frames and charging per-scheme costs. Returns whether new bytes
+    /// were staged for the application.
+    fn pump_incoming(&mut self, sys: &mut dyn SysApi, conn: ConnId) -> bool {
+        let Ok(read) = sys.read(conn, usize::MAX) else {
+            return false;
+        };
+        let is_client = self.client_streams.contains_key(&conn);
+        let stream = match self
+            .client_streams
+            .get_mut(&conn)
+            .or_else(|| self.out_streams.get_mut(&conn))
+        {
+            Some(s) => s,
+            None => return false,
+        };
+        if read.eof {
+            stream.stage_eof = true;
+        }
+        let frames = match stream.push_incoming(&read.data) {
+            Ok(f) => f,
+            Err(e) => {
+                sys.count("mead.server.desync", 1);
+                sys.trace(&format!("server interceptor: stream desync: {e}"));
+                return false;
+            }
+        };
+        let mut staged = false;
+        for frame in frames {
+            if is_client {
+                self.process_client_frame(sys, conn, &frame);
+            }
+            // Server side passes every frame (including any stray MEAD
+            // frame) up unchanged; only the client interceptor strips.
+            let stream = self
+                .client_streams
+                .get_mut(&conn)
+                .or_else(|| self.out_streams.get_mut(&conn))
+                .expect("stream persists during pump");
+            stream.stage_frame(&frame);
+            staged = true;
+        }
+        staged
+    }
+
+    /// Read-path processing of one inbound client frame.
+    fn process_client_frame(&mut self, sys: &mut dyn SysApi, conn: ConnId, frame: &Frame) {
+        if frame.kind != FrameKind::Giop || frame.msg_type() != MsgType::Request as u8 {
+            return;
+        }
+        self.ever_served = true;
+        self.served_since_checkpoint = true;
+        // "The memory leak at a server replica was activated when the
+        // server received its first client request." (section 5.1)
+        if let Some(leak) = self.leak.as_mut() {
+            if !leak.is_active() {
+                leak.activate();
+                sys.count("mead.leak_activated", 1);
+            }
+        }
+        if self.cfg.scheme == RecoveryScheme::LocationForward {
+            // Full parse to harvest request_id and object key — the source
+            // of this scheme's ~90 % overhead (section 5.2.2).
+            sys.charge_cpu(self.cfg.costs.giop_parse_cpu);
+            if let Ok(Message::Request(req)) = Message::decode(&frame.bytes) {
+                self.request_keys
+                    .entry(conn)
+                    .or_default()
+                    .insert(req.request_id, req.object_key);
+            }
+        }
+    }
+
+    /// Write-path filtering for replies to clients. Returns the bytes to
+    /// actually put on the wire.
+    fn filter_client_write(
+        &mut self,
+        sys: &mut dyn SysApi,
+        conn: ConnId,
+        frame: &Frame,
+    ) -> Vec<u8> {
+        if frame.kind != FrameKind::Giop || frame.msg_type() != MsgType::Reply as u8 {
+            return frame.bytes.to_vec();
+        }
+        // Per-scheme steady-state costs on the reply path.
+        match self.cfg.scheme {
+            RecoveryScheme::LocationForward => sys.charge_cpu(self.cfg.costs.giop_parse_cpu),
+            RecoveryScheme::MeadFailover => sys.charge_cpu(self.cfg.costs.frame_scan_cpu),
+            _ => {}
+        }
+        // Event-driven threshold check: "proactive recovery needs to be
+        // triggered only when there are active client connections"
+        // (section 3.1) — hence on writev, not on a polling thread. The
+        // ablation flag `poll_thresholds` moves this to the leak timer,
+        // as does the adaptive predictor (whose rate estimate needs the
+        // leak tick cadence).
+        if !self.cfg.poll_thresholds && self.cfg.adaptive.is_none() {
+            self.check_thresholds(sys, false);
+        }
+        if !self.migrating {
+            return frame.bytes.to_vec();
+        }
+        match self.cfg.scheme {
+            RecoveryScheme::LocationForward => self.forward_reply(sys, conn, frame),
+            RecoveryScheme::MeadFailover => self.piggyback_reply(sys, conn, frame),
+            _ => frame.bytes.to_vec(),
+        }
+    }
+
+    /// LOCATION_FORWARD: suppress the normal reply, send a forward to the
+    /// next replica's IOR instead (section 4.1).
+    fn forward_reply(&mut self, sys: &mut dyn SysApi, conn: ConnId, frame: &Frame) -> Vec<u8> {
+        let Ok(Message::Reply(rep)) = Message::decode(&frame.bytes) else {
+            return frame.bytes.to_vec();
+        };
+        let key = self
+            .request_keys
+            .get_mut(&conn)
+            .and_then(|m| m.remove(&rep.request_id));
+        let target = self.dir.next_after(&self.member).map(str::to_string);
+        let (Some(key), Some(target)) = (key, target) else {
+            return frame.bytes.to_vec(); // cannot redirect; serve normally
+        };
+        sys.charge_cpu(if self.cfg.use_key_hash {
+            self.cfg.costs.ior_lookup_cpu
+        } else {
+            self.cfg.costs.ior_bytewise_cpu
+        });
+        let Some(ior) = self.dir.ior_of(&target, &key, self.cfg.use_key_hash).cloned() else {
+            sys.count("mead.forward_no_ior", 1);
+            return frame.bytes.to_vec();
+        };
+        sys.charge_cpu(self.cfg.costs.fabricate_cpu);
+        sys.count("mead.forwards_sent", 1);
+        self.notified.insert(conn);
+        Message::Reply(ReplyMessage {
+            request_id: rep.request_id,
+            body: ReplyBody::LocationForward(ior),
+        })
+        .encode(Endian::Big)
+        .to_vec()
+    }
+
+    /// MEAD message: deliver the reply *and* piggyback a fail-over notice
+    /// carrying the next replica's address (section 4.3).
+    fn piggyback_reply(&mut self, sys: &mut dyn SysApi, conn: ConnId, frame: &Frame) -> Vec<u8> {
+        let target = self.dir.next_after(&self.member).map(str::to_string);
+        let addr = target
+            .as_deref()
+            .and_then(|t| self.dir.addr_of(t).map(|(h, p)| (h.to_string(), p)));
+        let Some((host, port)) = addr else {
+            sys.count("mead.piggyback_no_target", 1);
+            return frame.bytes.to_vec();
+        };
+        sys.charge_cpu(self.cfg.costs.fabricate_cpu);
+        sys.count("mead.piggybacks_sent", 1);
+        self.notified.insert(conn);
+        // "Piggybacking regular GIOP Reply messages onto the MEAD proactive
+        // failover messages": the notice travels first so the client-side
+        // interceptor can redirect before handing the reply up.
+        let mut out = FailoverNotice::new(&host, port, &self.member).encode();
+        out.extend_from_slice(&frame.bytes);
+        out
+    }
+
+    /// Outbound write-path processing (Naming Service traffic): in the
+    /// LOCATION_FORWARD scheme, harvest the IORs the app registers
+    /// (section 4.1 "we intercept the IOR ... when each server replica
+    /// registers its objects with the Naming Service").
+    fn process_outbound_frame(&mut self, sys: &mut dyn SysApi, frame: &Frame) {
+        if self.cfg.scheme != RecoveryScheme::LocationForward {
+            return;
+        }
+        if frame.kind != FrameKind::Giop || frame.msg_type() != MsgType::Request as u8 {
+            return;
+        }
+        sys.charge_cpu(self.cfg.costs.giop_parse_cpu);
+        let Ok(Message::Request(req)) = Message::decode(&frame.bytes) else {
+            return;
+        };
+        if req.operation != "bind" {
+            return;
+        }
+        let mut r = giop::CdrReader::new(req.body.to_vec().into(), Endian::Big);
+        let parsed = r
+            .read_string()
+            .and_then(|_name| r.read_octets())
+            .ok()
+            .and_then(|bytes| giop::Ior::decode(&bytes).ok());
+        if let Some(ior) = parsed {
+            sys.count("mead.ior_captured", 1);
+            self.my_iors.push(ior.clone());
+            let group = self.cfg.server_group.clone();
+            let member = self.member.clone();
+            if let Some(gcs) = self.gcs.as_mut() {
+                gcs.multicast(sys, &group, &GroupMsg::IorAdvert { member, ior }.encode());
+            }
+        }
+    }
+
+    /// Observes the current resource usage against the configured
+    /// trigger (preset two-step thresholds, or the adaptive predictor)
+    /// and initiates launch/migration on crossings.
+    fn check_thresholds(&mut self, sys: &mut dyn SysApi, from_timer: bool) {
+        if !self.cfg.scheme.is_proactive_migration() {
+            return;
+        }
+        let Some(leak) = self.leak.as_ref() else {
+            return;
+        };
+        if !leak.is_active() {
+            return;
+        }
+        let action = match self.adaptive.as_mut() {
+            // The predictor samples on the leak-tick cadence so its rate
+            // estimate sees clean usage deltas.
+            Some(predictor) if from_timer => predictor.observe(sys.now(), leak.fraction()),
+            Some(_) => None,
+            None => self.monitor.observe(leak.fraction()),
+        };
+        match action {
+            Some(ThresholdAction::LaunchReplacement) => {
+                self.request_launch(sys);
+            }
+            Some(ThresholdAction::MigrateClients) => {
+                self.request_launch(sys); // ensure a target exists
+                self.migrating = true;
+                sys.count("mead.migrations", 1);
+                sys.mark("mead.migrate_at");
+                sys.trace("migrate threshold crossed; redirecting clients");
+            }
+            None => {}
+        }
+    }
+
+    /// Multicasts a state checkpoint immediately (used for the periodic
+    /// cadence and for warming a newly joined replica).
+    fn send_checkpoint(&mut self, sys: &mut dyn SysApi) {
+        self.served_since_checkpoint = false;
+        sys.count("mead.checkpoints_sent", 1);
+        let state = match self.state_hooks.as_ref() {
+            Some(hooks) => (hooks.capture)(),
+            None => vec![0u8; self.cfg.checkpoint_bytes],
+        };
+        let group = self.cfg.server_group.clone();
+        let member = self.member.clone();
+        if let Some(gcs) = self.gcs.as_mut() {
+            gcs.multicast(sys, &group, &GroupMsg::Checkpoint { member, state }.encode());
+        }
+    }
+
+    fn request_launch(&mut self, sys: &mut dyn SysApi) {
+        if self.launch_requested {
+            return; // once per rejuvenation cycle
+        }
+        self.launch_requested = true;
+        sys.count("mead.launch_requests", 1);
+        let group = self.cfg.server_group.clone();
+        let member = self.member.clone();
+        if let Some(gcs) = self.gcs.as_mut() {
+            gcs.multicast(sys, &group, &GroupMsg::LaunchRequest { member }.encode());
+        }
+    }
+
+    fn advertise(&mut self, sys: &mut dyn SysApi) {
+        let Some(port) = self.listen_port else {
+            return;
+        };
+        let host = crate::host_of(sys.my_node());
+        let group = self.cfg.server_group.clone();
+        let member = self.member.clone();
+        let iors = self.my_iors.clone();
+        if let Some(gcs) = self.gcs.as_mut() {
+            gcs.multicast(
+                sys,
+                &group,
+                &GroupMsg::AddrAdvert {
+                    member: member.clone(),
+                    host,
+                    port: port.0,
+                }
+                .encode(),
+            );
+            for ior in iors {
+                gcs.multicast(
+                    sys,
+                    &group,
+                    &GroupMsg::IorAdvert {
+                        member: member.clone(),
+                        ior,
+                    }
+                    .encode(),
+                );
+            }
+        }
+    }
+
+    fn on_gcs(&mut self, sys: &mut dyn SysApi, delivery: GcsDelivery) {
+        match delivery {
+            GcsDelivery::Ready => self.advertise(sys),
+            GcsDelivery::View { group, members, .. } if group == self.cfg.server_group => {
+                let grew = members.len() > self.dir.view().len();
+                self.dir.on_view(members);
+                // Advertise once more when our own join is confirmed, in
+                // case the advert multicast was ordered ahead of the view.
+                if !self.advertised_in_view
+                    && self.dir.view().contains(&self.member)
+                {
+                    self.advertised_in_view = true;
+                    self.advertise(sys);
+                }
+                // Warm a newly joined replica immediately: the acting
+                // primary pushes its current state so a hand-off moments
+                // later (pre-launch at T1, migrate at T2) finds the
+                // newcomer warm rather than empty.
+                if grew && self.ever_served && self.state_hooks.is_some() {
+                    self.send_checkpoint(sys);
+                }
+                // The first-listed replica synchronises the active-server
+                // list when the group gains a member (section 4.3);
+                // newcomers learn addresses from that SyncList.
+                if grew && self.dir.is_first_replica(&self.member) {
+                    let entries = self.dir.sync_entries();
+                    let group = self.cfg.server_group.clone();
+                    if let Some(gcs) = self.gcs.as_mut() {
+                        gcs.multicast(sys, &group, &GroupMsg::SyncList { entries }.encode());
+                        sys.count("mead.synclists_sent", 1);
+                    }
+                }
+            }
+            GcsDelivery::Message { payload, .. } => match GroupMsg::decode(&payload) {
+                Ok(GroupMsg::AddrAdvert { member, host, port }) => {
+                    self.dir.record_addr(&member, &host, port);
+                }
+                Ok(GroupMsg::IorAdvert { member, ior }) => {
+                    self.dir.record_ior(&member, ior);
+                }
+                Ok(GroupMsg::SyncList { entries }) => self.dir.apply_sync(&entries),
+                Ok(GroupMsg::AddressQuery { reply_group }) => {
+                    // "The first server replica listed in Spread's
+                    // group-membership list responds" (section 4.2).
+                    if self.dir.is_first_replica(&self.member) {
+                        if let Some(port) = self.listen_port {
+                            sys.charge_cpu(self.cfg.costs.address_reply_cpu);
+                            sys.charge_cpu(self.cfg.costs.fabricate_cpu);
+                            sys.count("mead.address_replies", 1);
+                            let host = crate::host_of(sys.my_node());
+                            let member = self.member.clone();
+                            if let Some(gcs) = self.gcs.as_mut() {
+                                gcs.multicast(
+                                    sys,
+                                    &reply_group,
+                                    &GroupMsg::AddressReply {
+                                        member,
+                                        host,
+                                        port: port.0,
+                                    }
+                                    .encode(),
+                                );
+                            }
+                        }
+                    }
+                }
+                Ok(GroupMsg::Checkpoint { member, state }) => {
+                    if member != self.member {
+                        sys.count("mead.checkpoints_received", 1);
+                        sys.count("mead.checkpoint_bytes", state.len() as u64);
+                        // Warm-passive backups apply the primary's state.
+                        // An instance that has served requests is itself
+                        // the acting primary and ignores foreign
+                        // checkpoints (single-writer discipline).
+                        if !self.ever_served {
+                            if let Some(hooks) = self.state_hooks.as_ref() {
+                                (hooks.restore)(&state);
+                                sys.count("mead.state_restored", 1);
+                            }
+                        }
+                    }
+                }
+                Ok(GroupMsg::LaunchRequest { .. }) => {} // Recovery Manager's job
+                Ok(GroupMsg::AddressReply { .. }) => {}  // client-side message
+                Err(e) => {
+                    sys.count("mead.bad_group_msg", 1);
+                    sys.trace(&format!("bad group message: {e}"));
+                }
+            },
+            GcsDelivery::DaemonLost => {
+                sys.count("mead.gcs_lost", 1);
+            }
+            GcsDelivery::View { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, sys: &mut dyn SysApi, token: u64) {
+        match token {
+            TOKEN_LEAK => {
+                let mut exhausted = false;
+                if let Some(leak) = self.leak.as_mut() {
+                    leak.step(sys.rng());
+                    exhausted = leak.is_exhausted();
+                }
+                if exhausted {
+                    // Resource exhaustion: the process-crash fault.
+                    sys.count("mead.crash_exhaustion", 1);
+                    sys.mark("mead.crash_at");
+                    sys.exit(ExitReason::Crash("memory exhausted".into()));
+                    return;
+                }
+                if self.cfg.poll_thresholds || self.cfg.adaptive.is_some() {
+                    // Timer-driven monitoring: the polling ablation, or
+                    // the adaptive predictor's sampling cadence.
+                    self.check_thresholds(sys, true);
+                }
+                if let Some(cfg) = self.cfg.leak.as_ref() {
+                    sys.set_timer(cfg.interval, TOKEN_LEAK);
+                }
+            }
+            TOKEN_CHECKPOINT => {
+                // Warm-passive state transfer. With state hooks the acting
+                // primary — the instance actually serving clients —
+                // checkpoints whenever its state is dirty; without hooks
+                // (the paper's stateless workload) the first-listed
+                // replica emits fixed-size checkpoints for the Figure 5
+                // traffic model.
+                let should_send = match self.state_hooks {
+                    Some(_) => self.served_since_checkpoint,
+                    None => self.dir.is_first_replica(&self.member),
+                } && self.dir.replica_count() > 1;
+                if should_send {
+                    self.send_checkpoint(sys);
+                }
+                sys.set_timer(self.cfg.checkpoint_interval, TOKEN_CHECKPOINT);
+            }
+            TOKEN_DRAIN => {
+                sys.count("mead.graceful_rejuvenations", 1);
+                sys.exit(ExitReason::Graceful);
+            }
+            _ => {}
+        }
+    }
+
+    /// Once every connected client has been redirected, schedule the
+    /// graceful exit (rejuvenation).
+    fn maybe_drain(&mut self, sys: &mut dyn SysApi) {
+        if !self.migrating || self.draining {
+            return;
+        }
+        let all_notified = self
+            .client_streams
+            .keys()
+            .all(|c| self.notified.contains(c));
+        if all_notified {
+            self.draining = true;
+            sys.set_timer(self.cfg.drain_delay, TOKEN_DRAIN);
+        }
+    }
+}
+
+/// The syscall façade handed to the wrapped application.
+struct ServerFacade<'a> {
+    sys: &'a mut dyn SysApi,
+    st: &'a mut ServerState,
+}
+
+impl SysApi for ServerFacade<'_> {
+    fn now(&self) -> SimTime {
+        self.sys.now()
+    }
+    fn my_node(&self) -> simnet::NodeId {
+        self.sys.my_node()
+    }
+    fn my_pid(&self) -> ProcessId {
+        self.sys.my_pid()
+    }
+
+    fn listen(&mut self, port: Port) -> Result<ListenerId, SysError> {
+        // Section 4.3: "intercepts the listen() call at the server to
+        // determine the port on which the server-side ORB is listening".
+        let lsn = self.sys.listen(port)?;
+        self.st.listen_port = Some(port);
+        self.st.app_listeners.insert(lsn);
+        self.st.advertise(self.sys);
+        Ok(lsn)
+    }
+
+    fn unlisten(&mut self, listener: ListenerId) {
+        self.st.app_listeners.remove(&listener);
+        self.sys.unlisten(listener);
+    }
+
+    fn connect(&mut self, addr: simnet::Addr) -> ConnId {
+        let conn = self.sys.connect(addr);
+        self.st.out_streams.insert(conn, Stream::new(conn));
+        conn
+    }
+
+    fn write(&mut self, conn: ConnId, bytes: &[u8]) -> Result<(), SysError> {
+        if self.st.client_streams.contains_key(&conn) {
+            let frames = {
+                let stream = self.st.client_streams.get_mut(&conn).expect("checked");
+                stream.push_outgoing(bytes).map_err(|_| {
+                    // The app emitted something unframeable; pass raw.
+                    SysError::UnknownConn(conn)
+                })
+            };
+            match frames {
+                Ok(frames) => {
+                    for frame in frames {
+                        let out = self.st.filter_client_write(self.sys, conn, &frame);
+                        self.sys.write(conn, &out)?;
+                    }
+                    self.st.maybe_drain(self.sys);
+                    Ok(())
+                }
+                Err(_) => self.sys.write(conn, bytes),
+            }
+        } else if self.st.out_streams.contains_key(&conn) {
+            let frames = {
+                let stream = self.st.out_streams.get_mut(&conn).expect("checked");
+                stream.push_outgoing(bytes)
+            };
+            if let Ok(frames) = frames {
+                for frame in &frames {
+                    self.st.process_outbound_frame(self.sys, frame);
+                }
+            }
+            self.sys.write(conn, bytes)
+        } else {
+            self.sys.write(conn, bytes)
+        }
+    }
+
+    fn read(&mut self, conn: ConnId, max: usize) -> Result<ReadOutcome, SysError> {
+        if let Some(stream) = self
+            .st
+            .client_streams
+            .get_mut(&conn)
+            .or_else(|| self.st.out_streams.get_mut(&conn))
+        {
+            Ok(stream.read(max))
+        } else {
+            self.sys.read(conn, max)
+        }
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        self.st.client_streams.remove(&conn);
+        self.st.out_streams.remove(&conn);
+        self.st.request_keys.remove(&conn);
+        self.sys.close(conn);
+    }
+
+    fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerId {
+        debug_assert!(
+            !is_intercept_token(token),
+            "application timer tokens must stay below the interceptor namespace"
+        );
+        self.sys.set_timer(after, token)
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.sys.cancel_timer(timer)
+    }
+
+    fn spawn(
+        &mut self,
+        node: simnet::NodeId,
+        name: &str,
+        factory: ProcessFactory,
+    ) -> Result<ProcessId, SysError> {
+        self.sys.spawn(node, name, factory)
+    }
+
+    fn exit(&mut self, reason: ExitReason) {
+        self.sys.exit(reason)
+    }
+
+    fn charge_cpu(&mut self, cost: SimDuration) {
+        self.sys.charge_cpu(cost)
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        self.sys.rng()
+    }
+
+    fn tag_conn(&mut self, conn: ConnId, tag: &'static str) {
+        self.sys.tag_conn(conn, tag)
+    }
+
+    fn count(&mut self, counter: &'static str, delta: u64) {
+        self.sys.count(counter, delta)
+    }
+
+    fn mark(&mut self, series: &'static str) {
+        self.sys.mark(series)
+    }
+
+    fn trace(&mut self, message: &str) {
+        self.sys.trace(message)
+    }
+}

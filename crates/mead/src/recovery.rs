@@ -1,0 +1,257 @@
+//! The MEAD Recovery Manager.
+//!
+//! Section 3.3: "the MEAD Recovery Manager is responsible for launching
+//! new server replicas that restore the application's resilience after a
+//! server replica or a node crashes. ... By subscribing to the same group,
+//! the Recovery Manager can receive membership-change notifications. ...
+//! The Recovery Manager also receives messages from the MEAD Proactive
+//! Fault-Tolerance Manager whenever the Fault-Tolerance Manager
+//! anticipates that a server replica is about to fail."
+//!
+//! Replicas are organised into `target_degree` *slots*; each slot has at
+//! most one intended live instance, bound in the Naming Service under
+//! `replicas/slot<k>`. A relaunched instance gets a **fresh port**, which
+//! is what makes cached references to the dead instance stale (the
+//! `TRANSIENT` exceptions of section 5.2.1).
+//!
+//! The Recovery Manager is deliberately a single point of failure, exactly
+//! as the paper admits of its own implementation.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use groupcomm::{GcsClient, GcsDelivery};
+use simnet::{Event, NodeId, Port, Process, SimDuration, SimTime, SysApi};
+
+use crate::config::MeadConfig;
+use crate::directory::{replica_member_name, slot_of_member, REPLICA_PREFIX};
+use crate::messages::GroupMsg;
+
+/// Parameters handed to the replica factory for each launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// The slot this instance fills (0-based).
+    pub slot: u32,
+    /// Fresh listen port assigned by the Recovery Manager.
+    pub port: Port,
+    /// Node the instance will run on.
+    pub node: NodeId,
+}
+
+/// Builds a replica process (application wrapped in a server interceptor)
+/// for a given spec. Provided by the experiment harness.
+pub type ReplicaFactory = Rc<dyn Fn(&ReplicaSpec) -> Box<dyn simnet::Process>>;
+
+const TOKEN_GCS: u64 = 1;
+const TOKEN_TICK: u64 = 2;
+
+#[derive(Debug, Default)]
+struct SlotState {
+    /// Member name we are waiting to see join, with launch time.
+    pending: Option<(String, SimTime)>,
+}
+
+/// The Recovery Manager process.
+pub struct RecoveryManager {
+    cfg: MeadConfig,
+    gcs: Option<GcsClient>,
+    factory: ReplicaFactory,
+    replica_nodes: Vec<NodeId>,
+    target_degree: u32,
+    next_port: u16,
+    slots: BTreeMap<u32, SlotState>,
+    last_view: Vec<String>,
+    initial_launched: bool,
+    pending_timeout: SimDuration,
+}
+
+impl RecoveryManager {
+    /// Creates a manager maintaining `target_degree` replicas spread over
+    /// `replica_nodes`, built by `factory`.
+    pub fn new(
+        cfg: MeadConfig,
+        target_degree: u32,
+        replica_nodes: Vec<NodeId>,
+        factory: ReplicaFactory,
+    ) -> Self {
+        assert!(target_degree > 0, "need at least one replica");
+        assert!(!replica_nodes.is_empty(), "need at least one server node");
+        RecoveryManager {
+            cfg,
+            gcs: None,
+            factory,
+            replica_nodes,
+            target_degree,
+            next_port: 20000,
+            slots: BTreeMap::new(),
+            last_view: Vec::new(),
+            initial_launched: false,
+            pending_timeout: SimDuration::from_millis(1000),
+        }
+    }
+
+    /// The Naming Service binding name for a slot.
+    pub fn slot_binding(slot: u32) -> String {
+        format!("replicas/slot{slot}")
+    }
+
+    fn launch(&mut self, sys: &mut dyn SysApi, slot: u32) {
+        let port = Port(self.next_port);
+        self.next_port += 1;
+        let label = format!("replica-s{slot}");
+        // Preferred placement is the slot's home node; when it is down
+        // (node-crash fault), fall back to the other server nodes — the
+        // paper's fault model includes node crashes even though its
+        // evaluation only kills processes.
+        let n = self.replica_nodes.len();
+        for attempt in 0..n {
+            let node = self.replica_nodes[(slot as usize + attempt) % n];
+            let spec = ReplicaSpec { slot, port, node };
+            let proc_box = (self.factory)(&spec);
+            match sys.spawn(node, &label, Box::new(move || proc_box)) {
+                Ok(pid) => {
+                    sys.count("rm.launches", 1);
+                    if attempt > 0 {
+                        sys.count("rm.fallback_placements", 1);
+                    }
+                    sys.trace(&format!("launched slot {slot} on {node} port {port}"));
+                    let expected = replica_member_name(slot, pid.raw());
+                    self.slots.entry(slot).or_default().pending = Some((expected, sys.now()));
+                    return;
+                }
+                Err(e) => {
+                    sys.trace(&format!("launch of slot {slot} on {node} failed: {e}"));
+                }
+            }
+        }
+        sys.count("rm.launch_failed", 1);
+    }
+
+    fn slot_is_live(&self, slot: u32) -> bool {
+        let prefix = format!("{REPLICA_PREFIX}{slot}/");
+        self.last_view.iter().any(|m| m.starts_with(&prefix))
+    }
+
+    /// Core reconciliation: make every slot either live or pending.
+    fn ensure_degree(&mut self, sys: &mut dyn SysApi) {
+        let now = sys.now();
+        for slot in 0..self.target_degree {
+            // Clear fulfilled or expired pendings.
+            let entry = self.slots.entry(slot).or_default();
+            if let Some((expected, since)) = entry.pending.clone() {
+                if self.last_view.contains(&expected) {
+                    self.slots.entry(slot).or_default().pending = None;
+                } else if now.saturating_since(since) > self.pending_timeout {
+                    sys.count("rm.pending_expired", 1);
+                    self.slots.entry(slot).or_default().pending = None;
+                }
+            }
+            let pending = self.slots.entry(slot).or_default().pending.is_some();
+            if !self.slot_is_live(slot) && !pending {
+                self.launch(sys, slot);
+            }
+        }
+    }
+}
+
+impl Process for RecoveryManager {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        let mut gcs = GcsClient::new("mgr/recovery", TOKEN_GCS);
+        gcs.start(sys);
+        let group = self.cfg.server_group.clone();
+        gcs.join(sys, &group);
+        self.gcs = Some(gcs);
+        sys.set_timer(SimDuration::from_millis(100), TOKEN_TICK);
+    }
+
+    fn on_event(&mut self, sys: &mut dyn SysApi, event: Event) {
+        if let Event::TimerFired { token: TOKEN_TICK, .. } = event {
+            if self.initial_launched {
+                self.ensure_degree(sys);
+            }
+            sys.set_timer(SimDuration::from_millis(100), TOKEN_TICK);
+            return;
+        }
+        let deliveries = self
+            .gcs
+            .as_mut()
+            .and_then(|gcs| gcs.handle_event(sys, &event));
+        let Some(deliveries) = deliveries else {
+            return;
+        };
+        for d in deliveries {
+            match d {
+                GcsDelivery::Ready => {
+                    // Initial deployment of the replicated server.
+                    if !self.initial_launched {
+                        self.initial_launched = true;
+                        for slot in 0..self.target_degree {
+                            self.launch(sys, slot);
+                        }
+                    }
+                }
+                GcsDelivery::View { group, members, .. } if group == self.cfg.server_group => {
+                    self.last_view = members;
+                    sys.count("rm.views", 1);
+                    if self.initial_launched {
+                        self.ensure_degree(sys);
+                    }
+                }
+                GcsDelivery::Message { payload, .. } => {
+                    if let Ok(GroupMsg::LaunchRequest { member }) = GroupMsg::decode(&payload) {
+                        // Proactive fault notification (section 3.3): pre-
+                        // launch the replacement before the failure.
+                        sys.count("rm.proactive_notices", 1);
+                        if let Some(slot) = slot_of_member(&member) {
+                            let already_pending = self
+                                .slots
+                                .get(&slot)
+                                .map(|s| s.pending.is_some())
+                                .unwrap_or(false);
+                            // Skip if a replacement instance for this slot
+                            // is already live alongside the notifier.
+                            let prefix = format!("{REPLICA_PREFIX}{slot}/");
+                            let live_instances = self
+                                .last_view
+                                .iter()
+                                .filter(|m| m.starts_with(&prefix))
+                                .count();
+                            if !already_pending && live_instances < 2 {
+                                self.launch(sys, slot);
+                            }
+                        }
+                    }
+                }
+                GcsDelivery::DaemonLost => sys.count("rm.gcs_lost", 1),
+                GcsDelivery::View { .. } => {}
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "recovery-manager"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_binding_names() {
+        assert_eq!(RecoveryManager::slot_binding(0), "replicas/slot0");
+        assert_eq!(RecoveryManager::slot_binding(2), "replicas/slot2");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_degree_rejected() {
+        let factory: ReplicaFactory = Rc::new(|_spec| unreachable!("never launched"));
+        let _ = RecoveryManager::new(
+            MeadConfig::paper(crate::RecoveryScheme::MeadFailover),
+            0,
+            vec![NodeId::from_index(0)],
+            factory,
+        );
+    }
+}

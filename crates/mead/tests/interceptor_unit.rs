@@ -1,0 +1,499 @@
+//! Unit tests of the interceptors' byte-stream surgery over the mock
+//! syscall context: frame staging, MEAD-frame stripping, piggybacking,
+//! `dup2()` redirects, and EOF suppression — all observed wire-level.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use giop::{
+    Endian, FrameKind, FrameSplitter, Message, ObjectKey, ReplyBody, ReplyMessage,
+    RequestMessage,
+};
+use groupcomm::{GcsWire, GCS_PORT};
+use mead::{tokens, ClientInterceptor, FailoverNotice, GroupMsg, MeadConfig, RecoveryScheme,
+    ServerInterceptor};
+use simnet::testkit::MockSys;
+use simnet::{Addr, ConnId, Event, NodeId, Port, Process, SysApi, TimerId};
+
+/// A scriptable inner application: logs events, executes queued actions
+/// when any event arrives.
+#[derive(Debug, Default)]
+struct AppState {
+    log: Vec<String>,
+    /// (conn, bytes) writes to perform on the next event.
+    write_queue: VecDeque<(ConnId, Vec<u8>)>,
+    /// Connect to this address on start.
+    connect_on_start: Option<Addr>,
+    /// Listen on this port on start.
+    listen_on_start: Option<Port>,
+    /// Last connection created on start.
+    conn: Option<ConnId>,
+    /// Bytes read from DataReadable events.
+    read_bytes: Vec<u8>,
+    read_eof: bool,
+}
+
+struct TestApp(Rc<RefCell<AppState>>);
+
+impl Process for TestApp {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        let mut st = self.0.borrow_mut();
+        if let Some(port) = st.listen_on_start {
+            sys.listen(port).expect("listen");
+        }
+        if let Some(addr) = st.connect_on_start {
+            st.conn = Some(sys.connect(addr));
+        }
+        st.log.push("started".into());
+    }
+    fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+        let mut st = self.0.borrow_mut();
+        st.log.push(format!("{ev:?}"));
+        if let Event::DataReadable { conn } = ev {
+            let got = sys.read(conn, usize::MAX).expect("read");
+            st.read_bytes.extend_from_slice(&got.data);
+            st.read_eof |= got.eof;
+        }
+        while let Some((conn, bytes)) = st.write_queue.pop_front() {
+            let _ = sys.write(conn, &bytes);
+        }
+    }
+}
+
+fn reply(rid: u32) -> Vec<u8> {
+    Message::Reply(ReplyMessage {
+        request_id: rid,
+        body: ReplyBody::NoException(vec![rid as u8]),
+    })
+    .encode(Endian::Big)
+    .to_vec()
+}
+
+fn request(rid: u32) -> Vec<u8> {
+    Message::Request(RequestMessage {
+        request_id: rid,
+        response_expected: true,
+        object_key: ObjectKey::persistent("TimePOA", "TimeOfDay"),
+        operation: "time_of_day".into(),
+        body: Vec::new(),
+    })
+    .encode(Endian::Big)
+    .to_vec()
+}
+
+/// Decodes the GCS frames a component wrote to its daemon connection.
+fn gcs_frames(bytes: &[u8]) -> Vec<GcsWire> {
+    let mut s = groupcomm::GcsSplitter::new();
+    s.push(bytes);
+    s.drain().expect("well-formed gcs stream")
+}
+
+/// Feeds a GCS wire message into the interceptor as daemon traffic.
+fn feed_gcs(
+    interceptor: &mut dyn Process,
+    sys: &mut MockSys,
+    gcs_conn: ConnId,
+    msg: &GcsWire,
+) {
+    sys.push_incoming(gcs_conn, &msg.encode());
+    interceptor.on_event(sys, Event::DataReadable { conn: gcs_conn });
+}
+
+fn timer_by_token(sys: &MockSys, token: u64) -> TimerId {
+    sys.timers()
+        .iter()
+        .rev()
+        .find(|t| t.token == token && !t.cancelled)
+        .map(|t| t.timer)
+        .expect("timer armed")
+}
+
+// ---------------------------------------------------------------------
+// Server interceptor
+// ---------------------------------------------------------------------
+
+struct ServerRig {
+    interceptor: ServerInterceptor,
+    sys: MockSys,
+    app: Rc<RefCell<AppState>>,
+    gcs_conn: ConnId,
+    listener: simnet::ListenerId,
+}
+
+fn server_rig(scheme: RecoveryScheme) -> ServerRig {
+    let app = Rc::new(RefCell::new(AppState {
+        listen_on_start: Some(Port(2810)),
+        ..AppState::default()
+    }));
+    let mut interceptor = ServerInterceptor::new(
+        MeadConfig::paper(scheme),
+        0,
+        Box::new(TestApp(app.clone())),
+    );
+    let mut sys = MockSys::new(NodeId::from_index(1));
+    interceptor.on_start(&mut sys);
+    // First connect is the GCS client reaching the local daemon; complete
+    // its handshake so the Attach goes out.
+    let (gcs_conn, gcs_addr) = sys.connected()[0];
+    assert_eq!(gcs_addr.port, GCS_PORT);
+    interceptor.on_event(&mut sys, Event::ConnEstablished { conn: gcs_conn });
+    let listener = sys.listeners()[0].0;
+    ServerRig { interceptor, sys, app, gcs_conn, listener }
+}
+
+/// Brings the rig's GCS online: attach ack, a view with `members`, and an
+/// address advert for the peer replica.
+fn bring_group_online(rig: &mut ServerRig, me: &str, other: &str) {
+    feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+    feed_gcs(
+        &mut rig.interceptor,
+        &mut rig.sys,
+        rig.gcs_conn,
+        &GcsWire::View {
+            group: "servers".into(),
+            view_id: 1,
+            members: vec![me.to_string(), other.to_string()],
+        },
+    );
+    feed_gcs(
+        &mut rig.interceptor,
+        &mut rig.sys,
+        rig.gcs_conn,
+        &GcsWire::Deliver {
+            group: "servers".into(),
+            sender: other.to_string(),
+            payload: GroupMsg::AddrAdvert {
+                member: other.to_string(),
+                host: "node2".into(),
+                port: 30000,
+            }
+            .encode(),
+        },
+    );
+}
+
+#[test]
+fn server_interceptor_joins_group_and_advertises_listen_port() {
+    let mut rig = server_rig(RecoveryScheme::MeadFailover);
+    feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+    let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
+    // Attach, then Join("servers"), then the AddrAdvert multicast.
+    assert!(matches!(&frames[0], GcsWire::Attach { member } if member.starts_with("replica/0/")));
+    assert!(matches!(&frames[1], GcsWire::Join { group } if group == "servers"));
+    let advert = frames.iter().find_map(|f| match f {
+        GcsWire::Multicast { payload, .. } => GroupMsg::decode(payload).ok(),
+        _ => None,
+    });
+    match advert {
+        Some(GroupMsg::AddrAdvert { host, port, .. }) => {
+            assert_eq!(host, "node1");
+            assert_eq!(port, 2810);
+        }
+        other => panic!("expected AddrAdvert, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_interceptor_stages_requests_and_passes_replies_through() {
+    let mut rig = server_rig(RecoveryScheme::MeadFailover);
+    let conn = rig.sys.accept_conn();
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::Accepted { listener: rig.listener, conn, peer_node: NodeId::from_index(4) },
+    );
+    // Client request arrives: the app must read it byte-identically.
+    let req = request(7);
+    rig.sys.push_incoming(conn, &req);
+    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    assert_eq!(rig.app.borrow().read_bytes, req, "request must pass through unmodified");
+    assert_eq!(rig.sys.counter("mead.leak_activated"), 1, "first request activates the leak");
+    // App replies: the reply goes to the wire unmodified (not migrating).
+    rig.app.borrow_mut().write_queue.push_back((conn, reply(7)));
+    rig.sys.push_incoming(conn, &request(8));
+    rig.sys.clear_written(conn);
+    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    let on_wire = rig.sys.written(conn);
+    let mut split = FrameSplitter::new();
+    split.push(on_wire);
+    let frames = split.drain_frames().expect("frames");
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].kind, FrameKind::Giop);
+    assert_eq!(&frames[0].bytes[..], &reply(7)[..]);
+}
+
+#[test]
+fn migrating_server_piggybacks_failover_notice_before_reply() {
+    let mut rig = server_rig(RecoveryScheme::MeadFailover);
+    let me_member = {
+        feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+        let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
+        match &frames[0] {
+            GcsWire::Attach { member } => member.clone(),
+            other => panic!("expected attach, got {other:?}"),
+        }
+    };
+    bring_group_online(&mut rig, &me_member, "replica/1/55");
+    // Client connection + first request (activates leak).
+    let conn = rig.sys.accept_conn();
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::Accepted { listener: rig.listener, conn, peer_node: NodeId::from_index(4) },
+    );
+    rig.sys.push_incoming(conn, &request(1));
+    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    // Step the leak to exhaustion-threshold by firing its timer repeatedly.
+    for _ in 0..40 {
+        if rig.sys.counter("mead.migrations") > 0 || rig.sys.exit_requested().is_some() {
+            break;
+        }
+        let timer = timer_by_token(&rig.sys, tokens::TOKEN_LEAK);
+        rig.interceptor
+            .on_event(&mut rig.sys, Event::TimerFired { timer, token: tokens::TOKEN_LEAK });
+        // A reply write is what trips the event-driven threshold check.
+        rig.app.borrow_mut().write_queue.push_back((conn, reply(2)));
+        rig.sys.clear_written(conn);
+        rig.sys.push_incoming(conn, &request(2));
+        rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    }
+    assert_eq!(rig.sys.counter("mead.migrations"), 1, "migration must fire before exhaustion");
+    assert_eq!(rig.sys.counter("mead.piggybacks_sent"), 1);
+    // The wire now carries [MEAD notice][GIOP reply].
+    let mut split = FrameSplitter::new();
+    split.push(rig.sys.written(conn));
+    let frames = split.drain_frames().expect("frames");
+    assert_eq!(frames.len(), 2, "notice + reply");
+    assert_eq!(frames[0].kind, FrameKind::Mead);
+    let notice = FailoverNotice::decode(&frames[0]).expect("notice decodes");
+    assert_eq!(notice.host, "node2");
+    assert_eq!(notice.port, 30000);
+    assert_eq!(frames[1].kind, FrameKind::Giop);
+    // All clients notified: the drain timer is armed; firing it exits
+    // gracefully (rejuvenation).
+    let drain = timer_by_token(&rig.sys, tokens::TOKEN_DRAIN);
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::TimerFired { timer: drain, token: tokens::TOKEN_DRAIN });
+    assert!(matches!(
+        rig.sys.exit_requested(),
+        Some(simnet::ExitReason::Graceful)
+    ));
+}
+
+#[test]
+fn location_forward_server_replaces_reply_with_forward() {
+    let mut rig = server_rig(RecoveryScheme::LocationForward);
+    let me_member = {
+        feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+        let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
+        match &frames[0] {
+            GcsWire::Attach { member } => member.clone(),
+            other => panic!("expected attach, got {other:?}"),
+        }
+    };
+    bring_group_online(&mut rig, &me_member, "replica/1/55");
+    // The peer also advertises the IOR for the shared persistent key.
+    let peer_ior = giop::Ior::singleton(
+        "IDL:TimeOfDay:1.0",
+        "node2",
+        30000,
+        ObjectKey::persistent("TimePOA", "TimeOfDay"),
+    );
+    feed_gcs(
+        &mut rig.interceptor,
+        &mut rig.sys,
+        rig.gcs_conn,
+        &GcsWire::Deliver {
+            group: "servers".into(),
+            sender: "replica/1/55".into(),
+            payload: GroupMsg::IorAdvert { member: "replica/1/55".into(), ior: peer_ior }.encode(),
+        },
+    );
+    let conn = rig.sys.accept_conn();
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::Accepted { listener: rig.listener, conn, peer_node: NodeId::from_index(4) },
+    );
+    rig.sys.push_incoming(conn, &request(1));
+    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    for _ in 0..40 {
+        if rig.sys.counter("mead.migrations") > 0 {
+            break;
+        }
+        let timer = timer_by_token(&rig.sys, tokens::TOKEN_LEAK);
+        rig.interceptor
+            .on_event(&mut rig.sys, Event::TimerFired { timer, token: tokens::TOKEN_LEAK });
+        rig.app.borrow_mut().write_queue.push_back((conn, reply(2)));
+        rig.sys.clear_written(conn);
+        rig.sys.push_incoming(conn, &request(2));
+        rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    }
+    assert_eq!(rig.sys.counter("mead.forwards_sent"), 1);
+    // The last written frame is a LOCATION_FORWARD reply, not the normal
+    // reply the app produced.
+    let mut split = FrameSplitter::new();
+    split.push(rig.sys.written(conn));
+    let frames = split.drain_frames().expect("frames");
+    assert_eq!(frames.len(), 1);
+    match Message::decode(&frames[0].bytes).expect("decodes") {
+        Message::Reply(rep) => match rep.body {
+            ReplyBody::LocationForward(ior) => {
+                let p = ior.primary_profile().expect("profile");
+                assert_eq!(p.host, "node2");
+                assert_eq!(p.port, 30000);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        },
+        other => panic!("expected reply, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client interceptor
+// ---------------------------------------------------------------------
+
+struct ClientRig {
+    interceptor: ClientInterceptor,
+    sys: MockSys,
+    app: Rc<RefCell<AppState>>,
+    #[allow(dead_code)]
+    gcs_conn: ConnId,
+    server_conn: ConnId,
+}
+
+fn client_rig(scheme: RecoveryScheme) -> ClientRig {
+    let app = Rc::new(RefCell::new(AppState {
+        connect_on_start: Some(Addr::new(NodeId::from_index(1), Port(2810))),
+        ..AppState::default()
+    }));
+    let mut interceptor =
+        ClientInterceptor::new(MeadConfig::paper(scheme), Box::new(TestApp(app.clone())));
+    let mut sys = MockSys::new(NodeId::from_index(4));
+    interceptor.on_start(&mut sys);
+    let (gcs_conn, gcs_addr) = sys.connected()[0];
+    assert_eq!(gcs_addr.port, GCS_PORT);
+    interceptor.on_event(&mut sys, Event::ConnEstablished { conn: gcs_conn });
+    feed_gcs(&mut interceptor, &mut sys, gcs_conn, &GcsWire::Attached);
+    let (server_conn, _) = sys.connected()[1];
+    ClientRig { interceptor, sys, app, gcs_conn, server_conn }
+}
+
+#[test]
+fn client_interceptor_strips_notice_holds_reply_and_redirects() {
+    let mut rig = client_rig(RecoveryScheme::MeadFailover);
+    let conn = rig.server_conn;
+    // The failing server sends [notice][reply].
+    let mut wire = FailoverNotice::new("node2", 30000, "replica/0/9").encode();
+    let the_reply = reply(3);
+    wire.extend_from_slice(&the_reply);
+    rig.sys.push_incoming(conn, &wire);
+    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    // The reply is held: the app has read nothing yet.
+    assert!(rig.app.borrow().read_bytes.is_empty(), "reply must be held during redirect");
+    // The interceptor opened a raw connection to the next replica.
+    let (new_conn, new_addr) = *rig.sys.connected().last().expect("redirect conn");
+    assert_eq!(new_addr, Addr::new(NodeId::from_index(2), Port(30000)));
+    // App writes during the redirect are buffered, not sent anywhere.
+    rig.app.borrow_mut().write_queue.push_back((conn, request(4)));
+    // (Any app-namespace event reaches the app's action queue.)
+    let tick = rig.sys.set_timer(simnet::SimDuration::from_millis(1), 1);
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::TimerFired { timer: tick, token: 1 });
+    assert!(rig.sys.written(new_conn).is_empty());
+    // Establishment completes the dup2; the finish timer releases the held
+    // reply and flushes the buffered request to the NEW connection.
+    rig.interceptor.on_event(&mut rig.sys, Event::ConnEstablished { conn: new_conn });
+    assert!(rig.sys.is_closed(conn), "old connection closed by dup2");
+    let finish = *rig
+        .sys
+        .timers()
+        .iter()
+        .rev()
+        .find(|t| t.token >= tokens::TOKEN_REDIRECT_DONE_BASE)
+        .expect("finish timer");
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::TimerFired { timer: finish.timer, token: finish.token });
+    assert_eq!(rig.app.borrow().read_bytes, the_reply, "held reply released after redirect");
+    assert_eq!(rig.sys.written(new_conn), &request(4)[..], "buffered write flushed to new conn");
+    assert_eq!(rig.sys.counter("mead.client.redirects_completed"), 1);
+}
+
+#[test]
+fn needs_addressing_suppresses_eof_and_fabricates_resend_trigger() {
+    let mut rig = client_rig(RecoveryScheme::NeedsAddressing);
+    let conn = rig.server_conn;
+    // App sends a request (tracked as in-flight by the interceptor).
+    rig.app.borrow_mut().write_queue.push_back((conn, request(11)));
+    let tick = rig.sys.set_timer(simnet::SimDuration::from_millis(1), 1);
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::TimerFired { timer: tick, token: 1 });
+    // Abrupt server death: EOF must NOT reach the app.
+    let app_log_before = rig.app.borrow().log.len();
+    rig.interceptor.on_event(&mut rig.sys, Event::PeerClosed { conn });
+    assert_eq!(rig.app.borrow().log.len(), app_log_before, "EOF suppressed");
+    assert_eq!(rig.sys.counter("mead.client.eof_suppressed"), 1);
+    // An AddressQuery went out over group communication.
+    let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
+    let query = frames.iter().any(|f| matches!(
+        f,
+        GcsWire::Multicast { group, payload } if group == "servers"
+            && matches!(GroupMsg::decode(payload), Ok(GroupMsg::AddressQuery { .. }))
+    ));
+    assert!(query, "AddressQuery must be multicast, got {frames:?}");
+    // The group answers; the interceptor redirects.
+    feed_gcs(
+        &mut rig.interceptor,
+        &mut rig.sys,
+        rig.gcs_conn,
+        &GcsWire::Deliver {
+            group: format!("clients/{}", 99),
+            sender: "replica/1/55".into(),
+            payload: GroupMsg::AddressReply {
+                member: "replica/1/55".into(),
+                host: "node2".into(),
+                port: 30000,
+            }
+            .encode(),
+        },
+    );
+    let (new_conn, new_addr) = *rig.sys.connected().last().expect("redirect conn");
+    assert_eq!(new_addr, Addr::new(NodeId::from_index(2), Port(30000)));
+    rig.interceptor.on_event(&mut rig.sys, Event::ConnEstablished { conn: new_conn });
+    let finish = *rig
+        .sys
+        .timers()
+        .iter()
+        .rev()
+        .find(|t| t.token >= tokens::TOKEN_REDIRECT_DONE_BASE)
+        .expect("finish timer");
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::TimerFired { timer: finish.timer, token: finish.token });
+    // The app's ORB receives a fabricated NEEDS_ADDRESSING_MODE reply for
+    // the in-flight request.
+    let staged = rig.app.borrow().read_bytes.clone();
+    match Message::decode(&staged).expect("fabricated reply decodes") {
+        Message::Reply(rep) => {
+            assert_eq!(rep.request_id, 11);
+            assert!(matches!(rep.body, ReplyBody::NeedsAddressingMode(_)));
+        }
+        other => panic!("expected fabricated reply, got {other:?}"),
+    }
+    assert_eq!(rig.sys.counter("mead.client.fabricated_needs_addr"), 1);
+}
+
+#[test]
+fn needs_addressing_timeout_releases_the_eof() {
+    let mut rig = client_rig(RecoveryScheme::NeedsAddressing);
+    let conn = rig.server_conn;
+    rig.interceptor.on_event(&mut rig.sys, Event::PeerClosed { conn });
+    let timeout = timer_by_token(&rig.sys, tokens::TOKEN_QUERY_TIMEOUT);
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::TimerFired { timer: timeout, token: tokens::TOKEN_QUERY_TIMEOUT },
+    );
+    assert_eq!(rig.sys.counter("mead.client.query_timeout"), 1);
+    let log = rig.app.borrow().log.clone();
+    assert!(
+        log.iter().any(|l| l.contains("PeerClosed")),
+        "EOF must be released to the app on timeout: {log:?}"
+    );
+}

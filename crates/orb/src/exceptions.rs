@@ -1,0 +1,160 @@
+//! CORBA system exceptions.
+//!
+//! The paper's failure accounting (section 5.2.1) is phrased entirely in
+//! terms of two system exceptions surfacing at the client application:
+//!
+//! * `COMM_FAILURE` — raised when a replica fails *after* the client
+//!   successfully established a connection (we map transport EOF/reset to
+//!   it), and
+//! * `TRANSIENT` — raised when the client acts on a stale object reference
+//!   (we map connection-refused to it, exactly the stale-cache-entry case).
+
+use core::fmt;
+
+use giop::{ReplyBody, EX_COMM_FAILURE, EX_OBJECT_NOT_EXIST, EX_TRANSIENT};
+
+/// Completion status carried by a system exception.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Completed {
+    /// The operation completed before the failure.
+    Yes = 0,
+    /// The operation never ran.
+    No = 1,
+    /// Unknown.
+    Maybe = 2,
+}
+
+/// A CORBA system exception as observed by application code.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SystemException {
+    /// Communication failure on an established connection.
+    CommFailure {
+        /// Completion status.
+        completed: Completed,
+    },
+    /// Transient failure; the request may succeed if retried (stale
+    /// references land here).
+    Transient {
+        /// Completion status.
+        completed: Completed,
+    },
+    /// The target object does not exist.
+    ObjectNotExist {
+        /// Completion status.
+        completed: Completed,
+    },
+    /// Any other system exception, by repository id.
+    Other {
+        /// Repository id.
+        repo_id: String,
+        /// Completion status.
+        completed: Completed,
+    },
+}
+
+impl SystemException {
+    /// The exception's repository id.
+    pub fn repo_id(&self) -> &str {
+        match self {
+            SystemException::CommFailure { .. } => EX_COMM_FAILURE,
+            SystemException::Transient { .. } => EX_TRANSIENT,
+            SystemException::ObjectNotExist { .. } => EX_OBJECT_NOT_EXIST,
+            SystemException::Other { repo_id, .. } => repo_id,
+        }
+    }
+
+    /// The completion status.
+    pub fn completed(&self) -> Completed {
+        match self {
+            SystemException::CommFailure { completed }
+            | SystemException::Transient { completed }
+            | SystemException::ObjectNotExist { completed }
+            | SystemException::Other { completed, .. } => *completed,
+        }
+    }
+
+    /// Encodes as a GIOP reply body.
+    pub fn to_reply_body(&self) -> ReplyBody {
+        ReplyBody::SystemException {
+            repo_id: self.repo_id().to_string(),
+            minor: 0,
+            completed: self.completed() as u32,
+        }
+    }
+
+    /// Reconstructs from a decoded GIOP system-exception reply.
+    pub fn from_wire(repo_id: &str, completed: u32) -> Self {
+        let completed = match completed {
+            0 => Completed::Yes,
+            1 => Completed::No,
+            _ => Completed::Maybe,
+        };
+        match repo_id {
+            EX_COMM_FAILURE => SystemException::CommFailure { completed },
+            EX_TRANSIENT => SystemException::Transient { completed },
+            EX_OBJECT_NOT_EXIST => SystemException::ObjectNotExist { completed },
+            other => SystemException::Other {
+                repo_id: other.to_string(),
+                completed,
+            },
+        }
+    }
+
+    /// `true` for `COMM_FAILURE`.
+    pub fn is_comm_failure(&self) -> bool {
+        matches!(self, SystemException::CommFailure { .. })
+    }
+
+    /// `true` for `TRANSIENT`.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SystemException::Transient { .. })
+    }
+}
+
+impl fmt::Display for SystemException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (completed={:?})", self.repo_id(), self.completed())
+    }
+}
+
+impl std::error::Error for SystemException {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let cases = vec![
+            SystemException::CommFailure { completed: Completed::No },
+            SystemException::Transient { completed: Completed::Maybe },
+            SystemException::ObjectNotExist { completed: Completed::Yes },
+            SystemException::Other {
+                repo_id: "IDL:omg.org/CORBA/NO_MEMORY:1.0".into(),
+                completed: Completed::No,
+            },
+        ];
+        for ex in cases {
+            match ex.to_reply_body() {
+                ReplyBody::SystemException { repo_id, completed, .. } => {
+                    assert_eq!(SystemException::from_wire(&repo_id, completed), ex);
+                }
+                other => panic!("unexpected body {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(SystemException::CommFailure { completed: Completed::No }.is_comm_failure());
+        assert!(SystemException::Transient { completed: Completed::No }.is_transient());
+        assert!(!SystemException::Transient { completed: Completed::No }.is_comm_failure());
+    }
+
+    #[test]
+    fn display_contains_repo_id() {
+        let ex = SystemException::CommFailure { completed: Completed::No };
+        assert!(ex.to_string().contains("COMM_FAILURE"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # orb — a minimal CORBA-like Object Request Broker
+//!
+//! The paper runs its evaluation over TAO, a full CORBA ORB. This crate
+//! rebuilds exactly the ORB functionality MEAD's proactive recovery
+//! machinery touches, over the simulated transport:
+//!
+//! * [`ClientOrb`] — connection caching, request-id correlation, and the
+//!   native retransmission reactions to `LOCATION_FORWARD` and
+//!   `NEEDS_ADDRESSING_MODE` replies that the proactive schemes trigger,
+//!   plus the `COMM_FAILURE`/`TRANSIENT` exception mapping of the reactive
+//!   baselines;
+//! * [`ServerOrb`] + [`Servant`] — listener, object adapter, dispatch;
+//! * [`NamingService`] — `bind`/`resolve`/`list` with costs calibrated to
+//!   the paper's resolve spikes;
+//! * [`TimeOfDayServant`]/[`CounterServant`] — the evaluation workload's
+//!   servants.
+//!
+//! Everything is written against `simnet::SysApi`, so MEAD's interceptor
+//! can interpose transparently under an *unmodified* ORB, exactly the
+//! paper's library-interpositioning architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod exceptions;
+mod naming;
+mod server;
+mod servants;
+
+pub use client::{addr_of, host_of, node_of, ClientOrb, ClientOrbConfig, OrbUpshot};
+pub use exceptions::{Completed, SystemException};
+pub use naming::{
+    decode_list_reply, decode_resolve_reply, encode_bind, encode_name, naming_ior, naming_key,
+    NamingConfig, NamingServant, NamingService, EX_NOT_FOUND, NAMING_PORT, NAMING_TYPE_ID,
+};
+pub use server::{Servant, ServerOrb, ServerOrbConfig};
+pub use servants::{
+    decode_counter_reply, decode_time_reply, encode_increment, CounterServant,
+    SharedCounterServant, TimeOfDayServant, COUNTER_TYPE_ID, TIME_TYPE_ID,
+};

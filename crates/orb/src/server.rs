@@ -1,0 +1,229 @@
+//! The server-side ORB: listener, connection handling and the object
+//! adapter that dispatches GIOP requests to servants.
+//!
+//! A server process embeds a [`ServerOrb`], registers [`Servant`]s under
+//! persistent [`ObjectKey`]s, and forwards events to
+//! [`ServerOrb::handle_event`]. The ORB replies with `NO_EXCEPTION` results
+//! or `SystemException` bodies. Proactive behaviour is *not* here: MEAD
+//! adds it underneath, by interposing on this process's reads and writes,
+//! exactly as the paper layers its interceptor under an unmodified ORB.
+
+use std::collections::BTreeMap;
+
+use giop::{
+    Endian, FrameKind, FrameSplitter, Message, ObjectKey, ReplyBody, ReplyMessage,
+    RequestMessage,
+};
+use simnet::{ConnId, Event, ListenerId, Port, SimDuration, SysApi};
+
+use crate::exceptions::{Completed, SystemException};
+
+/// An object implementation, dispatched by operation name.
+///
+/// The `sys` handle lets servants read simulated time or charge
+/// operation-specific CPU (e.g. the Naming Service's expensive resolve).
+pub trait Servant {
+    /// Executes `operation` with CDR-encoded `body`, returning CDR-encoded
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// A [`SystemException`] to marshal back to the client.
+    fn invoke(
+        &mut self,
+        sys: &mut dyn SysApi,
+        operation: &str,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SystemException>;
+
+    /// Repository id of the servant's interface.
+    fn type_id(&self) -> &str;
+}
+
+/// Server-ORB cost model.
+#[derive(Clone, Debug)]
+pub struct ServerOrbConfig {
+    /// CPU to unmarshal a request, locate the servant and marshal the
+    /// reply (excluding servant work).
+    pub dispatch_cpu: SimDuration,
+}
+
+impl Default for ServerOrbConfig {
+    fn default() -> Self {
+        ServerOrbConfig {
+            dispatch_cpu: SimDuration::from_micros(40),
+        }
+    }
+}
+
+/// The server-side ORB.
+pub struct ServerOrb {
+    port: Port,
+    cfg: ServerOrbConfig,
+    listener: Option<ListenerId>,
+    adapter: BTreeMap<ObjectKey, Box<dyn Servant>>,
+    conns: BTreeMap<ConnId, FrameSplitter>,
+}
+
+impl ServerOrb {
+    /// Creates an ORB that will listen on `port`.
+    pub fn new(port: Port, cfg: ServerOrbConfig) -> Self {
+        ServerOrb {
+            port,
+            cfg,
+            listener: None,
+            adapter: BTreeMap::new(),
+            conns: BTreeMap::new(),
+        }
+    }
+
+    /// The listening port.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Registers `servant` under `key` (replacing any previous binding).
+    pub fn register(&mut self, key: ObjectKey, servant: Box<dyn Servant>) {
+        self.adapter.insert(key, servant);
+    }
+
+    /// Object keys currently registered.
+    pub fn keys(&self) -> impl Iterator<Item = &ObjectKey> {
+        self.adapter.keys()
+    }
+
+    /// Starts listening. Call from `on_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is taken — a deployment bug in an experiment.
+    pub fn start(&mut self, sys: &mut dyn SysApi) {
+        self.listener = Some(sys.listen(self.port).expect("server port free"));
+    }
+
+    /// Number of live client connections.
+    pub fn connection_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Offers an event to the ORB. Returns `None` when the event is not
+    /// ORB-related, `Some(handled_requests)` otherwise.
+    pub fn handle_event(&mut self, sys: &mut dyn SysApi, event: &Event) -> Option<usize> {
+        match event {
+            Event::Accepted { listener, conn, .. } if Some(*listener) == self.listener => {
+                self.conns.insert(*conn, FrameSplitter::new());
+                Some(0)
+            }
+            Event::DataReadable { conn } => {
+                if !self.conns.contains_key(conn) {
+                    return None;
+                }
+                let Ok(read) = sys.read(*conn, usize::MAX) else {
+                    return Some(0);
+                };
+                let splitter = self.conns.get_mut(conn).expect("checked");
+                splitter.push(&read.data);
+                let mut handled = 0;
+                loop {
+                    let frame = match self.conns.get_mut(conn).map(|s| s.next_frame()) {
+                        Some(Ok(Some(f))) => f,
+                        Some(Ok(None)) | None => break,
+                        Some(Err(e)) => {
+                            sys.count("orb.server.protocol_error", 1);
+                            sys.trace(&format!("server orb: corrupt stream: {e}"));
+                            sys.close(*conn);
+                            self.conns.remove(conn);
+                            break;
+                        }
+                    };
+                    if frame.kind != FrameKind::Giop {
+                        sys.count("orb.server.alien_frame", 1);
+                        continue;
+                    }
+                    match Message::decode(&frame.bytes) {
+                        Ok(Message::Request(req)) => {
+                            self.dispatch(sys, *conn, req);
+                            handled += 1;
+                        }
+                        Ok(Message::CloseConnection) => {
+                            sys.close(*conn);
+                            self.conns.remove(conn);
+                            break;
+                        }
+                        Ok(other) => {
+                            sys.count("orb.server.protocol_error", 1);
+                            sys.trace(&format!("server orb: unexpected {other:?}"));
+                        }
+                        Err(e) => {
+                            sys.count("orb.server.protocol_error", 1);
+                            sys.trace(&format!("server orb: bad GIOP: {e}"));
+                        }
+                    }
+                }
+                Some(handled)
+            }
+            Event::PeerClosed { conn } => {
+                if self.conns.remove(conn).is_some() {
+                    sys.close(*conn);
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn dispatch(&mut self, sys: &mut dyn SysApi, conn: ConnId, req: RequestMessage) {
+        sys.charge_cpu(self.cfg.dispatch_cpu);
+        sys.count("orb.server.requests", 1);
+        let outcome = match self.adapter.get_mut(&req.object_key) {
+            Some(servant) => servant.invoke(sys, &req.operation, &req.body),
+            None => Err(SystemException::ObjectNotExist {
+                completed: Completed::No,
+            }),
+        };
+        if !req.response_expected {
+            return;
+        }
+        let body = match outcome {
+            Ok(payload) => ReplyBody::NoException(payload),
+            Err(ex) => ex.to_reply_body(),
+        };
+        let reply = Message::Reply(ReplyMessage {
+            request_id: req.request_id,
+            body,
+        });
+        let _ = sys.write(conn, &reply.encode(Endian::Big));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Servant for Nop {
+        fn invoke(
+            &mut self,
+            _sys: &mut dyn SysApi,
+            _operation: &str,
+            _body: &[u8],
+        ) -> Result<Vec<u8>, SystemException> {
+            Ok(Vec::new())
+        }
+        fn type_id(&self) -> &str {
+            "IDL:Nop:1.0"
+        }
+    }
+
+    #[test]
+    fn register_and_enumerate_keys() {
+        let mut orb = ServerOrb::new(Port(1), ServerOrbConfig::default());
+        let k = ObjectKey::persistent("POA", "A");
+        orb.register(k.clone(), Box::new(Nop));
+        assert_eq!(orb.keys().collect::<Vec<_>>(), vec![&k]);
+        assert_eq!(orb.port(), Port(1));
+        assert_eq!(orb.connection_count(), 0);
+    }
+}

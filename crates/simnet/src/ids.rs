@@ -1,0 +1,149 @@
+//! Identifier newtypes for simulated entities.
+//!
+//! Every entity the kernel hands out is identified by an opaque, `Copy`
+//! newtype so they cannot be confused for one another (C-NEWTYPE). Identifiers
+//! are allocated densely by the kernel and are unique for the lifetime of a
+//! [`Simulation`](crate::Simulation).
+
+use core::fmt;
+
+/// Identifies a simulated host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifies a simulated process. Unique across the whole run, including
+/// across restarts: a relaunched replica gets a fresh `ProcessId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u64);
+
+/// Identifies one endpoint of a connection, analogous to a file descriptor.
+///
+/// The two ends of one connection have *different* `ConnId`s, exactly as two
+/// processes hold different socket descriptors for the same TCP connection.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub(crate) u64);
+
+/// Identifies a listening socket, as returned by
+/// [`SysApi::listen`](crate::SysApi::listen).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ListenerId(pub(crate) u64);
+
+/// Identifies a pending timer, as returned by
+/// [`SysApi::set_timer`](crate::SysApi::set_timer).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A transport port on a node (cf. a TCP port).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u16);
+
+/// A network address: a node plus a port.
+///
+/// ```
+/// use simnet::{Addr, NodeId, Port};
+///
+/// # fn with(node: NodeId) {
+/// let addr = Addr::new(node, Port(2809));
+/// assert_eq!(addr.port, Port(2809));
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// The hosting node.
+    pub node: NodeId,
+    /// The port on that node.
+    pub port: Port,
+}
+
+impl Addr {
+    /// Creates an address from a node and port.
+    pub fn new(node: NodeId, port: Port) -> Self {
+        Addr { node, port }
+    }
+}
+
+impl NodeId {
+    /// The raw index of this node (stable for the lifetime of the run).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a `NodeId` from an index previously obtained via
+    /// [`index`](Self::index) — used to map IOR host names (`"node3"`)
+    /// back onto simulated nodes.
+    pub fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+impl ProcessId {
+    /// The raw value, useful for seeding per-process randomness.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl ConnId {
+    /// The raw descriptor value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+macro_rules! impl_id_fmt {
+    ($ty:ident, $prefix:literal) => {
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id_fmt!(NodeId, "node");
+impl_id_fmt!(ProcessId, "pid");
+impl_id_fmt!(ConnId, "conn");
+impl_id_fmt!(ListenerId, "lsn");
+impl_id_fmt!(TimerId, "tmr");
+impl_id_fmt!(Port, "port");
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats_are_nonempty_and_distinct() {
+        assert_eq!(format!("{:?}", NodeId(3)), "node3");
+        assert_eq!(format!("{:?}", ProcessId(7)), "pid7");
+        assert_eq!(format!("{:?}", ConnId(1)), "conn1");
+        assert_eq!(format!("{:?}", ListenerId(2)), "lsn2");
+        assert_eq!(format!("{:?}", TimerId(9)), "tmr9");
+        assert_eq!(format!("{:?}", Addr::new(NodeId(1), Port(80))), "node1:80");
+    }
+
+    #[test]
+    fn addr_equality() {
+        let a = Addr::new(NodeId(1), Port(80));
+        let b = Addr::new(NodeId(1), Port(80));
+        let c = Addr::new(NodeId(1), Port(81));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,941 @@
+//! The discrete-event simulation kernel.
+//!
+//! [`Simulation`] owns the clock, the event queue, all nodes, processes,
+//! connections and timers, and drives [`Process`] state machines. It is
+//! single-threaded and fully deterministic: two runs with the same
+//! [`SimConfig`] (including the seed) produce identical event sequences.
+//! This mirrors the paper's deliberate avoidance of multithreading in the
+//! interceptor, which "sometimes led to nondeterministic behavior at the
+//! client" (section 3.1).
+//!
+//! # Transport semantics
+//!
+//! Connections are reliable, ordered byte streams modelled on TCP:
+//!
+//! * `connect` performs a two-trip handshake ([`Event::Accepted`] at the
+//!   listener after one one-way latency, [`Event::ConnEstablished`] at the
+//!   initiator after two);
+//! * connecting to a port with no live listener yields
+//!   [`Event::ConnRefused`] (how stale IORs manifest as `TRANSIENT`
+//!   exceptions);
+//! * a local `close` — or process death — delivers EOF
+//!   ([`Event::PeerClosed`]) to the peer after in-flight data (how crashed
+//!   replicas manifest as `COMM_FAILURE` exceptions);
+//! * per-connection FIFO order is preserved even under latency jitter.
+
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use crate::error::SysError;
+use crate::ids::{Addr, ConnId, ListenerId, NodeId, Port, ProcessId, TimerId};
+use crate::latency::{LatencyModel, LossModel, NoiseModel};
+use crate::metrics::Metrics;
+use crate::process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration for a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// One-way link latency model.
+    pub latency: LatencyModel,
+    /// OS-hiccup noise model (section 5.2.5 spikes).
+    pub noise: NoiseModel,
+    /// Message-loss model (fault model: message-loss faults).
+    pub loss: LossModel,
+    /// Delay between `spawn` and the new process's `on_start` — models
+    /// fork/exec plus ORB initialisation of a relaunched replica.
+    pub launch_latency: SimDuration,
+    /// When `true`, [`SysApi::trace`] lines are retained and retrievable
+    /// via [`Simulation::trace_lines`].
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            latency: LatencyModel::default(),
+            noise: NoiseModel::default(),
+            loss: LossModel::none(),
+            launch_latency: SimDuration::from_millis(30),
+            trace: false,
+        }
+    }
+}
+
+/// Why [`Simulation::run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The clock reached the requested deadline.
+    DeadlineReached,
+    /// The event queue drained before the deadline.
+    Idle,
+    /// The configured event budget was exhausted (runaway guard).
+    EventLimit,
+}
+
+#[derive(Debug)]
+enum Action {
+    StartProcess(ProcessId),
+    ConnectAttempt { client_ep: ConnId, addr: Addr },
+    ConnectResult { client_ep: ConnId, ok: bool },
+    DeliverData { ep: ConnId, data: Bytes },
+    DeliverEof { ep: ConnId },
+    TimerFire { timer: TimerId },
+    Notify { pid: ProcessId, event: Event },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed so BinaryHeap pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EpState {
+    Connecting,
+    Established,
+    ClosedLocal,
+}
+
+struct Endpoint {
+    owner: ProcessId,
+    peer: Option<ConnId>,
+    state: EpState,
+    recv: VecDeque<u8>,
+    peer_eof: bool,
+    /// Latest scheduled arrival at this endpoint, for FIFO enforcement.
+    last_arrival: SimTime,
+    tag: Option<&'static str>,
+    remote_node: NodeId,
+}
+
+struct TimerState {
+    pid: ProcessId,
+    token: u64,
+    cancelled: bool,
+}
+
+struct NodeState {
+    #[allow(dead_code)]
+    name: String,
+    alive: bool,
+}
+
+struct ProcSlot {
+    node: NodeId,
+    label: String,
+    proc: Option<Box<dyn Process>>,
+    rng: SimRng,
+    busy_until: SimTime,
+    alive: bool,
+    started: bool,
+    conns: HashSet<ConnId>,
+    listeners: HashSet<ListenerId>,
+    exit_requested: Option<ExitReason>,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// ```
+/// use simnet::{SimConfig, Simulation, SimTime};
+///
+/// let mut sim = Simulation::new(SimConfig::default());
+/// let node = sim.add_node("host-a");
+/// assert_eq!(sim.now(), SimTime::ZERO);
+/// assert!(sim.node_alive(node));
+/// ```
+pub struct Simulation {
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    nodes: Vec<NodeState>,
+    procs: HashMap<ProcessId, ProcSlot>,
+    listeners_by_addr: HashMap<Addr, ListenerId>,
+    listener_owner: HashMap<ListenerId, (ProcessId, Addr)>,
+    endpoints: HashMap<ConnId, Endpoint>,
+    timers: HashMap<TimerId, TimerState>,
+    next_pid: u64,
+    next_conn: u64,
+    next_listener: u64,
+    next_timer: u64,
+    net_rng: SimRng,
+    metrics: Rc<RefCell<Metrics>>,
+    trace: Vec<(SimTime, ProcessId, String)>,
+    events_processed: u64,
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let net_rng = SimRng::for_kernel(cfg.seed, 1);
+        Simulation {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            procs: HashMap::new(),
+            listeners_by_addr: HashMap::new(),
+            listener_owner: HashMap::new(),
+            endpoints: HashMap::new(),
+            timers: HashMap::new(),
+            next_pid: 0,
+            next_conn: 0,
+            next_listener: 0,
+            next_timer: 0,
+            net_rng,
+            metrics: Rc::new(RefCell::new(Metrics::new())),
+            trace: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node (host) and returns its id.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeState {
+            name: name.to_string(),
+            alive: true,
+        });
+        id
+    }
+
+    /// Whether `node` exists and has not crashed.
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.nodes
+            .get(node.0 as usize)
+            .map(|n| n.alive)
+            .unwrap_or(false)
+    }
+
+    /// Crashes `node`: every hosted process dies (peers observe EOF) and
+    /// future connects and spawns targeting it fail until
+    /// [`restart_node`](Self::restart_node).
+    pub fn crash_node(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(node.0 as usize) {
+            n.alive = false;
+        }
+        let victims: Vec<ProcessId> = self
+            .procs
+            .iter()
+            .filter(|(_, s)| s.node == node && s.alive)
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in victims {
+            self.terminate(pid, ExitReason::Crash("node crash".into()));
+        }
+    }
+
+    /// Brings a crashed node back (empty: processes must be respawned).
+    pub fn restart_node(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(node.0 as usize) {
+            n.alive = true;
+        }
+    }
+
+    /// Spawns `proc` on `node`, starting after the configured launch
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist or is crashed (a setup error).
+    pub fn spawn(&mut self, node: NodeId, label: &str, proc: Box<dyn Process>) -> ProcessId {
+        assert!(self.node_alive(node), "spawn on dead or unknown {node}");
+        self.spawn_internal(node, label, proc)
+    }
+
+    fn spawn_internal(&mut self, node: NodeId, label: &str, proc: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        let rng = SimRng::for_process(self.cfg.seed, pid);
+        let start_at = self.now + self.cfg.launch_latency;
+        self.procs.insert(
+            pid,
+            ProcSlot {
+                node,
+                label: label.to_string(),
+                proc: Some(proc),
+                rng,
+                busy_until: start_at,
+                alive: true,
+                started: false,
+                conns: HashSet::new(),
+                listeners: HashSet::new(),
+                exit_requested: None,
+            },
+        );
+        self.push(start_at, Action::StartProcess(pid));
+        self.metrics.borrow_mut().count("sim.spawned", 1);
+        pid
+    }
+
+    /// Kills `pid` immediately with `reason` (fault injection).
+    pub fn kill_process(&mut self, pid: ProcessId, reason: &str) {
+        self.terminate(pid, ExitReason::Crash(reason.to_string()));
+    }
+
+    /// Whether `pid` is still running.
+    pub fn process_alive(&self, pid: ProcessId) -> bool {
+        self.procs.get(&pid).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// The label `pid` was spawned with (empty if unknown).
+    pub fn process_label(&self, pid: ProcessId) -> &str {
+        self.procs.get(&pid).map(|s| s.label.as_str()).unwrap_or("")
+    }
+
+    /// Node hosting `pid`, if the process exists.
+    pub fn process_node(&self, pid: ProcessId) -> Option<NodeId> {
+        self.procs.get(&pid).map(|s| s.node)
+    }
+
+    /// Ids of all live processes, in spawn order.
+    pub fn live_processes(&self) -> Vec<ProcessId> {
+        let mut v: Vec<ProcessId> = self
+            .procs
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Shared handle to the metrics store (clone to keep after the run).
+    pub fn metrics_handle(&self) -> Rc<RefCell<Metrics>> {
+        Rc::clone(&self.metrics)
+    }
+
+    /// Immutable snapshot accessor for the metrics store.
+    pub fn with_metrics<T>(&self, f: impl FnOnce(&Metrics) -> T) -> T {
+        f(&self.metrics.borrow())
+    }
+
+    /// Retained trace lines (empty unless `cfg.trace` was set).
+    pub fn trace_lines(&self) -> impl Iterator<Item = String> + '_ {
+        self.trace
+            .iter()
+            .map(|(t, pid, msg)| format!("[{t}] {pid}: {msg}"))
+    }
+
+    /// Runs until the clock reaches `deadline`, the queue drains, or
+    /// `event_limit` events have been dispatched.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_until_limited(deadline, u64::MAX)
+    }
+
+    /// [`run_until`](Self::run_until) with an explicit event budget, as a
+    /// guard against runaway periodic behaviour in tests.
+    pub fn run_until_limited(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
+        let mut dispatched = 0u64;
+        loop {
+            if dispatched >= event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let Some(top) = self.queue.peek() else {
+                self.now = deadline.max(self.now);
+                return RunOutcome::Idle;
+            };
+            if top.at > deadline {
+                self.now = deadline;
+                return RunOutcome::DeadlineReached;
+            }
+            let sched = self.queue.pop().expect("peeked");
+            debug_assert!(sched.at >= self.now, "time went backwards");
+            self.now = sched.at;
+            self.events_processed += 1;
+            dispatched += 1;
+            self.handle(sched.action);
+        }
+    }
+
+    fn push(&mut self, at: SimTime, action: Action) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, action });
+    }
+
+    fn handle(&mut self, action: Action) {
+        match action {
+            Action::StartProcess(pid) => self.dispatch(pid, None),
+            Action::ConnectAttempt { client_ep, addr } => self.handle_connect_attempt(client_ep, addr),
+            Action::ConnectResult { client_ep, ok } => self.handle_connect_result(client_ep, ok),
+            Action::DeliverData { ep, data } => self.handle_deliver_data(ep, data),
+            Action::DeliverEof { ep } => self.handle_deliver_eof(ep),
+            Action::TimerFire { timer } => self.handle_timer_fire(timer),
+            Action::Notify { pid, event } => self.notify(pid, event),
+        }
+    }
+
+    fn handle_connect_attempt(&mut self, client_ep: ConnId, addr: Addr) {
+        // The SYN has arrived at the target node. Check for a live listener.
+        let accepting = if self.node_alive(addr.node) {
+            self.listeners_by_addr.get(&addr).and_then(|lsn| {
+                self.listener_owner
+                    .get(lsn)
+                    .filter(|(pid, _)| self.procs.get(pid).map(|s| s.alive).unwrap_or(false))
+                    .map(|(pid, _)| (*lsn, *pid))
+            })
+        } else {
+            None
+        };
+        // The initiating endpoint may have been closed or its owner killed
+        // while the SYN was in flight.
+        let client_alive = self
+            .endpoints
+            .get(&client_ep)
+            .map(|ep| {
+                ep.state == EpState::Connecting
+                    && self.procs.get(&ep.owner).map(|s| s.alive).unwrap_or(false)
+            })
+            .unwrap_or(false);
+        let client_node = self.endpoints.get(&client_ep).map(|ep| {
+            self.procs
+                .get(&ep.owner)
+                .map(|s| s.node)
+                .unwrap_or(NodeId(0))
+        });
+        match (accepting, client_alive) {
+            (Some((lsn, server_pid)), true) => {
+                let client_node = client_node.expect("client endpoint exists");
+                let server_ep = ConnId(self.next_conn);
+                self.next_conn += 1;
+                self.endpoints.insert(
+                    server_ep,
+                    Endpoint {
+                        owner: server_pid,
+                        peer: Some(client_ep),
+                        state: EpState::Established,
+                        recv: VecDeque::new(),
+                        peer_eof: false,
+                        last_arrival: self.now,
+                        tag: None,
+                        remote_node: client_node,
+                    },
+                );
+                if let Some(ep) = self.endpoints.get_mut(&client_ep) {
+                    ep.peer = Some(server_ep);
+                }
+                if let Some(slot) = self.procs.get_mut(&server_pid) {
+                    slot.conns.insert(server_ep);
+                }
+                self.enqueue_notify(
+                    server_pid,
+                    Event::Accepted {
+                        listener: lsn,
+                        conn: server_ep,
+                        peer_node: client_node,
+                    },
+                );
+                // SYN-ACK travels back to the initiator.
+                let server_node = self.process_node(server_pid).expect("server exists");
+                let back = self.sample_latency(server_node, client_node, 0);
+                let at = self.now + back;
+                self.push(at, Action::ConnectResult { client_ep, ok: true });
+            }
+            (None, true) => {
+                let client_node = client_node.expect("client endpoint exists");
+                let back = self.sample_latency(addr.node, client_node, 0);
+                let at = self.now + back;
+                self.push(at, Action::ConnectResult { client_ep, ok: false });
+            }
+            _ => {
+                // Initiator vanished: if a server endpoint would have been
+                // created we simply never create it; nothing to do.
+            }
+        }
+    }
+
+    fn handle_connect_result(&mut self, client_ep: ConnId, ok: bool) {
+        let Some(ep) = self.endpoints.get_mut(&client_ep) else {
+            return;
+        };
+        if ep.state != EpState::Connecting {
+            return; // closed while connecting
+        }
+        let owner = ep.owner;
+        if ok {
+            ep.state = EpState::Established;
+            self.enqueue_notify(owner, Event::ConnEstablished { conn: client_ep });
+        } else {
+            ep.state = EpState::ClosedLocal;
+            if let Some(slot) = self.procs.get_mut(&owner) {
+                slot.conns.remove(&client_ep);
+            }
+            self.enqueue_notify(owner, Event::ConnRefused { conn: client_ep });
+        }
+    }
+
+    fn handle_deliver_data(&mut self, ep_id: ConnId, data: Bytes) {
+        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+            return;
+        };
+        if ep.state == EpState::ClosedLocal {
+            return; // receiver closed; bytes fall on the floor
+        }
+        let owner = ep.owner;
+        if !self.procs.get(&owner).map(|s| s.alive).unwrap_or(false) {
+            return;
+        }
+        ep.recv.extend(data.iter().copied());
+        self.enqueue_notify(owner, Event::DataReadable { conn: ep_id });
+    }
+
+    fn handle_deliver_eof(&mut self, ep_id: ConnId) {
+        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+            return;
+        };
+        if ep.state == EpState::ClosedLocal || ep.peer_eof {
+            return;
+        }
+        ep.peer_eof = true;
+        let owner = ep.owner;
+        if self.procs.get(&owner).map(|s| s.alive).unwrap_or(false) {
+            self.enqueue_notify(owner, Event::PeerClosed { conn: ep_id });
+        }
+    }
+
+    fn handle_timer_fire(&mut self, timer: TimerId) {
+        let Some(ts) = self.timers.remove(&timer) else {
+            return;
+        };
+        if ts.cancelled {
+            return;
+        }
+        if self.procs.get(&ts.pid).map(|s| s.alive).unwrap_or(false) {
+            self.enqueue_notify(
+                ts.pid,
+                Event::TimerFired {
+                    timer,
+                    token: ts.token,
+                },
+            );
+        }
+    }
+
+    /// Delivers `event` to `pid` now if it is idle, or at its `busy_until`
+    /// otherwise (modelling a single-threaded process working through its
+    /// backlog).
+    fn enqueue_notify(&mut self, pid: ProcessId, event: Event) {
+        let Some(slot) = self.procs.get(&pid) else {
+            return;
+        };
+        if !slot.alive {
+            return;
+        }
+        if slot.busy_until > self.now {
+            let at = slot.busy_until;
+            self.push(at, Action::Notify { pid, event });
+        } else {
+            self.dispatch(pid, Some(event));
+        }
+    }
+
+    fn notify(&mut self, pid: ProcessId, event: Event) {
+        // Re-check busyness: the process may have become busy again since
+        // this notification was queued.
+        let Some(slot) = self.procs.get(&pid) else {
+            return;
+        };
+        if !slot.alive {
+            return;
+        }
+        if slot.busy_until > self.now {
+            let at = slot.busy_until;
+            self.push(at, Action::Notify { pid, event });
+        } else {
+            self.dispatch(pid, Some(event));
+        }
+    }
+
+    /// Runs one handler: `on_start` when `event` is `None`, else `on_event`.
+    fn dispatch(&mut self, pid: ProcessId, event: Option<Event>) {
+        let Some(slot) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        if !slot.alive {
+            return;
+        }
+        let Some(mut proc) = slot.proc.take() else {
+            return; // re-entrant dispatch cannot happen; defensive
+        };
+        match &event {
+            None => slot.started = true,
+            Some(_) if !slot.started => {
+                // Event raced ahead of on_start (should not happen since
+                // busy_until covers launch, but be safe): requeue.
+                let at = slot.busy_until;
+                slot.proc = Some(proc);
+                if let Some(ev) = event {
+                    self.push(at, Action::Notify { pid, event: ev });
+                }
+                return;
+            }
+            _ => {}
+        }
+        {
+            let mut ctx = Ctx { sim: self, pid };
+            match event {
+                None => proc.on_start(&mut ctx),
+                Some(ev) => proc.on_event(&mut ctx, ev),
+            }
+        }
+        let exit = {
+            let slot = self.procs.get_mut(&pid).expect("slot persists");
+            slot.proc = Some(proc);
+            slot.exit_requested.take()
+        };
+        if let Some(reason) = exit {
+            self.terminate(pid, reason);
+        }
+    }
+
+    fn terminate(&mut self, pid: ProcessId, reason: ExitReason) {
+        let Some(slot) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        slot.proc = None;
+        let conns: Vec<ConnId> = slot.conns.drain().collect();
+        let listeners: Vec<ListenerId> = slot.listeners.drain().collect();
+        let label = slot.label.clone();
+        for lsn in listeners {
+            if let Some((_, addr)) = self.listener_owner.remove(&lsn) {
+                self.listeners_by_addr.remove(&addr);
+            }
+        }
+        let mut conns = conns;
+        conns.sort(); // deterministic EOF order
+        for c in conns {
+            self.close_endpoint(c);
+        }
+        let mut m = self.metrics.borrow_mut();
+        match &reason {
+            ExitReason::Graceful => m.count("sim.exit.graceful", 1),
+            ExitReason::Crash(_) => m.count("sim.exit.crash", 1),
+        }
+        drop(m);
+        if self.cfg.trace {
+            self.trace
+                .push((self.now, pid, format!("{label} terminated: {reason:?}")));
+        }
+    }
+
+    /// Closes `ep_id` from the owner side: schedules EOF at the peer after
+    /// any in-flight data.
+    fn close_endpoint(&mut self, ep_id: ConnId) {
+        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+            return;
+        };
+        if ep.state == EpState::ClosedLocal {
+            return;
+        }
+        let was_connecting = ep.state == EpState::Connecting;
+        ep.state = EpState::ClosedLocal;
+        ep.recv.clear();
+        let peer = ep.peer;
+        let remote = ep.remote_node;
+        if was_connecting {
+            return; // handshake will fizzle in handle_connect_*
+        }
+        if let Some(peer_id) = peer {
+            let owner_node = self
+                .endpoints
+                .get(&peer_id)
+                .map(|p| p.remote_node)
+                .unwrap_or(remote);
+            let lat = self.sample_latency(owner_node, remote, 0);
+            let arrival = self.fifo_arrival(peer_id, self.now + lat);
+            self.push(arrival, Action::DeliverEof { ep: peer_id });
+        }
+    }
+
+    /// Enforces per-connection FIFO: a segment may not arrive before one
+    /// scheduled earlier.
+    fn fifo_arrival(&mut self, ep_id: ConnId, proposed: SimTime) -> SimTime {
+        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+            return proposed;
+        };
+        let arrival = proposed.max(ep.last_arrival);
+        ep.last_arrival = arrival;
+        arrival
+    }
+
+    fn sample_latency(&mut self, src: NodeId, dst: NodeId, len: usize) -> SimDuration {
+        let base = self.cfg.latency.sample(&mut self.net_rng, src, dst, len);
+        let noise = self.cfg.noise.sample(&mut self.net_rng);
+        let loss = self.cfg.loss.sample(&mut self.net_rng);
+        base + noise + loss
+    }
+}
+
+/// The kernel-backed [`SysApi`] implementation handed to processes.
+struct Ctx<'a> {
+    sim: &'a mut Simulation,
+    pid: ProcessId,
+}
+
+impl Ctx<'_> {
+    fn slot(&self) -> &ProcSlot {
+        self.sim.procs.get(&self.pid).expect("own slot exists")
+    }
+    fn slot_mut(&mut self) -> &mut ProcSlot {
+        self.sim.procs.get_mut(&self.pid).expect("own slot exists")
+    }
+}
+
+impl SysApi for Ctx<'_> {
+    fn now(&self) -> SimTime {
+        self.sim.now
+    }
+
+    fn my_node(&self) -> NodeId {
+        self.slot().node
+    }
+
+    fn my_pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn listen(&mut self, port: Port) -> Result<ListenerId, SysError> {
+        let node = self.slot().node;
+        let addr = Addr::new(node, port);
+        if self.sim.listeners_by_addr.contains_key(&addr) {
+            return Err(SysError::PortInUse(port));
+        }
+        let lsn = ListenerId(self.sim.next_listener);
+        self.sim.next_listener += 1;
+        self.sim.listeners_by_addr.insert(addr, lsn);
+        self.sim.listener_owner.insert(lsn, (self.pid, addr));
+        self.slot_mut().listeners.insert(lsn);
+        Ok(lsn)
+    }
+
+    fn unlisten(&mut self, listener: ListenerId) {
+        if let Some((owner, addr)) = self.sim.listener_owner.get(&listener).copied() {
+            if owner == self.pid {
+                self.sim.listener_owner.remove(&listener);
+                self.sim.listeners_by_addr.remove(&addr);
+                self.slot_mut().listeners.remove(&listener);
+            }
+        }
+    }
+
+    fn connect(&mut self, addr: Addr) -> ConnId {
+        let node = self.slot().node;
+        let ep_id = ConnId(self.sim.next_conn);
+        self.sim.next_conn += 1;
+        self.sim.endpoints.insert(
+            ep_id,
+            Endpoint {
+                owner: self.pid,
+                peer: None,
+                state: EpState::Connecting,
+                recv: VecDeque::new(),
+                peer_eof: false,
+                last_arrival: self.sim.now,
+                tag: None,
+                remote_node: addr.node,
+            },
+        );
+        self.slot_mut().conns.insert(ep_id);
+        let send_at = self.sim.now.max(self.slot().busy_until);
+        let lat = self.sim.sample_latency(node, addr.node, 0);
+        self.sim.push(
+            send_at + lat,
+            Action::ConnectAttempt {
+                client_ep: ep_id,
+                addr,
+            },
+        );
+        ep_id
+    }
+
+    fn write(&mut self, conn: ConnId, bytes: &[u8]) -> Result<(), SysError> {
+        let now = self.sim.now;
+        let busy_until = self.slot().busy_until;
+        let src_node = self.slot().node;
+        let ep = self
+            .sim
+            .endpoints
+            .get(&conn)
+            .ok_or(SysError::UnknownConn(conn))?;
+        if ep.owner != self.pid {
+            return Err(SysError::UnknownConn(conn));
+        }
+        match ep.state {
+            EpState::Connecting => return Err(SysError::NotEstablished(conn)),
+            EpState::ClosedLocal => return Err(SysError::ClosedLocally(conn)),
+            EpState::Established => {}
+        }
+        if ep.peer_eof {
+            return Err(SysError::PeerClosed(conn));
+        }
+        let peer_id = ep.peer.ok_or(SysError::NotEstablished(conn))?;
+        let dst_node = ep.remote_node;
+        let tag = ep.tag;
+        let depart = now.max(busy_until);
+        if let Some(tag) = tag {
+            self.sim
+                .metrics
+                .borrow_mut()
+                .record_bytes(tag, depart, bytes.len() as u64);
+        }
+        // Is the peer still able to receive? If its process is dead the
+        // bytes are silently lost (the EOF races them).
+        let lat = self.sim.sample_latency(src_node, dst_node, bytes.len());
+        let arrival = self.sim.fifo_arrival(peer_id, depart + lat);
+        self.sim.push(
+            arrival,
+            Action::DeliverData {
+                ep: peer_id,
+                data: Bytes::copy_from_slice(bytes),
+            },
+        );
+        Ok(())
+    }
+
+    fn read(&mut self, conn: ConnId, max: usize) -> Result<ReadOutcome, SysError> {
+        let ep = self
+            .sim
+            .endpoints
+            .get_mut(&conn)
+            .ok_or(SysError::UnknownConn(conn))?;
+        if ep.owner != self.pid {
+            return Err(SysError::UnknownConn(conn));
+        }
+        if ep.state == EpState::ClosedLocal {
+            return Err(SysError::ClosedLocally(conn));
+        }
+        let take = max.min(ep.recv.len());
+        let data: Bytes = ep.recv.drain(..take).collect::<Vec<u8>>().into();
+        let eof = ep.recv.is_empty() && ep.peer_eof;
+        Ok(ReadOutcome { data, eof })
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        let owns = self
+            .sim
+            .endpoints
+            .get(&conn)
+            .map(|ep| ep.owner == self.pid)
+            .unwrap_or(false);
+        if !owns {
+            return;
+        }
+        self.slot_mut().conns.remove(&conn);
+        self.sim.close_endpoint(conn);
+    }
+
+    fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerId {
+        let timer = TimerId(self.sim.next_timer);
+        self.sim.next_timer += 1;
+        self.sim.timers.insert(
+            timer,
+            TimerState {
+                pid: self.pid,
+                token,
+                cancelled: false,
+            },
+        );
+        let at = self.sim.now + after;
+        self.sim.push(at, Action::TimerFire { timer });
+        timer
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        if let Some(ts) = self.sim.timers.get_mut(&timer) {
+            if ts.pid == self.pid {
+                ts.cancelled = true;
+            }
+        }
+    }
+
+    fn spawn(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        factory: ProcessFactory,
+    ) -> Result<ProcessId, SysError> {
+        if !self.sim.node_alive(node) {
+            return Err(SysError::NoSuchTarget);
+        }
+        Ok(self.sim.spawn_internal(node, name, factory()))
+    }
+
+    fn exit(&mut self, reason: ExitReason) {
+        self.slot_mut().exit_requested = Some(reason);
+    }
+
+    fn charge_cpu(&mut self, cost: SimDuration) {
+        let now = self.sim.now;
+        let slot = self.slot_mut();
+        slot.busy_until = slot.busy_until.max(now) + cost;
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.slot_mut().rng
+    }
+
+    fn tag_conn(&mut self, conn: ConnId, tag: &'static str) {
+        if let Some(ep) = self.sim.endpoints.get_mut(&conn) {
+            if ep.owner == self.pid {
+                ep.tag = Some(tag);
+            }
+        }
+    }
+
+    fn count(&mut self, counter: &'static str, delta: u64) {
+        self.sim.metrics.borrow_mut().count(counter, delta);
+    }
+
+    fn mark(&mut self, series: &'static str) {
+        let now = self.sim.now;
+        self.sim.metrics.borrow_mut().record_bytes(series, now, 1);
+    }
+
+    fn trace(&mut self, message: &str) {
+        if self.sim.cfg.trace {
+            self.sim.trace.push((self.sim.now, self.pid, message.to_string()));
+        }
+    }
+}

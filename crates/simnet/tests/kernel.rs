@@ -1,0 +1,620 @@
+//! Behavioural tests for the simnet kernel: transport semantics, crash
+//! visibility, CPU-cost accounting, timers, determinism.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::*;
+
+/// Shared scratchpad for observing process behaviour from tests.
+type Log = Rc<RefCell<Vec<String>>>;
+
+struct Server {
+    port: Port,
+    log: Log,
+    reply_cpu: SimDuration,
+    close_after: Option<usize>,
+    handled: usize,
+}
+
+impl Process for Server {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        sys.listen(self.port).expect("listen");
+        self.log.borrow_mut().push("server:listening".into());
+    }
+    fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+        match ev {
+            Event::Accepted { conn, .. } => {
+                self.log.borrow_mut().push(format!("server:accepted:{conn}"));
+            }
+            Event::DataReadable { conn } => {
+                let got = sys.read(conn, usize::MAX).expect("read");
+                if got.data.is_empty() {
+                    return;
+                }
+                self.handled += 1;
+                sys.charge_cpu(self.reply_cpu);
+                sys.write(conn, &got.data).expect("echo write");
+                if let Some(n) = self.close_after {
+                    if self.handled >= n {
+                        sys.exit(ExitReason::Crash("test crash".into()));
+                    }
+                }
+            }
+            Event::PeerClosed { conn } => {
+                self.log.borrow_mut().push(format!("server:eof:{conn}"));
+            }
+            _ => {}
+        }
+    }
+    fn label(&self) -> &str {
+        "server"
+    }
+}
+
+struct Client {
+    target: Addr,
+    payload: Vec<u8>,
+    log: Log,
+    conn: Option<ConnId>,
+    sent_at: Option<SimTime>,
+    rtts: Rc<RefCell<Vec<SimDuration>>>,
+    rounds: usize,
+    done: usize,
+}
+
+impl Client {
+    fn new(target: Addr, rounds: usize, log: Log, rtts: Rc<RefCell<Vec<SimDuration>>>) -> Self {
+        Client {
+            target,
+            payload: b"ping".to_vec(),
+            log,
+            conn: None,
+            sent_at: None,
+            rtts,
+            rounds,
+            done: 0,
+        }
+    }
+    fn send(&mut self, sys: &mut dyn SysApi) {
+        let conn = self.conn.expect("connected");
+        self.sent_at = Some(sys.now());
+        sys.write(conn, &self.payload).expect("request write");
+    }
+}
+
+impl Process for Client {
+    fn on_start(&mut self, sys: &mut dyn SysApi) {
+        self.conn = Some(sys.connect(self.target));
+    }
+    fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+        match ev {
+            Event::ConnEstablished { .. } => {
+                self.log.borrow_mut().push("client:established".into());
+                self.send(sys);
+            }
+            Event::ConnRefused { .. } => {
+                self.log.borrow_mut().push("client:refused".into());
+            }
+            Event::DataReadable { conn } => {
+                let got = sys.read(conn, usize::MAX).expect("read");
+                if got.data.is_empty() {
+                    return;
+                }
+                let rtt = sys.now() - self.sent_at.expect("sent");
+                self.rtts.borrow_mut().push(rtt);
+                self.done += 1;
+                if self.done < self.rounds {
+                    self.send(sys);
+                } else {
+                    self.log.borrow_mut().push("client:done".into());
+                }
+            }
+            Event::PeerClosed { conn } => {
+                self.log.borrow_mut().push(format!("client:eof:{conn}"));
+            }
+            _ => {}
+        }
+    }
+    fn label(&self) -> &str {
+        "client"
+    }
+}
+
+fn quiet_config(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        noise: NoiseModel::none(),
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn ping_pong_round_trip_time_matches_model() {
+    let cfg = quiet_config(1);
+    let mut sim = Simulation::new(cfg);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let log: Log = Rc::default();
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        a,
+        "server",
+        Box::new(Server {
+            port: Port(80),
+            log: log.clone(),
+            reply_cpu: SimDuration::from_micros(50),
+            close_after: None,
+            handled: 0,
+        }),
+    );
+    sim.spawn(
+        b,
+        "client",
+        Box::new(Client::new(Addr::new(a, Port(80)), 100, log.clone(), rtts.clone())),
+    );
+    sim.run_until(SimTime::from_secs(5));
+    let rtts = rtts.borrow();
+    assert_eq!(rtts.len(), 100);
+    // Two one-way trips (330±10us) + 50us server CPU: between 0.71 and 0.78ms.
+    for rtt in rtts.iter() {
+        let ms = rtt.as_millis_f64();
+        assert!((0.70..0.80).contains(&ms), "rtt {ms}ms outside model");
+    }
+    assert!(log.borrow().contains(&"client:done".to_string()));
+}
+
+#[test]
+fn connect_to_missing_listener_is_refused() {
+    let mut sim = Simulation::new(quiet_config(2));
+    let a = sim.add_node("a");
+    let log: Log = Rc::default();
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        a,
+        "client",
+        Box::new(Client::new(Addr::new(a, Port(4242)), 1, log.clone(), rtts)),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    assert!(log.borrow().contains(&"client:refused".to_string()));
+}
+
+#[test]
+fn server_crash_delivers_eof_to_client() {
+    let mut sim = Simulation::new(quiet_config(3));
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let log: Log = Rc::default();
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    sim.spawn(
+        a,
+        "server",
+        Box::new(Server {
+            port: Port(80),
+            log: log.clone(),
+            reply_cpu: SimDuration::ZERO,
+            close_after: Some(3), // crash after three replies
+            handled: 0,
+        }),
+    );
+    sim.spawn(
+        b,
+        "client",
+        Box::new(Client::new(Addr::new(a, Port(80)), 100, log.clone(), rtts.clone())),
+    );
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(rtts.borrow().len(), 3, "three replies before crash");
+    let log = log.borrow();
+    assert!(
+        log.iter().any(|l| l.starts_with("client:eof")),
+        "client must observe EOF, saw {log:?}"
+    );
+    assert_eq!(sim.with_metrics(|m| m.counter("sim.exit.crash")), 1);
+}
+
+#[test]
+fn kill_process_delivers_eof() {
+    let mut sim = Simulation::new(quiet_config(4));
+    let a = sim.add_node("a");
+    let log: Log = Rc::default();
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    let server = sim.spawn(
+        a,
+        "server",
+        Box::new(Server {
+            port: Port(80),
+            log: log.clone(),
+            reply_cpu: SimDuration::ZERO,
+            close_after: None,
+            handled: 0,
+        }),
+    );
+    sim.spawn(
+        a,
+        "client",
+        Box::new(Client::new(Addr::new(a, Port(80)), 1_000_000, log.clone(), rtts)),
+    );
+    sim.run_until(SimTime::from_millis(200));
+    assert!(sim.process_alive(server));
+    sim.kill_process(server, "injected kill");
+    sim.run_until(SimTime::from_millis(400));
+    assert!(!sim.process_alive(server));
+    assert!(log.borrow().iter().any(|l| l.starts_with("client:eof")));
+}
+
+#[test]
+fn node_crash_kills_all_hosted_processes() {
+    let mut sim = Simulation::new(quiet_config(5));
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let log: Log = Rc::default();
+    let rtts = Rc::new(RefCell::new(Vec::new()));
+    let s1 = sim.spawn(
+        a,
+        "server",
+        Box::new(Server {
+            port: Port(80),
+            log: log.clone(),
+            reply_cpu: SimDuration::ZERO,
+            close_after: None,
+            handled: 0,
+        }),
+    );
+    let c = sim.spawn(
+        b,
+        "client",
+        Box::new(Client::new(Addr::new(a, Port(80)), 1_000_000, log.clone(), rtts)),
+    );
+    sim.run_until(SimTime::from_millis(100));
+    sim.crash_node(a);
+    sim.run_until(SimTime::from_millis(200));
+    assert!(!sim.process_alive(s1));
+    assert!(sim.process_alive(c));
+    assert!(!sim.node_alive(a));
+    assert!(log.borrow().iter().any(|l| l.starts_with("client:eof")));
+    // Connecting to the dead node is refused.
+    sim.restart_node(a);
+    assert!(sim.node_alive(a));
+}
+
+#[test]
+fn charge_cpu_delays_replies() {
+    // Same topology, two servers with different CPU costs: the slower
+    // server's client sees proportionally larger RTTs.
+    let run = |cpu_us: u64| -> f64 {
+        let mut sim = Simulation::new(quiet_config(6));
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let log: Log = Rc::default();
+        let rtts = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            a,
+            "server",
+            Box::new(Server {
+                port: Port(80),
+                log: log.clone(),
+                reply_cpu: SimDuration::from_micros(cpu_us),
+                close_after: None,
+                handled: 0,
+            }),
+        );
+        sim.spawn(
+            b,
+            "client",
+            Box::new(Client::new(Addr::new(a, Port(80)), 50, log, rtts.clone())),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let r = rtts.borrow();
+        r.iter().map(|d| d.as_millis_f64()).sum::<f64>() / r.len() as f64
+    };
+    let fast = run(10);
+    let slow = run(700);
+    assert!(
+        (slow - fast - 0.69).abs() < 0.05,
+        "cpu charge should add ~0.69ms, added {}",
+        slow - fast
+    );
+}
+
+#[test]
+fn timers_fire_in_order_with_tokens() {
+    struct TimerProc {
+        fired: Rc<RefCell<Vec<(u64, SimTime)>>>,
+        cancel_me: Option<TimerId>,
+    }
+    impl Process for TimerProc {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.set_timer(SimDuration::from_millis(30), 3);
+            sys.set_timer(SimDuration::from_millis(10), 1);
+            sys.set_timer(SimDuration::from_millis(20), 2);
+            self.cancel_me = Some(sys.set_timer(SimDuration::from_millis(25), 99));
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+            if let Event::TimerFired { token, .. } = ev {
+                if token == 1 {
+                    let t = self.cancel_me.take().expect("armed");
+                    sys.cancel_timer(t);
+                }
+                self.fired.borrow_mut().push((token, sys.now()));
+            }
+        }
+    }
+    let fired = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(quiet_config(7));
+    let a = sim.add_node("a");
+    sim.spawn(
+        a,
+        "timers",
+        Box::new(TimerProc {
+            fired: fired.clone(),
+            cancel_me: None,
+        }),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    let fired = fired.borrow();
+    let tokens: Vec<u64> = fired.iter().map(|(t, _)| *t).collect();
+    assert_eq!(tokens, vec![1, 2, 3], "cancelled timer 99 must not fire");
+    assert!(fired[0].1 < fired[1].1 && fired[1].1 < fired[2].1);
+}
+
+#[test]
+fn spawn_from_process_launches_after_latency() {
+    struct Spawner {
+        child: Rc<RefCell<Option<ProcessId>>>,
+    }
+    struct Child {
+        started_at: Rc<RefCell<Option<SimTime>>>,
+    }
+    impl Process for Child {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            *self.started_at.borrow_mut() = Some(sys.now());
+        }
+        fn on_event(&mut self, _: &mut dyn SysApi, _: Event) {}
+    }
+    impl Process for Spawner {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            let started = Rc::new(RefCell::new(None));
+            let s2 = started.clone();
+            let node = sys.my_node();
+            let pid = sys
+                .spawn(node, "child", Box::new(move || Box::new(Child { started_at: s2 })))
+                .expect("spawn");
+            *self.child.borrow_mut() = Some(pid);
+            // keep handle alive via leak into self
+            std::mem::forget(started);
+        }
+        fn on_event(&mut self, _: &mut dyn SysApi, _: Event) {}
+    }
+    let child = Rc::new(RefCell::new(None));
+    let mut sim = Simulation::new(quiet_config(8));
+    let a = sim.add_node("a");
+    sim.spawn(a, "spawner", Box::new(Spawner { child: child.clone() }));
+    sim.run_until(SimTime::from_secs(1));
+    let pid = child.borrow().expect("child spawned");
+    assert!(sim.process_alive(pid));
+    assert_eq!(sim.process_label(pid), "child");
+    assert_eq!(sim.with_metrics(|m| m.counter("sim.spawned")), 2);
+}
+
+#[test]
+fn identical_seeds_are_deterministic_different_seeds_differ() {
+    let run = |seed: u64| -> (u64, Vec<f64>) {
+        let mut sim = Simulation::new(SimConfig {
+            seed,
+            ..SimConfig::default()
+        });
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let log: Log = Rc::default();
+        let rtts = Rc::new(RefCell::new(Vec::new()));
+        sim.spawn(
+            a,
+            "server",
+            Box::new(Server {
+                port: Port(80),
+                log: log.clone(),
+                reply_cpu: SimDuration::from_micros(50),
+                close_after: None,
+                handled: 0,
+            }),
+        );
+        sim.spawn(
+            b,
+            "client",
+            Box::new(Client::new(Addr::new(a, Port(80)), 200, log, rtts.clone())),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let rtts = rtts.borrow().iter().map(|d| d.as_millis_f64()).collect();
+        (sim.events_processed(), rtts)
+    };
+    let (e1, r1) = run(42);
+    let (e2, r2) = run(42);
+    let (_, r3) = run(43);
+    assert_eq!(e1, e2);
+    assert_eq!(r1, r2, "same seed must reproduce identical RTTs");
+    assert_ne!(r1, r3, "different seed should perturb jittered RTTs");
+}
+
+#[test]
+fn listener_port_conflict_is_rejected() {
+    struct TwoListens {
+        outcome: Rc<RefCell<Option<Result<(), SysError>>>>,
+    }
+    impl Process for TwoListens {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.listen(Port(5)).expect("first listen");
+            let second = sys.listen(Port(5)).map(|_| ());
+            *self.outcome.borrow_mut() = Some(second);
+        }
+        fn on_event(&mut self, _: &mut dyn SysApi, _: Event) {}
+    }
+    let outcome = Rc::new(RefCell::new(None));
+    let mut sim = Simulation::new(quiet_config(9));
+    let a = sim.add_node("a");
+    sim.spawn(a, "p", Box::new(TwoListens { outcome: outcome.clone() }));
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(
+        outcome.borrow().clone().expect("ran"),
+        Err(SysError::PortInUse(Port(5)))
+    );
+}
+
+#[test]
+fn data_is_fifo_per_connection_under_jitter() {
+    struct Burst {
+        target: Addr,
+        conn: Option<ConnId>,
+    }
+    impl Process for Burst {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            self.conn = Some(sys.connect(self.target));
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+            if let Event::ConnEstablished { conn } = ev {
+                for i in 0..100u8 {
+                    sys.write(conn, &[i]).expect("write");
+                }
+            }
+        }
+    }
+    struct Collector {
+        got: Rc<RefCell<Vec<u8>>>,
+    }
+    impl Process for Collector {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.listen(Port(1)).expect("listen");
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+            if let Event::DataReadable { conn } = ev {
+                let r = sys.read(conn, usize::MAX).expect("read");
+                self.got.borrow_mut().extend_from_slice(&r.data);
+            }
+        }
+    }
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulation::new(SimConfig {
+        seed: 11,
+        latency: LatencyModel {
+            jitter: SimDuration::from_micros(500), // heavy jitter
+            ..LatencyModel::default()
+        },
+        noise: NoiseModel::none(),
+        ..SimConfig::default()
+    });
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.spawn(a, "collector", Box::new(Collector { got: got.clone() }));
+    sim.spawn(
+        b,
+        "burst",
+        Box::new(Burst {
+            target: Addr::new(a, Port(1)),
+            conn: None,
+        }),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    let got = got.borrow();
+    let expect: Vec<u8> = (0..100).collect();
+    assert_eq!(*got, expect, "bytes must arrive in send order");
+}
+
+#[test]
+fn tagged_connections_account_bytes() {
+    struct Tagger {
+        target: Addr,
+    }
+    impl Process for Tagger {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            let c = sys.connect(self.target);
+            sys.tag_conn(c, "testtag");
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+            if let Event::ConnEstablished { conn } = ev {
+                sys.write(conn, &[0u8; 64]).expect("write");
+                sys.write(conn, &[0u8; 36]).expect("write");
+            }
+        }
+    }
+    struct Sink;
+    impl Process for Sink {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.listen(Port(1)).expect("listen");
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+            if let Event::DataReadable { conn } = ev {
+                let _ = sys.read(conn, usize::MAX);
+            }
+        }
+    }
+    let mut sim = Simulation::new(quiet_config(12));
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.spawn(a, "sink", Box::new(Sink));
+    sim.spawn(b, "tagger", Box::new(Tagger { target: Addr::new(a, Port(1)) }));
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(sim.with_metrics(|m| m.total_bytes("testtag")), 100);
+}
+
+#[test]
+fn read_after_local_close_errors_and_double_close_is_idempotent() {
+    struct Closer {
+        target: Addr,
+        observed: Rc<RefCell<Option<SysError>>>,
+    }
+    impl Process for Closer {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.connect(self.target);
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
+            if let Event::ConnEstablished { conn } = ev {
+                sys.close(conn);
+                sys.close(conn); // idempotent
+                let err = sys.read(conn, 10).expect_err("closed");
+                *self.observed.borrow_mut() = Some(err);
+            }
+        }
+    }
+    struct Sink;
+    impl Process for Sink {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.listen(Port(1)).expect("listen");
+        }
+        fn on_event(&mut self, _: &mut dyn SysApi, _: Event) {}
+    }
+    let observed = Rc::new(RefCell::new(None));
+    let mut sim = Simulation::new(quiet_config(13));
+    let a = sim.add_node("a");
+    sim.spawn(a, "sink", Box::new(Sink));
+    sim.spawn(
+        a,
+        "closer",
+        Box::new(Closer {
+            target: Addr::new(a, Port(1)),
+            observed: observed.clone(),
+        }),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    let seen = observed.borrow().clone();
+    match seen {
+        Some(SysError::ClosedLocally(_)) => {}
+        other => panic!("expected ClosedLocally, got {other:?}"),
+    }
+}
+
+#[test]
+fn event_limit_guard_stops_runaway() {
+    struct Ticker;
+    impl Process for Ticker {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            sys.set_timer(SimDuration::from_nanos(1), 0);
+        }
+        fn on_event(&mut self, sys: &mut dyn SysApi, _: Event) {
+            sys.set_timer(SimDuration::from_nanos(1), 0);
+        }
+    }
+    let mut sim = Simulation::new(quiet_config(14));
+    let a = sim.add_node("a");
+    sim.spawn(a, "ticker", Box::new(Ticker));
+    let outcome = sim.run_until_limited(SimTime::from_secs(1), 1000);
+    assert_eq!(outcome, RunOutcome::EventLimit);
+}
