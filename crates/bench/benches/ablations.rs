@@ -85,12 +85,18 @@ fn bench_redirect_mechanisms(c: &mut Criterion) {
 
     // Verification: the fail-over gap is the headline claim.
     let mead = run_scenario(&ScenarioConfig::quick(RecoveryScheme::MeadFailover, 1500));
-    let lf = run_scenario(&ScenarioConfig::quick(RecoveryScheme::LocationForward, 1500));
+    let lf = run_scenario(&ScenarioConfig::quick(
+        RecoveryScheme::LocationForward,
+        1500,
+    ));
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let mead_fo = mean(&failover_episodes_ms(&mead, RecoveryScheme::MeadFailover));
     let lf_fo = mean(&failover_episodes_ms(&lf, RecoveryScheme::LocationForward));
     println!("\nredirect ablation: MEAD dup2 {mead_fo:.2} ms vs ORB reconnect {lf_fo:.2} ms");
-    assert!(mead_fo * 2.0 < lf_fo, "the interceptor-level redirect must win big");
+    assert!(
+        mead_fo * 2.0 < lf_fo,
+        "the interceptor-level redirect must win big"
+    );
 }
 
 criterion_group!(

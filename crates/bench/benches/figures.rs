@@ -11,7 +11,7 @@ fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_reactive_traces");
     group.sample_size(10);
     group.bench_function("both_reactive_schemes_400inv", |b| {
-        b.iter(|| run_fig3(400, 42))
+        b.iter(|| run_fig3(400, 42, 1))
     });
     group.finish();
 }
@@ -20,7 +20,7 @@ fn bench_fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_proactive_traces");
     group.sample_size(10);
     group.bench_function("three_proactive_schemes_400inv", |b| {
-        b.iter(|| run_fig4(400, 42))
+        b.iter(|| run_fig4(400, 42, 1))
     });
     group.finish();
 }

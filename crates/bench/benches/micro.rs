@@ -6,13 +6,15 @@
 //! overhead column: the LOCATION_FORWARD scheme pays a full parse per
 //! message, the MEAD scheme only a frame scan.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use bytes::Bytes;
 use giop::{
-    CdrReader, CdrWriter, Endian, FrameSplitter, Ior, Message, ObjectKey, ReplyBody,
-    ReplyMessage, RequestMessage,
+    CdrReader, CdrWriter, Endian, FrameSplitter, Ior, Message, ObjectKey, ReplyBody, ReplyMessage,
+    RequestMessage,
 };
 use mead::FailoverNotice;
+use simnet::RecvQueue;
 
 fn sample_request() -> Message {
     Message::Request(RequestMessage {
@@ -62,7 +64,9 @@ fn bench_cdr(c: &mut Criterion) {
 fn bench_giop(c: &mut Criterion) {
     let req = sample_request();
     let rep = sample_reply();
-    c.bench_function("giop/encode_request", |b| b.iter(|| req.encode(Endian::Big)));
+    c.bench_function("giop/encode_request", |b| {
+        b.iter(|| req.encode(Endian::Big))
+    });
     let wire_req = req.encode(Endian::Big);
     let wire_rep = rep.encode(Endian::Big);
     // The LOCATION_FORWARD scheme's per-message work: full decode.
@@ -103,9 +107,13 @@ fn bench_ior_and_notice(c: &mut Criterion) {
     );
     c.bench_function("ior/encode", |b| b.iter(|| black_box(&ior).encode()));
     let bytes = ior.encode();
-    c.bench_function("ior/decode", |b| b.iter(|| Ior::decode(black_box(&bytes)).unwrap()));
+    c.bench_function("ior/decode", |b| {
+        b.iter(|| Ior::decode(black_box(&bytes)).unwrap())
+    });
     let notice = FailoverNotice::new("node2", 20001, "replica/0/7");
-    c.bench_function("mead/failover_notice_encode", |b| b.iter(|| notice.encode()));
+    c.bench_function("mead/failover_notice_encode", |b| {
+        b.iter(|| notice.encode())
+    });
     let wire = notice.encode();
     c.bench_function("mead/failover_notice_decode", |b| {
         b.iter(|| {
@@ -124,12 +132,65 @@ fn bench_weibull(c: &mut Criterion) {
     c.bench_function("faults/weibull_sample", |b| b.iter(|| w.sample(&mut rng)));
 }
 
+/// The kernel's receive hot path — deliver a segment, then serve the
+/// application's `read(usize::MAX)` — at the two payload sizes that
+/// bracket the workload: a GIOP reply (~1 KB) and a bulk checkpoint
+/// (~64 KB). The byte-queue variant is the pre-optimisation
+/// implementation kept for comparison.
+fn bench_recv_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recv_path");
+    for size in [1usize << 10, 64 << 10] {
+        let payload = Bytes::from(vec![0xABu8; size]);
+        group.bench_with_input(
+            BenchmarkId::new("deliver_read_segmented", size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    let mut q = RecvQueue::new();
+                    q.push(payload.clone());
+                    black_box(q.read(usize::MAX))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deliver_read_byte_queue", size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    let mut q = std::collections::VecDeque::new();
+                    for &byte in payload.iter() {
+                        q.push_back(byte);
+                    }
+                    let taken: Vec<u8> = q.drain(..).collect();
+                    black_box(Bytes::from(taken))
+                })
+            },
+        );
+        // Partial reads: the interceptor occasionally reads mid-frame.
+        group.bench_with_input(
+            BenchmarkId::new("deliver_then_chunked_reads", size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    let mut q = RecvQueue::new();
+                    q.push(payload.clone());
+                    while !q.is_empty() {
+                        black_box(q.read(256));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cdr,
     bench_giop,
     bench_object_key,
     bench_ior_and_notice,
-    bench_weibull
+    bench_weibull,
+    bench_recv_path
 );
 criterion_main!(benches);

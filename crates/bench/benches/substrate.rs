@@ -118,7 +118,11 @@ fn bench_gcs(c: &mut Criterion) {
             let nodes: Vec<NodeId> = (0..3).map(|i| sim.add_node(&format!("n{i}"))).collect();
             let seq = Addr::new(nodes[0], GCS_PORT);
             for &n in &nodes {
-                sim.spawn(n, "daemon", Box::new(GcsDaemon::new(seq, GcsConfig::default())));
+                sim.spawn(
+                    n,
+                    "daemon",
+                    Box::new(GcsDaemon::new(seq, GcsConfig::default())),
+                );
             }
             let received = Rc::new(RefCell::new(0u32));
             for (i, &n) in nodes.iter().enumerate() {

@@ -18,15 +18,16 @@ fn bench_table1(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(scheme.name().replace(' ', "_")),
             &scheme,
-            |b, &scheme| {
-                b.iter(|| run_scenario(&ScenarioConfig::quick(scheme, BENCH_INVOCATIONS)))
-            },
+            |b, &scheme| b.iter(|| run_scenario(&ScenarioConfig::quick(scheme, BENCH_INVOCATIONS))),
         );
     }
     group.finish();
 
     // One verification pass per scheme, printed as the table row.
-    println!("\ntable1 verification rows ({} invocations):", BENCH_INVOCATIONS * 4);
+    println!(
+        "\ntable1 verification rows ({} invocations):",
+        BENCH_INVOCATIONS * 4
+    );
     for scheme in RecoveryScheme::ALL {
         let out = run_scenario(&ScenarioConfig::quick(scheme, BENCH_INVOCATIONS * 4));
         let eps = failover_episodes_ms(&out, scheme);

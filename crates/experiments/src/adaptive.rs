@@ -15,7 +15,8 @@
 
 use mead::{MeadConfig, RecoveryScheme};
 
-use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use crate::runner::run_batch;
+use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 
 /// One row of the adaptive-vs-preset comparison.
 #[derive(Clone, Debug)]
@@ -85,30 +86,34 @@ fn row(speed: f64, strategy: &'static str, outcome: &ScenarioOutcome) -> Adaptiv
     }
 }
 
-/// Runs the full comparison (MEAD-message scheme throughout).
-pub fn run_adaptive_comparison(invocations: u32, seed: u64) -> Vec<AdaptiveRow> {
-    let mut rows = Vec::new();
+/// Runs the full comparison (MEAD-message scheme throughout) on up to
+/// `threads` worker threads.
+pub fn run_adaptive_comparison(invocations: u32, seed: u64, threads: usize) -> Vec<AdaptiveRow> {
+    let mut cells: Vec<(f64, &'static str, Tweak)> = Vec::new();
     for (speed, preset, adaptive) in SWEEP {
-        for (strategy, tweak) in [("preset", preset), ("adaptive", adaptive)] {
-            let out = run_scenario(&ScenarioConfig {
-                seed,
-                tweak: Some(tweak),
-                ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, invocations)
-            });
-            rows.push(row(speed, strategy, &out));
-        }
+        cells.push((speed, "preset", preset));
+        cells.push((speed, "adaptive", adaptive));
     }
-    rows
+    let configs: Vec<ScenarioConfig> = cells
+        .iter()
+        .map(|&(_, _, tweak)| ScenarioConfig {
+            seed,
+            tweak: Some(tweak),
+            ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, invocations)
+        })
+        .collect();
+    cells
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+        .map(|((speed, strategy, _), out)| row(speed, strategy, &out))
+        .collect()
 }
 
 /// Formats the comparison as an aligned table.
 pub fn format_adaptive(rows: &[AdaptiveRow]) -> String {
-    let mut out = String::from(
-        "Leak speed | Strategy  | Restarts | Crashes | Client failures | Completed\n",
-    );
-    out.push_str(
-        "-----------+-----------+----------+---------+-----------------+----------\n",
-    );
+    let mut out =
+        String::from("Leak speed | Strategy  | Restarts | Crashes | Client failures | Completed\n");
+    out.push_str("-----------+-----------+----------+---------+-----------------+----------\n");
     for r in rows {
         out.push_str(&format!(
             "{:>9.1}x | {:<9} | {:>8} | {:>7} | {:>15} | {}\n",

@@ -1,12 +1,15 @@
 //! Regenerates the adaptive-threshold comparison (the paper's future
 //! work): preset 80/90% thresholds vs the rate-estimating predictor,
 //! across leak speeds.
+//!
+//! Usage: `adaptive [--threads N] [invocations]`
 
-use experiments::{format_adaptive, run_adaptive_comparison};
+use experiments::{format_adaptive, run_adaptive_comparison, threads_from_args};
 
 fn main() {
-    let invocations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3000);
-    let rows = run_adaptive_comparison(invocations, 42);
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(3000);
+    let rows = run_adaptive_comparison(invocations, 42, threads);
     println!("\nAdaptive vs preset thresholds (MEAD scheme, {invocations} invocations per cell)\n");
     println!("{}", format_adaptive(&rows));
     println!("preset thresholds assume a known fault speed; the adaptive trigger");

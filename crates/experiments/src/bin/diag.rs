@@ -11,14 +11,19 @@ fn main() {
         Some("rn") => RecoveryScheme::ReactiveNoCache,
         _ => RecoveryScheme::MeadFailover,
     };
-    let n: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1200);
+    let n: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1200);
     let out = run_scenario(&ScenarioConfig::quick(scheme, n));
     for (k, v) in out.metrics.counters() {
         println!("{k} = {v}");
     }
     println!(
         "comm={} trans={} lookups={} records={}",
-        out.report.comm_failures, out.report.transients,
-        out.report.naming_lookups, out.report.records.len()
+        out.report.comm_failures,
+        out.report.transients,
+        out.report.naming_lookups,
+        out.report.records.len()
     );
 }

@@ -1,15 +1,14 @@
 //! Regenerates the section 5.2.3 fail-over decomposition: measured episode
 //! distributions next to the cost-model stage budget.
+//!
+//! Usage: `failover [--threads N] [invocations]`
 
-use experiments::{failover_row, format_failover};
-use mead::RecoveryScheme;
+use experiments::{failover_rows, format_failover, threads_from_args};
 
 fn main() {
-    let invocations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let rows: Vec<_> = RecoveryScheme::ALL
-        .into_iter()
-        .map(|scheme| failover_row(scheme, invocations, 42))
-        .collect();
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let rows = failover_rows(invocations, 42, threads);
     println!("\nFail-over decomposition (section 5.2.3)\n");
     println!("{}", format_failover(&rows));
 }

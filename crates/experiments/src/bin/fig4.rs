@@ -1,16 +1,22 @@
 //! Regenerates Figure 4: RTT traces of the proactive recovery schemes at
 //! the 80 % threshold. Writes `results/fig4_<scheme>.csv`.
+//!
+//! Usage: `fig4 [--threads N] [invocations]`
 
-use experiments::{run_fig4, trace_ascii, trace_csv};
+use experiments::{run_fig4, threads_from_args, trace_ascii, trace_csv};
 
 fn main() {
-    let invocations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
     std::fs::create_dir_all("results").expect("create results dir");
-    for trace in run_fig4(invocations, 42) {
+    for trace in run_fig4(invocations, 42, threads) {
         let name = trace.scheme.name().replace(' ', "_").to_lowercase();
         let path = format!("results/fig4_{name}.csv");
         std::fs::write(&path, trace_csv(&trace.outcome)).expect("write csv");
-        println!("\n=== Figure 4: {} (RTT, 0-20ms scale) -> {path} ===", trace.scheme.name());
+        println!(
+            "\n=== Figure 4: {} (RTT, 0-20ms scale) -> {path} ===",
+            trace.scheme.name()
+        );
         println!("{}", trace_ascii(&trace.outcome, 40, 20.0));
     }
 }

@@ -1,12 +1,15 @@
 //! Regenerates Figure 5: inter-server group-communication bandwidth vs.
 //! the rejuvenation threshold (20-80 %) for the two proactive schemes.
+//!
+//! Usage: `fig5 [--threads N] [invocations]`
 
-use experiments::{fig5_csv, format_fig5, run_fig5};
+use experiments::{fig5_csv, format_fig5, run_fig5, threads_from_args};
 
 fn main() {
-    let invocations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
     std::fs::create_dir_all("results").expect("create results dir");
-    let points = run_fig5(invocations, 42, &[20, 40, 60, 80]);
+    let points = run_fig5(invocations, 42, &[20, 40, 60, 80], threads);
     std::fs::write("results/fig5.csv", fig5_csv(&points)).expect("write csv");
     println!("\nFigure 5: effect of varying the rejuvenation threshold\n");
     println!("{}", format_fig5(&points));

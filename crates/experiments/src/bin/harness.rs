@@ -1,0 +1,167 @@
+//! Bench harness: regenerates the full Table 1 + Figure 5 workload
+//! sequentially and in parallel, verifies that every thread count produces
+//! bit-identical outcomes, and writes the timing comparison to
+//! `BENCH_harness.json`.
+//!
+//! Usage: `harness [--threads N] [invocations]`
+//!
+//! The parallel leg defaults to the host's available parallelism. The
+//! JSON also records a projected 4-thread speedup from the measured
+//! per-scenario wall times (longest-processing-time list scheduling), so
+//! the expected gain is visible even when the harness itself ran on a
+//! small host.
+
+use std::time::Instant;
+
+use experiments::{default_threads, run_batch, threads_from_args, ScenarioConfig};
+use mead::RecoveryScheme;
+
+/// The workload: every Table 1 row plus the full Figure 5 sweep.
+fn workload(invocations: u32) -> Vec<(String, ScenarioConfig)> {
+    let mut cells = Vec::new();
+    for scheme in RecoveryScheme::ALL {
+        cells.push((
+            format!("table1/{}", scheme.name().replace(' ', "_")),
+            ScenarioConfig {
+                invocations,
+                ..ScenarioConfig::paper(scheme)
+            },
+        ));
+    }
+    for scheme in [
+        RecoveryScheme::LocationForward,
+        RecoveryScheme::MeadFailover,
+    ] {
+        for pct in [20u32, 40, 60, 80] {
+            cells.push((
+                format!("fig5/{}@{pct}", scheme.name().replace(' ', "_")),
+                ScenarioConfig {
+                    invocations,
+                    threshold: Some(pct as f64 / 100.0),
+                    ..ScenarioConfig::paper(scheme)
+                },
+            ));
+        }
+    }
+    cells
+}
+
+/// Makespan of `times` on `workers` under longest-processing-time list
+/// scheduling — the model behind the projected speedup.
+fn lpt_makespan(times: &[f64], workers: usize) -> f64 {
+    let mut sorted: Vec<f64> = times.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let mut bins = vec![0.0_f64; workers.max(1)];
+    for t in sorted {
+        let min = bins
+            .iter_mut()
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("at least one bin");
+        *min += t;
+    }
+    bins.into_iter().fold(0.0, f64::max)
+}
+
+fn main() {
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let cells = workload(invocations);
+    let configs: Vec<ScenarioConfig> = cells.iter().map(|(_, c)| c.clone()).collect();
+
+    eprintln!(
+        "harness: {} scenarios x {invocations} invocations",
+        cells.len()
+    );
+
+    // Sequential reference leg.
+    let started = Instant::now();
+    let sequential = run_batch(&configs, 1);
+    let sequential_secs = started.elapsed().as_secs_f64();
+    let seq_digests: Vec<u64> = sequential.iter().map(|o| o.digest()).collect();
+    let total_events: u64 = sequential.iter().map(|o| o.events_processed).sum();
+    eprintln!("sequential: {sequential_secs:.2}s, {total_events} events");
+
+    // Parallel leg at the requested thread count.
+    let started = Instant::now();
+    let parallel = run_batch(&configs, threads);
+    let parallel_secs = started.elapsed().as_secs_f64();
+    eprintln!("parallel ({threads} threads): {parallel_secs:.2}s");
+
+    // Bit-identity across thread counts: the two legs above, plus a
+    // 2-thread run to catch interleaving bugs a 1-vs-N comparison could
+    // miss on small hosts.
+    let mut checked = vec![1usize, threads];
+    let mut identical = parallel
+        .iter()
+        .map(|o| o.digest())
+        .eq(seq_digests.iter().copied());
+    if threads != 2 {
+        checked.push(2);
+        identical &= run_batch(&configs, 2)
+            .iter()
+            .map(|o| o.digest())
+            .eq(seq_digests.iter().copied());
+    }
+    checked.sort_unstable();
+    checked.dedup();
+    assert!(
+        identical,
+        "outcomes must be bit-identical at every thread count"
+    );
+    eprintln!("digests identical across thread counts {checked:?}");
+
+    // Projected speedup on a 4-core runner, from the measured sequential
+    // per-scenario wall times.
+    let per_scenario_secs: Vec<f64> = sequential.iter().map(|o| o.wall.as_secs_f64()).collect();
+    let seq_sum: f64 = per_scenario_secs.iter().sum();
+    let projected_4 = seq_sum / lpt_makespan(&per_scenario_secs, 4);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"table1_plus_fig5_regeneration\",\n");
+    json.push_str(&format!("  \"invocations\": {invocations},\n"));
+    json.push_str(&format!("  \"scenarios\": {},\n", cells.len()));
+    json.push_str(&format!("  \"host_parallelism\": {},\n", default_threads()));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"sequential_secs\": {sequential_secs:.3},\n"));
+    json.push_str(&format!("  \"parallel_secs\": {parallel_secs:.3},\n"));
+    json.push_str(&format!(
+        "  \"speedup\": {:.3},\n",
+        sequential_secs / parallel_secs
+    ));
+    json.push_str(&format!(
+        "  \"projected_speedup_4_threads\": {projected_4:.3},\n"
+    ));
+    json.push_str(&format!("  \"total_events\": {total_events},\n"));
+    json.push_str(&format!(
+        "  \"events_per_sec_sequential\": {:.0},\n",
+        total_events as f64 / sequential_secs
+    ));
+    json.push_str(&format!(
+        "  \"events_per_sec_parallel\": {:.0},\n",
+        total_events as f64 / parallel_secs
+    ));
+    json.push_str(&format!(
+        "  \"thread_counts_checked\": [{}],\n",
+        checked
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"digests_identical_across_thread_counts\": true,\n");
+    json.push_str("  \"per_scenario\": [\n");
+    for (i, ((label, _), outcome)) in cells.iter().zip(&sequential).enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{label}\", \"wall_secs\": {:.3}, \"events\": {}, \"digest\": \"{:#018x}\"}}{}\n",
+            outcome.wall.as_secs_f64(),
+            outcome.events_processed,
+            outcome.digest(),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
+    println!("{json}");
+    println!("wrote BENCH_harness.json");
+}

@@ -1,11 +1,14 @@
 //! Regenerates the section 5.2.5 jitter analysis: 3-sigma outlier rates
 //! and maximum spikes, fault-free and per scheme.
+//!
+//! Usage: `jitter [--threads N] [invocations]`
 
-use experiments::{format_jitter, run_jitter_suite};
+use experiments::{format_jitter, run_jitter_suite, threads_from_args};
 
 fn main() {
-    let invocations: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let rows = run_jitter_suite(invocations, 42);
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let rows = run_jitter_suite(invocations, 42, threads);
     println!("\nJitter (section 5.2.5): paper reports 1-2.5% outliers, 2.3ms fault-free max\n");
     println!("{}", format_jitter(&rows));
 }

@@ -1,12 +1,20 @@
 //! Quick end-to-end smoke run of every recovery scheme.
+//!
+//! Usage: `smoke [--threads N]`
 
-use experiments::{run_scenario, ScenarioConfig, Summary};
+use experiments::{run_batch, threads_from_args, ScenarioConfig, Summary};
 use mead::RecoveryScheme;
 
 fn main() {
-    for scheme in RecoveryScheme::ALL {
-        let cfg = ScenarioConfig::quick(scheme, 1500);
-        let out = run_scenario(&cfg);
+    let (threads, _) = threads_from_args();
+    let configs: Vec<ScenarioConfig> = RecoveryScheme::ALL
+        .into_iter()
+        .map(|scheme| ScenarioConfig::quick(scheme, 1500))
+        .collect();
+    for (scheme, out) in RecoveryScheme::ALL
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+    {
         let rtts = out.report.rtts_ms();
         let s = Summary::of(&rtts);
         println!(

@@ -1,35 +1,24 @@
 //! Regenerates Table 1: overhead, client failures and fail-over times for
 //! all five recovery strategies (10 000 invocations each).
+//!
+//! Usage: `table1 [--threads N] [invocations]`
 
-use experiments::{run_scenario, table1_row, format_table1, ScenarioConfig};
-use mead::RecoveryScheme;
+use experiments::{format_table1, run_table1, threads_from_args};
 
 fn main() {
-    let invocations: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000);
-    let mut rows = Vec::new();
-    let mut baseline: Option<(f64, f64)> = None;
-    for scheme in RecoveryScheme::ALL {
-        let cfg = ScenarioConfig {
-            invocations,
-            ..ScenarioConfig::paper(scheme)
-        };
-        let out = run_scenario(&cfg);
-        let (base_steady, base_failover) = match baseline {
-            Some(b) => b,
-            None => {
-                let steady = experiments::steady_state_rtt_ms(&out);
-                let eps = experiments::failover_episodes_ms(&out, scheme);
-                let fo = eps.iter().sum::<f64>() / eps.len().max(1) as f64;
-                baseline = Some((steady, fo));
-                (steady, fo)
-            }
-        };
-        rows.push(table1_row(&out, scheme, base_steady, base_failover));
-        eprintln!("{} done ({} records)", scheme.name(), out.report.records.len());
-    }
+    let (threads, args) = threads_from_args();
+    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let rows: Vec<_> = run_table1(invocations, 42, threads)
+        .into_iter()
+        .map(|(row, out)| {
+            eprintln!(
+                "{} done ({} records)",
+                row.scheme.name(),
+                out.report.records.len()
+            );
+            row
+        })
+        .collect();
     println!("\nTable 1: overhead and fail-over times (paper values in DESIGN/EXPERIMENTS docs)\n");
     println!("{}", format_table1(&rows));
 }

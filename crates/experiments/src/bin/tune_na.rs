@@ -1,19 +1,25 @@
 //! Calibration helper: sweep the GCS membership-agreement delay and print
 //! the NEEDS_ADDRESSING failure rate and fail-over time.
+//!
+//! Usage: `tune_na [--threads N]`
 
-use experiments::{failover_episodes_ms, run_scenario, ScenarioConfig};
+use experiments::{failover_episodes_ms, run_batch, threads_from_args, ScenarioConfig};
 use mead::RecoveryScheme;
 
 fn main() {
+    let (threads, _) = threads_from_args();
     // The delay is baked into GcsConfig::default(); this binary just
     // reports the current operating point across seeds.
-    for seed in [42u64, 43, 44] {
-        let cfg = ScenarioConfig {
+    let seeds = [42u64, 43, 44];
+    let configs: Vec<ScenarioConfig> = seeds
+        .iter()
+        .map(|&seed| ScenarioConfig {
             seed,
             invocations: 10_000,
             ..ScenarioConfig::paper(RecoveryScheme::NeedsAddressing)
-        };
-        let out = run_scenario(&cfg);
+        })
+        .collect();
+    for (seed, out) in seeds.into_iter().zip(run_batch(&configs, threads)) {
         let eps = failover_episodes_ms(&out, RecoveryScheme::NeedsAddressing);
         let fo = eps.iter().sum::<f64>() / eps.len().max(1) as f64;
         println!(

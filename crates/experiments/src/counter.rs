@@ -17,8 +17,8 @@ use orb::{
     COUNTER_TYPE_ID,
 };
 use simnet::{
-    Addr, Event, Metrics, NodeId, NoiseModel, Process, SimConfig, SimDuration, SimTime,
-    Simulation, SysApi,
+    Addr, Event, Metrics, NodeId, NoiseModel, Process, SimConfig, SimDuration, SimTime, Simulation,
+    SysApi,
 };
 
 /// The persistent key of the replicated counter object.
@@ -93,7 +93,12 @@ impl CounterClient {
         let name = RecoveryManager::slot_binding(self.slot_rr);
         self.naming_rid = self
             .orb
-            .invoke(sys, &naming_ior(self.naming_node), "resolve", &encode_name(&name))
+            .invoke(
+                sys,
+                &naming_ior(self.naming_node),
+                "resolve",
+                &encode_name(&name),
+            )
             .ok();
     }
     fn fire(&mut self, sys: &mut dyn SysApi) {
@@ -104,7 +109,10 @@ impl CounterClient {
         let Some(target) = self.target.clone() else {
             return;
         };
-        match self.orb.invoke(sys, &target, "increment", &encode_increment(1)) {
+        match self
+            .orb
+            .invoke(sys, &target, "increment", &encode_increment(1))
+        {
             Ok(rid) => self.current_rid = Some(rid),
             Err(_) => {
                 self.slot_rr = (self.slot_rr + 1) % 3;
@@ -128,7 +136,11 @@ impl Process for CounterClient {
         };
         for upshot in upshots {
             match upshot {
-                OrbUpshot::Reply { request_id, payload, .. } => {
+                OrbUpshot::Reply {
+                    request_id,
+                    payload,
+                    ..
+                } => {
                     if Some(request_id) == self.naming_rid {
                         self.naming_rid = None;
                         if let Ok(ior) = decode_resolve_reply(&payload) {
@@ -180,10 +192,21 @@ pub fn run_counter_scenario(cfg: &CounterConfig) -> CounterOutcome {
     let servers: Vec<NodeId> = (1..=3).map(|i| sim.add_node(&format!("node{i}"))).collect();
     let client_node = sim.add_node("node4");
     let seq = Addr::new(infra, GCS_PORT);
-    for node in std::iter::once(infra).chain(servers.iter().copied()).chain([client_node]) {
-        sim.spawn(node, "gcs", Box::new(GcsDaemon::new(seq, GcsConfig::default())));
+    for node in std::iter::once(infra)
+        .chain(servers.iter().copied())
+        .chain([client_node])
+    {
+        sim.spawn(
+            node,
+            "gcs",
+            Box::new(GcsDaemon::new(seq, GcsConfig::default())),
+        );
     }
-    sim.spawn(infra, "naming", Box::new(NamingService::new(NamingConfig::default())));
+    sim.spawn(
+        infra,
+        "naming",
+        Box::new(NamingService::new(NamingConfig::default())),
+    );
 
     let mut mead_cfg = MeadConfig::paper(RecoveryScheme::MeadFailover);
     mead_cfg.checkpoint_interval = cfg.checkpoint_interval;
@@ -201,15 +224,16 @@ pub fn run_counter_scenario(cfg: &CounterConfig) -> CounterOutcome {
         let capture = value.clone();
         let restore = value;
         Box::new(
-            ServerInterceptor::new(factory_cfg.clone(), spec.slot, Box::new(app))
-                .with_state_hooks(StateHooks {
+            ServerInterceptor::new(factory_cfg.clone(), spec.slot, Box::new(app)).with_state_hooks(
+                StateHooks {
                     capture: Box::new(move || capture.get().to_be_bytes().to_vec()),
                     restore: Box::new(move |bytes| {
                         if let Ok(arr) = <[u8; 8]>::try_from(bytes) {
                             restore.set(u64::from_be_bytes(arr));
                         }
                     }),
-                }),
+                },
+            ),
         )
     });
     sim.spawn(

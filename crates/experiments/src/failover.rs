@@ -10,6 +10,7 @@ use mead::{CostModel, RecoveryScheme};
 use orb::ClientOrbConfig;
 
 use crate::report::failover_episodes_ms;
+use crate::runner::run_batch;
 use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
 use crate::stats::Summary;
 
@@ -105,6 +106,25 @@ pub fn failover_row(scheme: RecoveryScheme, invocations: u32, seed: u64) -> Fail
         ..ScenarioConfig::paper(scheme)
     });
     failover_row_from(scheme, &outcome)
+}
+
+/// Builds the full decomposition table — one row per scheme — on up to
+/// `threads` worker threads.
+pub fn failover_rows(invocations: u32, seed: u64, threads: usize) -> Vec<FailoverRow> {
+    let schemes = RecoveryScheme::ALL;
+    let configs: Vec<ScenarioConfig> = schemes
+        .iter()
+        .map(|&scheme| ScenarioConfig {
+            seed,
+            invocations,
+            ..ScenarioConfig::paper(scheme)
+        })
+        .collect();
+    schemes
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+        .map(|(scheme, outcome)| failover_row_from(scheme, &outcome))
+        .collect()
 }
 
 /// Builds a fail-over row from an existing outcome.

@@ -15,7 +15,8 @@ use groupcomm::MESH_TAG;
 use mead::RecoveryScheme;
 use simnet::SimTime;
 
-use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use crate::runner::run_batch;
+use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 
 /// One labelled trace for Figures 3/4.
 #[derive(Clone, Debug)]
@@ -26,40 +27,50 @@ pub struct Trace {
     pub outcome: ScenarioOutcome,
 }
 
-/// Runs the Figure 3 traces (both reactive schemes).
-pub fn run_fig3(invocations: u32, seed: u64) -> Vec<Trace> {
-    [RecoveryScheme::ReactiveNoCache, RecoveryScheme::ReactiveCache]
-        .into_iter()
-        .map(|scheme| Trace {
-            scheme,
-            outcome: run_scenario(&ScenarioConfig {
-                seed,
-                invocations,
-                ..ScenarioConfig::paper(scheme)
-            }),
+/// Runs the Figure 3 traces (both reactive schemes) on up to `threads`
+/// worker threads.
+pub fn run_fig3(invocations: u32, seed: u64, threads: usize) -> Vec<Trace> {
+    let schemes = [
+        RecoveryScheme::ReactiveNoCache,
+        RecoveryScheme::ReactiveCache,
+    ];
+    let configs: Vec<ScenarioConfig> = schemes
+        .iter()
+        .map(|&scheme| ScenarioConfig {
+            seed,
+            invocations,
+            ..ScenarioConfig::paper(scheme)
         })
+        .collect();
+    schemes
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+        .map(|(scheme, outcome)| Trace { scheme, outcome })
         .collect()
 }
 
 /// Runs the Figure 4 traces (the three proactive schemes at the 80 %
-/// threshold, as in the figure's captions).
-pub fn run_fig4(invocations: u32, seed: u64) -> Vec<Trace> {
-    [
+/// threshold, as in the figure's captions) on up to `threads` workers.
+pub fn run_fig4(invocations: u32, seed: u64, threads: usize) -> Vec<Trace> {
+    let schemes = [
         RecoveryScheme::NeedsAddressing,
         RecoveryScheme::LocationForward,
         RecoveryScheme::MeadFailover,
-    ]
-    .into_iter()
-    .map(|scheme| Trace {
-        scheme,
-        outcome: run_scenario(&ScenarioConfig {
+    ];
+    let configs: Vec<ScenarioConfig> = schemes
+        .iter()
+        .map(|&scheme| ScenarioConfig {
             seed,
             invocations,
             threshold: Some(0.8),
             ..ScenarioConfig::paper(scheme)
-        }),
-    })
-    .collect()
+        })
+        .collect();
+    schemes
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+        .map(|(scheme, outcome)| Trace { scheme, outcome })
+        .collect()
 }
 
 /// One point of Figure 5.
@@ -77,26 +88,43 @@ pub struct Fig5Point {
     pub max_spike_ms: f64,
 }
 
-/// Runs the Figure 5 sweep: thresholds 20–80 % for the two GIOP/MEAD
-/// proactive schemes.
-pub fn run_fig5(invocations: u32, seed: u64, thresholds_pct: &[u32]) -> Vec<Fig5Point> {
-    let mut out = Vec::new();
-    for scheme in [RecoveryScheme::LocationForward, RecoveryScheme::MeadFailover] {
-        for &pct in thresholds_pct {
-            let outcome = run_scenario(&ScenarioConfig {
-                seed,
-                invocations,
-                threshold: Some(pct as f64 / 100.0),
-                ..ScenarioConfig::paper(scheme)
-            });
-            out.push(fig5_point(scheme, pct, &outcome));
-        }
-    }
-    out
+/// Runs the Figure 5 sweep — thresholds 20–80 % for the two GIOP/MEAD
+/// proactive schemes — on up to `threads` worker threads.
+pub fn run_fig5(
+    invocations: u32,
+    seed: u64,
+    thresholds_pct: &[u32],
+    threads: usize,
+) -> Vec<Fig5Point> {
+    let cells: Vec<(RecoveryScheme, u32)> = [
+        RecoveryScheme::LocationForward,
+        RecoveryScheme::MeadFailover,
+    ]
+    .into_iter()
+    .flat_map(|scheme| thresholds_pct.iter().map(move |&pct| (scheme, pct)))
+    .collect();
+    let configs: Vec<ScenarioConfig> = cells
+        .iter()
+        .map(|&(scheme, pct)| ScenarioConfig {
+            seed,
+            invocations,
+            threshold: Some(pct as f64 / 100.0),
+            ..ScenarioConfig::paper(scheme)
+        })
+        .collect();
+    cells
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+        .map(|((scheme, pct), outcome)| fig5_point(scheme, pct, &outcome))
+        .collect()
 }
 
 /// Extracts one Figure 5 point from an outcome.
-pub fn fig5_point(scheme: RecoveryScheme, threshold_pct: u32, outcome: &ScenarioOutcome) -> Fig5Point {
+pub fn fig5_point(
+    scheme: RecoveryScheme,
+    threshold_pct: u32,
+    outcome: &ScenarioOutcome,
+) -> Fig5Point {
     // Steady measurement window: skip the boot second, stop at the end of
     // the run.
     let from = SimTime::from_millis(1000);

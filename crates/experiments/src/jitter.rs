@@ -9,7 +9,8 @@
 
 use mead::RecoveryScheme;
 
-use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use crate::runner::run_batch;
+use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 use crate::stats::Summary;
 
 /// Jitter statistics for one run.
@@ -55,35 +56,46 @@ pub fn jitter_stats(label: impl Into<String>, outcome: &ScenarioOutcome) -> Jitt
     }
 }
 
-/// Runs the section 5.2.5 jitter suite: a fault-free baseline, each scheme
-/// at the default threshold, and the MEAD scheme at the aggressive 20 %
-/// threshold.
-pub fn run_jitter_suite(invocations: u32, seed: u64) -> Vec<JitterStats> {
-    let mut rows = Vec::new();
+/// Runs the section 5.2.5 jitter suite — a fault-free baseline, each
+/// scheme at the default threshold, and the MEAD scheme at the aggressive
+/// 20 % threshold — on up to `threads` worker threads.
+pub fn run_jitter_suite(invocations: u32, seed: u64, threads: usize) -> Vec<JitterStats> {
+    let mut cells: Vec<(String, ScenarioConfig)> = Vec::new();
     // Fault-free run (noise only).
-    let fault_free = run_scenario(&ScenarioConfig {
-        seed,
-        invocations,
-        fault_free: true,
-        ..ScenarioConfig::paper(RecoveryScheme::ReactiveNoCache)
-    });
-    rows.push(jitter_stats("fault-free", &fault_free));
-    for scheme in RecoveryScheme::ALL {
-        let outcome = run_scenario(&ScenarioConfig {
+    cells.push((
+        "fault-free".into(),
+        ScenarioConfig {
             seed,
             invocations,
-            ..ScenarioConfig::paper(scheme)
-        });
-        rows.push(jitter_stats(scheme.name(), &outcome));
+            fault_free: true,
+            ..ScenarioConfig::paper(RecoveryScheme::ReactiveNoCache)
+        },
+    ));
+    for scheme in RecoveryScheme::ALL {
+        cells.push((
+            scheme.name().into(),
+            ScenarioConfig {
+                seed,
+                invocations,
+                ..ScenarioConfig::paper(scheme)
+            },
+        ));
     }
-    let mead20 = run_scenario(&ScenarioConfig {
-        seed,
-        invocations,
-        threshold: Some(0.2),
-        ..ScenarioConfig::paper(RecoveryScheme::MeadFailover)
-    });
-    rows.push(jitter_stats("MEAD Message @ 20% threshold", &mead20));
-    rows
+    cells.push((
+        "MEAD Message @ 20% threshold".into(),
+        ScenarioConfig {
+            seed,
+            invocations,
+            threshold: Some(0.2),
+            ..ScenarioConfig::paper(RecoveryScheme::MeadFailover)
+        },
+    ));
+    let configs: Vec<ScenarioConfig> = cells.iter().map(|(_, c)| c.clone()).collect();
+    cells
+        .into_iter()
+        .zip(run_batch(&configs, threads))
+        .map(|((label, _), outcome)| jitter_stats(label, &outcome))
+        .collect()
 }
 
 /// Formats jitter rows as an aligned table.

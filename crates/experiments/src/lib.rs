@@ -15,21 +15,25 @@ pub mod failover;
 pub mod figures;
 pub mod jitter;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod stats;
 pub mod workload;
 
 pub use adaptive::{format_adaptive, run_adaptive_comparison, AdaptiveRow};
 pub use counter::{counter_key, run_counter_scenario, CounterConfig, CounterOutcome};
-pub use failover::{failover_row, failover_row_from, format_failover, model_budget, FailoverRow};
+pub use failover::{
+    failover_row, failover_row_from, failover_rows, format_failover, model_budget, FailoverRow,
+};
 pub use figures::{
     fig5_csv, fig5_point, format_fig5, run_fig3, run_fig4, run_fig5, Fig5Point, Trace,
 };
 pub use jitter::{format_jitter, jitter_stats, run_jitter_suite, JitterStats};
 pub use report::{
-    failover_episodes_ms, format_table1, steady_state_rtt_ms, table1_row, trace_ascii, trace_csv,
-    Table1Row,
+    failover_episodes_ms, format_table1, run_table1, steady_state_rtt_ms, table1_row, trace_ascii,
+    trace_csv, Table1Row,
 };
+pub use runner::{default_threads, run_batch, threads_from_args};
 pub use scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
 pub use stats::{percentile, Summary};
 pub use workload::{

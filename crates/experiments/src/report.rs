@@ -17,7 +17,8 @@ use std::collections::BTreeSet;
 use mead::RecoveryScheme;
 use simnet::SimDuration;
 
-use crate::scenario::ScenarioOutcome;
+use crate::runner::run_batch;
+use crate::scenario::{ScenarioConfig, ScenarioOutcome};
 use crate::stats::Summary;
 use crate::workload::InvocationRecord;
 
@@ -140,6 +141,39 @@ pub fn table1_row(
     }
 }
 
+/// Regenerates all of Table 1 — every recovery strategy at the paper
+/// configuration — on up to `threads` worker threads. The first scheme
+/// (reactive without cache) is the baseline, exactly as in the paper.
+/// Returns the rows alongside their source outcomes (the bench harness
+/// digests them).
+pub fn run_table1(
+    invocations: u32,
+    seed: u64,
+    threads: usize,
+) -> Vec<(Table1Row, ScenarioOutcome)> {
+    let schemes = RecoveryScheme::ALL;
+    let configs: Vec<ScenarioConfig> = schemes
+        .iter()
+        .map(|&scheme| ScenarioConfig {
+            seed,
+            invocations,
+            ..ScenarioConfig::paper(scheme)
+        })
+        .collect();
+    let outcomes = run_batch(&configs, threads);
+    let baseline_steady = steady_state_rtt_ms(&outcomes[0]);
+    let baseline_eps = failover_episodes_ms(&outcomes[0], schemes[0]);
+    let baseline_failover = baseline_eps.iter().sum::<f64>() / baseline_eps.len().max(1) as f64;
+    schemes
+        .into_iter()
+        .zip(outcomes)
+        .map(|(scheme, outcome)| {
+            let row = table1_row(&outcome, scheme, baseline_steady, baseline_failover);
+            (row, outcome)
+        })
+        .collect()
+}
+
 /// Formats rows as the paper's Table 1.
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -168,7 +202,12 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
 pub fn trace_csv(outcome: &ScenarioOutcome) -> String {
     let mut out = String::from("run,rtt_ms,disrupted\n");
     for r in &outcome.report.records {
-        out.push_str(&format!("{},{:.6},{}\n", r.index, r.rtt_ms(), u8::from(r.disrupted())));
+        out.push_str(&format!(
+            "{},{:.6},{}\n",
+            r.index,
+            r.rtt_ms(),
+            u8::from(r.disrupted())
+        ));
     }
     out
 }

@@ -1,0 +1,147 @@
+//! Parallel experiment runner.
+//!
+//! Every table and figure of section 5 is a batch of independent
+//! [`run_scenario`] calls — each one a self-contained, single-threaded,
+//! deterministic simulation. The runner fans a batch across a scoped
+//! thread pool while keeping the *results* in batch order, so a driver
+//! that used to loop sequentially produces byte-identical output when it
+//! runs on eight cores.
+//!
+//! Determinism argument: a scenario's outcome is a pure function of its
+//! [`ScenarioConfig`] (the kernel never reads ambient state, and every
+//! random draw derives from the config's seed). Threads only decide *when*
+//! each scenario runs, never *what* it computes, and results are written
+//! into per-index slots — so `run_batch(cfgs, n)` is bit-identical to
+//! `cfgs.iter().map(run_scenario)` for every `n`. The regression test in
+//! `crates/experiments/tests/determinism.rs` pins this down with
+//! [`ScenarioOutcome::digest`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+
+/// Number of worker threads to use when the caller does not say: the
+/// host's available parallelism (1 if unknown).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Runs every scenario in `configs` and returns the outcomes **in input
+/// order**, using up to `threads` worker threads (`0` is treated as 1;
+/// more threads than scenarios are not spawned).
+///
+/// With `threads <= 1` the batch runs inline on the caller's thread — the
+/// exact sequential path the drivers used before the runner existed.
+pub fn run_batch(configs: &[ScenarioConfig], threads: usize) -> Vec<ScenarioOutcome> {
+    let threads = threads.max(1).min(configs.len());
+    if threads <= 1 {
+        return configs.iter().map(run_scenario).collect();
+    }
+
+    // Work-stealing by atomic index: each worker claims the next
+    // unclaimed scenario, runs it to completion and stores the outcome in
+    // that scenario's slot. Claim order is racy; slot order is not.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
+        configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cfg) = configs.get(i) else { break };
+                let outcome = run_scenario(cfg);
+                *slots[i].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every scenario ran exactly once")
+        })
+        .collect()
+}
+
+/// Parses a `--threads N` / `--threads=N` flag out of the process
+/// arguments and returns `(threads, remaining_args)`, where
+/// `remaining_args` are the positional arguments with the flag removed
+/// (program name excluded). Defaults to [`default_threads`] when the flag
+/// is absent; `--threads 0` means the default too.
+///
+/// A missing or non-numeric flag value prints a usage message and exits
+/// with status 2 (these are one-shot CLI tools).
+pub fn threads_from_args() -> (usize, Vec<String>) {
+    let mut threads = None;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = Some(parse_threads(v));
+        } else if arg == "--threads" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| usage("--threads requires a value"));
+            threads = Some(parse_threads(&v));
+        } else {
+            rest.push(arg);
+        }
+    }
+    let threads = match threads {
+        None | Some(0) => default_threads(),
+        Some(n) => n,
+    };
+    (threads, rest)
+}
+
+fn parse_threads(v: &str) -> usize {
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("--threads expects a number, got `{v}`")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--threads N] [args...]   (N = worker threads, 0/default = all cores)");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mead::RecoveryScheme;
+
+    fn quick(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            seed,
+            ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, 120)
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order_and_results() {
+        let configs: Vec<ScenarioConfig> = [11u64, 12, 13].into_iter().map(quick).collect();
+        let sequential: Vec<u64> = configs.iter().map(|c| run_scenario(c).digest()).collect();
+        let parallel: Vec<u64> = run_batch(&configs, 3)
+            .iter()
+            .map(ScenarioOutcome::digest)
+            .collect();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn oversized_thread_count_is_clamped() {
+        let configs = vec![quick(7)];
+        let out = run_batch(&configs, 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].digest(), run_scenario(&configs[0]).digest());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(&[], 4).is_empty());
+    }
+}

@@ -10,11 +10,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use groupcomm::{GcsConfig, GcsDaemon, GCS_PORT};
 use mead::{
     ClientInterceptor, MeadConfig, RecoveryManager, RecoveryScheme, ReplicaApp, ReplicaFactory,
     ServerInterceptor,
 };
-use groupcomm::{GcsConfig, GcsDaemon, GCS_PORT};
 use orb::{NamingConfig, NamingService};
 use simnet::{
     Addr, LossModel, Metrics, NodeId, NoiseModel, RunOutcome, SimConfig, SimDuration, SimTime,
@@ -97,6 +97,12 @@ pub struct ScenarioOutcome {
     pub finished_at: SimTime,
     /// Simulated time at which the workload started.
     pub workload_start: SimTime,
+    /// Kernel events dispatched over the whole run (deterministic: a
+    /// function of the configuration and seed only).
+    pub events_processed: u64,
+    /// Wall-clock time the kernel spent dispatching those events (not
+    /// deterministic; excluded from [`digest`](Self::digest)).
+    pub wall: std::time::Duration,
 }
 
 impl ScenarioOutcome {
@@ -115,6 +121,73 @@ impl ScenarioOutcome {
             return 0.0;
         }
         self.report.client_failures() as f64 * 100.0 / servers as f64
+    }
+
+    /// Events dispatched per wall-clock second for this run (0.0 when the
+    /// wall time was too short to measure).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A 64-bit FNV-1a digest over every deterministic observable of the
+    /// outcome: all per-invocation records of every client, all metric
+    /// counters and byte-record series, the simulated timestamps and the
+    /// event count. Two runs of the same [`ScenarioConfig`] are
+    /// *bit-identical* exactly when their digests match — this is what the
+    /// determinism regression test and the bench harness compare across
+    /// thread counts. Wall-clock accounting is deliberately excluded.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 = (self.0 ^ b as u64).wrapping_mul(PRIME);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+        }
+        let mut h = Fnv(OFFSET);
+        h.u64(self.all_reports.len() as u64);
+        for report in &self.all_reports {
+            h.u64(report.records.len() as u64);
+            for r in &report.records {
+                h.u64(r.index as u64);
+                h.u64(r.start.as_nanos());
+                h.u64(r.end.as_nanos());
+                h.u64(r.comm_failures as u64);
+                h.u64(r.transients as u64);
+                h.u64(r.forwards as u64);
+                h.u64(r.resents as u64);
+            }
+            h.u64(report.completed as u64);
+            h.u64(report.comm_failures as u64);
+            h.u64(report.transients as u64);
+            h.u64(report.naming_lookups as u64);
+        }
+        for (name, value) in self.metrics.counters() {
+            h.bytes(name.as_bytes());
+            h.u64(value);
+        }
+        for tag in self.metrics.byte_tags() {
+            h.bytes(tag.as_bytes());
+            for rec in self.metrics.byte_records(tag) {
+                h.u64(rec.at.as_nanos());
+                h.u64(rec.len);
+            }
+        }
+        h.u64(self.finished_at.as_nanos());
+        h.u64(self.workload_start.as_nanos());
+        h.u64(self.events_processed);
+        h.0
     }
 }
 
@@ -171,7 +244,11 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     }
 
     // Naming Service on the infrastructure node.
-    sim.spawn(infra, "naming", Box::new(NamingService::new(NamingConfig::default())));
+    sim.spawn(
+        infra,
+        "naming",
+        Box::new(NamingService::new(NamingConfig::default())),
+    );
 
     // Recovery Manager with the replica factory.
     let factory_cfg = mead_cfg.clone();
@@ -238,7 +315,9 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let deadline = SimTime::from_millis(1000 + cfg.invocations as u64 * 6);
     loop {
         let slice_end = SimTime::from_nanos(
-            (sim.now() + SimDuration::from_millis(250)).as_nanos().min(deadline.as_nanos()),
+            (sim.now() + SimDuration::from_millis(250))
+                .as_nanos()
+                .min(deadline.as_nanos()),
         );
         let outcome = sim.run_until(slice_end);
         let all_done = reports.iter().all(|r| r.borrow().completed);
@@ -255,6 +334,8 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         metrics,
         finished_at: sim.now(),
         workload_start,
+        events_processed: sim.events_processed(),
+        wall: sim.wall_elapsed(),
     }
 }
 

@@ -15,8 +15,8 @@ use std::rc::Rc;
 use giop::Ior;
 use mead::RecoveryManager;
 use orb::{
-    decode_list_reply, decode_resolve_reply, decode_time_reply, encode_name, naming_ior,
-    ClientOrb, ClientOrbConfig, OrbUpshot, SystemException,
+    decode_list_reply, decode_resolve_reply, decode_time_reply, encode_name, naming_ior, ClientOrb,
+    ClientOrbConfig, OrbUpshot, SystemException,
 };
 use simnet::{Event, NodeId, Process, SimDuration, SimTime, SysApi};
 
@@ -246,7 +246,12 @@ impl ClientWorkload {
                 // Ask the Naming Service for the next replica.
                 self.slot_rr = (self.slot_rr + 1) % self.cfg.slots.max(1);
                 let name = RecoveryManager::slot_binding(self.slot_rr);
-                self.naming_call(sys, "resolve", &encode_name(&name), NamingOp::RecoveryResolve);
+                self.naming_call(
+                    sys,
+                    "resolve",
+                    &encode_name(&name),
+                    NamingOp::RecoveryResolve,
+                );
             }
             ClientPolicy::CachedReferences => {
                 // Walk the cache; refresh when it runs out (section 5:
@@ -364,7 +369,11 @@ impl Process for ClientWorkload {
         };
         for upshot in upshots {
             match upshot {
-                OrbUpshot::Reply { request_id, payload, .. } => {
+                OrbUpshot::Reply {
+                    request_id,
+                    payload,
+                    ..
+                } => {
                     if let Some((rid, kind)) = self.pending_naming {
                         if rid == request_id {
                             self.pending_naming = None;

@@ -138,7 +138,12 @@ impl AdaptivePredictor {
 mod tests {
     use super::*;
 
-    fn feed_linear(p: &mut AdaptivePredictor, rate_per_sec: f64, steps: u32, dt_ms: u64) -> Vec<ThresholdAction> {
+    fn feed_linear(
+        p: &mut AdaptivePredictor,
+        rate_per_sec: f64,
+        steps: u32,
+        dt_ms: u64,
+    ) -> Vec<ThresholdAction> {
         let mut actions = Vec::new();
         for i in 0..steps {
             let t = SimTime::from_millis(i as u64 * dt_ms);
@@ -197,7 +202,10 @@ mod tests {
             fast < slow,
             "fast leak must trigger at lower usage: fast {fast} vs slow {slow}"
         );
-        assert!(slow > 0.9, "slow leak should run deep before migrating: {slow}");
+        assert!(
+            slow > 0.9,
+            "slow leak should run deep before migrating: {slow}"
+        );
     }
 
     #[test]
@@ -225,6 +233,9 @@ mod tests {
         p.observe(SimTime::from_millis(0), 0.0);
         p.observe(SimTime::from_millis(100), 0.2); // 2.0/s
         let remaining = p.predicted_remaining(0.5).expect("rate known");
-        assert!((remaining.as_millis_f64() - 250.0).abs() < 5.0, "{remaining}");
+        assert!(
+            (remaining.as_millis_f64() - 250.0).abs() < 5.0,
+            "{remaining}"
+        );
     }
 }

@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn never_yields_none() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(CrashSchedule::Never.next_after(SimTime::ZERO, &mut rng), None);
+        assert_eq!(
+            CrashSchedule::Never.next_after(SimTime::ZERO, &mut rng),
+            None
+        );
     }
 
     #[test]

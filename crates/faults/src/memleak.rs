@@ -63,8 +63,8 @@ impl Default for LeakConfig {
 impl LeakConfig {
     /// Expected time from activation to buffer exhaustion.
     pub fn expected_time_to_exhaustion(&self) -> SimDuration {
-        let mean_step =
-            Weibull::new(self.weibull_scale, self.weibull_shape).mean() * self.chunk_unit_bytes as f64;
+        let mean_step = Weibull::new(self.weibull_scale, self.weibull_shape).mean()
+            * self.chunk_unit_bytes as f64;
         let steps = self.buffer_bytes as f64 / mean_step;
         SimDuration::from_nanos((steps * self.interval.as_nanos() as f64) as u64)
     }
@@ -208,8 +208,7 @@ mod tests {
     #[test]
     fn empirical_exhaustion_time_matches_expectation() {
         let cfg = LeakConfig::default();
-        let expected_steps =
-            cfg.expected_time_to_exhaustion().as_nanos() / cfg.interval.as_nanos();
+        let expected_steps = cfg.expected_time_to_exhaustion().as_nanos() / cfg.interval.as_nanos();
         let mut total_steps = 0u64;
         let runs = 200;
         for seed in 0..runs {
@@ -224,7 +223,10 @@ mod tests {
         let mean_steps = total_steps as f64 / runs as f64;
         // Overshoot on the final step biases upward slightly; allow 25%.
         let rel_err = (mean_steps - expected_steps as f64).abs() / expected_steps as f64;
-        assert!(rel_err < 0.25, "mean {mean_steps} vs expected {expected_steps}");
+        assert!(
+            rel_err < 0.25,
+            "mean {mean_steps} vs expected {expected_steps}"
+        );
     }
 
     #[test]

@@ -58,8 +58,14 @@ impl fmt::Display for CdrError {
             CdrError::InvalidEnum { what, value } => {
                 write!(f, "invalid {what} discriminant {value}")
             }
-            CdrError::LengthOverrun { declared, remaining } => {
-                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            CdrError::LengthOverrun {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining {remaining} bytes"
+                )
             }
         }
     }
@@ -194,7 +200,11 @@ pub struct CdrReader {
 impl CdrReader {
     /// Creates a decoder over `buf` in `endian` order.
     pub fn new(buf: Bytes, endian: Endian) -> Self {
-        CdrReader { buf, pos: 0, endian }
+        CdrReader {
+            buf,
+            pos: 0,
+            endian,
+        }
     }
 
     /// Bytes not yet consumed.
@@ -377,7 +387,10 @@ mod tests {
         w.write_u32(1_000_000); // declared length
         let b = w.finish();
         let mut r = CdrReader::new(b, Endian::Big);
-        assert!(matches!(r.read_string(), Err(CdrError::LengthOverrun { .. })));
+        assert!(matches!(
+            r.read_string(),
+            Err(CdrError::LengthOverrun { .. })
+        ));
     }
 
     #[test]
@@ -411,7 +424,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CdrError::InvalidEnum { what: "ReplyStatus", value: 9 };
+        let e = CdrError::InvalidEnum {
+            what: "ReplyStatus",
+            value: 9,
+        };
         assert_eq!(e.to_string(), "invalid ReplyStatus discriminant 9");
     }
 }

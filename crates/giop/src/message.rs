@@ -567,7 +567,10 @@ mod tests {
             }
         }
         assert_eq!(frames.len(), 2);
-        assert_eq!(Message::decode(&frames[0].bytes).unwrap(), Message::Request(sample_request()));
+        assert_eq!(
+            Message::decode(&frames[0].bytes).unwrap(),
+            Message::Request(sample_request())
+        );
         assert_eq!(s.buffered(), 0);
     }
 
@@ -596,10 +599,16 @@ mod tests {
     fn decode_rejects_bad_version_and_type() {
         let mut wire = Message::CloseConnection.encode(Endian::Big).to_vec();
         wire[4] = 9;
-        assert!(matches!(Message::decode(&wire), Err(GiopError::BadVersion(9, 0))));
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(GiopError::BadVersion(9, 0))
+        ));
         let mut wire = Message::CloseConnection.encode(Endian::Big).to_vec();
         wire[7] = 99;
-        assert!(matches!(Message::decode(&wire), Err(GiopError::UnknownMsgType(99))));
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(GiopError::UnknownMsgType(99))
+        ));
     }
 
     #[test]

@@ -13,10 +13,7 @@ fn arb_object_key() -> impl Strategy<Value = ObjectKey> {
 fn arb_ior() -> impl Strategy<Value = Ior> {
     (
         "[A-Za-z0-9:/._-]{1,40}",
-        prop::collection::vec(
-            ("[a-z0-9.-]{1,20}", any::<u16>(), arb_object_key()),
-            1..4,
-        ),
+        prop::collection::vec(("[a-z0-9.-]{1,20}", any::<u16>(), arb_object_key()), 1..4),
     )
         .prop_map(|(type_id, profiles)| Ior {
             type_id,
@@ -37,13 +34,15 @@ fn arb_reply_body() -> impl Strategy<Value = ReplyBody> {
     prop_oneof![
         prop::collection::vec(any::<u8>(), 0..64).prop_map(ReplyBody::NoException),
         "[A-Za-z0-9:/._-]{1,40}".prop_map(ReplyBody::UserException),
-        ("[A-Za-z0-9:/._-]{1,40}", any::<u32>(), 0u32..3).prop_map(|(repo_id, minor, completed)| {
-            ReplyBody::SystemException {
-                repo_id,
-                minor,
-                completed,
+        ("[A-Za-z0-9:/._-]{1,40}", any::<u32>(), 0u32..3).prop_map(
+            |(repo_id, minor, completed)| {
+                ReplyBody::SystemException {
+                    repo_id,
+                    minor,
+                    completed,
+                }
             }
-        }),
+        ),
         arb_ior().prop_map(ReplyBody::LocationForward),
         any::<u16>().prop_map(ReplyBody::NeedsAddressingMode),
     ]
@@ -58,18 +57,19 @@ fn arb_message() -> impl Strategy<Value = Message> {
             "[a-z_][a-z0-9_]{0,30}",
             prop::collection::vec(any::<u8>(), 0..64),
         )
-            .prop_map(|(request_id, response_expected, object_key, operation, body)| {
-                Message::Request(RequestMessage {
-                    request_id,
-                    response_expected,
-                    object_key,
-                    operation,
-                    body,
-                })
-            }),
-        (any::<u32>(), arb_reply_body()).prop_map(|(request_id, body)| {
-            Message::Reply(ReplyMessage { request_id, body })
-        }),
+            .prop_map(
+                |(request_id, response_expected, object_key, operation, body)| {
+                    Message::Request(RequestMessage {
+                        request_id,
+                        response_expected,
+                        object_key,
+                        operation,
+                        body,
+                    })
+                }
+            ),
+        (any::<u32>(), arb_reply_body())
+            .prop_map(|(request_id, body)| { Message::Reply(ReplyMessage { request_id, body }) }),
         Just(Message::CloseConnection),
         Just(Message::MessageError),
     ]

@@ -110,13 +110,23 @@ impl GcsClient {
     /// Joins `group` (queued until attached).
     pub fn join(&mut self, sys: &mut dyn SysApi, group: &str) {
         self.joined.insert(group.to_string());
-        self.send(sys, GcsWire::Join { group: group.to_string() });
+        self.send(
+            sys,
+            GcsWire::Join {
+                group: group.to_string(),
+            },
+        );
     }
 
     /// Leaves `group`.
     pub fn leave(&mut self, sys: &mut dyn SysApi, group: &str) {
         self.joined.remove(group);
-        self.send(sys, GcsWire::Leave { group: group.to_string() });
+        self.send(
+            sys,
+            GcsWire::Leave {
+                group: group.to_string(),
+            },
+        );
     }
 
     /// Multicasts `payload` to `group` in total order. Open-group: works
@@ -144,7 +154,11 @@ impl GcsClient {
     ///
     /// Returns `None` when the event does not concern the GCS connection
     /// (the host should handle it); otherwise the deliveries it produced.
-    pub fn handle_event(&mut self, sys: &mut dyn SysApi, event: &Event) -> Option<Vec<GcsDelivery>> {
+    pub fn handle_event(
+        &mut self,
+        sys: &mut dyn SysApi,
+        event: &Event,
+    ) -> Option<Vec<GcsDelivery>> {
         match event {
             Event::ConnEstablished { conn } if Some(*conn) == self.conn => {
                 self.state = ClientState::Attaching;

@@ -90,7 +90,10 @@ enum ConnKind {
     /// Accepted, protocol not yet identified.
     Pending,
     /// A local client (application process) attached as `member`.
-    Client { member: String, groups: BTreeSet<String> },
+    Client {
+        member: String,
+        groups: BTreeSet<String>,
+    },
     /// Another daemon (only ever seen at the sequencer).
     Peer { node: u32 },
 }
@@ -597,17 +600,20 @@ impl Process for GcsDaemon {
                 // Sequencer daemon not up yet: retry shortly.
                 sys.set_timer(self.cfg.retry_interval, TOKEN_RETRY);
             }
-            Event::TimerFired { token: TOKEN_RETRY, .. }
-                if !self.up_ready => {
-                    self.connect_up(sys);
-                }
-            Event::TimerFired { token: TOKEN_HEARTBEAT, .. }
-                if self.up_ready => {
-                    let up = self.up.expect("ready implies connected");
-                    let pad = vec![0u8; self.cfg.heartbeat_bytes];
-                    let _ = sys.write(up, &GcsWire::Heartbeat { pad }.encode());
-                    sys.set_timer(self.cfg.heartbeat_interval, TOKEN_HEARTBEAT);
-                }
+            Event::TimerFired {
+                token: TOKEN_RETRY, ..
+            } if !self.up_ready => {
+                self.connect_up(sys);
+            }
+            Event::TimerFired {
+                token: TOKEN_HEARTBEAT,
+                ..
+            } if self.up_ready => {
+                let up = self.up.expect("ready implies connected");
+                let pad = vec![0u8; self.cfg.heartbeat_bytes];
+                let _ = sys.write(up, &GcsWire::Heartbeat { pad }.encode());
+                sys.set_timer(self.cfg.heartbeat_interval, TOKEN_HEARTBEAT);
+            }
             Event::TimerFired { token, .. } if token >= TOKEN_MEMBERSHIP_BASE => {
                 if let Some(op) = self.pending_membership.remove(&token) {
                     self.sequence_now(sys, op);

@@ -310,7 +310,9 @@ impl GcsWire {
                 sender: r.read_string()?,
                 payload: r.read_octets()?,
             },
-            7 => GcsWire::Hello { node: r.read_u32()? },
+            7 => GcsWire::Hello {
+                node: r.read_u32()?,
+            },
             8 => GcsWire::FwdJoin {
                 group: r.read_string()?,
                 member: r.read_string()?,
@@ -413,10 +415,19 @@ mod tests {
 
     fn samples() -> Vec<GcsWire> {
         vec![
-            GcsWire::Attach { member: "replica-1".into() },
-            GcsWire::Join { group: "servers".into() },
-            GcsWire::Leave { group: "servers".into() },
-            GcsWire::Multicast { group: "servers".into(), payload: vec![1, 2, 3] },
+            GcsWire::Attach {
+                member: "replica-1".into(),
+            },
+            GcsWire::Join {
+                group: "servers".into(),
+            },
+            GcsWire::Leave {
+                group: "servers".into(),
+            },
+            GcsWire::Multicast {
+                group: "servers".into(),
+                payload: vec![1, 2, 3],
+            },
             GcsWire::Attached,
             GcsWire::View {
                 group: "servers".into(),
@@ -429,9 +440,20 @@ mod tests {
                 payload: vec![7; 40],
             },
             GcsWire::Hello { node: 3 },
-            GcsWire::FwdJoin { group: "g".into(), member: "m".into(), daemon: 2 },
-            GcsWire::FwdLeave { group: "g".into(), member: "m".into() },
-            GcsWire::FwdMulticast { group: "g".into(), sender: "m".into(), payload: vec![] },
+            GcsWire::FwdJoin {
+                group: "g".into(),
+                member: "m".into(),
+                daemon: 2,
+            },
+            GcsWire::FwdLeave {
+                group: "g".into(),
+                member: "m".into(),
+            },
+            GcsWire::FwdMulticast {
+                group: "g".into(),
+                sender: "m".into(),
+                payload: vec![],
+            },
             GcsWire::OrdView {
                 seq: 44,
                 group: "g".into(),

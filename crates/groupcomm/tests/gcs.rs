@@ -25,11 +25,7 @@ const TOKEN_SEND: u64 = 50;
 const TOKEN_CRASH: u64 = 60;
 
 impl Member {
-    fn new(
-        name: &str,
-        join: &[&str],
-        deliveries: Rc<RefCell<Vec<(String, GcsDelivery)>>>,
-    ) -> Self {
+    fn new(name: &str, join: &[&str], deliveries: Rc<RefCell<Vec<(String, GcsDelivery)>>>) -> Self {
         Member {
             gcs: GcsClient::new(name, 100),
             join: join.iter().map(|s| s.to_string()).collect(),
@@ -91,7 +87,9 @@ fn cluster(n_nodes: usize, seed: u64) -> Cluster {
         noise: NoiseModel::none(),
         ..SimConfig::default()
     });
-    let nodes: Vec<NodeId> = (0..n_nodes).map(|i| sim.add_node(&format!("node{i}"))).collect();
+    let nodes: Vec<NodeId> = (0..n_nodes)
+        .map(|i| sim.add_node(&format!("node{i}")))
+        .collect();
     let seq_addr = Addr::new(nodes[0], GCS_PORT);
     for &node in &nodes {
         sim.spawn(
@@ -206,7 +204,8 @@ fn sender_receives_its_own_multicast_in_order() {
     let Cluster { mut sim, nodes } = cluster(2, 3);
     let log = Rc::new(RefCell::new(Vec::new()));
     let mut m = Member::new("solo", &["g"], log.clone());
-    m.sends.push((SimDuration::from_millis(100), "g".into(), vec![1]));
+    m.sends
+        .push((SimDuration::from_millis(100), "g".into(), vec![1]));
     sim.spawn(nodes[1], "member", Box::new(m));
     sim.run_until(SimTime::from_secs(1));
     let log = log.borrow();
@@ -319,11 +318,8 @@ fn mesh_traffic_is_accounted() {
     let log = Rc::new(RefCell::new(Vec::new()));
     for (i, &node) in nodes.iter().enumerate() {
         let mut m = Member::new(&format!("m{i}"), &["g"], log.clone());
-        m.sends.push((
-            SimDuration::from_millis(200),
-            "g".into(),
-            vec![0u8; 100],
-        ));
+        m.sends
+            .push((SimDuration::from_millis(200), "g".into(), vec![0u8; 100]));
         sim.spawn(node, "member", Box::new(m));
     }
     sim.run_until(SimTime::from_secs(1));
@@ -346,7 +342,11 @@ fn boot_race_client_before_daemon_retries_and_attaches() {
     let n1 = sim.add_node("node1");
     let log = Rc::new(RefCell::new(Vec::new()));
     // Spawn the member first: its connect will be refused, then retried.
-    sim.spawn(n1, "member", Box::new(Member::new("early", &["g"], log.clone())));
+    sim.spawn(
+        n1,
+        "member",
+        Box::new(Member::new("early", &["g"], log.clone())),
+    );
     let seq_addr = Addr::new(n0, GCS_PORT);
     sim.run_until(SimTime::from_millis(120));
     for node in [n0, n1] {
@@ -386,9 +386,9 @@ fn deterministic_delivery_order_across_runs() {
         let log = log.borrow();
         log.iter()
             .filter_map(|(n, d)| match d {
-                GcsDelivery::Message { sender, payload, .. } => {
-                    Some((n.clone(), format!("{sender}:{payload:?}")))
-                }
+                GcsDelivery::Message {
+                    sender, payload, ..
+                } => Some((n.clone(), format!("{sender}:{payload:?}"))),
                 _ => None,
             })
             .collect()

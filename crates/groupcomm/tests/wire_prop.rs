@@ -21,27 +21,54 @@ fn arb_msg() -> impl Strategy<Value = GcsWire> {
         arb_name().prop_map(|member| GcsWire::Attach { member }),
         arb_name().prop_map(|group| GcsWire::Join { group }),
         arb_name().prop_map(|group| GcsWire::Leave { group }),
-        (arb_name(), arb_payload()).prop_map(|(group, payload)| GcsWire::Multicast { group, payload }),
+        (arb_name(), arb_payload())
+            .prop_map(|(group, payload)| GcsWire::Multicast { group, payload }),
         Just(GcsWire::Attached),
         (arb_name(), any::<u64>(), arb_members()).prop_map(|(group, view_id, members)| {
-            GcsWire::View { group, view_id, members }
+            GcsWire::View {
+                group,
+                view_id,
+                members,
+            }
         }),
         (arb_name(), arb_name(), arb_payload()).prop_map(|(group, sender, payload)| {
-            GcsWire::Deliver { group, sender, payload }
+            GcsWire::Deliver {
+                group,
+                sender,
+                payload,
+            }
         }),
         any::<u32>().prop_map(|node| GcsWire::Hello { node }),
         (arb_name(), arb_name(), any::<u32>()).prop_map(|(group, member, daemon)| {
-            GcsWire::FwdJoin { group, member, daemon }
+            GcsWire::FwdJoin {
+                group,
+                member,
+                daemon,
+            }
         }),
         (arb_name(), arb_name()).prop_map(|(group, member)| GcsWire::FwdLeave { group, member }),
         (arb_name(), arb_name(), arb_payload()).prop_map(|(group, sender, payload)| {
-            GcsWire::FwdMulticast { group, sender, payload }
+            GcsWire::FwdMulticast {
+                group,
+                sender,
+                payload,
+            }
         }),
         (any::<u64>(), arb_name(), any::<u64>(), arb_members()).prop_map(
-            |(seq, group, view_id, members)| GcsWire::OrdView { seq, group, view_id, members }
+            |(seq, group, view_id, members)| GcsWire::OrdView {
+                seq,
+                group,
+                view_id,
+                members
+            }
         ),
         (any::<u64>(), arb_name(), arb_name(), arb_payload()).prop_map(
-            |(seq, group, sender, payload)| GcsWire::OrdDeliver { seq, group, sender, payload }
+            |(seq, group, sender, payload)| GcsWire::OrdDeliver {
+                seq,
+                group,
+                sender,
+                payload
+            }
         ),
         prop::collection::vec(any::<u8>(), 0..128).prop_map(|pad| GcsWire::Heartbeat { pad }),
     ]

@@ -207,7 +207,10 @@ mod tests {
 
     #[test]
     fn scheme_names_match_table1() {
-        assert_eq!(RecoveryScheme::ReactiveNoCache.name(), "Reactive Without Cache");
+        assert_eq!(
+            RecoveryScheme::ReactiveNoCache.name(),
+            "Reactive Without Cache"
+        );
         assert_eq!(RecoveryScheme::MeadFailover.name(), "MEAD Message");
         assert_eq!(RecoveryScheme::ALL.len(), 5);
     }

@@ -24,9 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use giop::{
-    Endian, FrameKind, Message, MsgType, ReplyBody, ReplyMessage,
-};
+use giop::{Endian, FrameKind, Message, MsgType, ReplyBody, ReplyMessage};
 use groupcomm::{GcsClient, GcsDelivery};
 use simnet::{
     Addr, ConnId, Event, ExitReason, ListenerId, Port, Process, ProcessFactory, ProcessId,
@@ -120,7 +118,10 @@ impl Process for ClientInterceptor {
         let reply_group = self.st.reply_group.clone();
         gcs.join(sys, &reply_group);
         self.st.gcs = Some(gcs);
-        let mut facade = ClientFacade { sys, st: &mut self.st };
+        let mut facade = ClientFacade {
+            sys,
+            st: &mut self.st,
+        };
         self.inner.on_start(&mut facade);
     }
 
@@ -139,7 +140,10 @@ impl Process for ClientInterceptor {
         if let Event::TimerFired { token, .. } = event {
             if is_intercept_token(token) {
                 if let Some(ev) = self.st.on_timer(sys, token) {
-                    let mut facade = ClientFacade { sys, st: &mut self.st };
+                    let mut facade = ClientFacade {
+                        sys,
+                        st: &mut self.st,
+                    };
                     self.inner.on_event(&mut facade, ev);
                 }
                 return;
@@ -148,7 +152,10 @@ impl Process for ClientInterceptor {
         match event {
             Event::ConnEstablished { conn } if self.st.redirects.contains_key(&conn) => {
                 if let Some(ev) = self.st.complete_redirect(sys, conn) {
-                    let mut facade = ClientFacade { sys, st: &mut self.st };
+                    let mut facade = ClientFacade {
+                        sys,
+                        st: &mut self.st,
+                    };
                     self.inner.on_event(&mut facade, ev);
                 }
             }
@@ -161,25 +168,38 @@ impl Process for ClientInterceptor {
                     stream.redirecting = false;
                     stream.stage_eof = true;
                 }
-                let mut facade = ClientFacade { sys, st: &mut self.st };
+                let mut facade = ClientFacade {
+                    sys,
+                    st: &mut self.st,
+                };
                 self.inner
                     .on_event(&mut facade, Event::PeerClosed { conn: redirect.app });
             }
             Event::DataReadable { conn } => {
                 let Some(&app) = self.st.real_to_app.get(&conn) else {
-                    let mut facade = ClientFacade { sys, st: &mut self.st };
+                    let mut facade = ClientFacade {
+                        sys,
+                        st: &mut self.st,
+                    };
                     self.inner.on_event(&mut facade, event);
                     return;
                 };
                 let staged = self.st.pump_incoming(sys, conn, app);
                 if staged {
-                    let mut facade = ClientFacade { sys, st: &mut self.st };
-                    self.inner.on_event(&mut facade, Event::DataReadable { conn: app });
+                    let mut facade = ClientFacade {
+                        sys,
+                        st: &mut self.st,
+                    };
+                    self.inner
+                        .on_event(&mut facade, Event::DataReadable { conn: app });
                 }
             }
             Event::PeerClosed { conn } => {
                 let Some(&app) = self.st.real_to_app.get(&conn) else {
-                    let mut facade = ClientFacade { sys, st: &mut self.st };
+                    let mut facade = ClientFacade {
+                        sys,
+                        st: &mut self.st,
+                    };
                     self.inner.on_event(&mut facade, event);
                     return;
                 };
@@ -192,8 +212,12 @@ impl Process for ClientInterceptor {
                 if let Some(stream) = self.st.streams.get_mut(&app) {
                     stream.stage_eof = true;
                 }
-                let mut facade = ClientFacade { sys, st: &mut self.st };
-                self.inner.on_event(&mut facade, Event::PeerClosed { conn: app });
+                let mut facade = ClientFacade {
+                    sys,
+                    st: &mut self.st,
+                };
+                self.inner
+                    .on_event(&mut facade, Event::PeerClosed { conn: app });
             }
             other => {
                 // ConnEstablished / ConnRefused for app-initiated conns
@@ -208,7 +232,10 @@ impl Process for ClientInterceptor {
                     },
                     ev => ev,
                 };
-                let mut facade = ClientFacade { sys, st: &mut self.st };
+                let mut facade = ClientFacade {
+                    sys,
+                    st: &mut self.st,
+                };
                 self.inner.on_event(&mut facade, translated);
             }
         }
@@ -394,7 +421,11 @@ impl ClientState {
         let group = self.cfg.server_group.clone();
         let reply_group = self.reply_group.clone();
         if let Some(gcs) = self.gcs.as_mut() {
-            gcs.multicast(sys, &group, &GroupMsg::AddressQuery { reply_group }.encode());
+            gcs.multicast(
+                sys,
+                &group,
+                &GroupMsg::AddressQuery { reply_group }.encode(),
+            );
         }
     }
 
@@ -505,9 +536,7 @@ impl SysApi for ClientFacade<'_> {
             // name it. This light parse is the scheme's ~8 % overhead.
             if let Ok(frames) = stream.push_outgoing(bytes) {
                 for frame in frames {
-                    if frame.kind == FrameKind::Giop
-                        && frame.msg_type() == MsgType::Request as u8
-                    {
+                    if frame.kind == FrameKind::Giop && frame.msg_type() == MsgType::Request as u8 {
                         self.sys.charge_cpu(self.st.cfg.costs.request_track_cpu);
                         if let Ok(Message::Request(req)) = Message::decode(&frame.bytes) {
                             if req.response_expected {

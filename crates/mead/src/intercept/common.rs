@@ -7,11 +7,9 @@
 //! frames are consumed, application frames are re-staged byte-identically
 //! for the application's own `read()` to pick up.
 
-use std::collections::VecDeque;
-
 use bytes::Bytes;
 use giop::{Frame, FrameSplitter, GiopError};
-use simnet::{ConnId, ReadOutcome};
+use simnet::{ConnId, ReadOutcome, RecvQueue};
 
 /// Timer tokens at or above this value belong to the interceptor (and its
 /// embedded GCS client); application code must keep its tokens below.
@@ -48,8 +46,9 @@ pub struct Stream {
     pub read_split: FrameSplitter,
     /// Splitter over outgoing application bytes.
     pub write_split: FrameSplitter,
-    /// Bytes staged for the application to read.
-    stage: VecDeque<u8>,
+    /// Bytes staged for the application to read. Segmented so staging a
+    /// frame is a zero-copy enqueue of its refcounted bytes.
+    stage: RecvQueue,
     /// EOF reached (after `stage` drains).
     pub stage_eof: bool,
     /// Writes buffered while a redirect is in flight.
@@ -71,7 +70,7 @@ impl Stream {
             real: conn,
             read_split: FrameSplitter::new(),
             write_split: FrameSplitter::new(),
-            stage: VecDeque::new(),
+            stage: RecvQueue::new(),
             stage_eof: false,
             pending_writes: Vec::new(),
             held_frames: Vec::new(),
@@ -102,13 +101,14 @@ impl Stream {
     }
 
     /// Re-stages a frame byte-identically for the application to read.
+    /// Zero-copy: the frame's refcounted bytes are enqueued as a segment.
     pub fn stage_frame(&mut self, frame: &Frame) {
-        self.stage.extend(frame.bytes.iter().copied());
+        self.stage.push(frame.bytes.clone());
     }
 
     /// Stages raw bytes (fabricated replies).
     pub fn stage_bytes(&mut self, bytes: &[u8]) {
-        self.stage.extend(bytes.iter().copied());
+        self.stage.push(Bytes::copy_from_slice(bytes));
     }
 
     /// Bytes currently staged.
@@ -118,8 +118,7 @@ impl Stream {
 
     /// Serves the application's `read()` from the stage.
     pub fn read(&mut self, max: usize) -> ReadOutcome {
-        let take = max.min(self.stage.len());
-        let data: Bytes = self.stage.drain(..take).collect::<Vec<u8>>().into();
+        let data = self.stage.read(max);
         ReadOutcome {
             data,
             eof: self.stage.is_empty() && self.stage_eof,
@@ -179,8 +178,7 @@ mod tests {
             struct Grab(Rc<RefCell<Option<ConnId>>>);
             impl Process for Grab {
                 fn on_start(&mut self, sys: &mut dyn SysApi) {
-                    *self.0.borrow_mut() =
-                        Some(sys.connect(Addr::new(sys.my_node(), Port(1))));
+                    *self.0.borrow_mut() = Some(sys.connect(Addr::new(sys.my_node(), Port(1))));
                 }
                 fn on_event(&mut self, _: &mut dyn SysApi, _: Event) {}
             }

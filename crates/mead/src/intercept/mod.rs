@@ -1,8 +1,8 @@
 //! The MEAD Interceptor: library-interpositioning over the simulated
 //! syscall surface.
 
-pub(crate) mod common;
 pub mod client;
+pub(crate) mod common;
 pub mod server;
 
 /// Timer-token namespace reserved by the interceptors. Wrapped

@@ -26,8 +26,8 @@ use faults::{AdaptivePredictor, MemoryLeak, ResourceMonitor, ThresholdAction};
 use giop::{Endian, Frame, FrameKind, Message, MsgType, ObjectKey, ReplyBody, ReplyMessage};
 use groupcomm::{GcsClient, GcsDelivery};
 use simnet::{
-    ConnId, Event, ExitReason, ListenerId, Port, Process, ProcessFactory, ProcessId,
-    ReadOutcome, SimDuration, SimRng, SimTime, SysError, SysApi, TimerId,
+    ConnId, Event, ExitReason, ListenerId, Port, Process, ProcessFactory, ProcessId, ReadOutcome,
+    SimDuration, SimRng, SimTime, SysApi, SysError, TimerId,
 };
 
 use crate::config::{MeadConfig, RecoveryScheme};
@@ -161,7 +161,10 @@ impl Process for ServerInterceptor {
             sys.set_timer(interval, TOKEN_LEAK);
         }
         sys.set_timer(self.st.cfg.checkpoint_interval, TOKEN_CHECKPOINT);
-        let mut facade = ServerFacade { sys, st: &mut self.st };
+        let mut facade = ServerFacade {
+            sys,
+            st: &mut self.st,
+        };
         self.inner.on_start(&mut facade);
     }
 
@@ -189,7 +192,10 @@ impl Process for ServerInterceptor {
         match event {
             Event::Accepted { listener, conn, .. } if self.st.app_listeners.contains(&listener) => {
                 self.st.client_streams.insert(conn, Stream::new(conn));
-                let mut facade = ServerFacade { sys, st: &mut self.st };
+                let mut facade = ServerFacade {
+                    sys,
+                    st: &mut self.st,
+                };
                 self.inner.on_event(&mut facade, event);
             }
             Event::DataReadable { conn }
@@ -198,8 +204,12 @@ impl Process for ServerInterceptor {
             {
                 let staged = self.st.pump_incoming(sys, conn);
                 if staged {
-                    let mut facade = ServerFacade { sys, st: &mut self.st };
-                    self.inner.on_event(&mut facade, Event::DataReadable { conn });
+                    let mut facade = ServerFacade {
+                        sys,
+                        st: &mut self.st,
+                    };
+                    self.inner
+                        .on_event(&mut facade, Event::DataReadable { conn });
                 }
             }
             Event::PeerClosed { conn }
@@ -216,12 +226,18 @@ impl Process for ServerInterceptor {
                 }
                 // A departed client no longer needs a migration notice.
                 self.st.notified.insert(conn);
-                let mut facade = ServerFacade { sys, st: &mut self.st };
+                let mut facade = ServerFacade {
+                    sys,
+                    st: &mut self.st,
+                };
                 self.inner.on_event(&mut facade, event);
                 self.st.maybe_drain(sys);
             }
             other => {
-                let mut facade = ServerFacade { sys, st: &mut self.st };
+                let mut facade = ServerFacade {
+                    sys,
+                    st: &mut self.st,
+                };
                 self.inner.on_event(&mut facade, other);
             }
         }
@@ -361,7 +377,11 @@ impl ServerState {
         } else {
             self.cfg.costs.ior_bytewise_cpu
         });
-        let Some(ior) = self.dir.ior_of(&target, &key, self.cfg.use_key_hash).cloned() else {
+        let Some(ior) = self
+            .dir
+            .ior_of(&target, &key, self.cfg.use_key_hash)
+            .cloned()
+        else {
             sys.count("mead.forward_no_ior", 1);
             return frame.bytes.to_vec();
         };
@@ -480,7 +500,11 @@ impl ServerState {
         let group = self.cfg.server_group.clone();
         let member = self.member.clone();
         if let Some(gcs) = self.gcs.as_mut() {
-            gcs.multicast(sys, &group, &GroupMsg::Checkpoint { member, state }.encode());
+            gcs.multicast(
+                sys,
+                &group,
+                &GroupMsg::Checkpoint { member, state }.encode(),
+            );
         }
     }
 
@@ -538,9 +562,7 @@ impl ServerState {
                 self.dir.on_view(members);
                 // Advertise once more when our own join is confirmed, in
                 // case the advert multicast was ordered ahead of the view.
-                if !self.advertised_in_view
-                    && self.dir.view().contains(&self.member)
-                {
+                if !self.advertised_in_view && self.dir.view().contains(&self.member) {
                     self.advertised_in_view = true;
                     self.advertise(sys);
                 }

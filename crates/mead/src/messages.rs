@@ -16,9 +16,7 @@
 
 use core::fmt;
 
-use giop::{
-    encode_frame, CdrError, CdrReader, CdrWriter, Endian, Frame, Ior, MEAD_MAGIC,
-};
+use giop::{encode_frame, CdrError, CdrReader, CdrWriter, Endian, Frame, Ior, MEAD_MAGIC};
 
 /// Errors decoding MEAD control messages.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -165,7 +165,10 @@ impl Process for RecoveryManager {
     }
 
     fn on_event(&mut self, sys: &mut dyn SysApi, event: Event) {
-        if let Event::TimerFired { token: TOKEN_TICK, .. } = event {
+        if let Event::TimerFired {
+            token: TOKEN_TICK, ..
+        } = event
+        {
             if self.initial_launched {
                 self.ensure_degree(sys);
             }

@@ -52,7 +52,12 @@ impl ReplicaApp {
     }
 
     /// Adds another servant under `key`, also bound for forwarding.
-    pub fn with_servant(mut self, key: ObjectKey, type_id: &str, servant: Box<dyn Servant>) -> Self {
+    pub fn with_servant(
+        mut self,
+        key: ObjectKey,
+        type_id: &str,
+        servant: Box<dyn Servant>,
+    ) -> Self {
         self.orb.register(key.clone(), servant);
         self.objects.push((key, type_id.to_string()));
         self

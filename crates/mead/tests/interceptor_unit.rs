@@ -7,12 +7,13 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use giop::{
-    Endian, FrameKind, FrameSplitter, Message, ObjectKey, ReplyBody, ReplyMessage,
-    RequestMessage,
+    Endian, FrameKind, FrameSplitter, Message, ObjectKey, ReplyBody, ReplyMessage, RequestMessage,
 };
 use groupcomm::{GcsWire, GCS_PORT};
-use mead::{tokens, ClientInterceptor, FailoverNotice, GroupMsg, MeadConfig, RecoveryScheme,
-    ServerInterceptor};
+use mead::{
+    tokens, ClientInterceptor, FailoverNotice, GroupMsg, MeadConfig, RecoveryScheme,
+    ServerInterceptor,
+};
 use simnet::testkit::MockSys;
 use simnet::{Addr, ConnId, Event, NodeId, Port, Process, SysApi, TimerId};
 
@@ -90,12 +91,7 @@ fn gcs_frames(bytes: &[u8]) -> Vec<GcsWire> {
 }
 
 /// Feeds a GCS wire message into the interceptor as daemon traffic.
-fn feed_gcs(
-    interceptor: &mut dyn Process,
-    sys: &mut MockSys,
-    gcs_conn: ConnId,
-    msg: &GcsWire,
-) {
+fn feed_gcs(interceptor: &mut dyn Process, sys: &mut MockSys, gcs_conn: ConnId, msg: &GcsWire) {
     sys.push_incoming(gcs_conn, &msg.encode());
     interceptor.on_event(sys, Event::DataReadable { conn: gcs_conn });
 }
@@ -126,11 +122,8 @@ fn server_rig(scheme: RecoveryScheme) -> ServerRig {
         listen_on_start: Some(Port(2810)),
         ..AppState::default()
     }));
-    let mut interceptor = ServerInterceptor::new(
-        MeadConfig::paper(scheme),
-        0,
-        Box::new(TestApp(app.clone())),
-    );
+    let mut interceptor =
+        ServerInterceptor::new(MeadConfig::paper(scheme), 0, Box::new(TestApp(app.clone())));
     let mut sys = MockSys::new(NodeId::from_index(1));
     interceptor.on_start(&mut sys);
     // First connect is the GCS client reaching the local daemon; complete
@@ -139,13 +132,24 @@ fn server_rig(scheme: RecoveryScheme) -> ServerRig {
     assert_eq!(gcs_addr.port, GCS_PORT);
     interceptor.on_event(&mut sys, Event::ConnEstablished { conn: gcs_conn });
     let listener = sys.listeners()[0].0;
-    ServerRig { interceptor, sys, app, gcs_conn, listener }
+    ServerRig {
+        interceptor,
+        sys,
+        app,
+        gcs_conn,
+        listener,
+    }
 }
 
 /// Brings the rig's GCS online: attach ack, a view with `members`, and an
 /// address advert for the peer replica.
 fn bring_group_online(rig: &mut ServerRig, me: &str, other: &str) {
-    feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+    feed_gcs(
+        &mut rig.interceptor,
+        &mut rig.sys,
+        rig.gcs_conn,
+        &GcsWire::Attached,
+    );
     feed_gcs(
         &mut rig.interceptor,
         &mut rig.sys,
@@ -176,7 +180,12 @@ fn bring_group_online(rig: &mut ServerRig, me: &str, other: &str) {
 #[test]
 fn server_interceptor_joins_group_and_advertises_listen_port() {
     let mut rig = server_rig(RecoveryScheme::MeadFailover);
-    feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+    feed_gcs(
+        &mut rig.interceptor,
+        &mut rig.sys,
+        rig.gcs_conn,
+        &GcsWire::Attached,
+    );
     let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
     // Attach, then Join("servers"), then the AddrAdvert multicast.
     assert!(matches!(&frames[0], GcsWire::Attach { member } if member.starts_with("replica/0/")));
@@ -200,19 +209,33 @@ fn server_interceptor_stages_requests_and_passes_replies_through() {
     let conn = rig.sys.accept_conn();
     rig.interceptor.on_event(
         &mut rig.sys,
-        Event::Accepted { listener: rig.listener, conn, peer_node: NodeId::from_index(4) },
+        Event::Accepted {
+            listener: rig.listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     );
     // Client request arrives: the app must read it byte-identically.
     let req = request(7);
     rig.sys.push_incoming(conn, &req);
-    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
-    assert_eq!(rig.app.borrow().read_bytes, req, "request must pass through unmodified");
-    assert_eq!(rig.sys.counter("mead.leak_activated"), 1, "first request activates the leak");
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::DataReadable { conn });
+    assert_eq!(
+        rig.app.borrow().read_bytes,
+        req,
+        "request must pass through unmodified"
+    );
+    assert_eq!(
+        rig.sys.counter("mead.leak_activated"),
+        1,
+        "first request activates the leak"
+    );
     // App replies: the reply goes to the wire unmodified (not migrating).
     rig.app.borrow_mut().write_queue.push_back((conn, reply(7)));
     rig.sys.push_incoming(conn, &request(8));
     rig.sys.clear_written(conn);
-    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::DataReadable { conn });
     let on_wire = rig.sys.written(conn);
     let mut split = FrameSplitter::new();
     split.push(on_wire);
@@ -226,7 +249,12 @@ fn server_interceptor_stages_requests_and_passes_replies_through() {
 fn migrating_server_piggybacks_failover_notice_before_reply() {
     let mut rig = server_rig(RecoveryScheme::MeadFailover);
     let me_member = {
-        feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+        feed_gcs(
+            &mut rig.interceptor,
+            &mut rig.sys,
+            rig.gcs_conn,
+            &GcsWire::Attached,
+        );
         let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
         match &frames[0] {
             GcsWire::Attach { member } => member.clone(),
@@ -238,25 +266,40 @@ fn migrating_server_piggybacks_failover_notice_before_reply() {
     let conn = rig.sys.accept_conn();
     rig.interceptor.on_event(
         &mut rig.sys,
-        Event::Accepted { listener: rig.listener, conn, peer_node: NodeId::from_index(4) },
+        Event::Accepted {
+            listener: rig.listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     );
     rig.sys.push_incoming(conn, &request(1));
-    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::DataReadable { conn });
     // Step the leak to exhaustion-threshold by firing its timer repeatedly.
     for _ in 0..40 {
         if rig.sys.counter("mead.migrations") > 0 || rig.sys.exit_requested().is_some() {
             break;
         }
         let timer = timer_by_token(&rig.sys, tokens::TOKEN_LEAK);
-        rig.interceptor
-            .on_event(&mut rig.sys, Event::TimerFired { timer, token: tokens::TOKEN_LEAK });
+        rig.interceptor.on_event(
+            &mut rig.sys,
+            Event::TimerFired {
+                timer,
+                token: tokens::TOKEN_LEAK,
+            },
+        );
         // A reply write is what trips the event-driven threshold check.
         rig.app.borrow_mut().write_queue.push_back((conn, reply(2)));
         rig.sys.clear_written(conn);
         rig.sys.push_incoming(conn, &request(2));
-        rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+        rig.interceptor
+            .on_event(&mut rig.sys, Event::DataReadable { conn });
     }
-    assert_eq!(rig.sys.counter("mead.migrations"), 1, "migration must fire before exhaustion");
+    assert_eq!(
+        rig.sys.counter("mead.migrations"),
+        1,
+        "migration must fire before exhaustion"
+    );
     assert_eq!(rig.sys.counter("mead.piggybacks_sent"), 1);
     // The wire now carries [MEAD notice][GIOP reply].
     let mut split = FrameSplitter::new();
@@ -271,8 +314,13 @@ fn migrating_server_piggybacks_failover_notice_before_reply() {
     // All clients notified: the drain timer is armed; firing it exits
     // gracefully (rejuvenation).
     let drain = timer_by_token(&rig.sys, tokens::TOKEN_DRAIN);
-    rig.interceptor
-        .on_event(&mut rig.sys, Event::TimerFired { timer: drain, token: tokens::TOKEN_DRAIN });
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::TimerFired {
+            timer: drain,
+            token: tokens::TOKEN_DRAIN,
+        },
+    );
     assert!(matches!(
         rig.sys.exit_requested(),
         Some(simnet::ExitReason::Graceful)
@@ -283,7 +331,12 @@ fn migrating_server_piggybacks_failover_notice_before_reply() {
 fn location_forward_server_replaces_reply_with_forward() {
     let mut rig = server_rig(RecoveryScheme::LocationForward);
     let me_member = {
-        feed_gcs(&mut rig.interceptor, &mut rig.sys, rig.gcs_conn, &GcsWire::Attached);
+        feed_gcs(
+            &mut rig.interceptor,
+            &mut rig.sys,
+            rig.gcs_conn,
+            &GcsWire::Attached,
+        );
         let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
         match &frames[0] {
             GcsWire::Attach { member } => member.clone(),
@@ -305,27 +358,42 @@ fn location_forward_server_replaces_reply_with_forward() {
         &GcsWire::Deliver {
             group: "servers".into(),
             sender: "replica/1/55".into(),
-            payload: GroupMsg::IorAdvert { member: "replica/1/55".into(), ior: peer_ior }.encode(),
+            payload: GroupMsg::IorAdvert {
+                member: "replica/1/55".into(),
+                ior: peer_ior,
+            }
+            .encode(),
         },
     );
     let conn = rig.sys.accept_conn();
     rig.interceptor.on_event(
         &mut rig.sys,
-        Event::Accepted { listener: rig.listener, conn, peer_node: NodeId::from_index(4) },
+        Event::Accepted {
+            listener: rig.listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     );
     rig.sys.push_incoming(conn, &request(1));
-    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::DataReadable { conn });
     for _ in 0..40 {
         if rig.sys.counter("mead.migrations") > 0 {
             break;
         }
         let timer = timer_by_token(&rig.sys, tokens::TOKEN_LEAK);
-        rig.interceptor
-            .on_event(&mut rig.sys, Event::TimerFired { timer, token: tokens::TOKEN_LEAK });
+        rig.interceptor.on_event(
+            &mut rig.sys,
+            Event::TimerFired {
+                timer,
+                token: tokens::TOKEN_LEAK,
+            },
+        );
         rig.app.borrow_mut().write_queue.push_back((conn, reply(2)));
         rig.sys.clear_written(conn);
         rig.sys.push_incoming(conn, &request(2));
-        rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+        rig.interceptor
+            .on_event(&mut rig.sys, Event::DataReadable { conn });
     }
     assert_eq!(rig.sys.counter("mead.forwards_sent"), 1);
     // The last written frame is a LOCATION_FORWARD reply, not the normal
@@ -374,7 +442,13 @@ fn client_rig(scheme: RecoveryScheme) -> ClientRig {
     interceptor.on_event(&mut sys, Event::ConnEstablished { conn: gcs_conn });
     feed_gcs(&mut interceptor, &mut sys, gcs_conn, &GcsWire::Attached);
     let (server_conn, _) = sys.connected()[1];
-    ClientRig { interceptor, sys, app, gcs_conn, server_conn }
+    ClientRig {
+        interceptor,
+        sys,
+        app,
+        gcs_conn,
+        server_conn,
+    }
 }
 
 #[test]
@@ -386,22 +460,35 @@ fn client_interceptor_strips_notice_holds_reply_and_redirects() {
     let the_reply = reply(3);
     wire.extend_from_slice(&the_reply);
     rig.sys.push_incoming(conn, &wire);
-    rig.interceptor.on_event(&mut rig.sys, Event::DataReadable { conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::DataReadable { conn });
     // The reply is held: the app has read nothing yet.
-    assert!(rig.app.borrow().read_bytes.is_empty(), "reply must be held during redirect");
+    assert!(
+        rig.app.borrow().read_bytes.is_empty(),
+        "reply must be held during redirect"
+    );
     // The interceptor opened a raw connection to the next replica.
     let (new_conn, new_addr) = *rig.sys.connected().last().expect("redirect conn");
     assert_eq!(new_addr, Addr::new(NodeId::from_index(2), Port(30000)));
     // App writes during the redirect are buffered, not sent anywhere.
-    rig.app.borrow_mut().write_queue.push_back((conn, request(4)));
+    rig.app
+        .borrow_mut()
+        .write_queue
+        .push_back((conn, request(4)));
     // (Any app-namespace event reaches the app's action queue.)
     let tick = rig.sys.set_timer(simnet::SimDuration::from_millis(1), 1);
-    rig.interceptor
-        .on_event(&mut rig.sys, Event::TimerFired { timer: tick, token: 1 });
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::TimerFired {
+            timer: tick,
+            token: 1,
+        },
+    );
     assert!(rig.sys.written(new_conn).is_empty());
     // Establishment completes the dup2; the finish timer releases the held
     // reply and flushes the buffered request to the NEW connection.
-    rig.interceptor.on_event(&mut rig.sys, Event::ConnEstablished { conn: new_conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::ConnEstablished { conn: new_conn });
     assert!(rig.sys.is_closed(conn), "old connection closed by dup2");
     let finish = *rig
         .sys
@@ -410,10 +497,23 @@ fn client_interceptor_strips_notice_holds_reply_and_redirects() {
         .rev()
         .find(|t| t.token >= tokens::TOKEN_REDIRECT_DONE_BASE)
         .expect("finish timer");
-    rig.interceptor
-        .on_event(&mut rig.sys, Event::TimerFired { timer: finish.timer, token: finish.token });
-    assert_eq!(rig.app.borrow().read_bytes, the_reply, "held reply released after redirect");
-    assert_eq!(rig.sys.written(new_conn), &request(4)[..], "buffered write flushed to new conn");
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::TimerFired {
+            timer: finish.timer,
+            token: finish.token,
+        },
+    );
+    assert_eq!(
+        rig.app.borrow().read_bytes,
+        the_reply,
+        "held reply released after redirect"
+    );
+    assert_eq!(
+        rig.sys.written(new_conn),
+        &request(4)[..],
+        "buffered write flushed to new conn"
+    );
     assert_eq!(rig.sys.counter("mead.client.redirects_completed"), 1);
 }
 
@@ -422,22 +522,33 @@ fn needs_addressing_suppresses_eof_and_fabricates_resend_trigger() {
     let mut rig = client_rig(RecoveryScheme::NeedsAddressing);
     let conn = rig.server_conn;
     // App sends a request (tracked as in-flight by the interceptor).
-    rig.app.borrow_mut().write_queue.push_back((conn, request(11)));
+    rig.app
+        .borrow_mut()
+        .write_queue
+        .push_back((conn, request(11)));
     let tick = rig.sys.set_timer(simnet::SimDuration::from_millis(1), 1);
-    rig.interceptor
-        .on_event(&mut rig.sys, Event::TimerFired { timer: tick, token: 1 });
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::TimerFired {
+            timer: tick,
+            token: 1,
+        },
+    );
     // Abrupt server death: EOF must NOT reach the app.
     let app_log_before = rig.app.borrow().log.len();
-    rig.interceptor.on_event(&mut rig.sys, Event::PeerClosed { conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::PeerClosed { conn });
     assert_eq!(rig.app.borrow().log.len(), app_log_before, "EOF suppressed");
     assert_eq!(rig.sys.counter("mead.client.eof_suppressed"), 1);
     // An AddressQuery went out over group communication.
     let frames = gcs_frames(rig.sys.written(rig.gcs_conn));
-    let query = frames.iter().any(|f| matches!(
-        f,
-        GcsWire::Multicast { group, payload } if group == "servers"
-            && matches!(GroupMsg::decode(payload), Ok(GroupMsg::AddressQuery { .. }))
-    ));
+    let query = frames.iter().any(|f| {
+        matches!(
+            f,
+            GcsWire::Multicast { group, payload } if group == "servers"
+                && matches!(GroupMsg::decode(payload), Ok(GroupMsg::AddressQuery { .. }))
+        )
+    });
     assert!(query, "AddressQuery must be multicast, got {frames:?}");
     // The group answers; the interceptor redirects.
     feed_gcs(
@@ -457,7 +568,8 @@ fn needs_addressing_suppresses_eof_and_fabricates_resend_trigger() {
     );
     let (new_conn, new_addr) = *rig.sys.connected().last().expect("redirect conn");
     assert_eq!(new_addr, Addr::new(NodeId::from_index(2), Port(30000)));
-    rig.interceptor.on_event(&mut rig.sys, Event::ConnEstablished { conn: new_conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::ConnEstablished { conn: new_conn });
     let finish = *rig
         .sys
         .timers()
@@ -465,8 +577,13 @@ fn needs_addressing_suppresses_eof_and_fabricates_resend_trigger() {
         .rev()
         .find(|t| t.token >= tokens::TOKEN_REDIRECT_DONE_BASE)
         .expect("finish timer");
-    rig.interceptor
-        .on_event(&mut rig.sys, Event::TimerFired { timer: finish.timer, token: finish.token });
+    rig.interceptor.on_event(
+        &mut rig.sys,
+        Event::TimerFired {
+            timer: finish.timer,
+            token: finish.token,
+        },
+    );
     // The app's ORB receives a fabricated NEEDS_ADDRESSING_MODE reply for
     // the in-flight request.
     let staged = rig.app.borrow().read_bytes.clone();
@@ -484,11 +601,15 @@ fn needs_addressing_suppresses_eof_and_fabricates_resend_trigger() {
 fn needs_addressing_timeout_releases_the_eof() {
     let mut rig = client_rig(RecoveryScheme::NeedsAddressing);
     let conn = rig.server_conn;
-    rig.interceptor.on_event(&mut rig.sys, Event::PeerClosed { conn });
+    rig.interceptor
+        .on_event(&mut rig.sys, Event::PeerClosed { conn });
     let timeout = timer_by_token(&rig.sys, tokens::TOKEN_QUERY_TIMEOUT);
     rig.interceptor.on_event(
         &mut rig.sys,
-        Event::TimerFired { timer: timeout, token: tokens::TOKEN_QUERY_TIMEOUT },
+        Event::TimerFired {
+            timer: timeout,
+            token: tokens::TOKEN_QUERY_TIMEOUT,
+        },
     );
     assert_eq!(rig.sys.counter("mead.client.query_timeout"), 1);
     let log = rig.app.borrow().log.clone();

@@ -10,7 +10,12 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_ior() -> impl Strategy<Value = Ior> {
-    (arb_name(), "[a-z0-9]{1,12}", any::<u16>(), prop::collection::vec(any::<u8>(), 1..64))
+    (
+        arb_name(),
+        "[a-z0-9]{1,12}",
+        any::<u16>(),
+        prop::collection::vec(any::<u8>(), 1..64),
+    )
         .prop_map(|(type_id, host, port, key)| {
             Ior::singleton(&type_id, &host, port, ObjectKey::from_bytes(key))
         })
@@ -18,20 +23,17 @@ fn arb_ior() -> impl Strategy<Value = Ior> {
 
 fn arb_group_msg() -> impl Strategy<Value = GroupMsg> {
     prop_oneof![
-        (arb_name(), arb_name(), any::<u16>()).prop_map(|(member, host, port)| {
-            GroupMsg::AddrAdvert { member, host, port }
-        }),
+        (arb_name(), arb_name(), any::<u16>())
+            .prop_map(|(member, host, port)| { GroupMsg::AddrAdvert { member, host, port } }),
         (arb_name(), arb_ior()).prop_map(|(member, ior)| GroupMsg::IorAdvert { member, ior }),
         arb_name().prop_map(|member| GroupMsg::LaunchRequest { member }),
         prop::collection::vec((arb_name(), arb_name(), any::<u16>()), 0..6)
             .prop_map(|entries| GroupMsg::SyncList { entries }),
         arb_name().prop_map(|reply_group| GroupMsg::AddressQuery { reply_group }),
-        (arb_name(), arb_name(), any::<u16>()).prop_map(|(member, host, port)| {
-            GroupMsg::AddressReply { member, host, port }
-        }),
-        (arb_name(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(|(member, state)| {
-            GroupMsg::Checkpoint { member, state }
-        }),
+        (arb_name(), arb_name(), any::<u16>())
+            .prop_map(|(member, host, port)| { GroupMsg::AddressReply { member, host, port } }),
+        (arb_name(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(member, state)| { GroupMsg::Checkpoint { member, state } }),
     ]
 }
 

@@ -17,9 +17,7 @@
 
 use std::collections::BTreeMap;
 
-use giop::{
-    Endian, FrameKind, FrameSplitter, Ior, Message, ObjectKey, ReplyBody, RequestMessage,
-};
+use giop::{Endian, FrameKind, FrameSplitter, Ior, Message, ObjectKey, ReplyBody, RequestMessage};
 use simnet::{Addr, ConnId, Event, NodeId, Port, SimDuration, SysApi};
 
 use crate::exceptions::{Completed, SystemException};
@@ -464,7 +462,9 @@ impl ClientOrb {
                     },
                 });
             }
-            ReplyBody::SystemException { repo_id, completed, .. } => {
+            ReplyBody::SystemException {
+                repo_id, completed, ..
+            } => {
                 let p = self.pending.remove(&rid).expect("checked");
                 sys.charge_cpu(self.cfg.reply_cpu);
                 out.push(OrbUpshot::Exception {
@@ -499,9 +499,10 @@ impl ClientOrb {
                         }
                         sys.count("orb.forwarded", 1);
                         match self.dispatch(sys, rid, addr) {
-                            Ok(()) => {
-                                out.push(OrbUpshot::Forwarded { request_id: rid, to: addr })
-                            }
+                            Ok(()) => out.push(OrbUpshot::Forwarded {
+                                request_id: rid,
+                                to: addr,
+                            }),
                             Err(ex) => {
                                 let p = self.pending.remove(&rid).expect("checked");
                                 out.push(OrbUpshot::Exception {

@@ -127,9 +127,15 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         let cases = vec![
-            SystemException::CommFailure { completed: Completed::No },
-            SystemException::Transient { completed: Completed::Maybe },
-            SystemException::ObjectNotExist { completed: Completed::Yes },
+            SystemException::CommFailure {
+                completed: Completed::No,
+            },
+            SystemException::Transient {
+                completed: Completed::Maybe,
+            },
+            SystemException::ObjectNotExist {
+                completed: Completed::Yes,
+            },
             SystemException::Other {
                 repo_id: "IDL:omg.org/CORBA/NO_MEMORY:1.0".into(),
                 completed: Completed::No,
@@ -137,7 +143,9 @@ mod tests {
         ];
         for ex in cases {
             match ex.to_reply_body() {
-                ReplyBody::SystemException { repo_id, completed, .. } => {
+                ReplyBody::SystemException {
+                    repo_id, completed, ..
+                } => {
                     assert_eq!(SystemException::from_wire(&repo_id, completed), ex);
                 }
                 other => panic!("unexpected body {other:?}"),
@@ -147,14 +155,25 @@ mod tests {
 
     #[test]
     fn predicates() {
-        assert!(SystemException::CommFailure { completed: Completed::No }.is_comm_failure());
-        assert!(SystemException::Transient { completed: Completed::No }.is_transient());
-        assert!(!SystemException::Transient { completed: Completed::No }.is_comm_failure());
+        assert!(SystemException::CommFailure {
+            completed: Completed::No
+        }
+        .is_comm_failure());
+        assert!(SystemException::Transient {
+            completed: Completed::No
+        }
+        .is_transient());
+        assert!(!SystemException::Transient {
+            completed: Completed::No
+        }
+        .is_comm_failure());
     }
 
     #[test]
     fn display_contains_repo_id() {
-        let ex = SystemException::CommFailure { completed: Completed::No };
+        let ex = SystemException::CommFailure {
+            completed: Completed::No,
+        };
         assert!(ex.to_string().contains("COMM_FAILURE"));
     }
 }

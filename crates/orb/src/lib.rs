@@ -25,8 +25,8 @@
 mod client;
 mod exceptions;
 mod naming;
-mod server;
 mod servants;
+mod server;
 
 pub use client::{addr_of, host_of, node_of, ClientOrb, ClientOrbConfig, OrbUpshot};
 pub use exceptions::{Completed, SystemException};
@@ -34,8 +34,8 @@ pub use naming::{
     decode_list_reply, decode_resolve_reply, encode_bind, encode_name, naming_ior, naming_key,
     NamingConfig, NamingServant, NamingService, EX_NOT_FOUND, NAMING_PORT, NAMING_TYPE_ID,
 };
-pub use server::{Servant, ServerOrb, ServerOrbConfig};
 pub use servants::{
     decode_counter_reply, decode_time_reply, encode_increment, CounterServant,
     SharedCounterServant, TimeOfDayServant, COUNTER_TYPE_ID, TIME_TYPE_ID,
 };
+pub use server::{Servant, ServerOrb, ServerOrbConfig};

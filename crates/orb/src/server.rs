@@ -11,8 +11,7 @@
 use std::collections::BTreeMap;
 
 use giop::{
-    Endian, FrameKind, FrameSplitter, Message, ObjectKey, ReplyBody, ReplyMessage,
-    RequestMessage,
+    Endian, FrameKind, FrameSplitter, Message, ObjectKey, ReplyBody, ReplyMessage, RequestMessage,
 };
 use simnet::{ConnId, Event, ListenerId, Port, SimDuration, SysApi};
 

@@ -21,7 +21,12 @@ fn reply_bytes(request_id: u32, body: ReplyBody) -> Vec<u8> {
 }
 
 /// Drives connect + establishment; returns the connection.
-fn establish(orb: &mut ClientOrb, sys: &mut MockSys, target: &Ior, op: &str) -> (u32, simnet::ConnId) {
+fn establish(
+    orb: &mut ClientOrb,
+    sys: &mut MockSys,
+    target: &Ior,
+    op: &str,
+) -> (u32, simnet::ConnId) {
     let rid = orb.invoke(sys, target, op, &[]).expect("valid ior");
     let (conn, _) = *sys.connected().last().expect("connected");
     let upshots = orb
@@ -36,13 +41,16 @@ fn invoke_writes_request_after_establishment() {
     let mut sys = MockSys::new(NodeId::from_index(4));
     let mut orb = orb();
     let target = ior("node1", 20000, "TimeOfDay");
-    let rid = orb.invoke(&mut sys, &target, "time_of_day", &[7]).expect("valid");
+    let rid = orb
+        .invoke(&mut sys, &target, "time_of_day", &[7])
+        .expect("valid");
     let (conn, addr) = sys.connected()[0];
     assert_eq!(addr.node.index(), 1);
     assert_eq!(addr.port.0, 20000);
     // Nothing written while the handshake is pending.
     assert!(sys.written(conn).is_empty());
-    orb.handle_event(&mut sys, &Event::ConnEstablished { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::ConnEstablished { conn })
+        .expect("orb event");
     let wire = sys.written(conn).to_vec();
     match Message::decode(&wire).expect("request on the wire") {
         Message::Request(req) => {
@@ -76,7 +84,11 @@ fn pipelined_requests_resolve_out_of_order() {
     let got: Vec<(u32, Vec<u8>)> = upshots
         .into_iter()
         .map(|u| match u {
-            OrbUpshot::Reply { request_id, payload, .. } => (request_id, payload),
+            OrbUpshot::Reply {
+                request_id,
+                payload,
+                ..
+            } => (request_id, payload),
             other => panic!("unexpected {other:?}"),
         })
         .collect();
@@ -104,7 +116,8 @@ fn location_forward_reopens_and_resends() {
     assert_eq!(new_addr.node.index(), 2);
     assert_eq!(new_addr.port.0, 30000);
     // ...and the request is retransmitted once it establishes.
-    orb.handle_event(&mut sys, &Event::ConnEstablished { conn: new_conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::ConnEstablished { conn: new_conn })
+        .expect("orb event");
     match Message::decode(sys.written(new_conn)).expect("resent") {
         Message::Request(req) => assert_eq!(req.request_id, rid),
         other => panic!("expected request, got {other:?}"),
@@ -166,17 +179,24 @@ fn idle_peer_close_is_discovered_at_next_use() {
     let target = ior("node1", 20000, "X");
     let (rid, conn) = establish(&mut orb, &mut sys, &target, "op");
     sys.push_incoming(conn, &reply_bytes(rid, ReplyBody::NoException(vec![])));
-    orb.handle_event(&mut sys, &Event::DataReadable { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::DataReadable { conn })
+        .expect("orb event");
     // Idle EOF: no upshot now...
     let upshots = orb
         .handle_event(&mut sys, &Event::PeerClosed { conn })
         .expect("orb event");
-    assert!(upshots.is_empty(), "idle EOF must be silent, got {upshots:?}");
+    assert!(
+        upshots.is_empty(),
+        "idle EOF must be silent, got {upshots:?}"
+    );
     // ...but the next invoke discovers the dead connection synchronously.
-    let err = orb.invoke(&mut sys, &target, "op2", &[]).expect_err("dead conn");
+    let err = orb
+        .invoke(&mut sys, &target, "op2", &[])
+        .expect_err("dead conn");
     assert!(err.is_comm_failure());
     // And the one after that opens a fresh connection.
-    orb.invoke(&mut sys, &target, "op3", &[]).expect("fresh connect");
+    orb.invoke(&mut sys, &target, "op3", &[])
+        .expect("fresh connect");
     assert_eq!(sys.connected().len(), 2);
 }
 
@@ -205,7 +225,10 @@ fn user_and_system_exceptions_surface() {
     let mut orb = orb();
     let target = ior("node1", 20000, "X");
     let (rid, conn) = establish(&mut orb, &mut sys, &target, "op");
-    sys.push_incoming(conn, &reply_bytes(rid, ReplyBody::UserException("IDL:App/E:1.0".into())));
+    sys.push_incoming(
+        conn,
+        &reply_bytes(rid, ReplyBody::UserException("IDL:App/E:1.0".into())),
+    );
     let upshots = orb
         .handle_event(&mut sys, &Event::DataReadable { conn })
         .expect("orb event");
@@ -216,7 +239,13 @@ fn user_and_system_exceptions_surface() {
     let rid2 = orb.invoke(&mut sys, &target, "op", &[]).expect("valid");
     sys.push_incoming(
         conn,
-        &reply_bytes(rid2, SystemException::ObjectNotExist { completed: Completed::No }.to_reply_body()),
+        &reply_bytes(
+            rid2,
+            SystemException::ObjectNotExist {
+                completed: Completed::No,
+            }
+            .to_reply_body(),
+        ),
     );
     let upshots = orb
         .handle_event(&mut sys, &Event::DataReadable { conn })
@@ -233,8 +262,13 @@ fn user_and_system_exceptions_surface() {
 fn malformed_ior_is_rejected_synchronously() {
     let mut sys = MockSys::new(NodeId::from_index(4));
     let mut orb = orb();
-    let bad = Ior { type_id: "IDL:T:1.0".into(), profiles: vec![] };
-    let err = orb.invoke(&mut sys, &bad, "op", &[]).expect_err("no profile");
+    let bad = Ior {
+        type_id: "IDL:T:1.0".into(),
+        profiles: vec![],
+    };
+    let err = orb
+        .invoke(&mut sys, &bad, "op", &[])
+        .expect_err("no profile");
     assert!(matches!(err, SystemException::ObjectNotExist { .. }));
     assert_eq!(orb.pending_count(), 0);
 }
@@ -279,10 +313,15 @@ fn forget_connection_forces_reconnect() {
     let target = ior("node1", 20000, "X");
     let (rid, conn) = establish(&mut orb, &mut sys, &target, "op");
     sys.push_incoming(conn, &reply_bytes(rid, ReplyBody::NoException(vec![])));
-    orb.handle_event(&mut sys, &Event::DataReadable { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::DataReadable { conn })
+        .expect("orb event");
     let addr = sys.conn_addr(conn).expect("addr");
     orb.forget_connection(&mut sys, addr);
     assert!(sys.is_closed(conn));
     orb.invoke(&mut sys, &target, "op", &[]).expect("valid");
-    assert_eq!(sys.connected().len(), 2, "a fresh connection must be opened");
+    assert_eq!(
+        sys.connected().len(),
+        2,
+        "a fresh connection must be opened"
+    );
 }

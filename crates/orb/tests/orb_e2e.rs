@@ -164,7 +164,11 @@ impl Process for ScriptClient {
         };
         for u in upshots {
             match u {
-                OrbUpshot::Reply { request_id, payload, .. } => {
+                OrbUpshot::Reply {
+                    request_id,
+                    payload,
+                    ..
+                } => {
                     if Some(request_id) == self.resolve_rid {
                         let ior = decode_resolve_reply(&payload).expect("resolve reply");
                         self.outcomes.borrow_mut().push("resolved".into());
@@ -175,7 +179,9 @@ impl Process for ScriptClient {
                     let t = decode_time_reply(&payload).expect("time reply");
                     assert!(t <= sys.now().as_nanos());
                     if let Some(at) = self.sent_at {
-                        self.rtts.borrow_mut().push((sys.now() - at).as_millis_f64());
+                        self.rtts
+                            .borrow_mut()
+                            .push((sys.now() - at).as_millis_f64());
                     }
                     self.done += 1;
                     self.outcomes.borrow_mut().push("reply".into());
@@ -184,7 +190,9 @@ impl Process for ScriptClient {
                     }
                 }
                 OrbUpshot::Exception { ex, .. } => {
-                    self.outcomes.borrow_mut().push(format!("ex:{}", ex.repo_id()));
+                    self.outcomes
+                        .borrow_mut()
+                        .push(format!("ex:{}", ex.repo_id()));
                 }
                 OrbUpshot::Forwarded { to, .. } => {
                     self.outcomes.borrow_mut().push(format!("forwarded:{to}"));
@@ -230,7 +238,12 @@ fn invoke_round_trip_and_baseline_rtt() {
     sim.spawn(
         b,
         "client",
-        Box::new(ScriptClient::invoking(ior, 200, outcomes.clone(), rtts.clone())),
+        Box::new(ScriptClient::invoking(
+            ior,
+            200,
+            outcomes.clone(),
+            rtts.clone(),
+        )),
     );
     sim.run_until(SimTime::from_secs(5));
     let rtts = rtts.borrow();
@@ -249,7 +262,11 @@ fn resolve_then_invoke_through_naming() {
     let a = sim.add_node("a");
     let b = sim.add_node("b");
     let c = sim.add_node("c");
-    sim.spawn(c, "naming", Box::new(NamingService::new(NamingConfig::default())));
+    sim.spawn(
+        c,
+        "naming",
+        Box::new(NamingService::new(NamingConfig::default())),
+    );
     let key = ObjectKey::persistent("TimePOA", "TimeOfDay");
     sim.spawn(
         a,
@@ -267,7 +284,13 @@ fn resolve_then_invoke_through_naming() {
     sim.spawn(
         b,
         "client",
-        Box::new(ScriptClient::resolving(c, "replicas/r1", 5, outcomes.clone(), rtts.clone())),
+        Box::new(ScriptClient::resolving(
+            c,
+            "replicas/r1",
+            5,
+            outcomes.clone(),
+            rtts.clone(),
+        )),
     );
     sim.run_until(SimTime::from_secs(3));
     let outcomes = outcomes.borrow();
@@ -283,13 +306,23 @@ fn resolve_unknown_name_raises_user_exception() {
     let mut sim = sim(3);
     let a = sim.add_node("a");
     let b = sim.add_node("b");
-    sim.spawn(a, "naming", Box::new(NamingService::new(NamingConfig::default())));
+    sim.spawn(
+        a,
+        "naming",
+        Box::new(NamingService::new(NamingConfig::default())),
+    );
     let outcomes: Outcomes = Rc::default();
     let rtts = Rc::new(RefCell::new(Vec::new()));
     sim.spawn(
         b,
         "client",
-        Box::new(ScriptClient::resolving(a, "replicas/ghost", 1, outcomes.clone(), rtts)),
+        Box::new(ScriptClient::resolving(
+            a,
+            "replicas/ghost",
+            1,
+            outcomes.clone(),
+            rtts,
+        )),
     );
     sim.run_until(SimTime::from_secs(2));
     let outcomes = outcomes.borrow();
@@ -305,7 +338,11 @@ fn server_crash_mid_stream_raises_comm_failure() {
     let a = sim.add_node("a");
     let b = sim.add_node("b");
     let key = ObjectKey::persistent("TimePOA", "TimeOfDay");
-    let mut server = PlainServer::new(Port(2810), key.clone(), Box::new(TimeOfDayServant::default()));
+    let mut server = PlainServer::new(
+        Port(2810),
+        key.clone(),
+        Box::new(TimeOfDayServant::default()),
+    );
     server.crash_after_requests = Some(10);
     sim.spawn(a, "server", Box::new(server));
     let ior = Ior::singleton(TIME_TYPE_ID, "node0", 2810, key);
@@ -324,7 +361,10 @@ fn server_crash_mid_stream_raises_comm_failure() {
         outcomes.iter().any(|o| o.contains("COMM_FAILURE")),
         "crash must surface as COMM_FAILURE: {outcomes:?}"
     );
-    assert_eq!(sim.with_metrics(|m| m.counter("orb.exception.comm_failure")), 1);
+    assert_eq!(
+        sim.with_metrics(|m| m.counter("orb.exception.comm_failure")),
+        1
+    );
 }
 
 #[test]
@@ -374,7 +414,9 @@ impl Process for ForwardingServer {
                 self.conns.insert(conn, giop::FrameSplitter::new());
             }
             Event::DataReadable { conn } => {
-                let Some(split) = self.conns.get_mut(&conn) else { return };
+                let Some(split) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 let read = sys.read(conn, usize::MAX).expect("open");
                 split.push(&read.data);
                 while let Ok(Some(frame)) = split.next_frame() {
@@ -437,7 +479,10 @@ fn location_forward_is_followed_transparently() {
     );
     assert_eq!(outcomes.iter().filter(|o| *o == "reply").count(), 3);
     // No exception ever reaches the application.
-    assert!(!outcomes.iter().any(|o| o.starts_with("ex:")), "{outcomes:?}");
+    assert!(
+        !outcomes.iter().any(|o| o.starts_with("ex:")),
+        "{outcomes:?}"
+    );
 }
 
 /// A server that forwards to itself forever, to exercise the hop limit.

@@ -43,7 +43,11 @@ fn dispatch_replies_to_known_object() {
     let conn = sys.accept_conn();
     orb.handle_event(
         &mut sys,
-        &Event::Accepted { listener, conn, peer_node: NodeId::from_index(4) },
+        &Event::Accepted {
+            listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     )
     .expect("accepted");
     assert_eq!(orb.connection_count(), 1);
@@ -71,12 +75,17 @@ fn unknown_object_raises_object_not_exist() {
     let conn = sys.accept_conn();
     orb.handle_event(
         &mut sys,
-        &Event::Accepted { listener, conn, peer_node: NodeId::from_index(4) },
+        &Event::Accepted {
+            listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     )
     .expect("accepted");
     let ghost = ObjectKey::persistent("NoPOA", "Ghost");
     sys.push_incoming(conn, &request(9, &ghost, "anything", true));
-    orb.handle_event(&mut sys, &Event::DataReadable { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::DataReadable { conn })
+        .expect("orb event");
     let (rid, body) = decode_reply(sys.written(conn));
     assert_eq!(rid, 9);
     match body {
@@ -94,7 +103,11 @@ fn oneway_requests_get_no_reply() {
     let conn = sys.accept_conn();
     orb.handle_event(
         &mut sys,
-        &Event::Accepted { listener, conn, peer_node: NodeId::from_index(4) },
+        &Event::Accepted {
+            listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     )
     .expect("accepted");
     let key = ObjectKey::persistent("TimePOA", "TimeOfDay");
@@ -116,7 +129,9 @@ fn servant_errors_are_marshalled() {
             _op: &str,
             _body: &[u8],
         ) -> Result<Vec<u8>, SystemException> {
-            Err(SystemException::Transient { completed: Completed::No })
+            Err(SystemException::Transient {
+                completed: Completed::No,
+            })
         }
         fn type_id(&self) -> &str {
             "IDL:F:1.0"
@@ -131,11 +146,16 @@ fn servant_errors_are_marshalled() {
     let conn = sys.accept_conn();
     orb.handle_event(
         &mut sys,
-        &Event::Accepted { listener, conn, peer_node: NodeId::from_index(4) },
+        &Event::Accepted {
+            listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     )
     .expect("accepted");
     sys.push_incoming(conn, &request(1, &key, "x", true));
-    orb.handle_event(&mut sys, &Event::DataReadable { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::DataReadable { conn })
+        .expect("orb event");
     let (_, body) = decode_reply(sys.written(conn));
     match body {
         ReplyBody::SystemException { repo_id, .. } => assert!(repo_id.contains("TRANSIENT")),
@@ -150,11 +170,16 @@ fn peer_close_drops_connection_state() {
     let conn = sys.accept_conn();
     orb.handle_event(
         &mut sys,
-        &Event::Accepted { listener, conn, peer_node: NodeId::from_index(4) },
+        &Event::Accepted {
+            listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     )
     .expect("accepted");
     assert_eq!(orb.connection_count(), 1);
-    orb.handle_event(&mut sys, &Event::PeerClosed { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::PeerClosed { conn })
+        .expect("orb event");
     assert_eq!(orb.connection_count(), 0);
     assert!(sys.is_closed(conn));
 }
@@ -164,8 +189,12 @@ fn events_for_unknown_conns_are_not_consumed() {
     let mut sys = MockSys::new(NodeId::from_index(1));
     let (mut orb, _) = start_server(&mut sys);
     let foreign = sys.accept_conn();
-    assert!(orb.handle_event(&mut sys, &Event::DataReadable { conn: foreign }).is_none());
-    assert!(orb.handle_event(&mut sys, &Event::PeerClosed { conn: foreign }).is_none());
+    assert!(orb
+        .handle_event(&mut sys, &Event::DataReadable { conn: foreign })
+        .is_none());
+    assert!(orb
+        .handle_event(&mut sys, &Event::PeerClosed { conn: foreign })
+        .is_none());
 }
 
 #[test]
@@ -175,11 +204,16 @@ fn corrupt_stream_tears_down_the_connection() {
     let conn = sys.accept_conn();
     orb.handle_event(
         &mut sys,
-        &Event::Accepted { listener, conn, peer_node: NodeId::from_index(4) },
+        &Event::Accepted {
+            listener,
+            conn,
+            peer_node: NodeId::from_index(4),
+        },
     )
     .expect("accepted");
     sys.push_incoming(conn, b"THIS IS NOT GIOP AT ALL....");
-    orb.handle_event(&mut sys, &Event::DataReadable { conn }).expect("orb event");
+    orb.handle_event(&mut sys, &Event::DataReadable { conn })
+        .expect("orb event");
     assert!(sys.is_closed(conn), "desynchronised stream must be closed");
     assert_eq!(sys.counter("orb.server.protocol_error"), 1);
 }

@@ -134,7 +134,9 @@ impl NoiseModel {
         if self.spike_max <= self.spike_min {
             return self.spike_min;
         }
-        SimDuration::from_nanos(rng.gen_range(self.spike_min.as_nanos()..=self.spike_max.as_nanos()))
+        SimDuration::from_nanos(
+            rng.gen_range(self.spike_min.as_nanos()..=self.spike_max.as_nanos()),
+        )
     }
 }
 
@@ -196,7 +198,10 @@ mod tests {
     fn instant_model_is_zero() {
         let m = LatencyModel::instant();
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(m.sample(&mut rng, NodeId(0), NodeId(1), 10_000), SimDuration::ZERO);
+        assert_eq!(
+            m.sample(&mut rng, NodeId(0), NodeId(1), 10_000),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -226,7 +231,9 @@ mod tests {
             spike_max: SimDuration::from_micros(200),
         };
         let mut rng = StdRng::seed_from_u64(42);
-        let spikes = (0..20_000).filter(|_| !n.sample(&mut rng).is_zero()).count();
+        let spikes = (0..20_000)
+            .filter(|_| !n.sample(&mut rng).is_zero())
+            .count();
         let rate = spikes as f64 / 20_000.0;
         assert!((rate - 0.1).abs() < 0.01, "rate was {rate}");
     }

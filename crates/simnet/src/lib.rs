@@ -50,12 +50,13 @@
 
 mod error;
 mod ids;
-pub mod testkit;
 mod latency;
 mod metrics;
 mod process;
+mod recv_queue;
 mod rng;
 mod sim;
+pub mod testkit;
 mod time;
 
 pub use error::SysError;
@@ -63,6 +64,7 @@ pub use ids::{Addr, ConnId, ListenerId, NodeId, Port, ProcessId, TimerId};
 pub use latency::{LatencyModel, LossModel, NoiseModel};
 pub use metrics::{ByteRecord, Metrics};
 pub use process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
+pub use recv_queue::RecvQueue;
 pub use rng::SimRng;
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};

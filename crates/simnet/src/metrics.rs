@@ -53,7 +53,10 @@ impl Metrics {
 
     /// Records `len` bytes sent at `at` under `tag`.
     pub fn record_bytes(&mut self, tag: &'static str, at: SimTime, len: u64) {
-        self.bytes.entry(tag).or_default().push(ByteRecord { at, len });
+        self.bytes
+            .entry(tag)
+            .or_default()
+            .push(ByteRecord { at, len });
     }
 
     /// Total bytes recorded under `tag`.
@@ -92,6 +95,11 @@ impl Metrics {
     /// The raw per-segment records for `tag`, in send order.
     pub fn byte_records(&self, tag: &str) -> &[ByteRecord] {
         self.bytes.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All tags that have byte records, sorted by name.
+    pub fn byte_tags(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.bytes.keys().copied()
     }
 }
 
@@ -141,7 +149,10 @@ mod tests {
         m.record_bytes("gcs", SimTime::from_millis(500), 3000);
         let bw = m.bandwidth("gcs", SimTime::ZERO, SimTime::from_secs(1));
         assert!((bw - 3000.0).abs() < 1e-9);
-        assert_eq!(m.bandwidth("gcs", SimTime::from_secs(1), SimTime::from_secs(1)), 0.0);
+        assert_eq!(
+            m.bandwidth("gcs", SimTime::from_secs(1), SimTime::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

@@ -154,8 +154,12 @@ pub trait SysApi {
     ///
     /// Returns [`SysError::NoSuchTarget`] if the node does not exist or has
     /// crashed.
-    fn spawn(&mut self, node: NodeId, name: &str, factory: ProcessFactory)
-        -> Result<ProcessId, SysError>;
+    fn spawn(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        factory: ProcessFactory,
+    ) -> Result<ProcessId, SysError>;
 
     /// Terminates this process at the end of the current event handler.
     /// All its connections deliver EOF to their peers and its listeners are

@@ -24,8 +24,9 @@
 //! * per-connection FIFO order is preserved even under latency jitter.
 
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -34,6 +35,7 @@ use crate::ids::{Addr, ConnId, ListenerId, NodeId, Port, ProcessId, TimerId};
 use crate::latency::{LatencyModel, LossModel, NoiseModel};
 use crate::metrics::Metrics;
 use crate::process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
+use crate::recv_queue::RecvQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -126,7 +128,7 @@ struct Endpoint {
     owner: ProcessId,
     peer: Option<ConnId>,
     state: EpState,
-    recv: VecDeque<u8>,
+    recv: RecvQueue,
     peer_eof: bool,
     /// Latest scheduled arrival at this endpoint, for FIFO enforcement.
     last_arrival: SimTime,
@@ -188,6 +190,7 @@ pub struct Simulation {
     metrics: Rc<RefCell<Metrics>>,
     trace: Vec<(SimTime, ProcessId, String)>,
     events_processed: u64,
+    wall_in_run: Duration,
 }
 
 impl Simulation {
@@ -213,6 +216,7 @@ impl Simulation {
             metrics: Rc::new(RefCell::new(Metrics::new())),
             trace: Vec::new(),
             events_processed: 0,
+            wall_in_run: Duration::ZERO,
         }
     }
 
@@ -337,6 +341,24 @@ impl Simulation {
         self.events_processed
     }
 
+    /// Wall-clock time spent dispatching events, summed over every
+    /// [`run_until`](Self::run_until) call. Purely observational: it never
+    /// feeds back into simulated time, so determinism is unaffected.
+    pub fn wall_elapsed(&self) -> Duration {
+        self.wall_in_run
+    }
+
+    /// Mean dispatch rate (events per wall-clock second) over the time
+    /// spent inside [`run_until`](Self::run_until). 0.0 before any run.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_in_run.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// Shared handle to the metrics store (clone to keep after the run).
     pub fn metrics_handle(&self) -> Rc<RefCell<Metrics>> {
         Rc::clone(&self.metrics)
@@ -363,6 +385,13 @@ impl Simulation {
     /// [`run_until`](Self::run_until) with an explicit event budget, as a
     /// guard against runaway periodic behaviour in tests.
     pub fn run_until_limited(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
+        let started = Instant::now();
+        let outcome = self.dispatch_until(deadline, event_limit);
+        self.wall_in_run += started.elapsed();
+        outcome
+    }
+
+    fn dispatch_until(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
         let mut dispatched = 0u64;
         loop {
             if dispatched >= event_limit {
@@ -394,7 +423,9 @@ impl Simulation {
     fn handle(&mut self, action: Action) {
         match action {
             Action::StartProcess(pid) => self.dispatch(pid, None),
-            Action::ConnectAttempt { client_ep, addr } => self.handle_connect_attempt(client_ep, addr),
+            Action::ConnectAttempt { client_ep, addr } => {
+                self.handle_connect_attempt(client_ep, addr)
+            }
             Action::ConnectResult { client_ep, ok } => self.handle_connect_result(client_ep, ok),
             Action::DeliverData { ep, data } => self.handle_deliver_data(ep, data),
             Action::DeliverEof { ep } => self.handle_deliver_eof(ep),
@@ -442,7 +473,7 @@ impl Simulation {
                         owner: server_pid,
                         peer: Some(client_ep),
                         state: EpState::Established,
-                        recv: VecDeque::new(),
+                        recv: RecvQueue::new(),
                         peer_eof: false,
                         last_arrival: self.now,
                         tag: None,
@@ -467,13 +498,25 @@ impl Simulation {
                 let server_node = self.process_node(server_pid).expect("server exists");
                 let back = self.sample_latency(server_node, client_node, 0);
                 let at = self.now + back;
-                self.push(at, Action::ConnectResult { client_ep, ok: true });
+                self.push(
+                    at,
+                    Action::ConnectResult {
+                        client_ep,
+                        ok: true,
+                    },
+                );
             }
             (None, true) => {
                 let client_node = client_node.expect("client endpoint exists");
                 let back = self.sample_latency(addr.node, client_node, 0);
                 let at = self.now + back;
-                self.push(at, Action::ConnectResult { client_ep, ok: false });
+                self.push(
+                    at,
+                    Action::ConnectResult {
+                        client_ep,
+                        ok: false,
+                    },
+                );
             }
             _ => {
                 // Initiator vanished: if a server endpoint would have been
@@ -513,7 +556,7 @@ impl Simulation {
         if !self.procs.get(&owner).map(|s| s.alive).unwrap_or(false) {
             return;
         }
-        ep.recv.extend(data.iter().copied());
+        ep.recv.push(data);
         self.enqueue_notify(owner, Event::DataReadable { conn: ep_id });
     }
 
@@ -770,7 +813,7 @@ impl SysApi for Ctx<'_> {
                 owner: self.pid,
                 peer: None,
                 state: EpState::Connecting,
-                recv: VecDeque::new(),
+                recv: RecvQueue::new(),
                 peer_eof: false,
                 last_arrival: self.sim.now,
                 tag: None,
@@ -846,8 +889,7 @@ impl SysApi for Ctx<'_> {
         if ep.state == EpState::ClosedLocal {
             return Err(SysError::ClosedLocally(conn));
         }
-        let take = max.min(ep.recv.len());
-        let data: Bytes = ep.recv.drain(..take).collect::<Vec<u8>>().into();
+        let data = ep.recv.read(max);
         let eof = ep.recv.is_empty() && ep.peer_eof;
         Ok(ReadOutcome { data, eof })
     }
@@ -935,7 +977,9 @@ impl SysApi for Ctx<'_> {
 
     fn trace(&mut self, message: &str) {
         if self.sim.cfg.trace {
-            self.sim.trace.push((self.sim.now, self.pid, message.to_string()));
+            self.sim
+                .trace
+                .push((self.sim.now, self.pid, message.to_string()));
         }
     }
 }

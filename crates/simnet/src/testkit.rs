@@ -22,6 +22,7 @@ use bytes::Bytes;
 use crate::error::SysError;
 use crate::ids::{Addr, ConnId, ListenerId, NodeId, Port, ProcessId, TimerId};
 use crate::process::{ExitReason, ProcessFactory, ReadOutcome, SysApi};
+use crate::recv_queue::RecvQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -44,7 +45,7 @@ pub struct MockTimer {
 struct MockConn {
     addr: Option<Addr>,
     written: Vec<u8>,
-    incoming: Vec<u8>,
+    incoming: RecvQueue,
     eof: bool,
     closed: bool,
     write_error: Option<SysError>,
@@ -110,7 +111,11 @@ impl MockSys {
 
     /// Queues bytes to be returned by the subject's next `read`.
     pub fn push_incoming(&mut self, conn: ConnId, bytes: &[u8]) {
-        self.conns.entry(conn).or_default().incoming.extend_from_slice(bytes);
+        self.conns
+            .entry(conn)
+            .or_default()
+            .incoming
+            .push(Bytes::copy_from_slice(bytes));
     }
 
     /// Marks `conn` as EOF after its queued bytes drain.
@@ -125,7 +130,10 @@ impl MockSys {
 
     /// Everything the subject has written to `conn`.
     pub fn written(&self, conn: ConnId) -> &[u8] {
-        self.conns.get(&conn).map(|c| c.written.as_slice()).unwrap_or(&[])
+        self.conns
+            .get(&conn)
+            .map(|c| c.written.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Clears the write capture for `conn`.
@@ -233,12 +241,14 @@ impl SysApi for MockSys {
         Ok(())
     }
     fn read(&mut self, conn: ConnId, max: usize) -> Result<ReadOutcome, SysError> {
-        let c = self.conns.get_mut(&conn).ok_or(SysError::UnknownConn(conn))?;
+        let c = self
+            .conns
+            .get_mut(&conn)
+            .ok_or(SysError::UnknownConn(conn))?;
         if c.closed {
             return Err(SysError::ClosedLocally(conn));
         }
-        let take = max.min(c.incoming.len());
-        let data: Bytes = c.incoming.drain(..take).collect::<Vec<u8>>().into();
+        let data = c.incoming.read(max);
         Ok(ReadOutcome {
             data,
             eof: c.incoming.is_empty() && c.eof,
@@ -328,7 +338,10 @@ mod tests {
         sys.write(conn, &[1, 2]).unwrap();
         sys.write(conn, &[3]).unwrap();
         assert_eq!(sys.written(conn), &[1, 2, 3]);
-        assert_eq!(sys.conn_addr(conn), Some(Addr::new(NodeId::from_index(0), Port(1))));
+        assert_eq!(
+            sys.conn_addr(conn),
+            Some(Addr::new(NodeId::from_index(0), Port(1)))
+        );
         sys.close(conn);
         assert!(sys.is_closed(conn));
         assert!(sys.write(conn, &[4]).is_err());

@@ -25,7 +25,9 @@ impl Process for Server {
     fn on_event(&mut self, sys: &mut dyn SysApi, ev: Event) {
         match ev {
             Event::Accepted { conn, .. } => {
-                self.log.borrow_mut().push(format!("server:accepted:{conn}"));
+                self.log
+                    .borrow_mut()
+                    .push(format!("server:accepted:{conn}"));
             }
             Event::DataReadable { conn } => {
                 let got = sys.read(conn, usize::MAX).expect("read");
@@ -151,7 +153,12 @@ fn ping_pong_round_trip_time_matches_model() {
     sim.spawn(
         b,
         "client",
-        Box::new(Client::new(Addr::new(a, Port(80)), 100, log.clone(), rtts.clone())),
+        Box::new(Client::new(
+            Addr::new(a, Port(80)),
+            100,
+            log.clone(),
+            rtts.clone(),
+        )),
     );
     sim.run_until(SimTime::from_secs(5));
     let rtts = rtts.borrow();
@@ -200,7 +207,12 @@ fn server_crash_delivers_eof_to_client() {
     sim.spawn(
         b,
         "client",
-        Box::new(Client::new(Addr::new(a, Port(80)), 100, log.clone(), rtts.clone())),
+        Box::new(Client::new(
+            Addr::new(a, Port(80)),
+            100,
+            log.clone(),
+            rtts.clone(),
+        )),
     );
     sim.run_until(SimTime::from_secs(5));
     assert_eq!(rtts.borrow().len(), 3, "three replies before crash");
@@ -232,7 +244,12 @@ fn kill_process_delivers_eof() {
     sim.spawn(
         a,
         "client",
-        Box::new(Client::new(Addr::new(a, Port(80)), 1_000_000, log.clone(), rtts)),
+        Box::new(Client::new(
+            Addr::new(a, Port(80)),
+            1_000_000,
+            log.clone(),
+            rtts,
+        )),
     );
     sim.run_until(SimTime::from_millis(200));
     assert!(sim.process_alive(server));
@@ -263,7 +280,12 @@ fn node_crash_kills_all_hosted_processes() {
     let c = sim.spawn(
         b,
         "client",
-        Box::new(Client::new(Addr::new(a, Port(80)), 1_000_000, log.clone(), rtts)),
+        Box::new(Client::new(
+            Addr::new(a, Port(80)),
+            1_000_000,
+            log.clone(),
+            rtts,
+        )),
     );
     sim.run_until(SimTime::from_millis(100));
     sim.crash_node(a);
@@ -377,7 +399,11 @@ fn spawn_from_process_launches_after_latency() {
             let s2 = started.clone();
             let node = sys.my_node();
             let pid = sys
-                .spawn(node, "child", Box::new(move || Box::new(Child { started_at: s2 })))
+                .spawn(
+                    node,
+                    "child",
+                    Box::new(move || Box::new(Child { started_at: s2 })),
+                )
                 .expect("spawn");
             *self.child.borrow_mut() = Some(pid);
             // keep handle alive via leak into self
@@ -388,7 +414,13 @@ fn spawn_from_process_launches_after_latency() {
     let child = Rc::new(RefCell::new(None));
     let mut sim = Simulation::new(quiet_config(8));
     let a = sim.add_node("a");
-    sim.spawn(a, "spawner", Box::new(Spawner { child: child.clone() }));
+    sim.spawn(
+        a,
+        "spawner",
+        Box::new(Spawner {
+            child: child.clone(),
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     let pid = child.borrow().expect("child spawned");
     assert!(sim.process_alive(pid));
@@ -451,7 +483,13 @@ fn listener_port_conflict_is_rejected() {
     let outcome = Rc::new(RefCell::new(None));
     let mut sim = Simulation::new(quiet_config(9));
     let a = sim.add_node("a");
-    sim.spawn(a, "p", Box::new(TwoListens { outcome: outcome.clone() }));
+    sim.spawn(
+        a,
+        "p",
+        Box::new(TwoListens {
+            outcome: outcome.clone(),
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     assert_eq!(
         outcome.borrow().clone().expect("ran"),
@@ -550,7 +588,13 @@ fn tagged_connections_account_bytes() {
     let a = sim.add_node("a");
     let b = sim.add_node("b");
     sim.spawn(a, "sink", Box::new(Sink));
-    sim.spawn(b, "tagger", Box::new(Tagger { target: Addr::new(a, Port(1)) }));
+    sim.spawn(
+        b,
+        "tagger",
+        Box::new(Tagger {
+            target: Addr::new(a, Port(1)),
+        }),
+    );
     sim.run_until(SimTime::from_secs(1));
     assert_eq!(sim.with_metrics(|m| m.total_bytes("testtag")), 100);
 }

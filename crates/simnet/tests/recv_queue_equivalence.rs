@@ -1,0 +1,116 @@
+//! Observational equivalence of the segmented [`RecvQueue`] with the
+//! original `VecDeque<u8>` byte queue it replaced on the kernel's delivery
+//! path.
+//!
+//! The model below is the pre-optimisation implementation, verbatim in
+//! behaviour: delivery appended every byte individually, and a read
+//! drained up to `max` bytes into a fresh buffer. For every interleaving
+//! of pushes, bounded reads, clears and EOF checks, the two must return
+//! the same bytes, the same lengths and the same emptiness — that is the
+//! contract that lets the zero-copy queue slot into `read()`/EOF handling
+//! unchanged.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use simnet::RecvQueue;
+
+/// The original byte-at-a-time receive buffer.
+#[derive(Default)]
+struct ByteQueue {
+    bytes: VecDeque<u8>,
+}
+
+impl ByteQueue {
+    fn push(&mut self, data: &[u8]) {
+        for &b in data {
+            self.bytes.push_back(b);
+        }
+    }
+
+    fn read(&mut self, max: usize) -> Vec<u8> {
+        let take = max.min(self.bytes.len());
+        self.bytes.drain(..take).collect()
+    }
+
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.bytes.clear();
+    }
+}
+
+/// One step of an interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    Push(Vec<u8>),
+    Read(usize),
+    Clear,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..48).prop_map(Op::Push),
+        // Read bounds straddle every interesting case: zero, mid-segment,
+        // exact segment, spanning, and far beyond the buffered total.
+        (0usize..128).prop_map(Op::Read),
+        Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn segmented_queue_matches_byte_queue(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut model = ByteQueue::default();
+        let mut queue = RecvQueue::new();
+        for op in &ops {
+            match op {
+                Op::Push(data) => {
+                    model.push(data);
+                    queue.push(Bytes::copy_from_slice(data));
+                }
+                Op::Read(max) => {
+                    let want = model.read(*max);
+                    let got = queue.read(*max);
+                    prop_assert_eq!(&got[..], &want[..]);
+                }
+                Op::Clear => {
+                    model.clear();
+                    queue.clear();
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+            prop_assert_eq!(queue.is_empty(), model.is_empty());
+        }
+        // Drain whatever is left and compare the tail too (EOF is gated on
+        // `is_empty`, so the tail must agree byte for byte).
+        let want = model.read(usize::MAX);
+        let got = queue.read(usize::MAX);
+        prop_assert_eq!(&got[..], &want[..]);
+        prop_assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn reads_never_exceed_max(ops in prop::collection::vec(arb_op(), 0..40), max in 0usize..64) {
+        let mut queue = RecvQueue::new();
+        for op in &ops {
+            match op {
+                Op::Push(data) => queue.push(Bytes::copy_from_slice(data)),
+                Op::Read(_) | Op::Clear => {
+                    let before = queue.len();
+                    let out = queue.read(max);
+                    prop_assert!(out.len() <= max);
+                    prop_assert_eq!(out.len(), before.min(max));
+                    prop_assert_eq!(queue.len(), before - out.len());
+                }
+            }
+        }
+    }
+}

@@ -8,9 +8,7 @@
 //!
 //! Run with `cargo run --release --example proactive_failover`.
 
-use mead_repro::experiments::{
-    failover_episodes_ms, run_scenario, ScenarioConfig, Summary,
-};
+use mead_repro::experiments::{failover_episodes_ms, run_scenario, ScenarioConfig, Summary};
 use mead_repro::mead::RecoveryScheme;
 
 fn main() {
@@ -46,7 +44,11 @@ fn main() {
         "connection redirects   : {} (dup2-style, invisible to the ORB)",
         out.metrics.counter("mead.client.redirects_completed")
     );
-    println!("fail-over episodes     : {} (mean {:.2} ms)", episodes.len(), mean_failover);
+    println!(
+        "fail-over episodes     : {} (mean {:.2} ms)",
+        episodes.len(),
+        mean_failover
+    );
     println!(
         "replicas launched      : {} (initial 3 + proactive replacements)",
         out.metrics.counter("rm.launches")

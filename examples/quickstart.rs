@@ -10,8 +10,8 @@ use std::rc::Rc;
 use mead_repro::giop::{Ior, ObjectKey};
 use mead_repro::orb::{
     decode_resolve_reply, decode_time_reply, encode_bind, encode_name, host_of, naming_ior,
-    ClientOrb, ClientOrbConfig, NamingConfig, NamingService, OrbUpshot, ServerOrb,
-    ServerOrbConfig, TimeOfDayServant, TIME_TYPE_ID,
+    ClientOrb, ClientOrbConfig, NamingConfig, NamingService, OrbUpshot, ServerOrb, ServerOrbConfig,
+    TimeOfDayServant, TIME_TYPE_ID,
 };
 use mead_repro::simnet::{
     Event, NodeId, Port, Process, SimConfig, SimDuration, SimTime, Simulation, SysApi,
@@ -67,7 +67,12 @@ impl Process for DemoClient {
     fn on_start(&mut self, sys: &mut dyn SysApi) {
         let rid = self
             .orb
-            .invoke(sys, &naming_ior(self.naming_node), "resolve", &encode_name("demo/time"))
+            .invoke(
+                sys,
+                &naming_ior(self.naming_node),
+                "resolve",
+                &encode_name("demo/time"),
+            )
             .expect("naming reference is well-formed");
         self.resolve_rid = Some(rid);
     }
@@ -81,7 +86,11 @@ impl Process for DemoClient {
         };
         for upshot in upshots {
             match upshot {
-                OrbUpshot::Reply { request_id, payload, .. } => {
+                OrbUpshot::Reply {
+                    request_id,
+                    payload,
+                    ..
+                } => {
                     if Some(request_id) == self.resolve_rid {
                         self.target =
                             Some(decode_resolve_reply(&payload).expect("resolve reply decodes"));
@@ -109,7 +118,11 @@ fn main() {
     let server_node = sim.add_node("node1");
     let client_node = sim.add_node("node2");
 
-    sim.spawn(infra, "naming", Box::new(NamingService::new(NamingConfig::default())));
+    sim.spawn(
+        infra,
+        "naming",
+        Box::new(NamingService::new(NamingConfig::default())),
+    );
     let mut orb = ServerOrb::new(Port(2810), ServerOrbConfig::default());
     orb.register(
         ObjectKey::persistent("TimePOA", "TimeOfDay"),

@@ -53,7 +53,12 @@ impl IncrementClient {
         let name = RecoveryManager::slot_binding(self.slot_rr);
         self.naming_rid = self
             .orb
-            .invoke(sys, &naming_ior(self.naming_node), "resolve", &encode_name(&name))
+            .invoke(
+                sys,
+                &naming_ior(self.naming_node),
+                "resolve",
+                &encode_name(&name),
+            )
             .ok();
     }
     fn fire(&mut self, sys: &mut dyn SysApi) {
@@ -64,7 +69,10 @@ impl IncrementClient {
         let Some(target) = self.target.clone() else {
             return;
         };
-        match self.orb.invoke(sys, &target, "increment", &encode_increment(1)) {
+        match self
+            .orb
+            .invoke(sys, &target, "increment", &encode_increment(1))
+        {
             Ok(rid) => self.current_rid = Some(rid),
             Err(_) => {
                 self.slot_rr = (self.slot_rr + 1) % 3;
@@ -88,7 +96,11 @@ impl Process for IncrementClient {
         };
         for upshot in upshots {
             match upshot {
-                OrbUpshot::Reply { request_id, payload, .. } => {
+                OrbUpshot::Reply {
+                    request_id,
+                    payload,
+                    ..
+                } => {
                     if Some(request_id) == self.naming_rid {
                         self.naming_rid = None;
                         if let Ok(ior) = decode_resolve_reply(&payload) {
@@ -126,17 +138,31 @@ impl Process for IncrementClient {
 }
 
 fn main() {
-    let total: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3000);
+    let total: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
     let mut sim = Simulation::new(SimConfig::default());
     let infra = sim.add_node("node0");
     let servers: Vec<NodeId> = (1..=3).map(|i| sim.add_node(&format!("node{i}"))).collect();
     let client_node = sim.add_node("node4");
 
     let seq = Addr::new(infra, GCS_PORT);
-    for node in std::iter::once(infra).chain(servers.iter().copied()).chain([client_node]) {
-        sim.spawn(node, "gcs", Box::new(GcsDaemon::new(seq, GcsConfig::default())));
+    for node in std::iter::once(infra)
+        .chain(servers.iter().copied())
+        .chain([client_node])
+    {
+        sim.spawn(
+            node,
+            "gcs",
+            Box::new(GcsDaemon::new(seq, GcsConfig::default())),
+        );
     }
-    sim.spawn(infra, "naming", Box::new(NamingService::new(NamingConfig::default())));
+    sim.spawn(
+        infra,
+        "naming",
+        Box::new(NamingService::new(NamingConfig::default())),
+    );
 
     // Replica factory: counter servant over a shared cell, with the
     // interceptor's warm-passive state hooks capturing/restoring it.
@@ -203,8 +229,7 @@ fn main() {
     let values = values.borrow();
     let final_value = values.last().copied().unwrap_or(0);
     let sent = values.len() as u64;
-    let rejuvenations =
-        sim.with_metrics(|m| m.counter("mead.graceful_rejuvenations"));
+    let rejuvenations = sim.with_metrics(|m| m.counter("mead.graceful_rejuvenations"));
     let restores = sim.with_metrics(|m| m.counter("mead.state_restored"));
     // Count the visible state regressions (value dropping between
     // consecutive replies = a fail-over onto a slightly stale backup).
@@ -212,7 +237,10 @@ fn main() {
 
     println!("increments acknowledged : {sent}");
     println!("final counter value     : {final_value}");
-    println!("state carried over      : {:.1}%", final_value as f64 * 100.0 / sent as f64);
+    println!(
+        "state carried over      : {:.1}%",
+        final_value as f64 * 100.0 / sent as f64
+    );
     println!("rejuvenations           : {rejuvenations}");
     println!("checkpoint restores     : {restores}");
     println!("visible state regressions at fail-over: {regressions}");
@@ -225,5 +253,8 @@ fn main() {
         final_value > sent * 2 / 3,
         "state must substantially survive fail-overs: {final_value}/{sent}"
     );
-    assert!(final_value <= sent, "the counter can never exceed the increments sent");
+    assert!(
+        final_value <= sent,
+        "the counter can never exceed the increments sent"
+    );
 }

@@ -32,7 +32,10 @@ fn every_scheme_completes_the_workload_under_faults() {
 
 #[test]
 fn proactive_migration_masks_all_failures_from_the_client() {
-    for scheme in [RecoveryScheme::LocationForward, RecoveryScheme::MeadFailover] {
+    for scheme in [
+        RecoveryScheme::LocationForward,
+        RecoveryScheme::MeadFailover,
+    ] {
         let out = run_scenario(&quick(scheme, 1200));
         assert_eq!(
             out.report.client_failures(),
@@ -50,12 +53,7 @@ fn proactive_migration_masks_all_failures_from_the_client() {
         // client writes there is no event-driven threshold check (the
         // paper's deliberate design, section 3.1). During the measured
         // window, though, every failure must be a graceful rejuvenation.
-        let last_invocation_end = out
-            .report
-            .records
-            .last()
-            .expect("records exist")
-            .end;
+        let last_invocation_end = out.report.records.last().expect("records exist").end;
         for crash in out.metrics.byte_records("mead.crash_at") {
             assert!(
                 crash.at > last_invocation_end,
@@ -83,9 +81,17 @@ fn reactive_no_cache_has_one_comm_failure_per_server_crash() {
 
 #[test]
 fn reactive_schemes_never_migrate_proactively() {
-    for scheme in [RecoveryScheme::ReactiveNoCache, RecoveryScheme::ReactiveCache] {
+    for scheme in [
+        RecoveryScheme::ReactiveNoCache,
+        RecoveryScheme::ReactiveCache,
+    ] {
         let out = run_scenario(&quick(scheme, 800));
-        assert_eq!(out.metrics.counter("mead.migrations"), 0, "{}", scheme.name());
+        assert_eq!(
+            out.metrics.counter("mead.migrations"),
+            0,
+            "{}",
+            scheme.name()
+        );
         assert_eq!(
             out.metrics.counter("mead.graceful_rejuvenations"),
             0,
@@ -105,9 +111,18 @@ fn steady_state_overhead_ordering_matches_table1() {
     let lf = steady(RecoveryScheme::LocationForward);
     let mead = steady(RecoveryScheme::MeadFailover);
     assert!((cache - base).abs() / base < 0.02, "cache overhead ~0%");
-    assert!(lf / base > 1.6, "LF must pay heavy parsing overhead: {lf} vs {base}");
-    assert!(na > base && na / base < 1.2, "NA overhead moderate: {na} vs {base}");
-    assert!(mead > base * 0.99 && mead / base < 1.1, "MEAD overhead small: {mead} vs {base}");
+    assert!(
+        lf / base > 1.6,
+        "LF must pay heavy parsing overhead: {lf} vs {base}"
+    );
+    assert!(
+        na > base && na / base < 1.2,
+        "NA overhead moderate: {na} vs {base}"
+    );
+    assert!(
+        mead > base * 0.99 && mead / base < 1.1,
+        "MEAD overhead small: {mead} vs {base}"
+    );
     assert!(lf > na && na > mead, "overhead ordering LF > NA > MEAD");
 }
 
@@ -208,7 +223,10 @@ fn os_noise_produces_the_papers_jitter_profile() {
         os_noise: true,
         ..ScenarioConfig::paper(RecoveryScheme::ReactiveNoCache)
     };
-    let cfg = ScenarioConfig { invocations: 3000, ..cfg };
+    let cfg = ScenarioConfig {
+        invocations: 3000,
+        ..cfg
+    };
     let out = run_scenario(&cfg);
     let rtts: Vec<f64> = out.report.rtts_ms().into_iter().skip(1).collect();
     let s = mead_repro::experiments::Summary::of(&rtts).expect("samples");
@@ -218,5 +236,9 @@ fn os_noise_produces_the_papers_jitter_profile() {
         "paper: 1-2.5% outliers; measured {:.2}%",
         frac * 100.0
     );
-    assert!(s.max < 2.6, "paper: fault-free max spike 2.3 ms; measured {}", s.max);
+    assert!(
+        s.max < 2.6,
+        "paper: fault-free max spike 2.3 ms; measured {}",
+        s.max
+    );
 }

@@ -6,9 +6,18 @@ use mead_repro::mead::{replica_member_name, slot_of_member, RecoveryScheme, Repl
 
 #[test]
 fn location_forward_uses_giop_forwards_not_exceptions() {
-    let out = run_scenario(&ScenarioConfig::quick(RecoveryScheme::LocationForward, 1200));
-    assert!(out.metrics.counter("mead.forwards_sent") > 0, "forwards must be sent");
-    assert!(out.metrics.counter("orb.forwarded") > 0, "the ORB must follow them");
+    let out = run_scenario(&ScenarioConfig::quick(
+        RecoveryScheme::LocationForward,
+        1200,
+    ));
+    assert!(
+        out.metrics.counter("mead.forwards_sent") > 0,
+        "forwards must be sent"
+    );
+    assert!(
+        out.metrics.counter("orb.forwarded") > 0,
+        "the ORB must follow them"
+    );
     // The forward machinery parses GIOP: the IOR table must have been fed
     // from intercepted naming registrations.
     assert!(out.metrics.counter("mead.ior_captured") > 0);
@@ -37,24 +46,36 @@ fn mead_scheme_uses_piggybacks_not_forwards() {
         client_opens, 2,
         "interceptor-level redirects must bypass the ORB's connection machinery"
     );
-    assert_eq!(out.report.naming_lookups, 1, "one initial resolve, no re-resolution");
+    assert_eq!(
+        out.report.naming_lookups, 1,
+        "one initial resolve, no re-resolution"
+    );
 }
 
 #[test]
 fn needs_addressing_fabricates_replies_for_in_flight_requests() {
-    let out = run_scenario(&ScenarioConfig::quick(RecoveryScheme::NeedsAddressing, 2500));
+    let out = run_scenario(&ScenarioConfig::quick(
+        RecoveryScheme::NeedsAddressing,
+        2500,
+    ));
     let suppressed = out.metrics.counter("mead.client.eof_suppressed");
     assert!(suppressed > 0);
     // Some of the suppressed EOFs had a request in flight; those must
     // produce a fabricated NEEDS_ADDRESSING_MODE reply and an ORB resend.
     let fabricated = out.metrics.counter("mead.client.fabricated_needs_addr");
     let resends = out.metrics.counter("orb.needs_addressing_resend");
-    assert_eq!(fabricated, resends, "each fabricated reply triggers one resend");
+    assert_eq!(
+        fabricated, resends,
+        "each fabricated reply triggers one resend"
+    );
     // Timeouts (lost races) surface as COMM_FAILURE at the application —
     // except possibly a timeout landing at the very end of the run, which
     // the completed workload never discovers.
     let timeouts = out.metrics.counter("mead.client.query_timeout");
-    assert!(timeouts > 0, "the race must produce some timeouts over 2500 invocations");
+    assert!(
+        timeouts > 0,
+        "the race must produce some timeouts over 2500 invocations"
+    );
     assert!(
         u64::from(out.report.comm_failures) + 1 >= timeouts,
         "timeouts must surface as COMM_FAILURE ({} failures, {timeouts} timeouts)",
@@ -106,10 +127,8 @@ fn key_hash_ablation_still_works_but_costs_more() {
     assert!(without_hash.metrics.counter("mead.forwards_sent") > 0);
     // ...but the byte-wise comparison charges more CPU per forward, so the
     // fail-over episodes get (slightly) slower on the ablated run.
-    let fast = mead_repro::experiments::failover_episodes_ms(
-        &with_hash,
-        RecoveryScheme::LocationForward,
-    );
+    let fast =
+        mead_repro::experiments::failover_episodes_ms(&with_hash, RecoveryScheme::LocationForward);
     let slow = mead_repro::experiments::failover_episodes_ms(
         &without_hash,
         RecoveryScheme::LocationForward,
@@ -133,7 +152,10 @@ fn directory_semantics() {
         replica_member_name(2, 3),
     ]);
     // The manager is never a fail-over target.
-    assert_eq!(dir.next_after(&replica_member_name(2, 3)), Some("replica/0/1"));
+    assert_eq!(
+        dir.next_after(&replica_member_name(2, 3)),
+        Some("replica/0/1")
+    );
     assert_eq!(slot_of_member(&replica_member_name(7, 9)), Some(7));
     // Advert retention across the advert/join race: an address recorded
     // before the member appears in a view must survive the next view.

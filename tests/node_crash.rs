@@ -15,7 +15,10 @@ fn node_crash_is_survived_by_mead_scheme() {
         crash_server_node_at: Some((1, SimTime::from_millis(1500))),
         ..ScenarioConfig::quick(RecoveryScheme::MeadFailover, 2000)
     });
-    assert!(out.report.completed, "workload must finish despite the node crash");
+    assert!(
+        out.report.completed,
+        "workload must finish despite the node crash"
+    );
     // The sequencer must have synthesized leaves for the dead node's
     // members (at least the GCS daemon's hosted replica).
     assert!(
@@ -45,7 +48,10 @@ fn node_crash_under_reactive_scheme_costs_one_comm_failure() {
         ..ScenarioConfig::quick(RecoveryScheme::ReactiveNoCache, 2000)
     });
     assert!(out.report.completed);
-    assert!(out.report.comm_failures >= 1, "the abrupt node crash must surface");
+    assert!(
+        out.report.comm_failures >= 1,
+        "the abrupt node crash must surface"
+    );
     // Replication degree restored on surviving nodes.
     assert!(out.metrics.counter("rm.launches") >= 4);
 }
@@ -58,5 +64,8 @@ fn crashing_two_nodes_still_leaves_service() {
     };
     cfg.seed = 5;
     let out = run_scenario(&cfg);
-    assert!(out.report.completed, "one dead node of three must not stop service");
+    assert!(
+        out.report.completed,
+        "one dead node of three must not stop service"
+    );
 }

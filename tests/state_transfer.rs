@@ -11,8 +11,14 @@ fn counter_state_survives_failovers_with_bounded_loss() {
     assert!(out.completed, "all increments must be acknowledged");
     let sent = out.values.len() as u64;
     let rejuvenations = out.metrics.counter("mead.graceful_rejuvenations");
-    assert!(rejuvenations >= 3, "the leak must force several rejuvenations");
-    assert!(out.metrics.counter("mead.state_restored") > 0, "backups must apply checkpoints");
+    assert!(
+        rejuvenations >= 3,
+        "the leak must force several rejuvenations"
+    );
+    assert!(
+        out.metrics.counter("mead.state_restored") > 0,
+        "backups must apply checkpoints"
+    );
     // Every fail-over shows up as exactly one visible regression...
     assert!(
         out.regressions() as u64 <= rejuvenations + 1,
@@ -28,7 +34,10 @@ fn counter_state_survives_failovers_with_bounded_loss() {
         final_value + max_loss >= sent,
         "loss exceeds the checkpoint bound: final {final_value}, sent {sent}"
     );
-    assert!(final_value <= sent, "counter can never exceed the acknowledged increments");
+    assert!(
+        final_value <= sent,
+        "counter can never exceed the acknowledged increments"
+    );
 }
 
 #[test]
@@ -39,7 +48,11 @@ fn fault_free_counter_loses_nothing() {
         ..CounterConfig::default()
     });
     assert!(out.completed);
-    assert_eq!(out.final_value(), out.values.len() as u64, "no failures, no loss");
+    assert_eq!(
+        out.final_value(),
+        out.values.len() as u64,
+        "no failures, no loss"
+    );
     assert_eq!(out.regressions(), 0);
 }
 

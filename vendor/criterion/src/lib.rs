@@ -1,0 +1,287 @@
+//! Offline, in-repo subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build container has no network access, so the workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`Bencher::iter`], benchmark groups with `sample_size`, parameterised
+//! IDs via [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, one warm-up call sizes the batch so a
+//! sample lasts roughly [`TARGET_SAMPLE`], then `sample_size` timed samples
+//! run and the mean/min/max per-iteration times are printed. There are no
+//! HTML reports, statistics beyond min/mean/max, or baselines — `--bench`
+//! output here is for quick relative comparisons; the committed perf
+//! numbers come from the experiments crate's own harness binary.
+//!
+//! Bench filters (`cargo bench -- <filter>`) are honoured by substring
+//! match, and `--list` prints benchmark names, so `cargo test --benches`
+//! style invocations stay cheap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Default number of samples per benchmark (kept small: the heavyweight
+/// scenario benches here set `sample_size(10)` themselves anyway).
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Runs closures under timing; handed to bench functions.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for groups benching one function over inputs.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark manager: owns CLI args (filter / `--list`) and defaults.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        // Accept the cargo-bench calling convention: flags we don't
+        // implement are ignored; the first bare word is the filter.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--list" => list_only = true,
+                "--bench" | "--test" | "--nocapture" | "--quiet" => {}
+                a if a.starts_with('-') => {}
+                a => {
+                    if filter.is_none() {
+                        filter = Some(a.to_string());
+                    }
+                }
+            }
+        }
+        Criterion {
+            filter,
+            list_only,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for subsequently registered benches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and (unless filtered out) runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, self, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and (unless filtered out) runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&full, samples, self.criterion, f);
+        self
+    }
+
+    /// Registers a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, samples: usize, criterion: &Criterion, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.list_only {
+        println!("{name}: benchmark");
+        return;
+    }
+
+    // Warm-up: one single-iteration sample, reused to size the batch.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.iters = iters;
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:<56} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples,
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} us", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a bench group function running each target against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 80).to_string(), "f/80");
+        assert_eq!(BenchmarkId::from_parameter("x_y").to_string(), "x_y");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(0.002).ends_with(" ms"));
+        assert!(fmt_time(0.000002).ends_with(" us"));
+        assert!(fmt_time(0.000000002).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline, in-repo subset of the [`proptest`](https://docs.rs/proptest)
+//! crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice of the proptest API its property tests use: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, `any::<T>()` for the primitive types,
+//! regex-subset string strategies (`"[a-z0-9]{1,12}"` style patterns),
+//! tuple and integer-range strategies, [`collection::vec`], [`Just`],
+//! `prop_oneof!`, and the `proptest!`/`prop_assert!`/`prop_assert_eq!`
+//! macros.
+//!
+//! Differences from the real crate, chosen deliberately for an offline
+//! repro repo:
+//!
+//! * **No shrinking.** A failing case reports its inputs, case index, and
+//!   seed instead of a minimised counterexample.
+//! * **Deterministic.** Case seeds derive from the test name and case
+//!   index, so CI failures reproduce exactly. `PROPTEST_CASES` still
+//!   overrides the per-test case count (default 256).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy};
+
+/// Module alias so `prop::collection::vec(..)` paths work.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds a union strategy choosing uniformly between the listed arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current property test case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property test case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property test case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn` runs its body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            __proptest_rng,
+                        );
+                    )+
+                    let __proptest_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __proptest_result = (move || ->
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError>
+                    {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __proptest_result.map_err(|e| (e, __proptest_inputs))
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,198 @@
+//! Generator for the regex subset used as string strategies.
+//!
+//! Supported syntax (what the repo's tests actually use): a concatenation
+//! of atoms, each a character class `[...]` or a literal character, each
+//! optionally followed by `{n}` or `{m,n}`. Classes support literal
+//! characters, `a-z` ranges, and a trailing `-` as a literal. Examples:
+//! `"[a-z0-9]{1,12}"`, `"[a-z_][a-z0-9_]{0,30}"`, `"[ -~]{0,40}"`,
+//! `"[A-Za-z0-9:/._-]{1,40}"`.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// One pattern element: a set of candidate chars and a repetition range.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset, so an unsupported test
+/// pattern fails loudly instead of silently generating garbage.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            let idx = rng.gen_range(0..atom.chars.len());
+            out.push(atom.chars[idx]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            '{' | '}' | ']' => panic!("unsupported regex syntax at {i} in {pattern:?}"),
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        atoms.push(Atom {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Parses the interior of `[...]` starting just past `[`; returns the
+/// candidate set and the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = chars[i];
+        // `a-z` range: a `-` that is neither first-after-something nor last.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (c as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            for v in lo..=hi {
+                set.push(char::from_u32(v).expect("valid char range"));
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in {pattern:?}"
+    );
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    (set, i + 1)
+}
+
+/// Parses an optional `{n}` / `{m,n}` at `i`; returns `(min, max, next)`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("quantifier min"),
+            hi.trim().parse().expect("quantifier max"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("quantifier count");
+            (n, n)
+        }
+    };
+    assert!(min <= max, "inverted quantifier in {pattern:?}");
+    (min, max, close + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    fn check(pattern: &str, ok: impl Fn(&str) -> bool) {
+        let mut rng = new_rng(pattern, 0);
+        for _ in 0..300 {
+            let s = generate_from_pattern(pattern, &mut rng);
+            assert!(ok(&s), "pattern {pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn simple_class_with_counts() {
+        check("[a-z0-9]{1,12}", |s| {
+            (1..=12).contains(&s.len())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        check("[a-z_][a-z0-9_]{0,30}", |s| {
+            !s.is_empty()
+                && s.len() <= 31
+                && s.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        check("[ -~]{0,40}", |s| {
+            s.len() <= 40 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        check("[a-b.-]{1,5}", |s| {
+            s.chars().all(|c| matches!(c, 'a' | 'b' | '.' | '-'))
+        });
+    }
+
+    #[test]
+    fn mixed_punctuation_class() {
+        check("[A-Za-z0-9:/._-]{1,40}", |s| {
+            (1..=40).contains(&s.len())
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || ":/._-".contains(c))
+        });
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        check("x[0-9]{3}", |s| {
+            s.len() == 4 && s.starts_with('x') && s[1..].chars().all(|c| c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn lengths_cover_the_whole_quantifier_range() {
+        let mut rng = new_rng("cover", 0);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            let s = generate_from_pattern("[ab]{0,3}", &mut rng);
+            seen[s.len()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "lengths 0..=3 should all appear");
+    }
+}

@@ -1,0 +1,114 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case failed.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message (what `prop_assert!` produces).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Default number of cases per property, as in the real proptest.
+const DEFAULT_CASES: u32 = 256;
+
+fn case_count() -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a number, got {v:?}")),
+        Err(_) => DEFAULT_CASES,
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed base from the test name so every
+/// property walks its own deterministic stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The RNG for case `case` of the property named `name`.
+pub fn new_rng(name: &str, case: u32) -> TestRng {
+    StdRng::seed_from_u64(fnv1a(name.as_bytes()) ^ (u64::from(case) << 1))
+}
+
+/// Runs `case_count()` generated cases of the property named `name`.
+///
+/// `f` generates its inputs from the provided RNG and returns `Err` with
+/// the failure and a rendering of the inputs when an assertion fails.
+///
+/// # Panics
+///
+/// Panics on the first failing case, reporting the case index, seed
+/// derivation, inputs, and message (there is no shrinking).
+pub fn run<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    let cases = case_count();
+    for case in 0..cases {
+        let mut rng = new_rng(name, case);
+        if let Err((error, inputs)) = f(&mut rng) {
+            panic!(
+                "proptest property {name:?} failed at case {case}/{cases} \
+                 (deterministic seed: fnv1a(name) ^ (case << 1))\n\
+                 inputs: {inputs}\n{error}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_streams_differ_by_case_and_name() {
+        use rand::RngCore;
+        assert_ne!(new_rng("a", 0).next_u64(), new_rng("a", 1).next_u64());
+        assert_ne!(new_rng("a", 0).next_u64(), new_rng("b", 0).next_u64());
+        assert_eq!(new_rng("a", 3).next_u64(), new_rng("a", 3).next_u64());
+    }
+
+    #[test]
+    fn run_executes_every_case() {
+        std::env::remove_var("PROPTEST_CASES");
+        let mut n = 0;
+        run("counter", |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, DEFAULT_CASES);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn run_reports_failures() {
+        run("always-fails", |_rng| {
+            Err((TestCaseError::fail("nope"), "x = 1".to_string()))
+        });
+    }
+}

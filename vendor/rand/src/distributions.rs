@@ -1,0 +1,323 @@
+//! Distributions: `Standard`, `Bernoulli`, and the uniform-integer
+//! samplers — each reproducing `rand` 0.8's algorithm bit-for-bit.
+
+use crate::Rng;
+
+/// A type that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "default" distribution: full-range integers, `[0, 1)` floats with
+/// the 53-bit (f64) / 24-bit (f32) mappings rand 0.8 uses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+#[cfg(target_pointer_width = "64")]
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+#[cfg(target_pointer_width = "32")]
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u32() as usize
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 52 fraction bits + 1 implicit bit = 53 bits of precision.
+        let value = rng.next_u64() >> (64 - 53);
+        (1.0 / ((1u64 << 53) as f64)) * value as f64
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> (32 - 24);
+        (1.0 / ((1u32 << 24) as f32)) * value as f32
+    }
+}
+
+/// Error returned by [`Bernoulli::new`] for `p` outside `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BernoulliError {
+    /// `p < 0` or `p > 1`.
+    InvalidProbability,
+}
+
+impl std::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p is outside [0, 1] in Bernoulli distribution")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+/// The Bernoulli distribution, via rand 0.8's 64-bit fixed-point scheme:
+/// `p` maps to `p_int = (p * 2^64) as u64` and a draw succeeds when a
+/// uniform `u64` is strictly below it. `p == 1.0` short-circuits to `true`
+/// without consuming randomness.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+// 2^64 as f64; (p * SCALE) as u64 is the fixed-point threshold.
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Constructs from a success probability.
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError::InvalidProbability);
+        }
+        Ok(Bernoulli {
+            p_int: (p * SCALE) as u64,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        let v: u64 = rng.gen();
+        v < self.p_int
+    }
+}
+
+/// Uniform-range sampling (mirror of `rand::distributions::uniform`).
+pub mod uniform {
+    use super::Standard;
+    use crate::distributions::Distribution;
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable with [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleUniform: Sized {
+        /// Samples from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range types accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_single_inclusive(low, high, rng)
+        }
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+
+    /// Widening multiply: `(hi, lo)` halves of the double-width product.
+    trait WideningMultiply: Sized {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+
+    impl WideningMultiply for u32 {
+        #[inline]
+        fn wmul(self, other: u32) -> (u32, u32) {
+            let t = self as u64 * other as u64;
+            ((t >> 32) as u32, t as u32)
+        }
+    }
+
+    impl WideningMultiply for u64 {
+        #[inline]
+        fn wmul(self, other: u64) -> (u64, u64) {
+            let t = self as u128 * other as u128;
+            ((t >> 64) as u64, t as u64)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $uty:ty) => {
+            impl SampleUniform for $ty {
+                // rand 0.8's UniformInt::sample_single: widening-multiply
+                // rejection with the bitmask zone trick (the `$uty` types
+                // here are all >= 32 bits, so the shift form applies).
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "UniformSampler::sample_single: low >= high");
+                    let range = high.wrapping_sub(low) as $uty;
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = draw::<$uty, _>(rng);
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(
+                        low <= high,
+                        "UniformSampler::sample_single_inclusive: low > high"
+                    );
+                    let range = (high.wrapping_sub(low) as $uty).wrapping_add(1);
+                    if range == 0 {
+                        // The full integer range: every bit pattern is valid.
+                        return draw::<$uty, _>(rng) as $ty;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = draw::<$uty, _>(rng);
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    fn draw<T, R: RngCore + ?Sized>(rng: &mut R) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(rng)
+    }
+
+    uniform_int_impl! { u32, u32 }
+    uniform_int_impl! { u64, u64 }
+    uniform_int_impl! { i32, u32 }
+    uniform_int_impl! { i64, u64 }
+    uniform_int_impl! { usize, usize }
+
+    impl WideningMultiply for usize {
+        #[inline]
+        #[cfg(target_pointer_width = "64")]
+        fn wmul(self, other: usize) -> (usize, usize) {
+            let (hi, lo) = (self as u64).wmul(other as u64);
+            (hi as usize, lo as usize)
+        }
+        #[inline]
+        #[cfg(target_pointer_width = "32")]
+        fn wmul(self, other: usize) -> (usize, usize) {
+            let (hi, lo) = (self as u32).wmul(other as u32);
+            (hi as usize, lo as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{RngCore, SeedableRng};
+
+    #[test]
+    fn standard_f64_matches_u64_mapping() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let x: f64 = Standard.sample(&mut a);
+            let v = b.next_u64() >> 11;
+            assert_eq!(x, v as f64 * (1.0 / (1u64 << 53) as f64));
+        }
+    }
+
+    #[test]
+    fn bernoulli_threshold_matches_u64_draw() {
+        let p = 0.37;
+        let d = Bernoulli::new(p).unwrap();
+        let threshold = (p * SCALE) as u64;
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let got = d.sample(&mut a);
+            assert_eq!(got, b.next_u64() < threshold);
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_full_range_is_raw_draw() {
+        let mut a = StdRng::seed_from_u64(2);
+        let mut b = StdRng::seed_from_u64(2);
+        use crate::Rng;
+        let x = a.gen_range(0u64..=u64::MAX);
+        assert_eq!(x, b.next_u64());
+    }
+
+    #[test]
+    fn uniform_signed_ranges_work() {
+        use crate::Rng;
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let w = rng.gen_range(-3i32..3);
+            assert!((-3..3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_small_range_rejection_agrees_with_reference() {
+        // Independent check of the widening-multiply construction: for
+        // range 10, hi = floor(v * 10 / 2^64) must match direct u128 math.
+        use crate::Rng;
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        let range = 10u64;
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        for _ in 0..1000 {
+            let got = a.gen_range(100u64..110);
+            // Replay the rejection loop on the mirror stream.
+            let expect = loop {
+                let v = b.next_u64();
+                let t = v as u128 * range as u128;
+                if (t as u64) <= zone {
+                    break 100 + (t >> 64) as u64;
+                }
+            };
+            assert_eq!(got, expect);
+        }
+    }
+}
