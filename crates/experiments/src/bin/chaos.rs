@@ -1,0 +1,97 @@
+//! The chaos fault-injection campaign (DESIGN §8).
+//!
+//! Sweeps seeded [`FaultPlan`]s — concurrent crashes, daemon/Naming
+//! outages, partitions, loss bursts, multi-replica leaks — through the
+//! full MEAD stack and checks machine-verified recovery invariants:
+//!
+//! 1. replicated-RM mode (`rm_instances = 2`) must pass **every** plan;
+//! 2. the paper's legacy SPOF mode must reproduce the documented stall
+//!    (an invariant violation) on plans that kill the RM;
+//! 3. the campaign digest must be identical at 1 and N worker threads.
+//!
+//! Usage: `chaos [--threads N] [--smoke] [plans]` (plans defaults to
+//! 240, `--smoke` runs the short fixed-seed CI configuration). Exits
+//! non-zero when any of the three checks fails.
+
+use experiments::{
+    format_campaign, run_chaos_campaign, threads_from_args, CampaignConfig, ChaosConfig,
+};
+
+fn campaign(plans: u32, rm_instances: u32, threads: usize) -> experiments::CampaignOutcome {
+    run_chaos_campaign(&CampaignConfig {
+        base_seed: 0,
+        plans,
+        chaos: ChaosConfig {
+            rm_instances,
+            ..ChaosConfig::default()
+        },
+        rm_crashes: 1,
+        threads,
+    })
+}
+
+fn main() {
+    let (threads, args) = threads_from_args();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<String> = args.into_iter().filter(|a| a != "--smoke").collect();
+    let default_plans = if smoke { 24 } else { 240 };
+    let plans: u32 = experiments::positional_or(&positional, 0, default_plans);
+    let legacy_plans = (plans / 6).max(8);
+    let det_plans = if smoke { 6 } else { 12 };
+    let mut failed = false;
+
+    // 1. Replicated-RM campaign: every plan must pass.
+    let replicated = campaign(plans, 2, threads);
+    print!("{}", format_campaign("replicated-RM campaign", &replicated));
+    if replicated.violated().is_empty() {
+        println!("  PASS: zero invariant violations across {plans} plans");
+    } else {
+        println!("  FAIL: invariant violations in replicated-RM mode");
+        failed = true;
+    }
+
+    // 2. Legacy SPOF mode: plans that crash the RM must reproduce the
+    // documented stall, and nothing else may fail.
+    let legacy = campaign(legacy_plans, 1, threads);
+    print!("{}", format_campaign("legacy SPOF campaign", &legacy));
+    let stalls = legacy.violated();
+    let all_rm = stalls
+        .iter()
+        .all(|o| legacy.rm_crash_seeds.contains(&o.seed));
+    if stalls.is_empty() {
+        println!("  FAIL: legacy mode did not reproduce the RM-crash stall");
+        failed = true;
+    } else if !all_rm {
+        println!("  FAIL: a legacy violation occurred without an RM crash");
+        failed = true;
+    } else {
+        println!(
+            "  PASS: {} of {} plans stalled, all after killing the SPOF RM",
+            stalls.len(),
+            legacy_plans
+        );
+    }
+
+    // 3. Determinism: the campaign digest must not depend on threads.
+    let one = campaign(det_plans, 2, 1);
+    let many = campaign(det_plans, 2, threads.max(2));
+    if one.digest() == many.digest() {
+        println!(
+            "determinism: {det_plans}-plan digest {:016x} identical at 1 and {} threads — PASS",
+            one.digest(),
+            threads.max(2)
+        );
+    } else {
+        println!(
+            "determinism: FAIL — digest {:016x} at 1 thread vs {:016x} at {} threads",
+            one.digest(),
+            many.digest(),
+            threads.max(2)
+        );
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

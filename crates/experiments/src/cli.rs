@@ -1,0 +1,139 @@
+//! Shared command-line parsing for the experiment bins.
+//!
+//! Every driver accepts the same `--threads N` flag ahead of its
+//! positional arguments. The parsing core ([`parse_args`]) is pure and
+//! iterator-based so it is tested once here; the bins call the thin
+//! [`threads_from_args`] wrapper, which keeps the historical behaviour of
+//! printing a usage message and exiting with status 2 on a malformed flag
+//! (these are one-shot CLI tools).
+
+use crate::runner::default_threads;
+
+/// A malformed command line (the message is ready to print).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Extracts a `--threads N` / `--threads=N` flag from `args` (program
+/// name already stripped) and returns `(threads, positional_args)`.
+/// `None`/`0` for the flag means "caller's default"; this core never
+/// exits — the bins' exit-2 behaviour lives in [`threads_from_args`].
+pub fn parse_args<I>(args: I) -> Result<(Option<usize>, Vec<String>), CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut threads = None;
+    let mut rest = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = Some(parse_thread_count(v)?);
+        } else if arg == "--threads" {
+            let v = args
+                .next()
+                .ok_or_else(|| CliError("--threads requires a value".to_string()))?;
+            threads = Some(parse_thread_count(&v)?);
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((threads, rest))
+}
+
+fn parse_thread_count(v: &str) -> Result<usize, CliError> {
+    v.parse()
+        .map_err(|_| CliError(format!("--threads expects a number, got `{v}`")))
+}
+
+/// Parses the process arguments and returns `(threads, remaining_args)`,
+/// where `remaining_args` are the positional arguments with the flag
+/// removed (program name excluded). Defaults to
+/// [`default_threads`] when the flag is absent or `0`.
+///
+/// A missing or non-numeric flag value prints a usage message and exits
+/// with status 2.
+pub fn threads_from_args() -> (usize, Vec<String>) {
+    match parse_args(std::env::args().skip(1)) {
+        Ok((threads, rest)) => (resolve_threads(threads), rest),
+        Err(e) => usage(&e.0),
+    }
+}
+
+/// Maps the parsed flag to an actual worker count: absent or `0` means
+/// [`default_threads`].
+pub fn resolve_threads(flag: Option<usize>) -> usize {
+    match flag {
+        None | Some(0) => default_threads(),
+        Some(n) => n,
+    }
+}
+
+/// Parses positional argument `index` as a `T`, falling back to
+/// `default` when absent or unparsable (the bins' historical
+/// `args.first().and_then(parse).unwrap_or(default)` idiom).
+pub fn positional_or<T: std::str::FromStr>(args: &[String], index: usize, default: T) -> T {
+    args.get(index)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <bin> [--threads N] [args...]   (N = worker threads, 0/default = all cores)");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_flag_leaves_positionals_untouched() {
+        let (threads, rest) = parse_args(argv(&["500", "extra"])).unwrap();
+        assert_eq!(threads, None);
+        assert_eq!(rest, argv(&["500", "extra"]));
+    }
+
+    #[test]
+    fn separate_and_equals_forms_parse() {
+        let (threads, rest) = parse_args(argv(&["--threads", "4", "100"])).unwrap();
+        assert_eq!(threads, Some(4));
+        assert_eq!(rest, argv(&["100"]));
+        let (threads, rest) = parse_args(argv(&["100", "--threads=8"])).unwrap();
+        assert_eq!(threads, Some(8));
+        assert_eq!(rest, argv(&["100"]));
+    }
+
+    #[test]
+    fn malformed_flag_is_an_error_not_a_panic() {
+        assert!(parse_args(argv(&["--threads"])).is_err());
+        assert!(parse_args(argv(&["--threads", "many"])).is_err());
+        assert!(parse_args(argv(&["--threads=x"])).is_err());
+    }
+
+    #[test]
+    fn zero_and_absent_resolve_to_default() {
+        assert_eq!(resolve_threads(None), default_threads());
+        assert_eq!(resolve_threads(Some(0)), default_threads());
+        assert_eq!(resolve_threads(Some(3)), 3);
+    }
+
+    #[test]
+    fn positional_or_falls_back() {
+        let args = argv(&["250", "nope"]);
+        assert_eq!(positional_or(&args, 0, 10u32), 250);
+        assert_eq!(positional_or(&args, 1, 10u32), 10);
+        assert_eq!(positional_or(&args, 5, 7u64), 7);
+    }
+}

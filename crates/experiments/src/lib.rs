@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod chaos;
+pub mod cli;
 pub mod counter;
 pub mod failover;
 pub mod figures;
@@ -21,6 +23,11 @@ pub mod stats;
 pub mod workload;
 
 pub use adaptive::{format_adaptive, run_adaptive_comparison, AdaptiveRow};
+pub use chaos::{
+    chaos_plan_space, format_campaign, run_chaos_campaign, run_chaos_plan, CampaignConfig,
+    CampaignOutcome, ChaosConfig, ChaosOutcome,
+};
+pub use cli::{positional_or, threads_from_args};
 pub use counter::{counter_key, run_counter_scenario, CounterConfig, CounterOutcome};
 pub use failover::{
     failover_row, failover_row_from, failover_rows, format_failover, model_budget, FailoverRow,
@@ -33,7 +40,7 @@ pub use report::{
     failover_episodes_ms, format_table1, run_table1, steady_state_rtt_ms, table1_row, trace_ascii,
     trace_csv, Table1Row,
 };
-pub use runner::{default_threads, run_batch, threads_from_args};
+pub use runner::{default_threads, run_batch, run_batch_with};
 pub use scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
 pub use stats::{percentile, Summary};
 pub use workload::{

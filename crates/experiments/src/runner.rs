@@ -29,31 +29,38 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs every scenario in `configs` and returns the outcomes **in input
-/// order**, using up to `threads` worker threads (`0` is treated as 1;
-/// more threads than scenarios are not spawned).
+/// Runs `job` over every item in `items` and returns the results **in
+/// input order**, using up to `threads` worker threads (`0` is treated as
+/// 1; more threads than items are not spawned).
 ///
 /// With `threads <= 1` the batch runs inline on the caller's thread — the
-/// exact sequential path the drivers used before the runner existed.
-pub fn run_batch(configs: &[ScenarioConfig], threads: usize) -> Vec<ScenarioOutcome> {
-    let threads = threads.max(1).min(configs.len());
+/// exact sequential path the drivers used before the runner existed. The
+/// same determinism argument as [`run_batch`] applies whenever `job` is a
+/// pure function of its item: threads only decide *when* each item runs,
+/// never *what* it computes.
+pub fn run_batch_with<I, O, F>(items: &[I], threads: usize, job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = threads.max(1).min(items.len());
     if threads <= 1 {
-        return configs.iter().map(run_scenario).collect();
+        return items.iter().map(job).collect();
     }
 
     // Work-stealing by atomic index: each worker claims the next
-    // unclaimed scenario, runs it to completion and stores the outcome in
-    // that scenario's slot. Claim order is racy; slot order is not.
+    // unclaimed item, runs it to completion and stores the result in
+    // that item's slot. Claim order is racy; slot order is not.
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
-        configs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<O>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cfg) = configs.get(i) else { break };
-                let outcome = run_scenario(cfg);
-                *slots[i].lock().expect("slot lock") = Some(outcome);
+                let Some(item) = items.get(i) else { break };
+                let out = job(item);
+                *slots[i].lock().expect("slot lock") = Some(out);
             });
         }
     });
@@ -62,51 +69,16 @@ pub fn run_batch(configs: &[ScenarioConfig], threads: usize) -> Vec<ScenarioOutc
         .map(|slot| {
             slot.into_inner()
                 .expect("slot lock")
-                .expect("every scenario ran exactly once")
+                .expect("every item ran exactly once")
         })
         .collect()
 }
 
-/// Parses a `--threads N` / `--threads=N` flag out of the process
-/// arguments and returns `(threads, remaining_args)`, where
-/// `remaining_args` are the positional arguments with the flag removed
-/// (program name excluded). Defaults to [`default_threads`] when the flag
-/// is absent; `--threads 0` means the default too.
-///
-/// A missing or non-numeric flag value prints a usage message and exits
-/// with status 2 (these are one-shot CLI tools).
-pub fn threads_from_args() -> (usize, Vec<String>) {
-    let mut threads = None;
-    let mut rest = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if let Some(v) = arg.strip_prefix("--threads=") {
-            threads = Some(parse_threads(v));
-        } else if arg == "--threads" {
-            let v = args
-                .next()
-                .unwrap_or_else(|| usage("--threads requires a value"));
-            threads = Some(parse_threads(&v));
-        } else {
-            rest.push(arg);
-        }
-    }
-    let threads = match threads {
-        None | Some(0) => default_threads(),
-        Some(n) => n,
-    };
-    (threads, rest)
-}
-
-fn parse_threads(v: &str) -> usize {
-    v.parse()
-        .unwrap_or_else(|_| usage(&format!("--threads expects a number, got `{v}`")))
-}
-
-fn usage(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--threads N] [args...]   (N = worker threads, 0/default = all cores)");
-    std::process::exit(2);
+/// Runs every scenario in `configs` and returns the outcomes **in input
+/// order**, using up to `threads` worker threads (`0` is treated as 1;
+/// more threads than scenarios are not spawned).
+pub fn run_batch(configs: &[ScenarioConfig], threads: usize) -> Vec<ScenarioOutcome> {
+    run_batch_with(configs, threads, run_scenario)
 }
 
 #[cfg(test)]
@@ -143,5 +115,12 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn generic_batch_keeps_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let doubled = run_batch_with(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 }

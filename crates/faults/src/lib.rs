@@ -11,7 +11,10 @@
 //!   fire-once semantics,
 //! * [`AdaptivePredictor`] — rate-estimating adaptive thresholds (the
 //!   paper's stated future work), and
-//! * [`CrashSchedule`] — abrupt crash-fault scheduling.
+//! * [`CrashSchedule`] — abrupt crash-fault scheduling, and
+//! * [`FaultPlan`] — seeded chaos schedules composing crashes,
+//!   partitions, loss bursts and multi-replica leaks for the chaos
+//!   campaign (`experiments --bin chaos`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,11 +22,16 @@
 mod adaptive;
 mod crash;
 mod memleak;
+mod plan;
 mod resource;
 mod weibull;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePredictor};
 pub use crash::CrashSchedule;
 pub use memleak::{LeakConfig, MemoryLeak};
+pub use plan::{
+    FaultEvent, FaultKind, FaultPlan, PlanSpace, MAX_BURST, MAX_PARTITION, MAX_RESTART,
+    MIN_CRASH_GAP,
+};
 pub use resource::{ResourceMonitor, ThresholdAction};
 pub use weibull::Weibull;

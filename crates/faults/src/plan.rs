@@ -1,0 +1,345 @@
+//! Seeded chaos fault plans.
+//!
+//! A [`FaultPlan`] is a deterministic, timed schedule of faults — process
+//! crashes, infrastructure crashes, link partitions, message-loss bursts
+//! and multi-replica leaks — generated from a seed and a [`PlanSpace`]
+//! describing what the target topology can absorb. The chaos campaign
+//! (`experiments --bin chaos`) sweeps hundreds of such plans through the
+//! simulator and checks recovery invariants after each one.
+//!
+//! The generator keeps every plan inside the warm-passive `f = 1` fault
+//! model the stack is built for:
+//!
+//! * **crash-like** events (replica / RM / daemon / naming crashes) are
+//!   spaced at least [`MIN_CRASH_GAP`] apart, so recovery from one fault
+//!   completes before the next lands;
+//! * infrastructure restarts happen within [`MAX_RESTART`];
+//! * partitions always heal within [`MAX_PARTITION`], and loss bursts end
+//!   within [`MAX_BURST`] — they may *overlap* crashes (that is the
+//!   interesting concurrency), but can never strand traffic forever;
+//! * at most `PlanSpace::rm_crashes` Recovery-Manager crashes are drawn,
+//!   since nothing relaunches the RM itself.
+
+use rand::Rng;
+use simnet::{SimDuration, SimRng, SimTime};
+
+/// Minimum spacing between two crash-like events.
+pub const MIN_CRASH_GAP: SimDuration = SimDuration::from_millis(600);
+/// Upper bound on infrastructure restart delay.
+pub const MAX_RESTART: SimDuration = SimDuration::from_millis(200);
+/// Upper bound on a partition's lifetime.
+pub const MAX_PARTITION: SimDuration = SimDuration::from_millis(500);
+/// Upper bound on a loss burst's lifetime.
+pub const MAX_BURST: SimDuration = SimDuration::from_millis(300);
+
+/// One injectable fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Kill the server replica currently bound to `slot`.
+    CrashReplica {
+        /// Replica slot index (0-based).
+        slot: u32,
+    },
+    /// Kill the lowest-numbered live Recovery Manager instance.
+    CrashRecoveryManager,
+    /// Kill the GCS daemon on `node`; the executor restarts it after
+    /// `restart_after`.
+    CrashGcsDaemon {
+        /// Node index hosting the daemon.
+        node: u32,
+        /// Delay before the daemon is respawned.
+        restart_after: SimDuration,
+    },
+    /// Kill the Naming Service; the executor restarts it (empty — the
+    /// paper's naming store is in-memory) after `restart_after`.
+    CrashNaming {
+        /// Delay before the naming service is respawned.
+        restart_after: SimDuration,
+    },
+    /// Sever the link between two nodes; healed after `heal_after`.
+    Partition {
+        /// First node index.
+        a: u32,
+        /// Second node index.
+        b: u32,
+        /// Delay before the link heals.
+        heal_after: SimDuration,
+    },
+    /// Delay-retransmit every message with probability `probability`
+    /// for `duration`, then restore the configured loss model.
+    LossBurst {
+        /// Per-delivery retransmission probability in `[0, 1]`.
+        probability: f64,
+        /// Burst length.
+        duration: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault kills a process (and therefore needs the
+    /// [`MIN_CRASH_GAP`] spacing discipline).
+    pub fn is_crash(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::CrashReplica { .. }
+                | FaultKind::CrashRecoveryManager
+                | FaultKind::CrashGcsDaemon { .. }
+                | FaultKind::CrashNaming { .. }
+        )
+    }
+}
+
+/// A fault scheduled at an absolute simulation instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Injection instant.
+    pub at: SimTime,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// A complete seeded chaos schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (also seeds the scenario).
+    pub seed: u64,
+    /// Events sorted by [`FaultEvent::at`].
+    pub events: Vec<FaultEvent>,
+    /// When `true`, every server replica runs the paper's memory leak —
+    /// the multi-replica-leak composition from the campaign brief.
+    pub leak_all: bool,
+}
+
+/// What the target topology can absorb; bounds the generator's draws.
+#[derive(Clone, Debug)]
+pub struct PlanSpace {
+    /// Number of server replica slots (crash targets).
+    pub replica_slots: u32,
+    /// Node indices whose GCS daemon may be crashed (and restarted).
+    pub daemon_nodes: Vec<u32>,
+    /// Whether the Naming Service may be crashed (and restarted).
+    pub naming: bool,
+    /// Maximum Recovery-Manager crashes per plan (`0` = never; keep
+    /// below the number of RM instances, nothing relaunches the RM).
+    pub rm_crashes: u32,
+    /// Node pairs whose link may be partitioned.
+    pub partition_pairs: Vec<(u32, u32)>,
+    /// Whether message-loss bursts may be drawn.
+    pub loss: bool,
+    /// Earliest injection instant (after boot/warm-up).
+    pub start: SimTime,
+    /// Latest instant a fault may *begin* (heals/restarts may run past).
+    pub end: SimTime,
+}
+
+impl FaultPlan {
+    /// Deterministically generates a plan from `seed` within `space`.
+    pub fn generate(seed: u64, space: &PlanSpace) -> FaultPlan {
+        let mut rng = SimRng::for_kernel(seed, 0xC4A05);
+        let window = space.end - space.start;
+        let mut events = Vec::new();
+
+        // Crash-like events: walk forward from `start`, one MIN_CRASH_GAP
+        // (plus jitter) at a time, so recovery always has room to finish.
+        let mut rm_left = space.rm_crashes;
+        let mut at = space.start + rand_duration(&mut rng, MIN_CRASH_GAP);
+        while at <= space.end {
+            let mut choices: Vec<u32> = vec![0; space.replica_slots.max(1) as usize];
+            for (slot, c) in choices.iter_mut().enumerate() {
+                *c = slot as u32; // encode CrashReplica{slot} as its slot
+            }
+            let base = space.replica_slots;
+            if rm_left > 0 {
+                choices.push(base); // CrashRecoveryManager
+            }
+            if !space.daemon_nodes.is_empty() {
+                choices.push(base + 1); // CrashGcsDaemon
+            }
+            if space.naming {
+                choices.push(base + 2); // CrashNaming
+            }
+            let pick = choices[rng.gen_range(0..choices.len())];
+            let kind = if pick < base {
+                FaultKind::CrashReplica { slot: pick }
+            } else if pick == base {
+                rm_left -= 1;
+                FaultKind::CrashRecoveryManager
+            } else if pick == base + 1 {
+                let node = space.daemon_nodes[rng.gen_range(0..space.daemon_nodes.len())];
+                FaultKind::CrashGcsDaemon {
+                    node,
+                    restart_after: rand_duration(&mut rng, MAX_RESTART),
+                }
+            } else {
+                FaultKind::CrashNaming {
+                    restart_after: rand_duration(&mut rng, MAX_RESTART),
+                }
+            };
+            events.push(FaultEvent { at, kind });
+            at = at + MIN_CRASH_GAP + rand_duration(&mut rng, MIN_CRASH_GAP);
+        }
+
+        // Recoverable network faults draw their instants independently so
+        // they overlap the crash timeline — concurrent faults are the
+        // point of the campaign.
+        if !space.partition_pairs.is_empty() {
+            for _ in 0..rng.gen_range(0..=2u32) {
+                let (a, b) = space.partition_pairs[rng.gen_range(0..space.partition_pairs.len())];
+                events.push(FaultEvent {
+                    at: space.start + rand_duration_u64(&mut rng, window),
+                    kind: FaultKind::Partition {
+                        a,
+                        b,
+                        heal_after: rand_duration(&mut rng, MAX_PARTITION),
+                    },
+                });
+            }
+        }
+        if space.loss && rng.gen_bool(0.5) {
+            events.push(FaultEvent {
+                at: space.start + rand_duration_u64(&mut rng, window),
+                kind: FaultKind::LossBurst {
+                    probability: 0.1 + 0.4 * rng.gen::<f64>(),
+                    duration: rand_duration(&mut rng, MAX_BURST),
+                },
+            });
+        }
+
+        events.sort_by_key(|e| e.at);
+        FaultPlan {
+            seed,
+            events,
+            leak_all: rng.gen_bool(0.3),
+        }
+    }
+
+    /// The instant by which every fault has been injected *and* every
+    /// restart / heal / burst-end it implies has fired.
+    pub fn settled_by(&self) -> SimTime {
+        let mut last = SimTime::ZERO;
+        for e in &self.events {
+            let done = match &e.kind {
+                FaultKind::CrashGcsDaemon { restart_after, .. } => e.at + *restart_after,
+                FaultKind::CrashNaming { restart_after } => e.at + *restart_after,
+                FaultKind::Partition { heal_after, .. } => e.at + *heal_after,
+                FaultKind::LossBurst { duration, .. } => e.at + *duration,
+                _ => e.at,
+            };
+            last = last.max(done);
+        }
+        last
+    }
+}
+
+/// A uniform duration in `[1 ms, max]` (never zero — a zero restart
+/// delay would race the crash it follows).
+fn rand_duration(rng: &mut SimRng, max: SimDuration) -> SimDuration {
+    let max_us = (max.as_nanos() / 1_000).max(1_000);
+    SimDuration::from_micros(rng.gen_range(1_000..=max_us))
+}
+
+fn rand_duration_u64(rng: &mut SimRng, window: SimDuration) -> SimDuration {
+    SimDuration::from_micros(rng.gen_range(0..=window.as_nanos() / 1_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> PlanSpace {
+        PlanSpace {
+            replica_slots: 3,
+            daemon_nodes: vec![1, 2, 3],
+            naming: true,
+            rm_crashes: 1,
+            partition_pairs: vec![(0, 4), (1, 4), (2, 4)],
+            loss: true,
+            start: SimTime::from_millis(700),
+            end: SimTime::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(
+                FaultPlan::generate(seed, &space()),
+                FaultPlan::generate(seed, &space())
+            );
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_window() {
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &space());
+            assert!(!plan.events.is_empty(), "seed {seed} drew no faults");
+            for w in plan.events.windows(2) {
+                assert!(w[0].at <= w[1].at);
+            }
+            for e in &plan.events {
+                assert!(e.at >= space().start && e.at <= space().end);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_events_respect_min_gap() {
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &space());
+            let crashes: Vec<SimTime> = plan
+                .events
+                .iter()
+                .filter(|e| e.kind.is_crash())
+                .map(|e| e.at)
+                .collect();
+            for w in crashes.windows(2) {
+                assert!(w[1] - w[0] >= MIN_CRASH_GAP, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn recoverable_faults_are_bounded() {
+        let mut rm = 0;
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &space());
+            for e in &plan.events {
+                match &e.kind {
+                    FaultKind::CrashGcsDaemon { restart_after, .. }
+                    | FaultKind::CrashNaming { restart_after } => {
+                        assert!(*restart_after <= MAX_RESTART);
+                        assert!(*restart_after > SimDuration::ZERO);
+                    }
+                    FaultKind::Partition { heal_after, .. } => {
+                        assert!(*heal_after <= MAX_PARTITION);
+                    }
+                    FaultKind::LossBurst {
+                        probability,
+                        duration,
+                    } => {
+                        assert!((0.1..=0.5).contains(probability));
+                        assert!(*duration <= MAX_BURST);
+                    }
+                    FaultKind::CrashRecoveryManager => rm += 1,
+                    FaultKind::CrashReplica { slot } => assert!(*slot < 3),
+                }
+            }
+            assert!(plan.settled_by() >= plan.events.last().expect("nonempty").at);
+        }
+        assert!(rm > 0, "no seed ever drew an RM crash");
+    }
+
+    #[test]
+    fn rm_crash_budget_is_respected() {
+        for seed in 0..200 {
+            let plan = FaultPlan::generate(seed, &space());
+            let rms = plan
+                .events
+                .iter()
+                .filter(|e| e.kind == FaultKind::CrashRecoveryManager)
+                .count();
+            assert!(rms <= 1, "seed {seed} drew {rms} RM crashes");
+        }
+    }
+}

@@ -177,8 +177,20 @@ impl GcsClient {
                 Some(Vec::new())
             }
             Event::TimerFired { token, .. } if *token == self.token_base => {
-                if matches!(self.state, ClientState::Connecting | ClientState::Idle) {
-                    self.start(sys);
+                match self.state {
+                    ClientState::Connecting | ClientState::Idle => self.start(sys),
+                    // The daemon died under us earlier: reconnect with a
+                    // fresh frame splitter (the old stream's bytes are
+                    // meaningless on a new connection).
+                    ClientState::Lost => {
+                        if let Some(conn) = self.conn.take() {
+                            sys.close(conn);
+                        }
+                        self.splitter = GcsSplitter::new();
+                        sys.count("gcs.client_reconnects", 1);
+                        self.start(sys);
+                    }
+                    _ => {}
                 }
                 Some(Vec::new())
             }
@@ -195,8 +207,7 @@ impl GcsClient {
                         Err(e) => {
                             sys.count("gcs.client_protocol_error", 1);
                             sys.trace(&format!("corrupt stream from daemon: {e}"));
-                            self.state = ClientState::Lost;
-                            out.push(GcsDelivery::DaemonLost);
+                            self.lose(sys, &mut out);
                             break;
                         }
                     }
@@ -204,11 +215,22 @@ impl GcsClient {
                 Some(out)
             }
             Event::PeerClosed { conn } if Some(*conn) == self.conn => {
-                self.state = ClientState::Lost;
-                Some(vec![GcsDelivery::DaemonLost])
+                let mut out = Vec::new();
+                self.lose(sys, &mut out);
+                Some(out)
             }
             _ => None,
         }
+    }
+
+    /// Marks the daemon connection dead and arms the reconnect timer.
+    /// The host sees exactly one [`GcsDelivery::DaemonLost`]; a later
+    /// [`GcsDelivery::Ready`] means the client re-attached (with its
+    /// previous joins re-issued).
+    fn lose(&mut self, sys: &mut dyn SysApi, out: &mut Vec<GcsDelivery>) {
+        self.state = ClientState::Lost;
+        sys.set_timer(self.retry_interval, self.token_base);
+        out.push(GcsDelivery::DaemonLost);
     }
 
     fn on_message(&mut self, sys: &mut dyn SysApi, msg: GcsWire, out: &mut Vec<GcsDelivery>) {
@@ -216,7 +238,25 @@ impl GcsClient {
             GcsWire::Attached => {
                 self.state = ClientState::Ready;
                 let conn = self.conn.expect("attached implies connected");
+                // Re-issue every standing join first (after a reconnect
+                // the daemon has forgotten us), then the backlog — minus
+                // queued joins for those same groups, which would
+                // otherwise be sent twice.
+                for group in &self.joined {
+                    let _ = sys.write(
+                        conn,
+                        &GcsWire::Join {
+                            group: group.clone(),
+                        }
+                        .encode(),
+                    );
+                }
                 for queued in std::mem::take(&mut self.backlog) {
+                    if let GcsWire::Join { group } = &queued {
+                        if self.joined.contains(group) {
+                            continue;
+                        }
+                    }
                     let _ = sys.write(conn, &queued.encode());
                 }
                 out.push(GcsDelivery::Ready);

@@ -167,6 +167,21 @@ pub struct MeadConfig {
     /// crossings are detected at timer granularity rather than at the next
     /// client interaction.
     pub poll_thresholds: bool,
+    /// Number of Recovery Manager instances. `1` reproduces the paper's
+    /// deliberate single point of failure (DESIGN §6.5); higher values
+    /// replicate the RM warm-passively over `groupcomm` with leader
+    /// election on view change (chaos-campaign hardening, DESIGN §8).
+    pub rm_instances: u32,
+    /// Group the Recovery Manager instances join for leader election and
+    /// warm-passive state exchange.
+    pub manager_group: String,
+    /// Hold each client reply until the checkpoint covering it has been
+    /// self-delivered through the totally-ordered group (commit-before-
+    /// ack). Off by default: the paper's warm-passive transfer replies
+    /// immediately and tolerates a small state-staleness window, which
+    /// is what Table 1 measures. The chaos campaign turns this on to get
+    /// exactly-once fail-over semantics.
+    pub commit_acks: bool,
 }
 
 impl MeadConfig {
@@ -187,6 +202,9 @@ impl MeadConfig {
             use_key_hash: true,
             adaptive: None,
             poll_thresholds: false,
+            rm_instances: 1,
+            manager_group: "managers".to_string(),
+            commit_acks: false,
         }
     }
 
@@ -232,6 +250,11 @@ mod tests {
         assert_eq!(cfg.migrate_threshold, 0.9);
         assert!(cfg.leak.is_some());
         assert!(cfg.use_key_hash);
+        // Paper fidelity: the RM stays a SPOF and replies are immediate
+        // unless an experiment opts in to the hardened behaviour.
+        assert_eq!(cfg.rm_instances, 1);
+        assert_eq!(cfg.manager_group, "managers");
+        assert!(!cfg.commit_acks);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! * answers `AddressQuery` multicasts when it is the first live replica
 //!   (section 4.2).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use faults::{AdaptivePredictor, MemoryLeak, ResourceMonitor, ThresholdAction};
 use giop::{Endian, Frame, FrameKind, Message, MsgType, ObjectKey, ReplyBody, ReplyMessage};
@@ -93,6 +93,15 @@ struct ServerState {
     launch_requested: bool,
     /// We have seen ourselves in a view and re-advertised once.
     advertised_in_view: bool,
+    /// Commit-before-ack (`cfg.commit_acks`): client replies written by
+    /// the app since the last checkpoint, waiting for the checkpoint
+    /// that covers them.
+    current_batch: Vec<(ConnId, Vec<u8>)>,
+    /// One entry per checkpoint multicast still in flight; its batch is
+    /// released when our own checkpoint self-delivers through the total
+    /// order (so the state the replies acknowledge is durable at the
+    /// backups first).
+    held_replies: VecDeque<Vec<(ConnId, Vec<u8>)>>,
 }
 
 impl ServerInterceptor {
@@ -127,6 +136,8 @@ impl ServerInterceptor {
                 draining: false,
                 launch_requested: false,
                 advertised_in_view: false,
+                current_batch: Vec::new(),
+                held_replies: VecDeque::new(),
             },
         }
     }
@@ -278,6 +289,36 @@ impl ServerState {
         };
         let mut staged = false;
         for frame in frames {
+            // Warm-passive single-writer discipline (exactly-once mode):
+            // a backup that has never served and is not the first listed
+            // replica must not touch application state — a client that
+            // resolved straight to a freshly launched, not-yet-warmed
+            // instance would otherwise fork the state. Refuse with
+            // TRANSIENT so the client retries against the acting primary.
+            if is_client
+                && self.cfg.commit_acks
+                && frame.kind == FrameKind::Giop
+                && frame.msg_type() == MsgType::Request as u8
+                && !self.ever_served
+                && !self.dir.is_first_replica(&self.member)
+            {
+                if let Ok(Message::Request(req)) = Message::decode(&frame.bytes) {
+                    sys.charge_cpu(self.cfg.costs.fabricate_cpu);
+                    sys.count("mead.nonprimary_refusals", 1);
+                    if req.response_expected {
+                        let reply = Message::Reply(ReplyMessage {
+                            request_id: req.request_id,
+                            body: ReplyBody::SystemException {
+                                repo_id: giop::EX_TRANSIENT.to_string(),
+                                minor: 1,
+                                completed: 1, // NO
+                            },
+                        });
+                        let _ = sys.write(conn, &reply.encode(Endian::Big));
+                    }
+                    continue;
+                }
+            }
             if is_client {
                 self.process_client_frame(sys, conn, &frame);
             }
@@ -493,6 +534,14 @@ impl ServerState {
     fn send_checkpoint(&mut self, sys: &mut dyn SysApi) {
         self.served_since_checkpoint = false;
         sys.count("mead.checkpoints_sent", 1);
+        if self.cfg.commit_acks {
+            // Every checkpoint multicast owns the batch of replies it
+            // covers (possibly empty, e.g. a periodic or warming
+            // checkpoint); self-delivery releases batches in FIFO order,
+            // which matches multicast order from a single sender.
+            self.held_replies
+                .push_back(std::mem::take(&mut self.current_batch));
+        }
         let state = match self.state_hooks.as_ref() {
             Some(hooks) => (hooks.capture)(),
             None => vec![0u8; self.cfg.checkpoint_bytes],
@@ -556,7 +605,26 @@ impl ServerState {
 
     fn on_gcs(&mut self, sys: &mut dyn SysApi, delivery: GcsDelivery) {
         match delivery {
-            GcsDelivery::Ready => self.advertise(sys),
+            GcsDelivery::Ready => {
+                self.advertise(sys);
+                // Re-attach after a daemon outage: checkpoints sent on the
+                // dead connection will never self-deliver, so their held
+                // reply batches would starve. Merge everything still
+                // outstanding into one fresh checkpoint on the new
+                // connection (its self-delivery releases them all).
+                if self.cfg.commit_acks
+                    && (!self.held_replies.is_empty() || !self.current_batch.is_empty())
+                {
+                    let mut merged: Vec<(ConnId, Vec<u8>)> = Vec::new();
+                    for batch in std::mem::take(&mut self.held_replies) {
+                        merged.extend(batch);
+                    }
+                    merged.append(&mut self.current_batch);
+                    self.current_batch = merged;
+                    sys.count("mead.ack_recheckpoints", 1);
+                    self.send_checkpoint(sys);
+                }
+            }
             GcsDelivery::View { group, members, .. } if group == self.cfg.server_group => {
                 let grew = members.len() > self.dir.view().len();
                 self.dir.on_view(members);
@@ -632,10 +700,21 @@ impl ServerState {
                                 sys.count("mead.state_restored", 1);
                             }
                         }
+                    } else if self.cfg.commit_acks {
+                        // Our own checkpoint came back through the total
+                        // order: the state is durable, release the reply
+                        // batch it covers.
+                        if let Some(batch) = self.held_replies.pop_front() {
+                            for (conn, bytes) in batch {
+                                sys.count("mead.acks_committed", 1);
+                                let _ = sys.write(conn, &bytes);
+                            }
+                        }
                     }
                 }
                 Ok(GroupMsg::LaunchRequest { .. }) => {} // Recovery Manager's job
                 Ok(GroupMsg::AddressReply { .. }) => {}  // client-side message
+                Ok(GroupMsg::RmState { .. }) => {}       // manager-to-manager
                 Err(e) => {
                     sys.count("mead.bad_group_msg", 1);
                     sys.trace(&format!("bad group message: {e}"));
@@ -762,9 +841,24 @@ impl SysApi for ServerFacade<'_> {
             };
             match frames {
                 Ok(frames) => {
+                    let mut held_any = false;
                     for frame in frames {
                         let out = self.st.filter_client_write(self.sys, conn, &frame);
-                        self.sys.write(conn, &out)?;
+                        // Commit-before-ack: a GIOP reply only goes on
+                        // the wire once the checkpoint covering the state
+                        // it acknowledges is durable (self-delivered).
+                        if self.st.cfg.commit_acks
+                            && frame.kind == FrameKind::Giop
+                            && frame.msg_type() == MsgType::Reply as u8
+                        {
+                            self.st.current_batch.push((conn, out));
+                            held_any = true;
+                        } else {
+                            self.sys.write(conn, &out)?;
+                        }
+                    }
+                    if held_any {
+                        self.st.send_checkpoint(self.sys);
                     }
                     self.st.maybe_drain(self.sys);
                     Ok(())

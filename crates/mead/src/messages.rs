@@ -166,6 +166,15 @@ pub enum GroupMsg {
         /// Opaque application state.
         state: Vec<u8>,
     },
+    /// Warm-passive Recovery-Manager state, multicast by the RM leader to
+    /// its standbys after every launch decision so a takeover continues
+    /// the port sequence and pending launches instead of restarting them.
+    RmState {
+        /// Next fresh replica port the leader will assign.
+        next_port: u16,
+        /// Outstanding launches as `(slot, expected member name)`.
+        pendings: Vec<(u32, String)>,
+    },
 }
 
 impl GroupMsg {
@@ -178,6 +187,7 @@ impl GroupMsg {
             GroupMsg::AddressQuery { .. } => 4,
             GroupMsg::AddressReply { .. } => 5,
             GroupMsg::Checkpoint { .. } => 6,
+            GroupMsg::RmState { .. } => 7,
         }
     }
 
@@ -213,6 +223,17 @@ impl GroupMsg {
             GroupMsg::Checkpoint { member, state } => {
                 w.write_string(member);
                 w.write_octets(state);
+            }
+            GroupMsg::RmState {
+                next_port,
+                pendings,
+            } => {
+                w.write_u16(*next_port);
+                w.write_u32(pendings.len() as u32);
+                for (slot, member) in pendings {
+                    w.write_u32(*slot);
+                    w.write_string(member);
+                }
             }
         }
         w.finish().to_vec()
@@ -262,6 +283,20 @@ impl GroupMsg {
                 member: r.read_string()?,
                 state: r.read_octets()?,
             },
+            7 => {
+                let next_port = r.read_u16()?;
+                let n = r.read_u32()?;
+                let mut pendings = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    let slot = r.read_u32()?;
+                    let member = r.read_string()?;
+                    pendings.push((slot, member));
+                }
+                GroupMsg::RmState {
+                    next_port,
+                    pendings,
+                }
+            }
             other => return Err(MeadWireError::UnknownKind(other)),
         })
     }
@@ -327,6 +362,10 @@ mod tests {
                 member: "replica/1".into(),
                 state: vec![9; 256],
             },
+            GroupMsg::RmState {
+                next_port: 20007,
+                pendings: vec![(0, "replicas/0/44".into()), (2, "replicas/2/51".into())],
+            },
         ];
         for msg in cases {
             assert_eq!(GroupMsg::decode(&msg.encode()).unwrap(), msg);
@@ -335,12 +374,20 @@ mod tests {
 
     #[test]
     fn truncated_group_messages_error_not_panic() {
-        let msg = GroupMsg::SyncList {
-            entries: vec![("m".into(), "h".into(), 1)],
-        };
-        let wire = msg.encode();
-        for cut in 0..wire.len() {
-            let _ = GroupMsg::decode(&wire[..cut]);
+        let cases = vec![
+            GroupMsg::SyncList {
+                entries: vec![("m".into(), "h".into(), 1)],
+            },
+            GroupMsg::RmState {
+                next_port: 20007,
+                pendings: vec![(1, "replicas/1/9".into())],
+            },
+        ];
+        for msg in cases {
+            let wire = msg.encode();
+            for cut in 0..wire.len() {
+                assert!(GroupMsg::decode(&wire[..cut]).is_err());
+            }
         }
     }
 

@@ -15,7 +15,14 @@
 //! `TRANSIENT` exceptions of section 5.2.1).
 //!
 //! The Recovery Manager is deliberately a single point of failure, exactly
-//! as the paper admits of its own implementation.
+//! as the paper admits of its own implementation — in its default
+//! configuration. With [`MeadConfig::rm_instances`] > 1 the manager is
+//! itself replicated warm-passively (DESIGN §8): instances join a
+//! manager group, the first member of the group's view (join order) is
+//! the leader and the only instance that launches replicas, and the
+//! leader multicasts its launch state ([`GroupMsg::RmState`]) so a
+//! standby that takes over after a crash continues the port sequence and
+//! outstanding launches instead of duplicating them.
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -63,6 +70,16 @@ pub struct RecoveryManager {
     last_view: Vec<String>,
     initial_launched: bool,
     pending_timeout: SimDuration,
+    /// `true` when this instance takes part in manager-group leader
+    /// election (legacy single-instance managers never join the group,
+    /// keeping the paper topology byte-identical).
+    replicated: bool,
+    member_name: String,
+    manager_view: Vec<String>,
+    seen_manager_view: bool,
+    was_leader: bool,
+    /// Launch state changed since the last [`GroupMsg::RmState`] share.
+    dirty: bool,
 }
 
 impl RecoveryManager {
@@ -87,7 +104,73 @@ impl RecoveryManager {
             last_view: Vec::new(),
             initial_launched: false,
             pending_timeout: SimDuration::from_millis(1000),
+            replicated: false,
+            member_name: "mgr/recovery".to_string(),
+            manager_view: Vec::new(),
+            seen_manager_view: false,
+            was_leader: false,
+            dirty: false,
         }
+    }
+
+    /// Creates manager instance `instance` of a warm-passively replicated
+    /// Recovery Manager deployment (`cfg.rm_instances` of them; spawn one
+    /// per call). Instances elect the first member of the manager-group
+    /// view as leader.
+    pub fn replicated(
+        cfg: MeadConfig,
+        target_degree: u32,
+        replica_nodes: Vec<NodeId>,
+        factory: ReplicaFactory,
+        instance: u32,
+    ) -> Self {
+        let mut rm = RecoveryManager::new(cfg, target_degree, replica_nodes, factory);
+        rm.replicated = true;
+        rm.member_name = format!("mgr/recovery/{instance}");
+        rm
+    }
+
+    /// Leader = first manager-group member in join order; a legacy
+    /// single-instance manager is always the leader.
+    fn is_leader(&self) -> bool {
+        !self.replicated || self.manager_view.first() == Some(&self.member_name)
+    }
+
+    /// Multicasts the launch state to standby instances when it changed.
+    fn share_state(&mut self, sys: &mut dyn SysApi) {
+        if !self.replicated || !self.dirty || !self.is_leader() {
+            return;
+        }
+        self.dirty = false;
+        let pendings: Vec<(u32, String)> = self
+            .slots
+            .iter()
+            .filter_map(|(slot, s)| s.pending.as_ref().map(|(m, _)| (*slot, m.clone())))
+            .collect();
+        let msg = GroupMsg::RmState {
+            next_port: self.next_port,
+            pendings,
+        };
+        let group = self.cfg.manager_group.clone();
+        if let Some(gcs) = self.gcs.as_mut() {
+            gcs.multicast(sys, &group, &msg.encode());
+        }
+    }
+
+    /// Applies a leader's [`GroupMsg::RmState`] on a standby.
+    fn absorb_state(&mut self, sys: &mut dyn SysApi, next_port: u16, pendings: Vec<(u32, String)>) {
+        self.next_port = self.next_port.max(next_port);
+        let now = sys.now();
+        for slot in 0..self.target_degree {
+            let pending = pendings
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .map(|(_, m)| (m.clone(), now));
+            self.slots.entry(slot).or_default().pending = pending;
+        }
+        // A leader that launches exists: a takeover must reconcile, not
+        // redo the initial deployment.
+        self.initial_launched = true;
     }
 
     /// The Naming Service binding name for a slot.
@@ -117,6 +200,7 @@ impl RecoveryManager {
                     sys.trace(&format!("launched slot {slot} on {node} port {port}"));
                     let expected = replica_member_name(slot, pid.raw());
                     self.slots.entry(slot).or_default().pending = Some((expected, sys.now()));
+                    self.dirty = true;
                     return;
                 }
                 Err(e) => {
@@ -141,9 +225,11 @@ impl RecoveryManager {
             if let Some((expected, since)) = entry.pending.clone() {
                 if self.last_view.contains(&expected) {
                     self.slots.entry(slot).or_default().pending = None;
+                    self.dirty = true;
                 } else if now.saturating_since(since) > self.pending_timeout {
                     sys.count("rm.pending_expired", 1);
                     self.slots.entry(slot).or_default().pending = None;
+                    self.dirty = true;
                 }
             }
             let pending = self.slots.entry(slot).or_default().pending.is_some();
@@ -156,10 +242,14 @@ impl RecoveryManager {
 
 impl Process for RecoveryManager {
     fn on_start(&mut self, sys: &mut dyn SysApi) {
-        let mut gcs = GcsClient::new("mgr/recovery", TOKEN_GCS);
+        let mut gcs = GcsClient::new(self.member_name.clone(), TOKEN_GCS);
         gcs.start(sys);
         let group = self.cfg.server_group.clone();
         gcs.join(sys, &group);
+        if self.replicated {
+            let managers = self.cfg.manager_group.clone();
+            gcs.join(sys, &managers);
+        }
         self.gcs = Some(gcs);
         sys.set_timer(SimDuration::from_millis(100), TOKEN_TICK);
     }
@@ -169,8 +259,9 @@ impl Process for RecoveryManager {
             token: TOKEN_TICK, ..
         } = event
         {
-            if self.initial_launched {
+            if self.initial_launched && self.is_leader() {
                 self.ensure_degree(sys);
+                self.share_state(sys);
             }
             sys.set_timer(SimDuration::from_millis(100), TOKEN_TICK);
             return;
@@ -185,8 +276,10 @@ impl Process for RecoveryManager {
         for d in deliveries {
             match d {
                 GcsDelivery::Ready => {
-                    // Initial deployment of the replicated server.
-                    if !self.initial_launched {
+                    // Initial deployment of the replicated server. A
+                    // replicated manager waits for the manager-group view
+                    // to know whether it is the leader.
+                    if !self.initial_launched && !self.replicated {
                         self.initial_launched = true;
                         for slot in 0..self.target_degree {
                             self.launch(sys, slot);
@@ -196,12 +289,52 @@ impl Process for RecoveryManager {
                 GcsDelivery::View { group, members, .. } if group == self.cfg.server_group => {
                     self.last_view = members;
                     sys.count("rm.views", 1);
-                    if self.initial_launched {
+                    if self.initial_launched && self.is_leader() {
                         self.ensure_degree(sys);
+                        self.share_state(sys);
                     }
                 }
-                GcsDelivery::Message { payload, .. } => {
-                    if let Ok(GroupMsg::LaunchRequest { member }) = GroupMsg::decode(&payload) {
+                GcsDelivery::View { group, members, .. }
+                    if self.replicated && group == self.cfg.manager_group =>
+                {
+                    self.manager_view = members;
+                    let leader = self.is_leader();
+                    if leader && !self.was_leader {
+                        if !self.seen_manager_view {
+                            // First view at boot: the initial deployment.
+                            if !self.initial_launched {
+                                self.initial_launched = true;
+                                for slot in 0..self.target_degree {
+                                    self.launch(sys, slot);
+                                }
+                                self.share_state(sys);
+                            }
+                        } else {
+                            // The previous leader died: take over. Give
+                            // inherited pendings a fresh grace period —
+                            // their wall clocks started on another
+                            // instance.
+                            sys.count("rm.leader_elections", 1);
+                            sys.trace("taking over as recovery-manager leader");
+                            self.initial_launched = true;
+                            let now = sys.now();
+                            for s in self.slots.values_mut() {
+                                if let Some((_, since)) = s.pending.as_mut() {
+                                    *since = now;
+                                }
+                            }
+                            self.ensure_degree(sys);
+                            self.share_state(sys);
+                        }
+                    }
+                    self.was_leader = leader;
+                    self.seen_manager_view = true;
+                }
+                GcsDelivery::Message { payload, .. } => match GroupMsg::decode(&payload) {
+                    Ok(GroupMsg::LaunchRequest { member }) => {
+                        if !self.is_leader() {
+                            continue;
+                        }
                         // Proactive fault notification (section 3.3): pre-
                         // launch the replacement before the failure.
                         sys.count("rm.proactive_notices", 1);
@@ -221,11 +354,37 @@ impl Process for RecoveryManager {
                                 .count();
                             if !already_pending && live_instances < 2 {
                                 self.launch(sys, slot);
+                                self.share_state(sys);
                             }
                         }
                     }
+                    Ok(GroupMsg::RmState {
+                        next_port,
+                        pendings,
+                    }) => {
+                        if self.replicated && !self.is_leader() {
+                            self.absorb_state(sys, next_port, pendings);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        // A corrupted frame is a fault to surface, not a
+                        // message to silently drop (chaos satellite).
+                        sys.count("rm.bad_group_msg", 1);
+                        sys.trace(&format!("undecodable group message: {e}"));
+                    }
+                },
+                GcsDelivery::DaemonLost => {
+                    sys.count("rm.gcs_lost", 1);
+                    // A replicated instance cannot claim leadership on a
+                    // stale view: demote until the re-attached daemon
+                    // delivers a fresh manager-group view (otherwise two
+                    // leaders could launch replicas concurrently).
+                    if self.replicated {
+                        self.manager_view.clear();
+                        self.was_leader = false;
+                    }
                 }
-                GcsDelivery::DaemonLost => sys.count("rm.gcs_lost", 1),
                 GcsDelivery::View { .. } => {}
             }
         }

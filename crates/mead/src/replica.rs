@@ -14,7 +14,11 @@ use orb::{
     encode_bind, host_of, naming_ior, ClientOrb, ClientOrbConfig, Servant, ServerOrb,
     ServerOrbConfig, TimeOfDayServant, TIME_TYPE_ID,
 };
-use simnet::{Event, NodeId, Port, Process, SysApi};
+use simnet::{Event, NodeId, Port, Process, SimDuration, SysApi};
+
+/// Timer token for the periodic naming re-bind (outside the interceptor
+/// token namespace, so the wrapping interceptor forwards it here).
+const REBIND_TOKEN: u64 = 7_001;
 
 /// The persistent object key shared by every replica of the time server
 /// (persistent keys are what make cross-replica forwarding possible,
@@ -31,6 +35,7 @@ pub struct ReplicaApp {
     bind_name: String,
     objects: Vec<(ObjectKey, String)>,
     port: Port,
+    rebind_interval: Option<SimDuration>,
 }
 
 impl ReplicaApp {
@@ -48,6 +53,26 @@ impl ReplicaApp {
             bind_name: crate::RecoveryManager::slot_binding(slot),
             objects: vec![(key, TIME_TYPE_ID.to_string())],
             port,
+            rebind_interval: None,
+        }
+    }
+
+    /// Re-registers the naming bindings every `interval` (idempotent —
+    /// the naming store has rebind semantics). Off by default: the paper
+    /// topology binds once at startup. The chaos campaign enables it so
+    /// bindings survive a Naming Service crash/restart, whose in-memory
+    /// store comes back empty.
+    pub fn with_rebind(mut self, interval: SimDuration) -> Self {
+        self.rebind_interval = Some(interval);
+        self
+    }
+
+    fn bind_all(&mut self, sys: &mut dyn SysApi) {
+        let naming = naming_ior(self.naming_node);
+        for (key, type_id) in self.objects.clone() {
+            let ior = self.ior_for(sys, &key, &type_id);
+            let body = encode_bind(&self.bind_name, &ior);
+            let _ = self.client_orb.invoke(sys, &naming, "bind", &body);
         }
     }
 
@@ -74,15 +99,24 @@ impl Process for ReplicaApp {
         self.orb.start(sys);
         // Register with the Naming Service; a restarted instance re-binds
         // the slot name with its fresh address.
-        let naming = naming_ior(self.naming_node);
-        for (key, type_id) in self.objects.clone() {
-            let ior = self.ior_for(sys, &key, &type_id);
-            let body = encode_bind(&self.bind_name, &ior);
-            let _ = self.client_orb.invoke(sys, &naming, "bind", &body);
+        self.bind_all(sys);
+        if let Some(interval) = self.rebind_interval {
+            sys.set_timer(interval, REBIND_TOKEN);
         }
     }
 
     fn on_event(&mut self, sys: &mut dyn SysApi, event: Event) {
+        if let Event::TimerFired {
+            token: REBIND_TOKEN,
+            ..
+        } = event
+        {
+            if let Some(interval) = self.rebind_interval {
+                self.bind_all(sys);
+                sys.set_timer(interval, REBIND_TOKEN);
+            }
+            return;
+        }
         if self.client_orb.handle_event(sys, &event).is_some() {
             return; // naming-registration traffic
         }

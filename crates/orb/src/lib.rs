@@ -25,6 +25,7 @@
 mod client;
 mod exceptions;
 mod naming;
+mod retry;
 mod servants;
 mod server;
 
@@ -34,8 +35,10 @@ pub use naming::{
     decode_list_reply, decode_resolve_reply, encode_bind, encode_name, naming_ior, naming_key,
     NamingConfig, NamingServant, NamingService, EX_NOT_FOUND, NAMING_PORT, NAMING_TYPE_ID,
 };
+pub use retry::{RetryPolicy, RetryState};
 pub use servants::{
-    decode_counter_reply, decode_time_reply, encode_increment, CounterServant,
-    SharedCounterServant, TimeOfDayServant, COUNTER_TYPE_ID, TIME_TYPE_ID,
+    decode_counter_reply, decode_time_reply, encode_increment, encode_increment_once,
+    CounterServant, DedupCounterServant, DedupState, SharedCounterServant, TimeOfDayServant,
+    COUNTER_TYPE_ID, TIME_TYPE_ID,
 };
 pub use server::{Servant, ServerOrb, ServerOrbConfig};

@@ -191,6 +191,12 @@ pub struct Simulation {
     trace: Vec<(SimTime, ProcessId, String)>,
     events_processed: u64,
     wall_in_run: Duration,
+    /// Severed node pairs (normalised lower-index first). Network actions
+    /// crossing a severed link park in `parked` until the link heals.
+    partitions: HashSet<(u32, u32)>,
+    /// Actions stashed at their would-be arrival because the link was
+    /// down; re-released (in original sequence order) on heal.
+    parked: Vec<Scheduled>,
 }
 
 impl Simulation {
@@ -217,6 +223,8 @@ impl Simulation {
             trace: Vec::new(),
             events_processed: 0,
             wall_in_run: Duration::ZERO,
+            partitions: HashSet::new(),
+            parked: Vec::new(),
         }
     }
 
@@ -260,6 +268,91 @@ impl Simulation {
     pub fn restart_node(&mut self, node: NodeId) {
         if let Some(n) = self.nodes.get_mut(node.0 as usize) {
             n.alive = true;
+        }
+    }
+
+    fn link_key(a: NodeId, b: NodeId) -> (u32, u32) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    /// Severs the link between `a` and `b` (link-partition fault). Segments
+    /// that would arrive while the link is down — data, EOFs, connection
+    /// handshakes — are parked, not dropped, and resume in order on
+    /// [`heal`](Self::heal): the TCP retransmission view of a partition.
+    /// Same-node traffic (loopback) cannot be partitioned.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        if a != b {
+            self.partitions.insert(Self::link_key(a, b));
+            self.metrics.borrow_mut().count("sim.partitions", 1);
+        }
+    }
+
+    /// Restores the link between `a` and `b`; parked traffic is released
+    /// at the current simulated time in its original send order.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        if self.partitions.remove(&Self::link_key(a, b)) {
+            self.release_parked();
+        }
+    }
+
+    /// Restores every severed link.
+    pub fn heal_all(&mut self) {
+        if !self.partitions.is_empty() {
+            self.partitions.clear();
+            self.release_parked();
+        }
+    }
+
+    /// Whether the link between `a` and `b` is currently severed.
+    pub fn link_severed(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.contains(&Self::link_key(a, b))
+    }
+
+    /// Replaces the message-loss model mid-run (loss-burst faults).
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.cfg.loss = loss;
+    }
+
+    /// The node pair a network action crosses, if any (`None` for local
+    /// actions and for endpoints that no longer exist).
+    fn action_link(&self, action: &Action) -> Option<(NodeId, NodeId)> {
+        let ep_link = |ep_id: &ConnId| {
+            let ep = self.endpoints.get(ep_id)?;
+            let owner_node = self.procs.get(&ep.owner)?.node;
+            Some((owner_node, ep.remote_node))
+        };
+        match action {
+            Action::ConnectAttempt { client_ep, addr } => {
+                let ep = self.endpoints.get(client_ep)?;
+                let owner_node = self.procs.get(&ep.owner)?.node;
+                Some((owner_node, addr.node))
+            }
+            Action::ConnectResult { client_ep, .. } => ep_link(client_ep),
+            Action::DeliverData { ep, .. } | Action::DeliverEof { ep } => ep_link(ep),
+            _ => None,
+        }
+    }
+
+    /// Re-queues parked actions whose links have healed, preserving their
+    /// original sequence order (per-connection FIFO survives a partition).
+    fn release_parked(&mut self) {
+        let parked = std::mem::take(&mut self.parked);
+        let mut freed = Vec::new();
+        for sched in parked {
+            let blocked = self
+                .action_link(&sched.action)
+                .map(|(a, b)| self.link_severed(a, b))
+                .unwrap_or(false);
+            if blocked {
+                self.parked.push(sched);
+            } else {
+                freed.push(sched);
+            }
+        }
+        freed.sort_by_key(|s| s.seq);
+        for mut sched in freed {
+            sched.at = sched.at.max(self.now);
+            self.queue.push(sched);
         }
     }
 
@@ -410,6 +503,16 @@ impl Simulation {
             self.now = sched.at;
             self.events_processed += 1;
             dispatched += 1;
+            // A severed link parks the action instead of delivering it;
+            // heal() re-releases parked actions in send order.
+            let severed = self
+                .action_link(&sched.action)
+                .map(|(a, b)| self.link_severed(a, b))
+                .unwrap_or(false);
+            if severed {
+                self.parked.push(sched);
+                continue;
+            }
             self.handle(sched.action);
         }
     }
