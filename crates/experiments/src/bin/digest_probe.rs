@@ -1,0 +1,26 @@
+//! Prints outcome digests for a small fixed scenario batch, one hex line
+//! per scenario.
+//!
+//! Each OS process gets a different `HashMap` seed, so running this probe
+//! in N fresh processes and comparing stdout catches any remaining
+//! hash-order dependence anywhere in the stack (simnet kernel, GCS
+//! daemons, MEAD interceptors, metrics) — the failure mode detlint R1
+//! guards against statically. `crates/experiments/tests/digest_stability.rs`
+//! spawns it 32 times and asserts bit-identical output.
+
+use experiments::{run_scenario, ScenarioConfig};
+use mead::RecoveryScheme;
+
+fn main() {
+    let configs = vec![
+        ScenarioConfig::quick(RecoveryScheme::MeadFailover, 200),
+        ScenarioConfig::quick(RecoveryScheme::ReactiveNoCache, 200),
+        ScenarioConfig {
+            seed: 11,
+            ..ScenarioConfig::quick(RecoveryScheme::LocationForward, 200)
+        },
+    ];
+    for config in &configs {
+        println!("{:016x}", run_scenario(config).digest());
+    }
+}

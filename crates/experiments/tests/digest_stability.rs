@@ -1,0 +1,55 @@
+//! Cross-process determinism regression (detlint R1's dynamic
+//! counterpart).
+//!
+//! `std::collections::HashMap` seeds its hasher per *process*, so code
+//! whose behaviour leaks hash-iteration order produces identical results
+//! within one process but diverges across processes. Spawning the
+//! `digest_probe` binary in 32 fresh OS processes therefore samples 32
+//! independent hash seeds; the scenario digests must be bit-identical in
+//! every one.
+
+use std::process::{Command, Stdio};
+
+#[test]
+fn digests_identical_across_32_fresh_processes() {
+    let exe = env!("CARGO_BIN_EXE_digest_probe");
+
+    // Launch all probes first so the test is bounded by the slowest
+    // child, not the sum.
+    let children: Vec<_> = (0..32)
+        .map(|i| {
+            let child = Command::new(exe)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawn digest_probe #{i}: {e}"));
+            (i, child)
+        })
+        .collect();
+
+    let mut outputs = Vec::new();
+    for (i, child) in children {
+        let out = child
+            .wait_with_output()
+            .unwrap_or_else(|e| panic!("wait for digest_probe #{i}: {e}"));
+        assert!(
+            out.status.success(),
+            "digest_probe #{i} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push((i, String::from_utf8_lossy(&out.stdout).into_owned()));
+    }
+
+    let (_, reference) = &outputs[0];
+    assert_eq!(
+        reference.lines().count(),
+        3,
+        "probe printed an unexpected digest count:\n{reference}"
+    );
+    for (i, out) in &outputs {
+        assert_eq!(
+            out, reference,
+            "digest output diverged in fresh process #{i}"
+        );
+    }
+}

@@ -12,7 +12,7 @@
 
 use core::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Byte order of a CDR stream, carried in the GIOP header flags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -209,26 +209,31 @@ impl CdrReader {
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
     }
 
     fn align(&mut self, align: usize) {
         let pad = (align - self.pos % align) % align;
-        self.pos += pad;
+        self.pos = self.pos.saturating_add(pad);
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&[u8], CdrError> {
-        if self.pos + n > self.buf.len() {
-            return Err(CdrError::UnexpectedEof { what });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CdrError::UnexpectedEof { what })?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CdrError::UnexpectedEof { what })?;
+        self.pos = end;
         Ok(s)
     }
 
     /// Reads one octet.
     pub fn read_u8(&mut self) -> Result<u8, CdrError> {
-        Ok(self.take(1, "octet")?[0])
+        let s = self.take(1, "octet")?;
+        Ok(s.first().copied().unwrap_or(0))
     }
 
     /// Reads a boolean octet.
@@ -240,10 +245,11 @@ impl CdrReader {
     pub fn read_u16(&mut self) -> Result<u16, CdrError> {
         self.align(2);
         let endian = self.endian;
-        let mut s = self.take(2, "ushort")?;
+        let s = self.take(2, "ushort")?;
+        let raw: [u8; 2] = s.try_into().unwrap_or([0; 2]);
         Ok(match endian {
-            Endian::Big => s.get_u16(),
-            Endian::Little => s.get_u16_le(),
+            Endian::Big => u16::from_be_bytes(raw),
+            Endian::Little => u16::from_le_bytes(raw),
         })
     }
 
@@ -251,10 +257,11 @@ impl CdrReader {
     pub fn read_u32(&mut self) -> Result<u32, CdrError> {
         self.align(4);
         let endian = self.endian;
-        let mut s = self.take(4, "ulong")?;
+        let s = self.take(4, "ulong")?;
+        let raw: [u8; 4] = s.try_into().unwrap_or([0; 4]);
         Ok(match endian {
-            Endian::Big => s.get_u32(),
-            Endian::Little => s.get_u32_le(),
+            Endian::Big => u32::from_be_bytes(raw),
+            Endian::Little => u32::from_le_bytes(raw),
         })
     }
 
@@ -267,10 +274,11 @@ impl CdrReader {
     pub fn read_u64(&mut self) -> Result<u64, CdrError> {
         self.align(8);
         let endian = self.endian;
-        let mut s = self.take(8, "ulonglong")?;
+        let s = self.take(8, "ulonglong")?;
+        let raw: [u8; 8] = s.try_into().unwrap_or([0; 8]);
         Ok(match endian {
-            Endian::Big => s.get_u64(),
-            Endian::Little => s.get_u64_le(),
+            Endian::Big => u64::from_be_bytes(raw),
+            Endian::Little => u64::from_le_bytes(raw),
         })
     }
 
@@ -297,8 +305,10 @@ impl CdrReader {
             });
         }
         let raw = self.take(len as usize, "string")?;
-        let (body, nul) = raw.split_at(len as usize - 1);
-        if nul != [0] {
+        let Some((nul, body)) = raw.split_last() else {
+            return Err(CdrError::InvalidString);
+        };
+        if *nul != 0 {
             return Err(CdrError::InvalidString);
         }
         String::from_utf8(body.to_vec()).map_err(|_| CdrError::InvalidString)

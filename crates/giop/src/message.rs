@@ -14,7 +14,7 @@
 //! filters "custom MEAD messages that we piggyback onto regular GIOP
 //! messages" (section 3.1).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use core::fmt;
 
 use crate::cdr::{CdrError, CdrReader, CdrWriter, Endian};
@@ -27,6 +27,31 @@ pub const GIOP_MAGIC: [u8; 4] = *b"GIOP";
 pub const MEAD_MAGIC: [u8; 4] = *b"MEAD";
 /// Fixed header length shared by GIOP and MEAD frames.
 pub const HEADER_LEN: usize = 12;
+
+/// Bounds-checked 4-byte read at `at` (frames are untrusted wire bytes;
+/// the decode paths are a detlint R3 no-panic zone).
+fn read4(bytes: &[u8], at: usize) -> Result<[u8; 4], GiopError> {
+    bytes
+        .get(at..at.saturating_add(4))
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .ok_or(GiopError::Truncated)
+}
+
+/// Bounds-checked single-byte read at `at`.
+fn read_u8_at(bytes: &[u8], at: usize) -> Result<u8, GiopError> {
+    bytes.get(at).copied().ok_or(GiopError::Truncated)
+}
+
+/// Decodes the 4-byte body length at header offset 8 in `endian` order.
+fn read_len(bytes: &[u8], little: bool) -> Result<usize, GiopError> {
+    let raw = read4(bytes, 8)?;
+    let len = if little {
+        u32::from_le_bytes(raw)
+    } else {
+        u32::from_be_bytes(raw)
+    };
+    Ok(len as usize)
+}
 
 /// GIOP message type octet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -277,35 +302,20 @@ impl Message {
     ///
     /// Any [`GiopError`] on malformed input; never panics on hostile bytes.
     pub fn decode(frame: &[u8]) -> Result<Message, GiopError> {
-        if frame.len() < HEADER_LEN {
-            return Err(GiopError::Truncated);
-        }
-        let magic: [u8; 4] = frame[0..4].try_into().expect("sliced 4");
+        let magic = read4(frame, 0)?;
         if magic != GIOP_MAGIC {
             return Err(GiopError::BadMagic(magic));
         }
-        let (major, minor) = (frame[4], frame[5]);
+        let (major, minor) = (read_u8_at(frame, 4)?, read_u8_at(frame, 5)?);
         if major != 1 {
             return Err(GiopError::BadVersion(major, minor));
         }
-        let endian = if frame[6] & 1 == 1 {
-            Endian::Little
-        } else {
-            Endian::Big
-        };
-        let msg_type = MsgType::from_u8(frame[7])?;
-        let declared = {
-            let mut s = &frame[8..12];
-            match endian {
-                Endian::Big => s.get_u32(),
-                Endian::Little => s.get_u32_le(),
-            }
-        } as usize;
-        let body = &frame[HEADER_LEN..];
-        if body.len() < declared {
-            return Err(GiopError::Truncated);
-        }
-        let body = &body[..declared];
+        let little = read_u8_at(frame, 6)? & 1 == 1;
+        let endian = if little { Endian::Little } else { Endian::Big };
+        let msg_type = MsgType::from_u8(read_u8_at(frame, 7)?)?;
+        let declared = read_len(frame, little)?;
+        let body = frame.get(HEADER_LEN..).unwrap_or(&[]);
+        let body = body.get(..declared).ok_or(GiopError::Truncated)?;
         match msg_type {
             MsgType::Request => {
                 let mut r = CdrReader::new(Bytes::copy_from_slice(body), endian);
@@ -321,7 +331,7 @@ impl Message {
                     response_expected,
                     object_key,
                     operation,
-                    body: body[consumed..].to_vec(),
+                    body: body.get(consumed..).unwrap_or(&[]).to_vec(),
                 }))
             }
             MsgType::Reply => {
@@ -332,7 +342,7 @@ impl Message {
                 let reply_body = match status {
                     ReplyStatus::NoException => {
                         let consumed = body.len() - r.remaining();
-                        ReplyBody::NoException(body[consumed..].to_vec())
+                        ReplyBody::NoException(body.get(consumed..).unwrap_or(&[]).to_vec())
                     }
                     ReplyStatus::UserException => ReplyBody::UserException(r.read_string()?),
                     ReplyStatus::SystemException => ReplyBody::SystemException {
@@ -397,14 +407,19 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// The frame's message-type octet (header byte 7).
+    /// The frame's message-type octet (header byte 7). Frames produced by
+    /// [`FrameSplitter`] always carry a full header; a hand-built short
+    /// `Frame` reads as [`MsgType::MessageError`] rather than panicking.
     pub fn msg_type(&self) -> u8 {
-        self.bytes[7]
+        self.bytes
+            .get(7)
+            .copied()
+            .unwrap_or(MsgType::MessageError as u8)
     }
 
     /// The frame's body (everything after the fixed header).
     pub fn body(&self) -> &[u8] {
-        &self.bytes[HEADER_LEN..]
+        self.bytes.get(HEADER_LEN..).unwrap_or(&[])
     }
 }
 
@@ -453,19 +468,14 @@ impl FrameSplitter {
         if self.buf.len() < HEADER_LEN {
             return Ok(None);
         }
-        let magic: [u8; 4] = self.buf[0..4].try_into().expect("sliced 4");
+        let magic = read4(&self.buf, 0)?;
         let kind = match &magic {
             m if *m == GIOP_MAGIC => FrameKind::Giop,
             m if *m == MEAD_MAGIC => FrameKind::Mead,
             _ => return Err(GiopError::BadMagic(magic)),
         };
-        let little = self.buf[6] & 1 == 1;
-        let mut len_bytes = &self.buf[8..12];
-        let body_len = if little {
-            len_bytes.get_u32_le()
-        } else {
-            len_bytes.get_u32()
-        } as usize;
+        let little = read_u8_at(&self.buf, 6)? & 1 == 1;
+        let body_len = read_len(&self.buf, little)?;
         let total = HEADER_LEN + body_len;
         if self.buf.len() < total {
             return Ok(None);

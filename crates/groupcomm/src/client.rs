@@ -279,7 +279,17 @@ impl GcsClient {
                 sender,
                 payload,
             }),
-            other => {
+            other @ (GcsWire::Attach { .. }
+            | GcsWire::Join { .. }
+            | GcsWire::Leave { .. }
+            | GcsWire::Multicast { .. }
+            | GcsWire::Hello { .. }
+            | GcsWire::FwdJoin { .. }
+            | GcsWire::FwdLeave { .. }
+            | GcsWire::FwdMulticast { .. }
+            | GcsWire::OrdView { .. }
+            | GcsWire::OrdDeliver { .. }
+            | GcsWire::Heartbeat { .. }) => {
                 sys.count("gcs.client_protocol_error", 1);
                 sys.trace(&format!("daemon sent unexpected {other:?}"));
             }

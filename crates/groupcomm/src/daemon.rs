@@ -222,7 +222,9 @@ impl GcsDaemon {
     fn sequence_now(&mut self, sys: &mut dyn SysApi, msg: GcsWire) {
         sys.charge_cpu(self.cfg.ordering_cpu);
         let state = self.seq_state.as_mut().expect("sequencer state");
-        let ord = match msg {
+        // Each arm yields the ordered operation plus the group it targets,
+        // so routing below needs no second (wildcard-bearing) match.
+        let (ord, group_name) = match msg {
             GcsWire::FwdJoin {
                 group,
                 member,
@@ -235,12 +237,13 @@ impl GcsDaemon {
                 g.members.push((member, daemon));
                 g.view_id += 1;
                 state.global_seq += 1;
-                GcsWire::OrdView {
+                let ord = GcsWire::OrdView {
                     seq: state.global_seq,
-                    group,
+                    group: group.clone(),
                     view_id: g.view_id,
                     members: g.members.iter().map(|(m, _)| m.clone()).collect(),
-                }
+                };
+                (ord, group)
             }
             GcsWire::FwdLeave { group, member } => {
                 let Some(g) = state.groups.get_mut(&group) else {
@@ -253,12 +256,13 @@ impl GcsDaemon {
                 }
                 g.view_id += 1;
                 state.global_seq += 1;
-                GcsWire::OrdView {
+                let ord = GcsWire::OrdView {
                     seq: state.global_seq,
-                    group,
+                    group: group.clone(),
                     view_id: g.view_id,
                     members: g.members.iter().map(|(m, _)| m.clone()).collect(),
-                }
+                };
+                (ord, group)
             }
             GcsWire::FwdMulticast {
                 group,
@@ -266,14 +270,25 @@ impl GcsDaemon {
                 payload,
             } => {
                 state.global_seq += 1;
-                GcsWire::OrdDeliver {
+                let ord = GcsWire::OrdDeliver {
                     seq: state.global_seq,
-                    group,
+                    group: group.clone(),
                     sender,
                     payload,
-                }
+                };
+                (ord, group)
             }
-            other => {
+            other @ (GcsWire::Attach { .. }
+            | GcsWire::Join { .. }
+            | GcsWire::Leave { .. }
+            | GcsWire::Multicast { .. }
+            | GcsWire::Attached
+            | GcsWire::View { .. }
+            | GcsWire::Deliver { .. }
+            | GcsWire::Hello { .. }
+            | GcsWire::OrdView { .. }
+            | GcsWire::OrdDeliver { .. }
+            | GcsWire::Heartbeat { .. }) => {
                 sys.count("gcs.protocol_error", 1);
                 sys.trace(&format!("sequencer ignoring unexpected {other:?}"));
                 return;
@@ -284,10 +299,6 @@ impl GcsDaemon {
         // that host members of the group (the sequencer tracks membership,
         // so it knows). This keeps the Figure 5 mesh-bandwidth measurement
         // honest.
-        let group_name = match &ord {
-            GcsWire::OrdView { group, .. } | GcsWire::OrdDeliver { group, .. } => group.clone(),
-            _ => String::new(),
-        };
         let state = self.seq_state.as_ref().expect("sequencer state");
         let member_daemons: std::collections::BTreeSet<u32> = state
             .groups
@@ -367,7 +378,18 @@ impl GcsDaemon {
                     }
                 }
             }
-            other => {
+            other @ (GcsWire::Attach { .. }
+            | GcsWire::Join { .. }
+            | GcsWire::Leave { .. }
+            | GcsWire::Multicast { .. }
+            | GcsWire::Attached
+            | GcsWire::View { .. }
+            | GcsWire::Deliver { .. }
+            | GcsWire::Hello { .. }
+            | GcsWire::FwdJoin { .. }
+            | GcsWire::FwdLeave { .. }
+            | GcsWire::FwdMulticast { .. }
+            | GcsWire::Heartbeat { .. }) => {
                 sys.count("gcs.protocol_error", 1);
                 sys.trace(&format!("daemon ignoring unexpected ordered {other:?}"));
             }
@@ -403,7 +425,18 @@ impl GcsDaemon {
                         sys.count("gcs.protocol_error", 1);
                     }
                 }
-                other => {
+                other @ (GcsWire::Join { .. }
+                | GcsWire::Leave { .. }
+                | GcsWire::Multicast { .. }
+                | GcsWire::Attached
+                | GcsWire::View { .. }
+                | GcsWire::Deliver { .. }
+                | GcsWire::FwdJoin { .. }
+                | GcsWire::FwdLeave { .. }
+                | GcsWire::FwdMulticast { .. }
+                | GcsWire::OrdView { .. }
+                | GcsWire::OrdDeliver { .. }
+                | GcsWire::Heartbeat { .. }) => {
                     sys.count("gcs.protocol_error", 1);
                     sys.trace(&format!("unidentified conn sent {other:?}"));
                     sys.close(conn);
@@ -460,7 +493,17 @@ impl GcsDaemon {
                         },
                     );
                 }
-                other => {
+                other @ (GcsWire::Attach { .. }
+                | GcsWire::Attached
+                | GcsWire::View { .. }
+                | GcsWire::Deliver { .. }
+                | GcsWire::Hello { .. }
+                | GcsWire::FwdJoin { .. }
+                | GcsWire::FwdLeave { .. }
+                | GcsWire::FwdMulticast { .. }
+                | GcsWire::OrdView { .. }
+                | GcsWire::OrdDeliver { .. }
+                | GcsWire::Heartbeat { .. }) => {
                     sys.count("gcs.protocol_error", 1);
                     sys.trace(&format!("client sent unexpected {other:?}"));
                 }
@@ -488,7 +531,14 @@ impl GcsDaemon {
                         let _ = sys.write(conn, &GcsWire::Heartbeat { pad }.encode());
                     }
                 }
-                other => {
+                other @ (GcsWire::Attach { .. }
+                | GcsWire::Join { .. }
+                | GcsWire::Leave { .. }
+                | GcsWire::Multicast { .. }
+                | GcsWire::Attached
+                | GcsWire::View { .. }
+                | GcsWire::Deliver { .. }
+                | GcsWire::Hello { .. }) => {
                     sys.count("gcs.protocol_error", 1);
                     sys.trace(&format!("peer sent unexpected {other:?}"));
                 }

@@ -1,0 +1,288 @@
+//! The `lint-allow.toml` suppression list.
+//!
+//! Determinism findings may only be silenced through an explicit,
+//! *justified* entry here — never with an inline attribute — so every
+//! exception to the contract is reviewable in one place. The format is a
+//! deliberately tiny TOML subset (parsed by hand; the build is offline and
+//! no TOML crate is vendored):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R2"                       # which rule to suppress
+//! path = "crates/simnet/src/sim.rs" # path suffix the finding must match
+//! pattern = "Instant::now"          # optional: source line must contain
+//! justification = "wall-clock accounting only; never feeds sim time"
+//! ```
+//!
+//! An entry with an empty or missing `justification` is a configuration
+//! *error*, not a silent no-op: `detlint` refuses to run.
+
+use crate::Finding;
+
+/// One suppression entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id this entry suppresses (`R1`..`R4`).
+    pub rule: String,
+    /// Path suffix a finding's file must end with.
+    pub path: String,
+    /// Optional substring the offending source line must contain.
+    pub pattern: Option<String>,
+    /// Required human rationale (must be non-empty).
+    pub justification: String,
+    /// Line in the allow file where the entry starts (for diagnostics).
+    pub defined_at: u32,
+}
+
+/// A parsed `lint-allow.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct AllowList {
+    entries: Vec<AllowEntry>,
+}
+
+/// A malformed allow file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowError {
+    /// 1-based line in the allow file.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowError {}
+
+impl AllowList {
+    /// An empty list (suppresses nothing).
+    pub fn empty() -> Self {
+        AllowList::default()
+    }
+
+    /// The parsed entries.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
+    /// Parses the TOML-subset text. See the module docs for the grammar.
+    pub fn parse(text: &str) -> Result<AllowList, AllowError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(u32, PartialEntry)> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some((at, partial)) = current.take() {
+                    entries.push(partial.finish(at)?);
+                }
+                current = Some((lineno, PartialEntry::default()));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(AllowError {
+                    line: lineno,
+                    message: format!("unknown section `{line}` (only [[allow]] is recognised)"),
+                });
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(AllowError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let Some((_, partial)) = current.as_mut() else {
+                return Err(AllowError {
+                    line: lineno,
+                    message: "key outside any [[allow]] entry".to_string(),
+                });
+            };
+            match key {
+                "rule" => partial.rule = Some(value),
+                "path" => partial.path = Some(value),
+                "pattern" => partial.pattern = Some(value),
+                "justification" => partial.justification = Some(value),
+                other => {
+                    return Err(AllowError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        if let Some((at, partial)) = current.take() {
+            entries.push(partial.finish(at)?);
+        }
+        Ok(AllowList { entries })
+    }
+
+    /// Whether `finding` (whose offending source line is `line_text`) is
+    /// suppressed by some entry.
+    pub fn suppresses(&self, finding: &Finding, line_text: &str) -> bool {
+        self.entries.iter().any(|e| {
+            e.rule == finding.rule
+                && finding.path.ends_with(e.path.as_str())
+                && e.pattern
+                    .as_deref()
+                    .map(|p| line_text.contains(p))
+                    .unwrap_or(true)
+        })
+    }
+}
+
+#[derive(Default)]
+struct PartialEntry {
+    rule: Option<String>,
+    path: Option<String>,
+    pattern: Option<String>,
+    justification: Option<String>,
+}
+
+impl PartialEntry {
+    fn finish(self, at: u32) -> Result<AllowEntry, AllowError> {
+        let rule = self.rule.ok_or(AllowError {
+            line: at,
+            message: "entry is missing `rule`".to_string(),
+        })?;
+        if !matches!(rule.as_str(), "R1" | "R2" | "R3" | "R4") {
+            return Err(AllowError {
+                line: at,
+                message: format!("unknown rule `{rule}` (expected R1..R4)"),
+            });
+        }
+        let path = self.path.ok_or(AllowError {
+            line: at,
+            message: "entry is missing `path`".to_string(),
+        })?;
+        if path.is_empty() {
+            return Err(AllowError {
+                line: at,
+                message: "`path` must be non-empty".to_string(),
+            });
+        }
+        let justification = self.justification.unwrap_or_default();
+        if justification.trim().is_empty() {
+            return Err(AllowError {
+                line: at,
+                message: "suppression requires a non-empty `justification`".to_string(),
+            });
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            pattern: self.pattern,
+            justification,
+            defined_at: at,
+        })
+    }
+}
+
+/// Drops a `#`-comment, respecting `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Parses `key = "value"`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // Minimal unescaping: the only escapes we accept are \" and \\.
+    let mut value = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => value.push('"'),
+                Some('\\') => value.push('\\'),
+                Some(other) => {
+                    value.push('\\');
+                    value.push(other);
+                }
+                None => value.push('\\'),
+            }
+        } else {
+            value.push(c);
+        }
+    }
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let list = AllowList::parse(
+            r#"
+# comment
+[[allow]]
+rule = "R2"
+path = "crates/simnet/src/sim.rs"
+pattern = "Instant::now"
+justification = "wall-clock accounting only"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(list.entries().len(), 1);
+        let f = Finding {
+            rule: "R2",
+            path: "crates/simnet/src/sim.rs".to_string(),
+            line: 481,
+            col: 23,
+            message: "x".to_string(),
+        };
+        assert!(list.suppresses(&f, "let started = Instant::now();"));
+        assert!(!list.suppresses(&f, "let started = clock();"));
+        let other_file = Finding {
+            path: "crates/simnet/src/rng.rs".to_string(),
+            ..f
+        };
+        assert!(!list.suppresses(&other_file, "Instant::now()"));
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let err =
+            AllowList::parse("[[allow]]\nrule = \"R2\"\npath = \"a.rs\"\njustification = \"  \"\n")
+                .expect_err("must fail");
+        assert!(err.message.contains("justification"));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let err =
+            AllowList::parse("[[allow]]\nrule = \"R3\"\npath = \"a.rs\"\n").expect_err("must fail");
+        assert!(err.message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_or_key_is_an_error() {
+        assert!(AllowList::parse(
+            "[[allow]]\nrule = \"R9\"\npath = \"a\"\njustification = \"j\"\n"
+        )
+        .is_err());
+        assert!(AllowList::parse(
+            "[[allow]]\nrule = \"R1\"\nfile = \"a\"\njustification = \"j\"\n"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! `detlint` — the determinism lint engine for the MEAD reproduction.
+//!
+//! The simulator's headline property (bit-identical digests across runs and
+//! thread counts) is only as strong as the code's freedom from ambient
+//! nondeterminism and panic paths. This crate makes that a *checked*
+//! property: a structural scan over `synlite` token trees enforces the
+//! determinism contract written down in DESIGN §9 (rules R1–R4; see
+//! [`rules`]), with suppressions allowed only through a justified
+//! [`lint-allow.toml`](allow) entry.
+//!
+//! Run it locally with `cargo run --bin detlint`; CI runs it as a blocking
+//! job and uploads the `--json` findings summary as an artifact.
+
+pub mod allow;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub use allow::{AllowError, AllowList};
+pub use rules::RuleSet;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`R1`..`R4`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}:{}: {}",
+            self.rule, self.path, self.line, self.col, self.message
+        )
+    }
+}
+
+/// The determinism contract: which parts of the workspace each rule
+/// applies to, and which enums count as wire protocols for R4.
+#[derive(Clone, Debug)]
+pub struct Contract {
+    /// Directories (path prefixes) where R1 applies.
+    pub r1_scopes: Vec<String>,
+    /// Directories where R2 applies.
+    pub r2_scopes: Vec<String>,
+    /// Paths (files or directories) where R3 applies.
+    pub r3_scopes: Vec<String>,
+    /// Directories where R4 applies.
+    pub r4_scopes: Vec<String>,
+    /// Enum names whose matches must be exhaustive (R4).
+    pub protocol_enums: Vec<String>,
+}
+
+impl Default for Contract {
+    fn default() -> Self {
+        let sim_crates = [
+            "crates/simnet/src",
+            "crates/orb/src",
+            "crates/groupcomm/src",
+            "crates/mead/src",
+            "crates/faults/src",
+            "crates/experiments/src",
+        ];
+        Contract {
+            r1_scopes: sim_crates.iter().map(|s| s.to_string()).collect(),
+            r2_scopes: sim_crates
+                .iter()
+                .chain(["crates/giop/src"].iter())
+                .map(|s| s.to_string())
+                .collect(),
+            r3_scopes: vec![
+                "crates/giop/src".to_string(),
+                "crates/simnet/src/sim.rs".to_string(),
+                "crates/simnet/src/recv_queue.rs".to_string(),
+            ],
+            r4_scopes: vec![
+                "crates/mead/src".to_string(),
+                "crates/groupcomm/src".to_string(),
+            ],
+            protocol_enums: vec!["GcsWire".to_string(), "GroupMsg".to_string()],
+        }
+    }
+}
+
+impl Contract {
+    /// The rules that apply to `path` (workspace-relative, `/`-separated).
+    pub fn rules_for(&self, path: &str) -> RuleSet {
+        let in_scope = |scopes: &[String]| scopes.iter().any(|s| path.starts_with(s.as_str()));
+        RuleSet {
+            r1: in_scope(&self.r1_scopes),
+            r2: in_scope(&self.r2_scopes),
+            r3: in_scope(&self.r3_scopes),
+            r4: in_scope(&self.r4_scopes),
+        }
+    }
+}
+
+/// Lints one in-memory source file with an explicit rule set; the entry
+/// point fixture tests use.
+pub fn lint_source(
+    path: &str,
+    src: &str,
+    rule_set: RuleSet,
+    protocol_enums: &[String],
+) -> Result<Vec<Finding>, synlite::LexError> {
+    let trees = synlite::parse_file(src)?;
+    let mut findings = Vec::new();
+    rules::run(path, &trees, rule_set, protocol_enums, &mut findings);
+    Ok(findings)
+}
+
+/// The outcome of a workspace scan.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (path, line, col).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified allowlist entry.
+    pub suppressed: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Finding count per rule id (over unsuppressed findings).
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            [("R1", 0), ("R2", 0), ("R3", 0), ("R4", 0)].into();
+        for f in &self.findings {
+            *counts.entry(f.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Machine-readable JSON summary (schema `detlint/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"detlint/1\",\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"total\": {},", self.findings.len());
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed.len());
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (rule, n) in &counts {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{rule}\": {n}");
+        }
+        out.push_str("},\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}{}",
+                f.rule,
+                json_escape(&f.path),
+                f.line,
+                f.col,
+                json_escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A fatal engine failure (I/O, lex error, bad allowlist).
+#[derive(Debug)]
+pub struct EngineError {
+    /// What went wrong, with enough context to act on.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Scans every in-scope `.rs` file under `root` and applies the allowlist.
+pub fn lint_workspace(
+    root: &Path,
+    contract: &Contract,
+    allow: &AllowList,
+) -> Result<Report, EngineError> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files).map_err(|e| EngineError {
+        message: format!("walking {}: {e}", root.display()),
+    })?;
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rule_set = contract.rules_for(&rel);
+        if rule_set.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&file).map_err(|e| EngineError {
+            message: format!("reading {rel}: {e}"),
+        })?;
+        report.files_scanned += 1;
+        let found = lint_source(&rel, &src, rule_set, &contract.protocol_enums).map_err(|e| {
+            EngineError {
+                message: format!("lexing {rel}: {e}"),
+            }
+        })?;
+        let lines: Vec<&str> = src.lines().collect();
+        for f in found {
+            let line_text = lines
+                .get(f.line.saturating_sub(1) as usize)
+                .copied()
+                .unwrap_or("");
+            if allow.suppresses(&f, line_text) {
+                report.suppressed.push(f);
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// CLI driver shared by the `detlint` binaries. Returns the process exit
+/// code: 0 clean, 1 unsuppressed findings, 2 configuration error.
+pub fn cli_main(args: &[String]) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(v) = it.next() else {
+                    eprintln!("detlint: --root needs a value");
+                    return 2;
+                };
+                root = PathBuf::from(v);
+            }
+            "--allow" => {
+                let Some(v) = it.next() else {
+                    eprintln!("detlint: --allow needs a value");
+                    return 2;
+                };
+                allow_path = Some(PathBuf::from(v));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism lint for the MEAD reproduction (DESIGN §9)\n\
+                     \n\
+                     USAGE: detlint [--root DIR] [--allow FILE] [--json]\n\
+                     \n\
+                     --root DIR    workspace root to scan (default: .)\n\
+                     --allow FILE  suppression list (default: <root>/lint-allow.toml)\n\
+                     --json        emit the machine-readable findings summary"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+    let allow_path = allow_path.unwrap_or_else(|| root.join("lint-allow.toml"));
+    let allow = if allow_path.exists() {
+        match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match AllowList::parse(&text) {
+                Ok(list) => list,
+                Err(e) => {
+                    eprintln!("detlint: {e}");
+                    return 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("detlint: reading {}: {e}", allow_path.display());
+                return 2;
+            }
+        }
+    } else {
+        AllowList::empty()
+    };
+    let contract = Contract::default();
+    let report = match lint_workspace(&root, &contract, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return 2;
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        let counts = report.counts();
+        let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}={n}")).collect();
+        println!(
+            "detlint: {} file(s) scanned, {} finding(s) [{}], {} suppressed",
+            report.files_scanned,
+            report.findings.len(),
+            summary.join(" "),
+            report.suppressed.len()
+        );
+    }
+    if report.findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}

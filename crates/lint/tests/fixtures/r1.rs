@@ -1,0 +1,48 @@
+//! R1 fixture: iteration over hash-ordered containers must be flagged;
+//! keyed access and ordered containers must not.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct State {
+    routes: HashMap<u32, String>,
+    seen: HashSet<u32>,
+    ordered: BTreeMap<u32, String>,
+}
+
+fn violations(state: &mut State) {
+    for route in state.routes.values() { //~ R1
+        drop(route);
+    }
+    let _ = state.seen.iter().count(); //~ R1
+    state.routes.retain(|_, v| !v.is_empty()); //~ R1
+    for id in &state.seen { //~ R1
+        drop(id);
+    }
+}
+
+fn clean(state: &mut State) {
+    // Keyed access is deterministic; only iteration order is the hazard.
+    let _ = state.routes.get(&1);
+    let _ = state.seen.contains(&2);
+    // Ordered containers may iterate freely.
+    for v in state.ordered.values() {
+        drop(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_is_fine_in_tests() {
+        let s = State {
+            routes: HashMap::new(),
+            seen: HashSet::new(),
+            ordered: BTreeMap::new(),
+        };
+        for v in s.routes.values() {
+            drop(v);
+        }
+    }
+}

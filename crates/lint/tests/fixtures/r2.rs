@@ -1,0 +1,34 @@
+//! R2 fixture: ambient nondeterminism must be flagged; simulated time,
+//! seeded randomness, and mere mentions in strings must not.
+
+use std::time::Instant;
+
+fn wall_clock() {
+    let _t = Instant::now(); //~ R2
+    let _s = std::time::SystemTime::now(); //~ R2
+}
+
+fn os_coupling() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); //~ R2
+    let _r = rand::thread_rng(); //~ R2
+}
+
+fn seeded_hashers() {
+    let _s = std::collections::hash_map::RandomState::new(); //~ R2
+    let _h = std::collections::hash_map::DefaultHasher::new(); //~ R2
+}
+
+fn clean(now_nanos: u64, seed: u64) -> u64 {
+    // A simulated clock value and an explicit seed are the sanctioned
+    // replacements; naming the forbidden APIs in a string is not a use.
+    let _doc = "call Instant::now() only outside the simulation";
+    now_nanos.wrapping_add(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,47 @@
+//! R3 fixture: panic paths must be flagged; total alternatives, array
+//! literals, macros, and attributes must not.
+
+fn violations(bytes: &[u8], opt: Option<u8>, res: Result<u8, u8>) -> u8 {
+    let a = opt.unwrap(); //~ R3
+    let b = res.expect("present"); //~ R3
+    if bytes.is_empty() {
+        panic!("empty input"); //~ R3
+    }
+    let c = bytes[0]; //~ R3
+    let d = parse(bytes)?[1]; //~ R3
+    match c {
+        0 => unreachable!(), //~ R3
+        _ => {}
+    }
+    a + b + d
+}
+
+fn parse(bytes: &[u8]) -> Result<Vec<u8>, u8> {
+    Ok(bytes.to_vec())
+}
+
+fn stubs() {
+    todo!() //~ R3
+}
+
+#[derive(Debug)]
+struct Decoy;
+
+fn clean(bytes: &[u8], opt: Option<u8>) -> Option<u8> {
+    // Total alternatives to every construct flagged above.
+    let first = bytes.first().copied()?;
+    let fallback = opt.unwrap_or(0);
+    let _rest = bytes.get(1..)?;
+    let _pair = [first, fallback]; // array literal, not an index
+    let _vec = vec![1u8, 2u8]; // macro bracket, not an index
+    Some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! R4 fixture: matches over protocol enums must list every variant;
+//! exhaustive matches and non-protocol enums are untouched.
+
+enum WireMsg {
+    Ping { n: u32 },
+    Pong { n: u32 },
+    Data { payload: Vec<u8> },
+}
+
+fn violation_underscore(msg: WireMsg) {
+    match msg {
+        WireMsg::Ping { n } => drop(n),
+        _ => {} //~ R4
+    }
+}
+
+fn violation_bare_binding(msg: WireMsg) {
+    match msg {
+        WireMsg::Ping { n } => drop(n),
+        other => drop(other), //~ R4
+    }
+}
+
+fn violation_ok_wildcard(res: Result<WireMsg, u8>) {
+    match res {
+        Ok(WireMsg::Ping { n }) => drop(n),
+        Ok(_) => {} //~ R4
+        Err(code) => drop(code),
+    }
+}
+
+fn clean_exhaustive(msg: WireMsg) {
+    match msg {
+        WireMsg::Ping { n } | WireMsg::Pong { n } => drop(n),
+        other @ WireMsg::Data { .. } => drop(other),
+    }
+}
+
+fn clean_guarded(msg: WireMsg) {
+    match msg {
+        WireMsg::Ping { n } if n > 0 => drop(n),
+        WireMsg::Ping { n } | WireMsg::Pong { n } => drop(n),
+        WireMsg::Data { payload } => drop(payload),
+    }
+}
+
+fn clean_non_protocol(v: Option<u32>) {
+    // Not a protocol enum: a catch-all is fine here.
+    match v {
+        Some(1) => {}
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catch_all_is_fine_in_tests() {
+        match WireMsg::Ping { n: 0 } {
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Fixture tests for the determinism lint engine.
+//!
+//! Each `tests/fixtures/r*.rs` file annotates every line that must fire
+//! with a trailing `//~ <RULE>` marker. The tests lint the fixture and
+//! assert the *exact* set of (rule, line) pairs — a missing finding, an
+//! extra finding, or a finding under the wrong rule all fail — plus the
+//! allowlist's justification-required suppression semantics end to end.
+
+use std::collections::BTreeSet;
+
+use lint::{lint_source, AllowList, RuleSet};
+
+/// Protocol enums the R4 fixture matches over.
+fn protocol_enums() -> Vec<String> {
+    vec!["WireMsg".to_string()]
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Parses `//~ RULE` markers into the expected (rule, line) set.
+fn expected_markers(src: &str) -> BTreeSet<(String, usize)> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(idx, line)| {
+            let (_, marker) = line.split_once("//~")?;
+            Some((marker.trim().to_string(), idx + 1))
+        })
+        .collect()
+}
+
+fn findings_as_set(name: &str, src: &str) -> BTreeSet<(String, usize)> {
+    let findings = lint_source(
+        &format!("tests/fixtures/{name}.rs"),
+        src,
+        RuleSet::all(),
+        &protocol_enums(),
+    )
+    .unwrap_or_else(|e| panic!("fixture {name} failed to lex: {e:?}"));
+    for f in &findings {
+        assert!(f.line >= 1, "finding with zero line: {f}");
+        assert!(f.col >= 1, "finding with zero column: {f}");
+        assert!(
+            f.path.ends_with(&format!("{name}.rs")),
+            "finding carries wrong path: {f}"
+        );
+    }
+    findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line as usize))
+        .collect()
+}
+
+fn assert_fixture_matches(name: &str) {
+    let src = fixture(name);
+    let expected = expected_markers(&src);
+    assert!(
+        !expected.is_empty(),
+        "fixture {name} has no //~ markers; it would pass vacuously"
+    );
+    let actual = findings_as_set(name, &src);
+    assert_eq!(
+        actual, expected,
+        "fixture {name}: findings (left) diverge from //~ markers (right)"
+    );
+}
+
+#[test]
+fn r1_hash_iteration_fixture() {
+    assert_fixture_matches("r1");
+}
+
+#[test]
+fn r2_ambient_nondeterminism_fixture() {
+    assert_fixture_matches("r2");
+}
+
+#[test]
+fn r3_panic_paths_fixture() {
+    assert_fixture_matches("r3");
+}
+
+#[test]
+fn r4_protocol_match_fixture() {
+    assert_fixture_matches("r4");
+}
+
+#[test]
+fn justified_allow_entry_suppresses_matching_findings() {
+    let src = fixture("r2");
+    let findings = lint_source(
+        "tests/fixtures/r2.rs",
+        &src,
+        RuleSet::all(),
+        &protocol_enums(),
+    )
+    .expect("fixture lexes");
+    let allow = AllowList::parse(
+        r#"
+[[allow]]
+rule = "R2"
+path = "fixtures/r2.rs"
+pattern = "Instant::now"
+justification = "fixture exercising suppression"
+"#,
+    )
+    .expect("valid allowlist");
+
+    let lines: Vec<&str> = src.lines().collect();
+    let (suppressed, kept): (Vec<_>, Vec<_>) = findings.iter().partition(|f| {
+        let text = lines.get(f.line as usize - 1).copied().unwrap_or("");
+        allow.suppresses(f, text)
+    });
+    // Exactly the one Instant::now site is silenced; every other R2
+    // finding survives.
+    assert_eq!(suppressed.len(), 1, "suppressed: {suppressed:?}");
+    assert!(suppressed[0].message.contains("Instant::now"));
+    assert!(kept.iter().all(|f| f.rule == "R2"));
+    assert_eq!(kept.len(), findings.len() - 1);
+}
+
+#[test]
+fn allow_entry_without_justification_is_rejected() {
+    let err = AllowList::parse(
+        r#"
+[[allow]]
+rule = "R2"
+path = "fixtures/r2.rs"
+justification = "   "
+"#,
+    )
+    .expect_err("blank justification must not parse");
+    assert!(
+        err.message.contains("justification"),
+        "error should name the missing justification: {err:?}"
+    );
+}
+
+#[test]
+fn allow_entry_for_other_rule_does_not_suppress() {
+    let src = fixture("r3");
+    let findings = lint_source(
+        "tests/fixtures/r3.rs",
+        &src,
+        RuleSet::all(),
+        &protocol_enums(),
+    )
+    .expect("fixture lexes");
+    // An R2 entry matching the file must not silence R3 findings.
+    let allow = AllowList::parse(
+        r#"
+[[allow]]
+rule = "R2"
+path = "fixtures/r3.rs"
+justification = "wrong rule on purpose"
+"#,
+    )
+    .expect("valid allowlist");
+    let lines: Vec<&str> = src.lines().collect();
+    assert!(findings.iter().all(|f| {
+        let text = lines.get(f.line as usize - 1).copied().unwrap_or("");
+        !allow.suppresses(f, text)
+    }));
+}

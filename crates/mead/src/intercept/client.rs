@@ -459,7 +459,17 @@ impl ClientState {
                         },
                     );
                 }
-                Ok(_) => {}
+                // Server-group chatter multicast to the reply group; only
+                // the address reply is for us.
+                Ok(
+                    GroupMsg::AddrAdvert { .. }
+                    | GroupMsg::IorAdvert { .. }
+                    | GroupMsg::LaunchRequest { .. }
+                    | GroupMsg::SyncList { .. }
+                    | GroupMsg::AddressQuery { .. }
+                    | GroupMsg::Checkpoint { .. }
+                    | GroupMsg::RmState { .. },
+                ) => {}
                 Err(e) => {
                     sys.count("mead.client.bad_group_msg", 1);
                     sys.trace(&format!("bad group message at client: {e}"));

@@ -366,7 +366,16 @@ impl Process for RecoveryManager {
                             self.absorb_state(sys, next_port, pendings);
                         }
                     }
-                    Ok(_) => {}
+                    // Replica-to-replica traffic on the shared group; not
+                    // addressed to the Recovery Manager.
+                    Ok(
+                        GroupMsg::AddrAdvert { .. }
+                        | GroupMsg::IorAdvert { .. }
+                        | GroupMsg::SyncList { .. }
+                        | GroupMsg::AddressQuery { .. }
+                        | GroupMsg::AddressReply { .. }
+                        | GroupMsg::Checkpoint { .. },
+                    ) => {}
                     Err(e) => {
                         // A corrupted frame is a fault to surface, not a
                         // message to silently drop (chaos satellite).

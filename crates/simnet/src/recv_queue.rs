@@ -64,32 +64,44 @@ impl RecvQueue {
         if take == 0 {
             return Bytes::new();
         }
+        // `len` counts exactly the bytes in `segments`, so `take` bytes are
+        // really available; every queue access below still degrades to a
+        // short read rather than panicking if that invariant ever broke
+        // (the simnet kernel is a detlint R3 no-panic zone).
         self.len -= take;
 
-        let front_len = self.segments.front().map(Bytes::len).expect("non-empty");
-        if take < front_len {
-            // Partial read of the front segment: O(1) split.
-            let front = self.segments.front_mut().expect("non-empty");
-            return front.split_to(take);
-        }
-        if take == front_len {
-            // Whole-segment read: O(1) pop.
-            return self.segments.pop_front().expect("non-empty");
+        match self.segments.front_mut() {
+            None => {
+                self.len = 0; // resync; unreachable while len is accounted
+                return Bytes::new();
+            }
+            Some(front) if take < front.len() => {
+                // Partial read of the front segment: O(1) split.
+                return front.split_to(take);
+            }
+            Some(front) if take == front.len() => {
+                // Whole-segment read: O(1) pop.
+                if let Some(seg) = self.segments.pop_front() {
+                    return seg;
+                }
+            }
+            Some(_) => {}
         }
 
         // Spanning read: one copy into a buffer reserved up front.
         let mut out = Vec::with_capacity(take);
         let mut remaining = take;
         while remaining > 0 {
-            let front = self.segments.front_mut().expect("len accounted");
-            if front.len() <= remaining {
-                remaining -= front.len();
-                let seg = self.segments.pop_front().expect("non-empty");
+            let Some(front) = self.segments.front_mut() else {
+                break;
+            };
+            if front.len() > remaining {
+                out.extend_from_slice(&front.split_to(remaining));
+                break;
+            }
+            remaining -= front.len();
+            if let Some(seg) = self.segments.pop_front() {
                 out.extend_from_slice(&seg);
-            } else {
-                let head = front.split_to(remaining);
-                out.extend_from_slice(&head);
-                remaining = 0;
             }
         }
         Bytes::from(out)

@@ -24,7 +24,7 @@
 //! * per-connection FIFO order is preserved even under latency jitter.
 
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -156,8 +156,8 @@ struct ProcSlot {
     busy_until: SimTime,
     alive: bool,
     started: bool,
-    conns: HashSet<ConnId>,
-    listeners: HashSet<ListenerId>,
+    conns: BTreeSet<ConnId>,
+    listeners: BTreeSet<ListenerId>,
     exit_requested: Option<ExitReason>,
 }
 
@@ -177,11 +177,15 @@ pub struct Simulation {
     seq: u64,
     queue: BinaryHeap<Scheduled>,
     nodes: Vec<NodeState>,
-    procs: HashMap<ProcessId, ProcSlot>,
-    listeners_by_addr: HashMap<Addr, ListenerId>,
-    listener_owner: HashMap<ListenerId, (ProcessId, Addr)>,
-    endpoints: HashMap<ConnId, Endpoint>,
-    timers: HashMap<TimerId, TimerState>,
+    // Kernel state is kept in `BTreeMap`s, not `HashMap`s: several paths
+    // iterate these maps (crash_node, live_processes, terminate), and hash
+    // iteration order is seeded per OS process — a determinism leak the
+    // detlint R1 rule now guards against.
+    procs: BTreeMap<ProcessId, ProcSlot>,
+    listeners_by_addr: BTreeMap<Addr, ListenerId>,
+    listener_owner: BTreeMap<ListenerId, (ProcessId, Addr)>,
+    endpoints: BTreeMap<ConnId, Endpoint>,
+    timers: BTreeMap<TimerId, TimerState>,
     next_pid: u64,
     next_conn: u64,
     next_listener: u64,
@@ -193,7 +197,7 @@ pub struct Simulation {
     wall_in_run: Duration,
     /// Severed node pairs (normalised lower-index first). Network actions
     /// crossing a severed link park in `parked` until the link heals.
-    partitions: HashSet<(u32, u32)>,
+    partitions: BTreeSet<(u32, u32)>,
     /// Actions stashed at their would-be arrival because the link was
     /// down; re-released (in original sequence order) on heal.
     parked: Vec<Scheduled>,
@@ -209,11 +213,11 @@ impl Simulation {
             seq: 0,
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
-            procs: HashMap::new(),
-            listeners_by_addr: HashMap::new(),
-            listener_owner: HashMap::new(),
-            endpoints: HashMap::new(),
-            timers: HashMap::new(),
+            procs: BTreeMap::new(),
+            listeners_by_addr: BTreeMap::new(),
+            listener_owner: BTreeMap::new(),
+            endpoints: BTreeMap::new(),
+            timers: BTreeMap::new(),
             next_pid: 0,
             next_conn: 0,
             next_listener: 0,
@@ -223,7 +227,7 @@ impl Simulation {
             trace: Vec::new(),
             events_processed: 0,
             wall_in_run: Duration::ZERO,
-            partitions: HashSet::new(),
+            partitions: BTreeSet::new(),
             parked: Vec::new(),
         }
     }
@@ -382,8 +386,8 @@ impl Simulation {
                 busy_until: start_at,
                 alive: true,
                 started: false,
-                conns: HashSet::new(),
-                listeners: HashSet::new(),
+                conns: BTreeSet::new(),
+                listeners: BTreeSet::new(),
                 exit_requested: None,
             },
         );
@@ -412,16 +416,14 @@ impl Simulation {
         self.procs.get(&pid).map(|s| s.node)
     }
 
-    /// Ids of all live processes, in spawn order.
+    /// Ids of all live processes, in spawn order (`BTreeMap` iteration is
+    /// already pid-ordered, and pids are assigned in spawn order).
     pub fn live_processes(&self) -> Vec<ProcessId> {
-        let mut v: Vec<ProcessId> = self
-            .procs
+        self.procs
             .iter()
             .filter(|(_, s)| s.alive)
             .map(|(p, _)| *p)
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// Current simulated time.
@@ -477,6 +479,10 @@ impl Simulation {
 
     /// [`run_until`](Self::run_until) with an explicit event budget, as a
     /// guard against runaway periodic behaviour in tests.
+    // Wall-clock accounting only (events/sec reporting); the reading never
+    // feeds back into simulated time. Suppressed in lint-allow.toml (R2)
+    // and for clippy's disallowed-methods mirror of the same rule.
+    #[allow(clippy::disallowed_methods)]
     pub fn run_until_limited(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
         let started = Instant::now();
         let outcome = self.dispatch_until(deadline, event_limit);
@@ -490,15 +496,17 @@ impl Simulation {
             if dispatched >= event_limit {
                 return RunOutcome::EventLimit;
             }
-            let Some(top) = self.queue.peek() else {
+            let Some(sched) = self.queue.pop() else {
                 self.now = deadline.max(self.now);
                 return RunOutcome::Idle;
             };
-            if top.at > deadline {
+            if sched.at > deadline {
+                // Not due yet: put it back (same (at, seq), so ordering is
+                // unchanged) and stop at the deadline.
+                self.queue.push(sched);
                 self.now = deadline;
                 return RunOutcome::DeadlineReached;
             }
-            let sched = self.queue.pop().expect("peeked");
             debug_assert!(sched.at >= self.now, "time went backwards");
             self.now = sched.at;
             self.events_processed += 1;
@@ -565,9 +573,14 @@ impl Simulation {
                 .map(|s| s.node)
                 .unwrap_or(NodeId(0))
         });
-        match (accepting, client_alive) {
-            (Some((lsn, server_pid)), true) => {
-                let client_node = client_node.expect("client endpoint exists");
+        // `client_alive` implies the endpoint exists, so `client_node` is
+        // `Some` in the live arms; matching on it keeps that connection
+        // panic-free instead of relying on an `expect`.
+        match (accepting, client_alive, client_node) {
+            (Some((lsn, server_pid)), true, Some(client_node)) => {
+                let Some(server_node) = self.process_node(server_pid) else {
+                    return; // listener owner vanished; nothing to accept
+                };
                 let server_ep = ConnId(self.next_conn);
                 self.next_conn += 1;
                 self.endpoints.insert(
@@ -598,7 +611,6 @@ impl Simulation {
                     },
                 );
                 // SYN-ACK travels back to the initiator.
-                let server_node = self.process_node(server_pid).expect("server exists");
                 let back = self.sample_latency(server_node, client_node, 0);
                 let at = self.now + back;
                 self.push(
@@ -609,8 +621,7 @@ impl Simulation {
                     },
                 );
             }
-            (None, true) => {
-                let client_node = client_node.expect("client endpoint exists");
+            (None, true, Some(client_node)) => {
                 let back = self.sample_latency(addr.node, client_node, 0);
                 let at = self.now + back;
                 self.push(
@@ -622,8 +633,9 @@ impl Simulation {
                 );
             }
             _ => {
-                // Initiator vanished: if a server endpoint would have been
-                // created we simply never create it; nothing to do.
+                // Initiator vanished (or its endpoint is already gone): if
+                // a server endpoint would have been created we simply never
+                // create it; nothing to do.
             }
         }
     }
@@ -762,10 +774,14 @@ impl Simulation {
                 Some(ev) => proc.on_event(&mut ctx, ev),
             }
         }
-        let exit = {
-            let slot = self.procs.get_mut(&pid).expect("slot persists");
-            slot.proc = Some(proc);
-            slot.exit_requested.take()
+        // Slots are never removed from `procs` (only marked dead), so the
+        // slot is still there after the handler ran; stay panic-free anyway.
+        let exit = match self.procs.get_mut(&pid) {
+            Some(slot) => {
+                slot.proc = Some(proc);
+                slot.exit_requested.take()
+            }
+            None => None,
         };
         if let Some(reason) = exit {
             self.terminate(pid, reason);
@@ -781,16 +797,16 @@ impl Simulation {
         }
         slot.alive = false;
         slot.proc = None;
-        let conns: Vec<ConnId> = slot.conns.drain().collect();
-        let listeners: Vec<ListenerId> = slot.listeners.drain().collect();
+        // BTreeSet iteration is id-ordered, giving a deterministic EOF
+        // order without an explicit sort.
+        let conns = std::mem::take(&mut slot.conns);
+        let listeners = std::mem::take(&mut slot.listeners);
         let label = slot.label.clone();
         for lsn in listeners {
             if let Some((_, addr)) = self.listener_owner.remove(&lsn) {
                 self.listeners_by_addr.remove(&addr);
             }
         }
-        let mut conns = conns;
-        conns.sort(); // deterministic EOF order
         for c in conns {
             self.close_endpoint(c);
         }

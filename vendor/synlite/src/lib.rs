@@ -1,0 +1,605 @@
+//! A minimal, offline stand-in for the tokenizer layer of `syn` /
+//! `proc-macro2`, in the same vendored-subset spirit as `vendor/bytes` and
+//! `vendor/rand`: just enough surface for `crates/lint` to do a structural
+//! walk over Rust source.
+//!
+//! [`parse_file`] lexes a source file into a vector of spanned
+//! [`TokenTree`]s, with bracketed regions (`()`, `[]`, `{}`) nested into
+//! [`Group`]s exactly as `proc_macro2::TokenStream` would. Comments are
+//! skipped; string/char/numeric literals are opaque [`Lit`] tokens (their
+//! text is preserved but never re-interpreted), so lint rules can match on
+//! identifier/punct shape without a full parser.
+//!
+//! The lexer is deliberately forgiving: it is a *lint* front-end, not a
+//! compiler. Anything it cannot classify becomes a `Punct`, and the only
+//! hard errors are unbalanced delimiters and unterminated literals —
+//! conditions under which span-based findings would be meaningless anyway.
+
+/// A line/column position (both 1-based) in the lexed source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in characters, not bytes).
+    pub col: u32,
+}
+
+/// The delimiter of a [`Group`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+    /// `{ ... }`
+    Brace,
+}
+
+/// One leaf or nested group in the token stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`foo`, `match`, `r#type`).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`), without the quote.
+    Lifetime(String),
+    /// A single punctuation character (`.`, `:`, `=`, `!`, ...).
+    Punct(char),
+    /// A literal: string, raw string, byte string, char, byte, or number.
+    /// The original text is preserved verbatim.
+    Lit(String),
+    /// A delimited group containing a nested token stream.
+    Group(Delim, Vec<TokenTree>),
+}
+
+/// A [`Tok`] with the [`Span`] where it started.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenTree {
+    /// Position of the token's first character.
+    pub span: Span,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+impl TokenTree {
+    /// The identifier string, if this token is an [`Tok::Ident`].
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == c)
+    }
+
+    /// The nested stream, if this token is a [`Tok::Group`] with delimiter
+    /// `delim`.
+    pub fn group(&self, delim: Delim) -> Option<&[TokenTree]> {
+        match &self.tok {
+            Tok::Group(d, inner) if *d == delim => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+/// A lexing failure (unbalanced delimiter or unterminated literal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes `src` into a stream of spanned token trees.
+pub fn parse_file(src: &str) -> Result<Vec<TokenTree>, LexError> {
+    let mut lexer = Lexer::new(src);
+    let trees = lexer.lex_stream(None)?;
+    Ok(trees)
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            _src: src,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, span: Span, message: impl Into<String>) -> LexError {
+        LexError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Lexes until EOF (when `closing` is `None`) or until the matching
+    /// close delimiter is consumed.
+    fn lex_stream(&mut self, closing: Option<char>) -> Result<Vec<TokenTree>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                return match closing {
+                    None => Ok(out),
+                    Some(close) => {
+                        Err(self.err(span, format!("unclosed delimiter, expected `{close}`")))
+                    }
+                };
+            };
+            match c {
+                '(' | '[' | '{' => {
+                    self.bump();
+                    let (delim, close) = match c {
+                        '(' => (Delim::Paren, ')'),
+                        '[' => (Delim::Bracket, ']'),
+                        _ => (Delim::Brace, '}'),
+                    };
+                    let inner = self.lex_stream(Some(close))?;
+                    out.push(TokenTree {
+                        span,
+                        tok: Tok::Group(delim, inner),
+                    });
+                }
+                ')' | ']' | '}' => {
+                    if closing == Some(c) {
+                        self.bump();
+                        return Ok(out);
+                    }
+                    return Err(self.err(span, format!("unbalanced `{c}`")));
+                }
+                '"' => {
+                    let text = self.lex_string(span)?;
+                    out.push(TokenTree {
+                        span,
+                        tok: Tok::Lit(text),
+                    });
+                }
+                '\'' => {
+                    out.push(self.lex_quote(span)?);
+                }
+                c if c.is_ascii_digit() => {
+                    let text = self.lex_number();
+                    out.push(TokenTree {
+                        span,
+                        tok: Tok::Lit(text),
+                    });
+                }
+                c if c == '_' || c.is_alphabetic() => {
+                    out.push(self.lex_ident_or_prefixed(span)?);
+                }
+                _ => {
+                    self.bump();
+                    out.push(TokenTree {
+                        span,
+                        tok: Tok::Punct(c),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Skips whitespace, line comments and (nested) block comments.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    let span = self.span();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.err(span, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lexes a `"..."` string body; the opening quote has not been bumped.
+    fn lex_string(&mut self, span: Span) -> Result<String, LexError> {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"'));
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    return Ok(text);
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err(span, "unterminated string literal")),
+            }
+        }
+    }
+
+    /// Lexes a raw string `r"..."` / `r#"..."#` (any number of `#`); the
+    /// caller has already consumed the `r`/`br` prefix, and `self.peek()`
+    /// is at the first `#` or `"`.
+    fn lex_raw_string(&mut self, span: Span, prefix: &str) -> Result<String, LexError> {
+        let mut text = String::from(prefix);
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            return Err(self.err(span, "malformed raw string"));
+        }
+        text.push('"');
+        self.bump();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    text.push('"');
+                    for _ in 0..seen {
+                        text.push('#');
+                    }
+                    if seen == hashes {
+                        return Ok(text);
+                    }
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err(span, "unterminated raw string")),
+            }
+        }
+    }
+
+    /// Lexes a number literal (integers, floats, `0x..`, `1_000`,
+    /// exponents). Range punctuation (`0..n`) is left untouched.
+    fn lex_number(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek_at(1).map(|n| n.is_ascii_digit()).unwrap_or(false)
+                && !text.contains('.')
+            {
+                // `1.5` but not `0..n` (next char after '.' is a digit
+                // check keeps ranges intact) and not `1.5.3`.
+                text.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Lexes `'a` lifetimes vs `'x'` char literals.
+    fn lex_quote(&mut self, span: Span) -> Result<TokenTree, LexError> {
+        self.bump(); // the opening quote
+                     // A lifetime is `'` followed by ident-start and NOT closed by a
+                     // matching `'` right after one char (`'a'` is a char literal;
+                     // `'a` is a lifetime; `'\n'` is a char literal).
+        let first = self.peek();
+        let second = self.peek_at(1);
+        let is_lifetime = match (first, second) {
+            (Some(c), Some('\'')) if c != '\\' => false, // 'x'
+            (Some(c), _) if c == '_' || c.is_alphabetic() => true,
+            _ => false,
+        };
+        if is_lifetime {
+            let mut name = String::new();
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(TokenTree {
+                span,
+                tok: Tok::Lifetime(name),
+            });
+        }
+        // Char literal: consume up to the closing quote.
+        let mut text = String::from("'");
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    return Ok(TokenTree {
+                        span,
+                        tok: Tok::Lit(text),
+                    });
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err(span, "unterminated char literal")),
+            }
+        }
+    }
+
+    /// Lexes an identifier, handling the string-prefix forms `r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `br#"` and raw identifiers `r#ident`.
+    fn lex_ident_or_prefixed(&mut self, span: Span) -> Result<TokenTree, LexError> {
+        // String prefixes must be decided before consuming the ident run.
+        let first = self.peek();
+        let second = self.peek_at(1);
+        let third = self.peek_at(2);
+        match (first, second, third) {
+            (Some('r'), Some('"'), _) => {
+                self.bump();
+                let text = self.lex_raw_string(span, "r")?;
+                return Ok(TokenTree {
+                    span,
+                    tok: Tok::Lit(text),
+                });
+            }
+            (Some('r'), Some('#'), Some(t)) if t == '"' || t == '#' => {
+                self.bump();
+                let text = self.lex_raw_string(span, "r")?;
+                return Ok(TokenTree {
+                    span,
+                    tok: Tok::Lit(text),
+                });
+            }
+            (Some('r'), Some('#'), Some(t)) if t == '_' || t.is_alphabetic() => {
+                // Raw identifier `r#match`: strip the prefix, keep the name.
+                self.bump();
+                self.bump();
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return Ok(TokenTree {
+                    span,
+                    tok: Tok::Ident(name),
+                });
+            }
+            (Some('b'), Some('"'), _) => {
+                self.bump();
+                let mut text = self.lex_string(span)?;
+                text.insert(0, 'b');
+                return Ok(TokenTree {
+                    span,
+                    tok: Tok::Lit(text),
+                });
+            }
+            (Some('b'), Some('\''), _) => {
+                self.bump();
+                self.bump();
+                let mut text = String::from("b'");
+                loop {
+                    match self.bump() {
+                        Some('\\') => {
+                            text.push('\\');
+                            if let Some(esc) = self.bump() {
+                                text.push(esc);
+                            }
+                        }
+                        Some('\'') => {
+                            text.push('\'');
+                            return Ok(TokenTree {
+                                span,
+                                tok: Tok::Lit(text),
+                            });
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.err(span, "unterminated byte literal")),
+                    }
+                }
+            }
+            (Some('b'), Some('r'), Some(t)) if t == '"' || t == '#' => {
+                self.bump();
+                self.bump();
+                let text = self.lex_raw_string(span, "br")?;
+                return Ok(TokenTree {
+                    span,
+                    tok: Tok::Lit(text),
+                });
+            }
+            _ => {}
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(TokenTree {
+            span,
+            tok: Tok::Ident(name),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(trees: &[TokenTree]) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in trees {
+            match &t.tok {
+                Tok::Ident(s) => out.push(s.clone()),
+                Tok::Group(_, inner) => out.extend(idents(inner)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lexes_idents_and_groups() {
+        let trees = parse_file("fn main() { let x = foo.bar(); }").unwrap();
+        assert_eq!(idents(&trees), vec!["fn", "main", "let", "x", "foo", "bar"]);
+        // fn main () { ... }
+        assert!(trees[2].group(Delim::Paren).is_some());
+        assert!(trees[3].group(Delim::Brace).is_some());
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ */
+            let s = "HashMap { iter }";
+            let r = r#"unwrap()"#;
+        "##;
+        let trees = parse_file(src).unwrap();
+        let names = idents(&trees);
+        assert!(!names.contains(&"HashMap".to_string()));
+        assert!(!names.contains(&"iter".to_string()));
+        assert!(!names.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let trees = parse_file("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").unwrap();
+        let mut lifetimes = 0;
+        let mut chars = 0;
+        fn walk(trees: &[TokenTree], lifetimes: &mut u32, chars: &mut u32) {
+            for t in trees {
+                match &t.tok {
+                    Tok::Lifetime(_) => *lifetimes += 1,
+                    Tok::Lit(s) if s.starts_with('\'') => *chars += 1,
+                    Tok::Group(_, inner) => walk(inner, lifetimes, chars),
+                    _ => {}
+                }
+            }
+        }
+        walk(&trees, &mut lifetimes, &mut chars);
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn spans_are_line_accurate() {
+        let trees = parse_file("let a = 1;\nlet b = 2;").unwrap();
+        let b = trees
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("ident b present");
+        assert_eq!(b.span.line, 2);
+        assert_eq!(b.span.col, 5);
+    }
+
+    #[test]
+    fn numbers_keep_ranges_intact() {
+        let trees = parse_file("for i in 0..10 { a[i] = 1.5; }").unwrap();
+        // `0..10` must lex as Lit(0) Punct(.) Punct(.) Lit(10).
+        let dots = trees.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn unbalanced_delimiter_is_an_error() {
+        assert!(parse_file("fn f( {").is_err());
+        assert!(parse_file("fn f) ").is_err());
+    }
+}
