@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use experiments::{failover_episodes_ms, run_scenario, ScenarioConfig};
 use giop::ObjectKey;
-use mead::{RecoveryScheme, ReplicaDirectory};
+use mead::{MemberName, RecoveryScheme, ReplicaDirectory};
 
 fn bench_threshold_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/threshold_checking");
@@ -47,10 +47,16 @@ fn bench_ior_lookup(c: &mut Criterion) {
     let wanted = ObjectKey::persistent("POA", "Object150");
     let mut group = c.benchmark_group("ablation/ior_lookup_200_objects");
     group.bench_function("hash16", |b| {
-        b.iter(|| dir.ior_of("replica/0/1", &wanted, true).unwrap())
+        b.iter(|| {
+            dir.ior_of(&MemberName::from("replica/0/1"), &wanted, true)
+                .unwrap()
+        })
     });
     group.bench_function("bytewise", |b| {
-        b.iter(|| dir.ior_of("replica/0/1", &wanted, false).unwrap())
+        b.iter(|| {
+            dir.ior_of(&MemberName::from("replica/0/1"), &wanted, false)
+                .unwrap()
+        })
     });
     group.finish();
 }

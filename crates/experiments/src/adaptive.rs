@@ -87,8 +87,13 @@ fn row(speed: f64, strategy: &'static str, outcome: &ScenarioOutcome) -> Adaptiv
 }
 
 /// Runs the full comparison (MEAD-message scheme throughout) on up to
-/// `threads` worker threads.
-pub fn run_adaptive_comparison(invocations: u32, seed: u64, threads: usize) -> Vec<AdaptiveRow> {
+/// `threads` worker threads. Returns each row alongside its source
+/// outcome (for trace dumps and digests).
+pub fn run_adaptive_comparison(
+    invocations: u32,
+    seed: u64,
+    threads: usize,
+) -> Vec<(AdaptiveRow, ScenarioOutcome)> {
     let mut cells: Vec<(f64, &'static str, Tweak)> = Vec::new();
     for (speed, preset, adaptive) in SWEEP {
         cells.push((speed, "preset", preset));
@@ -105,7 +110,7 @@ pub fn run_adaptive_comparison(invocations: u32, seed: u64, threads: usize) -> V
     cells
         .into_iter()
         .zip(run_batch(&configs, threads))
-        .map(|((speed, strategy, _), out)| row(speed, strategy, &out))
+        .map(|((speed, strategy, _), out)| (row(speed, strategy, &out), out))
         .collect()
 }
 

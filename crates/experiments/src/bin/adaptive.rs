@@ -2,16 +2,27 @@
 //! work): preset 80/90% thresholds vs the rate-estimating predictor,
 //! across leak speeds.
 //!
-//! Usage: `adaptive [--threads N] [invocations]`
+//! Usage: `adaptive [--threads N] [--trace out.jsonl] [invocations]`
 
-use experiments::{format_adaptive, run_adaptive_comparison, threads_from_args};
+use experiments::{cli_from_args, format_adaptive, positional_or, run_adaptive_comparison};
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(3000);
-    let rows = run_adaptive_comparison(invocations, 42, threads);
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 3000);
+    let cells = run_adaptive_comparison(invocations, 42, cli.threads);
+    let rows: Vec<_> = cells.iter().map(|(row, _)| row.clone()).collect();
     println!("\nAdaptive vs preset thresholds (MEAD scheme, {invocations} invocations per cell)\n");
     println!("{}", format_adaptive(&rows));
     println!("preset thresholds assume a known fault speed; the adaptive trigger");
     println!("fires on predicted time-to-exhaustion and handles all speeds.");
+    let sections: Vec<_> = cells
+        .iter()
+        .map(|(row, out)| {
+            (
+                format!("{}@{}x", row.strategy, row.speed),
+                out.trace.as_slice(),
+            )
+        })
+        .collect();
+    cli.write_trace(&sections);
 }

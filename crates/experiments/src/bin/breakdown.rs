@@ -1,0 +1,82 @@
+//! Regenerates the paper's fail-over-time breakdown (section 5.2.3) from
+//! observability traces: per migration scheme, the detection →
+//! notification → reconnection → first-reply stage table reconstructed by
+//! `obs::episodes`, plus the steady-state round-trip jitter table.
+//!
+//! Unlike the `failover` bin (which measures episodes from the workload's
+//! invocation records), this driver derives every number from the JSONL
+//! trace alone — the same events `--trace` dumps — so the printed report
+//! is reproducible from a trace file without re-running the simulation.
+//!
+//! Usage: `breakdown [--threads N] [--trace out.jsonl] [invocations]`
+
+use experiments::{cli_from_args, jitter_stats, positional_or, run_batch, ScenarioConfig};
+use mead::RecoveryScheme;
+
+/// The three schemes that actually migrate clients (the reactive schemes
+/// never recover, so they have no fail-over episodes to decompose).
+const SCHEMES: [RecoveryScheme; 3] = [
+    RecoveryScheme::NeedsAddressing,
+    RecoveryScheme::LocationForward,
+    RecoveryScheme::MeadFailover,
+];
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1_000_000.0
+}
+
+fn main() {
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
+    let configs: Vec<ScenarioConfig> = SCHEMES
+        .into_iter()
+        .map(|scheme| ScenarioConfig {
+            invocations,
+            ..ScenarioConfig::paper(scheme)
+        })
+        .collect();
+    let outcomes = run_batch(&configs, cli.threads);
+
+    println!(
+        "\nFail-over breakdown from traces (section 5.2.3, seed 42, {invocations} invocations)\n"
+    );
+    for (scheme, out) in SCHEMES.into_iter().zip(&outcomes) {
+        let eps = out.episodes();
+        let table = obs::stage_table(&eps);
+        println!("{} — {} episodes", scheme.name(), eps.len());
+        println!("  stage         | samples | mean (ms) |  min (ms) |  max (ms)");
+        println!("  --------------+---------+-----------+-----------+----------");
+        for (name, s) in obs::STAGE_NAMES.iter().zip(&table) {
+            println!(
+                "  {name:<13} | {:>7} | {:>9.3} | {:>9.3} | {:>9.3}",
+                s.samples,
+                ms(s.mean_ns),
+                ms(s.min_ns),
+                ms(s.max_ns),
+            );
+        }
+        println!();
+    }
+
+    println!("Round-trip jitter (steady state, first invocation excluded)\n");
+    println!("  scheme                   | mean (ms) |  std (ms) | >3-sigma | max spike (ms)");
+    println!("  -------------------------+-----------+-----------+----------+---------------");
+    for (scheme, out) in SCHEMES.into_iter().zip(&outcomes) {
+        let j = jitter_stats(scheme.name(), out);
+        println!(
+            "  {:<24} | {:>9.3} | {:>9.3} | {:>7.2}% | {:>14.3}",
+            j.label,
+            j.mean_ms,
+            j.std_ms,
+            j.outlier_fraction * 100.0,
+            j.max_spike_ms,
+        );
+    }
+
+    let sections: Vec<_> = SCHEMES
+        .into_iter()
+        .zip(&outcomes)
+        .map(|(scheme, out)| (scheme.name().to_string(), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
+}

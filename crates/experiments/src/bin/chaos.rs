@@ -9,12 +9,12 @@
 //!    (an invariant violation) on plans that kill the RM;
 //! 3. the campaign digest must be identical at 1 and N worker threads.
 //!
-//! Usage: `chaos [--threads N] [--smoke] [plans]` (plans defaults to
-//! 240, `--smoke` runs the short fixed-seed CI configuration). Exits
-//! non-zero when any of the three checks fails.
+//! Usage: `chaos [--threads N] [--trace out.jsonl] [--smoke] [plans]`
+//! (plans defaults to 240, `--smoke` runs the short fixed-seed CI
+//! configuration). Exits non-zero when any of the three checks fails.
 
 use experiments::{
-    format_campaign, run_chaos_campaign, threads_from_args, CampaignConfig, ChaosConfig,
+    cli_from_args, format_campaign, run_chaos_campaign, CampaignConfig, ChaosConfig,
 };
 
 fn campaign(plans: u32, rm_instances: u32, threads: usize) -> experiments::CampaignOutcome {
@@ -31,9 +31,15 @@ fn campaign(plans: u32, rm_instances: u32, threads: usize) -> experiments::Campa
 }
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let positional: Vec<String> = args.into_iter().filter(|a| a != "--smoke").collect();
+    let cli = cli_from_args();
+    let threads = cli.threads;
+    let smoke = cli.args.iter().any(|a| a == "--smoke");
+    let positional: Vec<String> = cli
+        .args
+        .iter()
+        .filter(|a| *a != "--smoke")
+        .cloned()
+        .collect();
     let default_plans = if smoke { 24 } else { 240 };
     let plans: u32 = experiments::positional_or(&positional, 0, default_plans);
     let legacy_plans = (plans / 6).max(8);
@@ -90,6 +96,19 @@ fn main() {
         );
         failed = true;
     }
+
+    let sections: Vec<_> = replicated
+        .outcomes
+        .iter()
+        .map(|o| (format!("replicated/seed{}", o.seed), o.trace.as_slice()))
+        .chain(
+            legacy
+                .outcomes
+                .iter()
+                .map(|o| (format!("legacy/seed{}", o.seed), o.trace.as_slice())),
+        )
+        .collect();
+    cli.write_trace(&sections);
 
     if failed {
         std::process::exit(1);

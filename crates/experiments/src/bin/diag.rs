@@ -1,20 +1,20 @@
 //! Ad-hoc diagnostic: run one scenario and dump every metric counter.
+//!
+//! Usage: `diag [--trace out.jsonl] [na|lf|rc|rn|mead] [invocations]`
 
-use experiments::{run_scenario, ScenarioConfig};
+use experiments::{cli_from_args, positional_or, run_scenario, ScenarioConfig};
 use mead::RecoveryScheme;
 
 fn main() {
-    let scheme = match std::env::args().nth(1).as_deref() {
+    let cli = cli_from_args();
+    let scheme = match cli.args.first().map(String::as_str) {
         Some("na") => RecoveryScheme::NeedsAddressing,
         Some("lf") => RecoveryScheme::LocationForward,
         Some("rc") => RecoveryScheme::ReactiveCache,
         Some("rn") => RecoveryScheme::ReactiveNoCache,
         _ => RecoveryScheme::MeadFailover,
     };
-    let n: u32 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1200);
+    let n: u32 = positional_or(&cli.args, 1, 1200);
     let out = run_scenario(&ScenarioConfig::quick(scheme, n));
     for (k, v) in out.metrics.counters() {
         println!("{k} = {v}");
@@ -26,4 +26,5 @@ fn main() {
         out.report.naming_lookups,
         out.report.records.len()
     );
+    cli.write_trace(&[(scheme.name().to_string(), out.trace.as_slice())]);
 }

@@ -8,11 +8,12 @@
 //! guards against statically. `crates/experiments/tests/digest_stability.rs`
 //! spawns it 32 times and asserts bit-identical output.
 
-use experiments::{run_scenario, ScenarioConfig};
+use experiments::{cli_from_args, run_scenario, ScenarioConfig};
 use mead::RecoveryScheme;
 
 fn main() {
-    let configs = vec![
+    let cli = cli_from_args();
+    let configs = [
         ScenarioConfig::quick(RecoveryScheme::MeadFailover, 200),
         ScenarioConfig::quick(RecoveryScheme::ReactiveNoCache, 200),
         ScenarioConfig {
@@ -20,7 +21,19 @@ fn main() {
             ..ScenarioConfig::quick(RecoveryScheme::LocationForward, 200)
         },
     ];
-    for config in &configs {
-        println!("{:016x}", run_scenario(config).digest());
+    let outcomes: Vec<_> = configs.iter().map(run_scenario).collect();
+    for out in &outcomes {
+        println!("{:016x}", out.digest());
     }
+    let sections: Vec<_> = configs
+        .iter()
+        .zip(&outcomes)
+        .map(|(c, out)| {
+            (
+                format!("{}/seed{}", c.scheme.name(), c.seed),
+                out.trace.as_slice(),
+            )
+        })
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,14 +1,20 @@
 //! Regenerates the section 5.2.3 fail-over decomposition: measured episode
 //! distributions next to the cost-model stage budget.
 //!
-//! Usage: `failover [--threads N] [invocations]`
+//! Usage: `failover [--threads N] [--trace out.jsonl] [invocations]`
 
-use experiments::{failover_rows, format_failover, threads_from_args};
+use experiments::{cli_from_args, failover_rows, format_failover, positional_or};
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let rows = failover_rows(invocations, 42, threads);
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
+    let cells = failover_rows(invocations, 42, cli.threads);
+    let rows: Vec<_> = cells.iter().map(|(row, _)| row.clone()).collect();
     println!("\nFail-over decomposition (section 5.2.3)\n");
     println!("{}", format_failover(&rows));
+    let sections: Vec<_> = cells
+        .iter()
+        .map(|(row, out)| (row.scheme.name().to_string(), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,15 +1,16 @@
 //! Regenerates Figure 3: RTT traces of the reactive recovery schemes.
 //! Writes `results/fig3_<scheme>.csv` and prints ASCII previews.
 //!
-//! Usage: `fig3 [--threads N] [invocations]`
+//! Usage: `fig3 [--threads N] [--trace out.jsonl] [invocations]`
 
-use experiments::{run_fig3, threads_from_args, trace_ascii, trace_csv};
+use experiments::{cli_from_args, positional_or, run_fig3, trace_ascii, trace_csv};
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
     std::fs::create_dir_all("results").expect("create results dir");
-    for trace in run_fig3(invocations, 42, threads) {
+    let traces = run_fig3(invocations, 42, cli.threads);
+    for trace in &traces {
         let name = trace.scheme.name().replace(' ', "_").to_lowercase();
         let path = format!("results/fig3_{name}.csv");
         std::fs::write(&path, trace_csv(&trace.outcome)).expect("write csv");
@@ -19,4 +20,9 @@ fn main() {
         );
         println!("{}", trace_ascii(&trace.outcome, 40, 20.0));
     }
+    let sections: Vec<_> = traces
+        .iter()
+        .map(|t| (t.scheme.name().to_string(), t.outcome.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,17 +1,28 @@
 //! Regenerates Figure 5: inter-server group-communication bandwidth vs.
 //! the rejuvenation threshold (20-80 %) for the two proactive schemes.
 //!
-//! Usage: `fig5 [--threads N] [invocations]`
+//! Usage: `fig5 [--threads N] [--trace out.jsonl] [invocations]`
 
-use experiments::{fig5_csv, format_fig5, run_fig5, threads_from_args};
+use experiments::{cli_from_args, fig5_csv, format_fig5, positional_or, run_fig5};
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
     std::fs::create_dir_all("results").expect("create results dir");
-    let points = run_fig5(invocations, 42, &[20, 40, 60, 80], threads);
+    let cells = run_fig5(invocations, 42, &[20, 40, 60, 80], cli.threads);
+    let points: Vec<_> = cells.iter().map(|(p, _)| p.clone()).collect();
     std::fs::write("results/fig5.csv", fig5_csv(&points)).expect("write csv");
     println!("\nFigure 5: effect of varying the rejuvenation threshold\n");
     println!("{}", format_fig5(&points));
     println!("(paper: ~6,000 B/s at 80% rising to ~10,000 B/s at 20%)");
+    let sections: Vec<_> = cells
+        .iter()
+        .map(|(p, out)| {
+            (
+                format!("{}@{}%", p.scheme.name(), p.threshold_pct),
+                out.trace.as_slice(),
+            )
+        })
+        .collect();
+    cli.write_trace(&sections);
 }

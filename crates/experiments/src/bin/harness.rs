@@ -3,7 +3,7 @@
 //! bit-identical outcomes, and writes the timing comparison to
 //! `BENCH_harness.json`.
 //!
-//! Usage: `harness [--threads N] [invocations]`
+//! Usage: `harness [--threads N] [--trace out.jsonl] [invocations]`
 //!
 //! The parallel leg defaults to the host's available parallelism. The
 //! JSON also records a projected 4-thread speedup from the measured
@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use experiments::{default_threads, run_batch, threads_from_args, ScenarioConfig};
+use experiments::{cli_from_args, default_threads, positional_or, run_batch, ScenarioConfig};
 use mead::RecoveryScheme;
 
 /// The workload: every Table 1 row plus the full Figure 5 sweep.
@@ -67,8 +67,9 @@ fn lpt_makespan(times: &[f64], workers: usize) -> f64 {
 // lint-allow.toml under detlint R2 for the same reason).
 #[allow(clippy::disallowed_methods)]
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let cli = cli_from_args();
+    let threads = cli.threads;
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
     let cells = workload(invocations);
     let configs: Vec<ScenarioConfig> = cells.iter().map(|(_, c)| c.clone()).collect();
 
@@ -168,4 +169,11 @@ fn main() {
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
     println!("{json}");
     println!("wrote BENCH_harness.json");
+
+    let sections: Vec<_> = cells
+        .iter()
+        .zip(&sequential)
+        .map(|((label, _), out)| (label.clone(), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,14 +1,20 @@
 //! Regenerates the section 5.2.5 jitter analysis: 3-sigma outlier rates
 //! and maximum spikes, fault-free and per scheme.
 //!
-//! Usage: `jitter [--threads N] [invocations]`
+//! Usage: `jitter [--threads N] [--trace out.jsonl] [invocations]`
 
-use experiments::{format_jitter, run_jitter_suite, threads_from_args};
+use experiments::{cli_from_args, format_jitter, positional_or, run_jitter_suite};
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let rows = run_jitter_suite(invocations, 42, threads);
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
+    let cells = run_jitter_suite(invocations, 42, cli.threads);
+    let rows: Vec<_> = cells.iter().map(|(row, _)| row.clone()).collect();
     println!("\nJitter (section 5.2.5): paper reports 1-2.5% outliers, 2.3ms fault-free max\n");
     println!("{}", format_jitter(&rows));
+    let sections: Vec<_> = cells
+        .iter()
+        .map(|(row, out)| (row.label.clone(), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,20 +1,18 @@
 //! Quick end-to-end smoke run of every recovery scheme.
 //!
-//! Usage: `smoke [--threads N]`
+//! Usage: `smoke [--threads N] [--trace out.jsonl]`
 
-use experiments::{run_batch, threads_from_args, ScenarioConfig, Summary};
+use experiments::{cli_from_args, run_batch, ScenarioConfig, Summary};
 use mead::RecoveryScheme;
 
 fn main() {
-    let (threads, _) = threads_from_args();
+    let cli = cli_from_args();
     let configs: Vec<ScenarioConfig> = RecoveryScheme::ALL
         .into_iter()
         .map(|scheme| ScenarioConfig::quick(scheme, 1500))
         .collect();
-    for (scheme, out) in RecoveryScheme::ALL
-        .into_iter()
-        .zip(run_batch(&configs, threads))
-    {
+    let outcomes = run_batch(&configs, cli.threads);
+    for (scheme, out) in RecoveryScheme::ALL.into_iter().zip(&outcomes) {
         let rtts = out.report.rtts_ms();
         let s = Summary::of(&rtts);
         println!(
@@ -37,4 +35,10 @@ fn main() {
             out.metrics.counter("rm.launches"),
         );
     }
+    let sections: Vec<_> = RecoveryScheme::ALL
+        .into_iter()
+        .zip(&outcomes)
+        .map(|(scheme, out)| (scheme.name().to_string(), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,24 +1,30 @@
 //! Regenerates Table 1: overhead, client failures and fail-over times for
 //! all five recovery strategies (10 000 invocations each).
 //!
-//! Usage: `table1 [--threads N] [invocations]`
+//! Usage: `table1 [--threads N] [--trace out.jsonl] [invocations]`
 
-use experiments::{format_table1, run_table1, threads_from_args};
+use experiments::{cli_from_args, format_table1, positional_or, run_table1};
 
 fn main() {
-    let (threads, args) = threads_from_args();
-    let invocations: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
-    let rows: Vec<_> = run_table1(invocations, 42, threads)
-        .into_iter()
+    let cli = cli_from_args();
+    let invocations: u32 = positional_or(&cli.args, 0, 10_000);
+    let cells = run_table1(invocations, 42, cli.threads);
+    let rows: Vec<_> = cells
+        .iter()
         .map(|(row, out)| {
             eprintln!(
                 "{} done ({} records)",
                 row.scheme.name(),
                 out.report.records.len()
             );
-            row
+            row.clone()
         })
         .collect();
     println!("\nTable 1: overhead and fail-over times (paper values in DESIGN/EXPERIMENTS docs)\n");
     println!("{}", format_table1(&rows));
+    let sections: Vec<_> = cells
+        .iter()
+        .map(|(row, out)| (row.scheme.name().to_string(), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

@@ -1,13 +1,13 @@
 //! Calibration helper: sweep the GCS membership-agreement delay and print
 //! the NEEDS_ADDRESSING failure rate and fail-over time.
 //!
-//! Usage: `tune_na [--threads N]`
+//! Usage: `tune_na [--threads N] [--trace out.jsonl]`
 
-use experiments::{failover_episodes_ms, run_batch, threads_from_args, ScenarioConfig};
+use experiments::{cli_from_args, failover_episodes_ms, run_batch, ScenarioConfig};
 use mead::RecoveryScheme;
 
 fn main() {
-    let (threads, _) = threads_from_args();
+    let cli = cli_from_args();
     // The delay is baked into GcsConfig::default(); this binary just
     // reports the current operating point across seeds.
     let seeds = [42u64, 43, 44];
@@ -19,8 +19,9 @@ fn main() {
             ..ScenarioConfig::paper(RecoveryScheme::NeedsAddressing)
         })
         .collect();
-    for (seed, out) in seeds.into_iter().zip(run_batch(&configs, threads)) {
-        let eps = failover_episodes_ms(&out, RecoveryScheme::NeedsAddressing);
+    let outcomes = run_batch(&configs, cli.threads);
+    for (seed, out) in seeds.into_iter().zip(&outcomes) {
+        let eps = failover_episodes_ms(out, RecoveryScheme::NeedsAddressing);
         let fo = eps.iter().sum::<f64>() / eps.len().max(1) as f64;
         println!(
             "seed={seed} failures={:.0}% failover={fo:.2}ms episodes={} srv={} timeouts={}",
@@ -30,4 +31,10 @@ fn main() {
             out.metrics.counter("mead.client.query_timeout"),
         );
     }
+    let sections: Vec<_> = seeds
+        .into_iter()
+        .zip(&outcomes)
+        .map(|(seed, out)| (format!("seed{seed}"), out.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
 }

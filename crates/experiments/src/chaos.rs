@@ -119,6 +119,8 @@ pub struct ChaosOutcome {
     pub finished_at: SimTime,
     /// Kernel events dispatched (deterministic).
     pub events_processed: u64,
+    /// The observability trace of the run, in emission order.
+    pub trace: Vec<obs::TraceEvent>,
 }
 
 impl ChaosOutcome {
@@ -148,6 +150,7 @@ impl ChaosOutcome {
         }
         h.u64(self.finished_at.as_nanos());
         h.u64(self.events_processed);
+        h.bytes(obs::jsonl::to_jsonl(&self.trace).as_bytes());
         h.finish()
     }
 }
@@ -195,7 +198,7 @@ struct ChaosClient {
 
 impl ChaosClient {
     fn resolve(&mut self, sys: &mut dyn SysApi) {
-        let name = RecoveryManager::slot_binding(self.slot_rr);
+        let name = RecoveryManager::slot_binding(mead::Slot(self.slot_rr));
         match self.orb.invoke(
             sys,
             &naming_ior(self.naming_node),
@@ -243,6 +246,10 @@ impl ChaosClient {
     fn backoff(&mut self, sys: &mut dyn SysApi) {
         match self.policy.next_delay(&mut self.retry, sys.rng()) {
             Some(delay) => {
+                sys.emit(obs::EventKind::Retry {
+                    attempt: self.retry.attempts(),
+                    delay_ns: delay.as_nanos(),
+                });
                 sys.set_timer(delay, TOKEN_RETRY);
             }
             None => {
@@ -411,7 +418,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
         Box::new(NamingService::new(NamingConfig::default())),
     );
 
-    let mut mead_cfg = MeadConfig::paper(RecoveryScheme::MeadFailover);
+    let mut mead_cfg = MeadConfig::builder(RecoveryScheme::MeadFailover).build();
     mead_cfg.checkpoint_interval = SimDuration::from_millis(50);
     mead_cfg.commit_acks = true;
     mead_cfg.rm_instances = cfg.rm_instances;
@@ -612,6 +619,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
         metrics,
         finished_at: sim.now(),
         events_processed: sim.events_processed(),
+        trace: sim.with_recorder(|r| r.events().to_vec()),
     }
 }
 

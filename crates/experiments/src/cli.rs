@@ -1,11 +1,14 @@
 //! Shared command-line parsing for the experiment bins.
 //!
-//! Every driver accepts the same `--threads N` flag ahead of its
-//! positional arguments. The parsing core ([`parse_args`]) is pure and
-//! iterator-based so it is tested once here; the bins call the thin
-//! [`threads_from_args`] wrapper, which keeps the historical behaviour of
-//! printing a usage message and exiting with status 2 on a malformed flag
-//! (these are one-shot CLI tools).
+//! Every driver accepts the same flags ahead of its positional arguments:
+//! `--threads N` selects the worker count and `--trace PATH` dumps the
+//! observability trace of every run as JSON lines. The parsing core
+//! ([`parse_args`]) is pure and iterator-based so it is tested once here;
+//! the bins call the thin [`cli_from_args`] wrapper, which keeps the
+//! historical behaviour of printing a usage message and exiting with
+//! status 2 on a malformed flag (these are one-shot CLI tools).
+
+use std::path::PathBuf;
 
 use crate::runner::default_threads;
 
@@ -21,30 +24,48 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// Extracts a `--threads N` / `--threads=N` flag from `args` (program
-/// name already stripped) and returns `(threads, positional_args)`.
-/// `None`/`0` for the flag means "caller's default"; this core never
-/// exits — the bins' exit-2 behaviour lives in [`threads_from_args`].
-pub fn parse_args<I>(args: I) -> Result<(Option<usize>, Vec<String>), CliError>
+/// The outcome of [`parse_args`]: the common flags plus whatever
+/// positional arguments remain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedCli {
+    /// `--threads N` if present (`None`/`0` mean "caller's default").
+    pub threads: Option<usize>,
+    /// `--trace PATH` if present.
+    pub trace: Option<String>,
+    /// Positional arguments with the flags removed.
+    pub rest: Vec<String>,
+}
+
+/// Extracts the common `--threads N` / `--trace PATH` flags (either
+/// `--flag value` or `--flag=value` form) from `args` (program name
+/// already stripped). This core never exits — the bins' exit-2 behaviour
+/// lives in [`cli_from_args`].
+pub fn parse_args<I>(args: I) -> Result<ParsedCli, CliError>
 where
     I: IntoIterator<Item = String>,
 {
-    let mut threads = None;
-    let mut rest = Vec::new();
+    let mut parsed = ParsedCli::default();
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         if let Some(v) = arg.strip_prefix("--threads=") {
-            threads = Some(parse_thread_count(v)?);
+            parsed.threads = Some(parse_thread_count(v)?);
         } else if arg == "--threads" {
             let v = args
                 .next()
                 .ok_or_else(|| CliError("--threads requires a value".to_string()))?;
-            threads = Some(parse_thread_count(&v)?);
+            parsed.threads = Some(parse_thread_count(&v)?);
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            parsed.trace = Some(v.to_string());
+        } else if arg == "--trace" {
+            let v = args
+                .next()
+                .ok_or_else(|| CliError("--trace requires a path".to_string()))?;
+            parsed.trace = Some(v);
         } else {
-            rest.push(arg);
+            parsed.rest.push(arg);
         }
     }
-    Ok((threads, rest))
+    Ok(parsed)
 }
 
 fn parse_thread_count(v: &str) -> Result<usize, CliError> {
@@ -52,16 +73,61 @@ fn parse_thread_count(v: &str) -> Result<usize, CliError> {
         .map_err(|_| CliError(format!("--threads expects a number, got `{v}`")))
 }
 
-/// Parses the process arguments and returns `(threads, remaining_args)`,
-/// where `remaining_args` are the positional arguments with the flag
-/// removed (program name excluded). Defaults to
-/// [`default_threads`] when the flag is absent or `0`.
+/// The resolved common command line of one experiment bin.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Worker threads to use ([`default_threads`] when unspecified).
+    pub threads: usize,
+    /// Where to write the JSONL trace, if `--trace` was given.
+    pub trace: Option<PathBuf>,
+    /// Positional arguments with the flags removed.
+    pub args: Vec<String>,
+}
+
+impl Cli {
+    /// Writes the labelled run traces to the `--trace` path, if one was
+    /// given; a no-op otherwise. Exits with status 1 when the file cannot
+    /// be written (one-shot CLI behaviour, like the flag parser).
+    pub fn write_trace(&self, sections: &[(String, &[obs::TraceEvent])]) {
+        let Some(path) = &self.trace else { return };
+        let body = render_trace_sections(sections);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("trace written to {}", path.display());
+    }
+}
+
+/// Serialises labelled run traces into one JSONL document: a
+/// `{"run":...}` header line per run followed by that run's events.
+/// Deterministic — equal traces produce equal bytes.
+pub fn render_trace_sections(sections: &[(String, &[obs::TraceEvent])]) -> String {
+    let mut out = String::new();
+    for (label, events) in sections {
+        out.push_str("{\"run\":");
+        obs::jsonl::push_json_str(&mut out, label);
+        out.push_str(",\"events\":");
+        out.push_str(&events.len().to_string());
+        out.push_str("}\n");
+        out.push_str(&obs::jsonl::to_jsonl(events));
+    }
+    out
+}
+
+/// Parses the process arguments into a [`Cli`]: worker count resolved via
+/// [`resolve_threads`], trace path if any, and the remaining positional
+/// arguments (program name excluded).
 ///
 /// A missing or non-numeric flag value prints a usage message and exits
 /// with status 2.
-pub fn threads_from_args() -> (usize, Vec<String>) {
+pub fn cli_from_args() -> Cli {
     match parse_args(std::env::args().skip(1)) {
-        Ok((threads, rest)) => (resolve_threads(threads), rest),
+        Ok(parsed) => Cli {
+            threads: resolve_threads(parsed.threads),
+            trace: parsed.trace.map(PathBuf::from),
+            args: parsed.rest,
+        },
         Err(e) => usage(&e.0),
     }
 }
@@ -86,7 +152,11 @@ pub fn positional_or<T: std::str::FromStr>(args: &[String], index: usize, defaul
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <bin> [--threads N] [args...]   (N = worker threads, 0/default = all cores)");
+    eprintln!(
+        "usage: <bin> [--threads N] [--trace out.jsonl] [args...]\n\
+         \x20 --threads N        worker threads (0/default = all cores)\n\
+         \x20 --trace out.jsonl  dump the per-run observability traces"
+    );
     std::process::exit(2);
 }
 
@@ -100,19 +170,31 @@ mod tests {
 
     #[test]
     fn no_flag_leaves_positionals_untouched() {
-        let (threads, rest) = parse_args(argv(&["500", "extra"])).unwrap();
-        assert_eq!(threads, None);
-        assert_eq!(rest, argv(&["500", "extra"]));
+        let parsed = parse_args(argv(&["500", "extra"])).unwrap();
+        assert_eq!(parsed.threads, None);
+        assert_eq!(parsed.trace, None);
+        assert_eq!(parsed.rest, argv(&["500", "extra"]));
     }
 
     #[test]
     fn separate_and_equals_forms_parse() {
-        let (threads, rest) = parse_args(argv(&["--threads", "4", "100"])).unwrap();
-        assert_eq!(threads, Some(4));
-        assert_eq!(rest, argv(&["100"]));
-        let (threads, rest) = parse_args(argv(&["100", "--threads=8"])).unwrap();
-        assert_eq!(threads, Some(8));
-        assert_eq!(rest, argv(&["100"]));
+        let parsed = parse_args(argv(&["--threads", "4", "100"])).unwrap();
+        assert_eq!(parsed.threads, Some(4));
+        assert_eq!(parsed.rest, argv(&["100"]));
+        let parsed = parse_args(argv(&["100", "--threads=8"])).unwrap();
+        assert_eq!(parsed.threads, Some(8));
+        assert_eq!(parsed.rest, argv(&["100"]));
+    }
+
+    #[test]
+    fn trace_flag_parses_both_forms() {
+        let parsed = parse_args(argv(&["--trace", "out.jsonl", "250"])).unwrap();
+        assert_eq!(parsed.trace.as_deref(), Some("out.jsonl"));
+        assert_eq!(parsed.rest, argv(&["250"]));
+        let parsed = parse_args(argv(&["--trace=t.jsonl", "--threads=2"])).unwrap();
+        assert_eq!(parsed.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(parsed.threads, Some(2));
+        assert!(parsed.rest.is_empty());
     }
 
     #[test]
@@ -120,6 +202,7 @@ mod tests {
         assert!(parse_args(argv(&["--threads"])).is_err());
         assert!(parse_args(argv(&["--threads", "many"])).is_err());
         assert!(parse_args(argv(&["--threads=x"])).is_err());
+        assert!(parse_args(argv(&["--trace"])).is_err());
     }
 
     #[test]

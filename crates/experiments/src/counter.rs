@@ -90,7 +90,7 @@ struct CounterClient {
 
 impl CounterClient {
     fn resolve(&mut self, sys: &mut dyn SysApi) {
-        let name = RecoveryManager::slot_binding(self.slot_rr);
+        let name = RecoveryManager::slot_binding(mead::Slot(self.slot_rr));
         self.naming_rid = self
             .orb
             .invoke(
@@ -208,7 +208,7 @@ pub fn run_counter_scenario(cfg: &CounterConfig) -> CounterOutcome {
         Box::new(NamingService::new(NamingConfig::default())),
     );
 
-    let mut mead_cfg = MeadConfig::paper(RecoveryScheme::MeadFailover);
+    let mut mead_cfg = MeadConfig::builder(RecoveryScheme::MeadFailover).build();
     mead_cfg.checkpoint_interval = cfg.checkpoint_interval;
     if cfg.fault_free {
         mead_cfg.leak = None;

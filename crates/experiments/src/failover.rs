@@ -109,8 +109,13 @@ pub fn failover_row(scheme: RecoveryScheme, invocations: u32, seed: u64) -> Fail
 }
 
 /// Builds the full decomposition table — one row per scheme — on up to
-/// `threads` worker threads.
-pub fn failover_rows(invocations: u32, seed: u64, threads: usize) -> Vec<FailoverRow> {
+/// `threads` worker threads. Returns each row alongside its source
+/// outcome (for trace dumps and digests).
+pub fn failover_rows(
+    invocations: u32,
+    seed: u64,
+    threads: usize,
+) -> Vec<(FailoverRow, ScenarioOutcome)> {
     let schemes = RecoveryScheme::ALL;
     let configs: Vec<ScenarioConfig> = schemes
         .iter()
@@ -123,7 +128,7 @@ pub fn failover_rows(invocations: u32, seed: u64, threads: usize) -> Vec<Failove
     schemes
         .into_iter()
         .zip(run_batch(&configs, threads))
-        .map(|(scheme, outcome)| failover_row_from(scheme, &outcome))
+        .map(|(scheme, outcome)| (failover_row_from(scheme, &outcome), outcome))
         .collect()
 }
 

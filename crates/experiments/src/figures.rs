@@ -89,13 +89,14 @@ pub struct Fig5Point {
 }
 
 /// Runs the Figure 5 sweep — thresholds 20–80 % for the two GIOP/MEAD
-/// proactive schemes — on up to `threads` worker threads.
+/// proactive schemes — on up to `threads` worker threads. Returns each
+/// point alongside its source outcome (for trace dumps and digests).
 pub fn run_fig5(
     invocations: u32,
     seed: u64,
     thresholds_pct: &[u32],
     threads: usize,
-) -> Vec<Fig5Point> {
+) -> Vec<(Fig5Point, ScenarioOutcome)> {
     let cells: Vec<(RecoveryScheme, u32)> = [
         RecoveryScheme::LocationForward,
         RecoveryScheme::MeadFailover,
@@ -115,7 +116,7 @@ pub fn run_fig5(
     cells
         .into_iter()
         .zip(run_batch(&configs, threads))
-        .map(|((scheme, pct), outcome)| fig5_point(scheme, pct, &outcome))
+        .map(|((scheme, pct), outcome)| (fig5_point(scheme, pct, &outcome), outcome))
         .collect()
 }
 

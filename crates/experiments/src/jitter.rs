@@ -58,8 +58,13 @@ pub fn jitter_stats(label: impl Into<String>, outcome: &ScenarioOutcome) -> Jitt
 
 /// Runs the section 5.2.5 jitter suite — a fault-free baseline, each
 /// scheme at the default threshold, and the MEAD scheme at the aggressive
-/// 20 % threshold — on up to `threads` worker threads.
-pub fn run_jitter_suite(invocations: u32, seed: u64, threads: usize) -> Vec<JitterStats> {
+/// 20 % threshold — on up to `threads` worker threads. Returns each row
+/// alongside its source outcome (for trace dumps and digests).
+pub fn run_jitter_suite(
+    invocations: u32,
+    seed: u64,
+    threads: usize,
+) -> Vec<(JitterStats, ScenarioOutcome)> {
     let mut cells: Vec<(String, ScenarioConfig)> = Vec::new();
     // Fault-free run (noise only).
     cells.push((
@@ -94,7 +99,7 @@ pub fn run_jitter_suite(invocations: u32, seed: u64, threads: usize) -> Vec<Jitt
     cells
         .into_iter()
         .zip(run_batch(&configs, threads))
-        .map(|((label, _), outcome)| jitter_stats(label, &outcome))
+        .map(|((label, _), outcome)| (jitter_stats(label, &outcome), outcome))
         .collect()
 }
 

@@ -27,7 +27,7 @@ pub use chaos::{
     chaos_plan_space, format_campaign, run_chaos_campaign, run_chaos_plan, CampaignConfig,
     CampaignOutcome, ChaosConfig, ChaosOutcome,
 };
-pub use cli::{positional_or, threads_from_args};
+pub use cli::{cli_from_args, positional_or, render_trace_sections, Cli};
 pub use counter::{counter_key, run_counter_scenario, CounterConfig, CounterOutcome};
 pub use failover::{
     failover_row, failover_row_from, failover_rows, format_failover, model_budget, FailoverRow,

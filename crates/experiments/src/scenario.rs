@@ -100,6 +100,9 @@ pub struct ScenarioOutcome {
     /// Kernel events dispatched over the whole run (deterministic: a
     /// function of the configuration and seed only).
     pub events_processed: u64,
+    /// The observability trace of the run, in emission order
+    /// (deterministic; serialise with [`trace_jsonl`](Self::trace_jsonl)).
+    pub trace: Vec<obs::TraceEvent>,
     /// Wall-clock time the kernel spent dispatching those events (not
     /// deterministic; excluded from [`digest`](Self::digest)).
     pub wall: std::time::Duration,
@@ -134,10 +137,20 @@ impl ScenarioOutcome {
         }
     }
 
+    /// The run's trace as JSON lines; equal traces produce equal bytes.
+    pub fn trace_jsonl(&self) -> String {
+        obs::jsonl::to_jsonl(&self.trace)
+    }
+
+    /// The run's fail-over episodes, reconstructed from the trace.
+    pub fn episodes(&self) -> Vec<obs::Episode> {
+        obs::episodes(&self.trace)
+    }
+
     /// A 64-bit FNV-1a digest over every deterministic observable of the
     /// outcome: all per-invocation records of every client, all metric
-    /// counters and byte-record series, the simulated timestamps and the
-    /// event count. Two runs of the same [`ScenarioConfig`] are
+    /// counters and byte-record series, the observability trace, the
+    /// simulated timestamps and the event count. Two runs of the same [`ScenarioConfig`] are
     /// *bit-identical* exactly when their digests match — this is what the
     /// determinism regression test and the bench harness compare across
     /// thread counts. Wall-clock accounting is deliberately excluded.
@@ -184,6 +197,7 @@ impl ScenarioOutcome {
                 h.u64(rec.len);
             }
         }
+        h.bytes(self.trace_jsonl().as_bytes());
         h.u64(self.finished_at.as_nanos());
         h.u64(self.workload_start.as_nanos());
         h.u64(self.events_processed);
@@ -194,8 +208,8 @@ impl ScenarioOutcome {
 /// Builds and runs one scenario to completion (or the safety deadline).
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let mut mead_cfg = match cfg.threshold {
-        Some(t) => MeadConfig::with_threshold(cfg.scheme, t),
-        None => MeadConfig::paper(cfg.scheme),
+        Some(t) => MeadConfig::builder(cfg.scheme).migrate_threshold(t).build(),
+        None => MeadConfig::builder(cfg.scheme).build(),
     };
     if cfg.fault_free {
         mead_cfg.leak = None;
@@ -221,6 +235,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(sim_cfg);
+    sim.set_trace_level(mead_cfg.trace_level);
 
     // Nodes: 0 = infrastructure (naming + recovery manager + sequencer),
     // 1..=3 = servers, 4 = client.
@@ -327,6 +342,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     }
 
     let metrics = sim.with_metrics(|m| m.clone());
+    let trace = sim.with_recorder(|r| r.events().to_vec());
     let all_reports: Vec<WorkloadReport> = reports.iter().map(|r| r.borrow().clone()).collect();
     ScenarioOutcome {
         report: all_reports[0].clone(),
@@ -335,6 +351,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         finished_at: sim.now(),
         workload_start,
         events_processed: sim.events_processed(),
+        trace,
         wall: sim.wall_elapsed(),
     }
 }

@@ -163,7 +163,7 @@ impl ClientWorkload {
     fn begin_init(&mut self, sys: &mut dyn SysApi) {
         match self.cfg.policy {
             ClientPolicy::ResolveOnFailure => {
-                let name = RecoveryManager::slot_binding(self.slot_rr);
+                let name = RecoveryManager::slot_binding(mead::Slot(self.slot_rr));
                 self.naming_call(sys, "resolve", &encode_name(&name), NamingOp::InitResolve);
             }
             ClientPolicy::CachedReferences => {
@@ -245,7 +245,7 @@ impl ClientWorkload {
             ClientPolicy::ResolveOnFailure => {
                 // Ask the Naming Service for the next replica.
                 self.slot_rr = (self.slot_rr + 1) % self.cfg.slots.max(1);
-                let name = RecoveryManager::slot_binding(self.slot_rr);
+                let name = RecoveryManager::slot_binding(mead::Slot(self.slot_rr));
                 self.naming_call(
                     sys,
                     "resolve",
@@ -339,7 +339,7 @@ impl Process for ClientWorkload {
                     } else if self.current.is_some() {
                         match self.cfg.policy {
                             ClientPolicy::ResolveOnFailure => {
-                                let name = RecoveryManager::slot_binding(self.slot_rr);
+                                let name = RecoveryManager::slot_binding(mead::Slot(self.slot_rr));
                                 self.naming_call(
                                     sys,
                                     "resolve",

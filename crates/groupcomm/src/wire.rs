@@ -4,39 +4,10 @@
 //! message discriminant. Three sub-protocols share the enum: client↔daemon
 //! commands/deliveries and daemon↔sequencer forwarding/ordering.
 
-use bytes::{Buf, BytesMut};
-use core::fmt;
+use bytes::{Buf, Bytes, BytesMut};
 
-use giop::{CdrError, CdrReader, CdrWriter, Endian};
-
-/// Errors raised decoding GCS frames.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum WireError {
-    /// Marshalling failure.
-    Cdr(CdrError),
-    /// Unknown message discriminant.
-    UnknownKind(u8),
-    /// A declared frame length is implausibly large (corrupt stream).
-    OversizeFrame(u32),
-}
-
-impl fmt::Display for WireError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WireError::Cdr(e) => write!(f, "gcs marshalling error: {e}"),
-            WireError::UnknownKind(k) => write!(f, "unknown gcs message kind {k}"),
-            WireError::OversizeFrame(n) => write!(f, "gcs frame of {n} bytes exceeds limit"),
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
-
-impl From<CdrError> for WireError {
-    fn from(e: CdrError) -> Self {
-        WireError::Cdr(e)
-    }
-}
+use giop::{CdrReader, CdrWriter, Endian};
+use obs::{CodecError, WireCodec};
 
 /// Upper bound on a sane GCS frame, to catch stream desynchronisation.
 pub const MAX_FRAME: u32 = 1 << 20;
@@ -180,6 +151,125 @@ impl GcsWire {
 
     /// Encodes as a length-prefixed frame ready for the wire.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_wire().to_vec()
+    }
+
+    /// Decodes one frame body (without the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed input.
+    pub fn decode(body: &[u8]) -> Result<Self, CodecError> {
+        Self::decode_body(body)
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = CdrReader::new(body.to_vec().into(), Endian::Big);
+        let kind = r.read_u8()?;
+        Ok(match kind {
+            0 => GcsWire::Attach {
+                member: r.read_string()?,
+            },
+            1 => GcsWire::Join {
+                group: r.read_string()?,
+            },
+            2 => GcsWire::Leave {
+                group: r.read_string()?,
+            },
+            3 => GcsWire::Multicast {
+                group: r.read_string()?,
+                payload: r.read_octets()?,
+            },
+            4 => GcsWire::Attached,
+            5 => {
+                let group = r.read_string()?;
+                let view_id = r.read_u64()?;
+                let n = r.read_u32()?;
+                let mut members = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    members.push(r.read_string()?);
+                }
+                GcsWire::View {
+                    group,
+                    view_id,
+                    members,
+                }
+            }
+            6 => GcsWire::Deliver {
+                group: r.read_string()?,
+                sender: r.read_string()?,
+                payload: r.read_octets()?,
+            },
+            7 => GcsWire::Hello {
+                node: r.read_u32()?,
+            },
+            8 => GcsWire::FwdJoin {
+                group: r.read_string()?,
+                member: r.read_string()?,
+                daemon: r.read_u32()?,
+            },
+            9 => GcsWire::FwdLeave {
+                group: r.read_string()?,
+                member: r.read_string()?,
+            },
+            10 => GcsWire::FwdMulticast {
+                group: r.read_string()?,
+                sender: r.read_string()?,
+                payload: r.read_octets()?,
+            },
+            11 => {
+                let seq = r.read_u64()?;
+                let group = r.read_string()?;
+                let view_id = r.read_u64()?;
+                let n = r.read_u32()?;
+                let mut members = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    members.push(r.read_string()?);
+                }
+                GcsWire::OrdView {
+                    seq,
+                    group,
+                    view_id,
+                    members,
+                }
+            }
+            12 => GcsWire::OrdDeliver {
+                seq: r.read_u64()?,
+                group: r.read_string()?,
+                sender: r.read_string()?,
+                payload: r.read_octets()?,
+            },
+            13 => GcsWire::Heartbeat {
+                pad: r.read_octets()?,
+            },
+            other => return Err(CodecError::UnknownKind(other)),
+        })
+    }
+}
+
+impl WireCodec for GcsWire {
+    const PROTOCOL: &'static str = "gcs";
+
+    fn frame_name(&self) -> &'static str {
+        match self {
+            GcsWire::Attach { .. } => "attach",
+            GcsWire::Join { .. } => "join",
+            GcsWire::Leave { .. } => "leave",
+            GcsWire::Multicast { .. } => "multicast",
+            GcsWire::Attached => "attached",
+            GcsWire::View { .. } => "view",
+            GcsWire::Deliver { .. } => "deliver",
+            GcsWire::Hello { .. } => "hello",
+            GcsWire::FwdJoin { .. } => "fwd_join",
+            GcsWire::FwdLeave { .. } => "fwd_leave",
+            GcsWire::FwdMulticast { .. } => "fwd_multicast",
+            GcsWire::OrdView { .. } => "ord_view",
+            GcsWire::OrdDeliver { .. } => "ord_deliver",
+            GcsWire::Heartbeat { .. } => "heartbeat",
+        }
+    }
+
+    fn encode_wire(&self) -> Bytes {
         let mut w = CdrWriter::new(Endian::Big);
         w.write_u8(self.kind());
         match self {
@@ -262,98 +352,24 @@ impl GcsWire {
             GcsWire::Heartbeat { pad } => w.write_octets(pad),
         }
         let body = w.finish();
-        let mut out = Vec::with_capacity(4 + body.len());
+        let mut out = BytesMut::with_capacity(4 + body.len());
         out.extend_from_slice(&(body.len() as u32).to_be_bytes());
         out.extend_from_slice(&body);
-        out
+        out.freeze()
     }
 
-    /// Decodes one frame body (without the length prefix).
-    ///
-    /// # Errors
-    ///
-    /// [`WireError`] on malformed input.
-    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
-        let mut r = CdrReader::new(body.to_vec().into(), Endian::Big);
-        let kind = r.read_u8()?;
-        Ok(match kind {
-            0 => GcsWire::Attach {
-                member: r.read_string()?,
-            },
-            1 => GcsWire::Join {
-                group: r.read_string()?,
-            },
-            2 => GcsWire::Leave {
-                group: r.read_string()?,
-            },
-            3 => GcsWire::Multicast {
-                group: r.read_string()?,
-                payload: r.read_octets()?,
-            },
-            4 => GcsWire::Attached,
-            5 => {
-                let group = r.read_string()?;
-                let view_id = r.read_u64()?;
-                let n = r.read_u32()?;
-                let mut members = Vec::with_capacity(n.min(1024) as usize);
-                for _ in 0..n {
-                    members.push(r.read_string()?);
-                }
-                GcsWire::View {
-                    group,
-                    view_id,
-                    members,
-                }
-            }
-            6 => GcsWire::Deliver {
-                group: r.read_string()?,
-                sender: r.read_string()?,
-                payload: r.read_octets()?,
-            },
-            7 => GcsWire::Hello {
-                node: r.read_u32()?,
-            },
-            8 => GcsWire::FwdJoin {
-                group: r.read_string()?,
-                member: r.read_string()?,
-                daemon: r.read_u32()?,
-            },
-            9 => GcsWire::FwdLeave {
-                group: r.read_string()?,
-                member: r.read_string()?,
-            },
-            10 => GcsWire::FwdMulticast {
-                group: r.read_string()?,
-                sender: r.read_string()?,
-                payload: r.read_octets()?,
-            },
-            11 => {
-                let seq = r.read_u64()?;
-                let group = r.read_string()?;
-                let view_id = r.read_u64()?;
-                let n = r.read_u32()?;
-                let mut members = Vec::with_capacity(n.min(1024) as usize);
-                for _ in 0..n {
-                    members.push(r.read_string()?);
-                }
-                GcsWire::OrdView {
-                    seq,
-                    group,
-                    view_id,
-                    members,
-                }
-            }
-            12 => GcsWire::OrdDeliver {
-                seq: r.read_u64()?,
-                group: r.read_string()?,
-                sender: r.read_string()?,
-                payload: r.read_octets()?,
-            },
-            13 => GcsWire::Heartbeat {
-                pad: r.read_octets()?,
-            },
-            other => return Err(WireError::UnknownKind(other)),
-        })
+    fn decode_wire(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 4 {
+            return Err(CodecError::BadMagic);
+        }
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if len > MAX_FRAME {
+            return Err(CodecError::Oversize(len));
+        }
+        if bytes.len() != 4 + len as usize {
+            return Err(CodecError::BadMagic);
+        }
+        Self::decode_body(&bytes[4..])
     }
 }
 
@@ -378,14 +394,14 @@ impl GcsSplitter {
     ///
     /// # Errors
     ///
-    /// [`WireError`] on a corrupt frame.
-    pub fn next_message(&mut self) -> Result<Option<GcsWire>, WireError> {
+    /// [`CodecError`] on a corrupt frame.
+    pub fn next_message(&mut self) -> Result<Option<GcsWire>, CodecError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = (&self.buf[0..4]).get_u32();
         if len > MAX_FRAME {
-            return Err(WireError::OversizeFrame(len));
+            return Err(CodecError::Oversize(len));
         }
         if self.buf.len() < 4 + len as usize {
             return Ok(None);
@@ -400,7 +416,7 @@ impl GcsSplitter {
     /// # Errors
     ///
     /// Propagates the first decode error.
-    pub fn drain(&mut self) -> Result<Vec<GcsWire>, WireError> {
+    pub fn drain(&mut self) -> Result<Vec<GcsWire>, CodecError> {
         let mut out = Vec::new();
         while let Some(m) = self.next_message()? {
             out.push(m);
@@ -501,12 +517,36 @@ mod tests {
     fn oversize_frame_is_rejected() {
         let mut s = GcsSplitter::new();
         s.push(&(MAX_FRAME + 1).to_be_bytes());
-        assert!(matches!(s.next_message(), Err(WireError::OversizeFrame(_))));
+        assert!(matches!(s.next_message(), Err(CodecError::Oversize(_))));
     }
 
     #[test]
     fn unknown_kind_is_rejected() {
-        assert_eq!(GcsWire::decode(&[200]), Err(WireError::UnknownKind(200)));
+        assert_eq!(GcsWire::decode(&[200]), Err(CodecError::UnknownKind(200)));
+    }
+
+    #[test]
+    fn wire_codec_trait_round_trips_and_describes_frames() {
+        for msg in samples() {
+            let framed = msg.encode_wire();
+            assert_eq!(GcsWire::decode_wire(&framed), Ok(msg.clone()));
+            match msg.frame_event() {
+                obs::EventKind::Frame {
+                    protocol,
+                    frame,
+                    len,
+                } => {
+                    assert_eq!(protocol, "gcs");
+                    assert_eq!(frame, msg.frame_name());
+                    assert_eq!(len as usize, framed.len());
+                }
+                other => panic!("unexpected event: {other:?}"),
+            }
+        }
+        // A frame whose length prefix disagrees with the buffer is rejected.
+        let mut framed = samples()[0].encode_wire().to_vec();
+        framed.pop();
+        assert_eq!(GcsWire::decode_wire(&framed), Err(CodecError::BadMagic));
     }
 
     #[test]

@@ -182,40 +182,86 @@ pub struct MeadConfig {
     /// is what Table 1 measures. The chaos campaign turns this on to get
     /// exactly-once fail-over semantics.
     pub commit_acks: bool,
+    /// Observability verbosity this deployment asks of the simulation
+    /// trace ([`obs::TraceLevel`]); the scenario runner applies it to the
+    /// kernel recorder before the run starts.
+    pub trace_level: obs::TraceLevel,
 }
 
 impl MeadConfig {
-    /// The paper's configuration for `scheme` with an 80 %/90 % threshold
-    /// pair and the standard leak.
-    pub fn paper(scheme: RecoveryScheme) -> Self {
-        MeadConfig {
-            scheme,
-            launch_threshold: 0.8,
-            migrate_threshold: 0.9,
-            costs: CostModel::default(),
-            leak: Some(LeakConfig::default()),
-            server_group: "servers".to_string(),
-            checkpoint_interval: SimDuration::from_millis(250),
-            checkpoint_bytes: 128,
-            drain_delay: SimDuration::from_millis(5),
-            address_query_timeout: SimDuration::from_millis(10),
-            use_key_hash: true,
-            adaptive: None,
-            poll_thresholds: false,
-            rm_instances: 1,
-            manager_group: "managers".to_string(),
-            commit_acks: false,
+    /// Starts a builder seeded with the paper's configuration for
+    /// `scheme`: the 80 %/90 % threshold pair, the calibrated cost model
+    /// and the standard memory leak. `MeadConfig::builder(s).build()`
+    /// reproduces the Table 1 deployment for scheme `s` exactly.
+    pub fn builder(scheme: RecoveryScheme) -> MeadConfigBuilder {
+        MeadConfigBuilder {
+            cfg: MeadConfig {
+                scheme,
+                launch_threshold: 0.8,
+                migrate_threshold: 0.9,
+                costs: CostModel::default(),
+                leak: Some(LeakConfig::default()),
+                server_group: "servers".to_string(),
+                checkpoint_interval: SimDuration::from_millis(250),
+                checkpoint_bytes: 128,
+                drain_delay: SimDuration::from_millis(5),
+                address_query_timeout: SimDuration::from_millis(10),
+                use_key_hash: true,
+                adaptive: None,
+                poll_thresholds: false,
+                rm_instances: 1,
+                manager_group: "managers".to_string(),
+                commit_acks: false,
+                trace_level: obs::TraceLevel::Recovery,
+            },
         }
     }
+}
 
-    /// Same, but with the migrate threshold set to `threshold` and the
-    /// launch threshold trailing it by the paper's 10-point gap (for the
-    /// Figure 5 sweep).
-    pub fn with_threshold(scheme: RecoveryScheme, threshold: f64) -> Self {
-        let mut cfg = Self::paper(scheme);
-        cfg.migrate_threshold = threshold.clamp(0.05, 1.0);
-        cfg.launch_threshold = (threshold - 0.1).clamp(0.01, cfg.migrate_threshold);
-        cfg
+/// Builder returned by [`MeadConfig::builder`]; every knob defaults to
+/// the paper's values, so experiments state only what they vary.
+#[derive(Clone, Debug)]
+pub struct MeadConfigBuilder {
+    cfg: MeadConfig,
+}
+
+impl MeadConfigBuilder {
+    /// Sets both two-step thresholds explicitly. Both are clamped to
+    /// (0, 1] and `launch` is capped at `migrate` (the launch step can
+    /// never follow the migrate step).
+    pub fn thresholds(mut self, launch: f64, migrate: f64) -> Self {
+        self.cfg.migrate_threshold = migrate.clamp(0.05, 1.0);
+        self.cfg.launch_threshold = launch.clamp(0.01, self.cfg.migrate_threshold);
+        self
+    }
+
+    /// Sets the migrate threshold with the launch threshold trailing it
+    /// by the paper's 10-point gap (the Figure 5 sweep's single knob).
+    pub fn migrate_threshold(self, threshold: f64) -> Self {
+        self.thresholds(threshold - 0.1, threshold)
+    }
+
+    /// Replaces the interceptor cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.cfg.costs = costs;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the injected memory leak.
+    pub fn leak(mut self, leak: Option<LeakConfig>) -> Self {
+        self.cfg.leak = leak;
+        self
+    }
+
+    /// Sets the observability trace verbosity for the deployment.
+    pub fn trace_level(mut self, level: obs::TraceLevel) -> Self {
+        self.cfg.trace_level = level;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> MeadConfig {
+        self.cfg
     }
 }
 
@@ -244,8 +290,8 @@ mod tests {
     }
 
     #[test]
-    fn paper_config_defaults() {
-        let cfg = MeadConfig::paper(RecoveryScheme::MeadFailover);
+    fn builder_defaults_match_the_paper() {
+        let cfg = MeadConfig::builder(RecoveryScheme::MeadFailover).build();
         assert_eq!(cfg.launch_threshold, 0.8);
         assert_eq!(cfg.migrate_threshold, 0.9);
         assert!(cfg.leak.is_some());
@@ -255,15 +301,39 @@ mod tests {
         assert_eq!(cfg.rm_instances, 1);
         assert_eq!(cfg.manager_group, "managers");
         assert!(!cfg.commit_acks);
+        assert_eq!(cfg.trace_level, obs::TraceLevel::Recovery);
     }
 
     #[test]
-    fn threshold_sweep_keeps_gap_and_bounds() {
-        let cfg = MeadConfig::with_threshold(RecoveryScheme::MeadFailover, 0.2);
+    fn builder_threshold_sweep_keeps_gap_and_bounds() {
+        let cfg = MeadConfig::builder(RecoveryScheme::MeadFailover)
+            .migrate_threshold(0.2)
+            .build();
         assert!((cfg.migrate_threshold - 0.2).abs() < 1e-9);
         assert!((cfg.launch_threshold - 0.1).abs() < 1e-9);
-        let cfg = MeadConfig::with_threshold(RecoveryScheme::MeadFailover, 0.05);
+        let cfg = MeadConfig::builder(RecoveryScheme::MeadFailover)
+            .migrate_threshold(0.05)
+            .build();
         assert!(cfg.launch_threshold <= cfg.migrate_threshold);
         assert!(cfg.launch_threshold > 0.0);
+    }
+
+    #[test]
+    fn builder_explicit_knobs() {
+        let cfg = MeadConfig::builder(RecoveryScheme::LocationForward)
+            .thresholds(0.5, 0.7)
+            .leak(None)
+            .trace_level(obs::TraceLevel::Kernel)
+            .build();
+        assert_eq!(cfg.scheme, RecoveryScheme::LocationForward);
+        assert!((cfg.launch_threshold - 0.5).abs() < 1e-9);
+        assert!((cfg.migrate_threshold - 0.7).abs() < 1e-9);
+        assert!(cfg.leak.is_none());
+        assert_eq!(cfg.trace_level, obs::TraceLevel::Kernel);
+        // launch can never trail migrate: it is capped.
+        let cfg = MeadConfig::builder(RecoveryScheme::MeadFailover)
+            .thresholds(0.9, 0.6)
+            .build();
+        assert!(cfg.launch_threshold <= cfg.migrate_threshold);
     }
 }

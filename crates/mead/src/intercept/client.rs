@@ -22,10 +22,11 @@
 //!   its last request over the redirected connection. On timeout the EOF
 //!   is released and the application sees `COMM_FAILURE`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use giop::{Endian, FrameKind, Message, MsgType, ReplyBody, ReplyMessage};
 use groupcomm::{GcsClient, GcsDelivery};
+use obs::{EventKind, Phase};
 use simnet::{
     Addr, ConnId, Event, ExitReason, ListenerId, Port, Process, ProcessFactory, ProcessId,
     ReadOutcome, SimDuration, SimRng, SimTime, SysApi, SysError, TimerId,
@@ -86,6 +87,10 @@ struct ClientState {
     /// (app conn, request to resurrect)).
     finishing: BTreeMap<u64, (ConnId, Option<u32>)>,
     next_finish_token: u64,
+    /// App conns whose redirect finished but which have not yet staged a
+    /// GIOP reply from the *new* replica; the next such reply closes the
+    /// paper's fail-over window (`FirstReplyAfterFailover`).
+    awaiting_first_reply: BTreeSet<ConnId>,
 }
 
 impl ClientInterceptor {
@@ -104,6 +109,7 @@ impl ClientInterceptor {
                 outstanding: BTreeMap::new(),
                 finishing: BTreeMap::new(),
                 next_finish_token: 0,
+                awaiting_first_reply: BTreeSet::new(),
             },
         }
     }
@@ -286,6 +292,19 @@ impl ClientState {
                     if frame.msg_type() == MsgType::Reply as u8 {
                         // A reply settles the in-flight request.
                         self.outstanding.remove(&app);
+                        // A reply read off the redirected connection closes
+                        // the fail-over window. Replies held during the
+                        // redirect came from the old replica and do not
+                        // count.
+                        if self
+                            .streams
+                            .get(&app)
+                            .map(|s| !s.redirecting)
+                            .unwrap_or(false)
+                            && self.awaiting_first_reply.remove(&app)
+                        {
+                            sys.emit(EventKind::Phase(Phase::FirstReplyAfterFailover));
+                        }
                     }
                     if let Some(stream) = self.streams.get_mut(&app) {
                         if stream.redirecting {
@@ -344,6 +363,7 @@ impl ClientState {
         sys.charge_cpu(self.cfg.costs.redirect_cpu);
         sys.count("mead.client.redirects_completed", 1);
         sys.mark("mead.client.redirect_at");
+        sys.emit(EventKind::Phase(Phase::ClientRedirect));
         let app = redirect.app;
         let stream = self.streams.get_mut(&app)?;
         debug_assert_eq!(stream.app, app, "streams are keyed by their app-visible id");
@@ -367,6 +387,7 @@ impl ClientState {
     /// if a request was in flight, and wake the application.
     fn finish_redirect(&mut self, sys: &mut dyn SysApi, token: u64) -> Option<Event> {
         let (app, outstanding) = self.finishing.remove(&token)?;
+        self.awaiting_first_reply.insert(app);
         let stream = self.streams.get_mut(&app)?;
         stream.redirecting = false;
         let new_real = stream.real;
@@ -403,6 +424,7 @@ impl ClientState {
         }
         sys.count("mead.client.eof_suppressed", 1);
         sys.mark("mead.client.suppressed_at");
+        sys.emit(EventKind::Phase(Phase::FaultDetected));
         // The stream is in limbo until the group answers: hold any writes
         // (the closed-loop client may fire its next request meanwhile).
         if let Some(stream) = self.streams.get_mut(&app) {
@@ -439,6 +461,9 @@ impl ClientState {
                     };
                     let query = self.queries.remove(&app).expect("keyed");
                     sys.cancel_timer(query.timer);
+                    // NEEDS_ADDRESSING pulls its fail-over notification
+                    // from the group instead of having the server push it.
+                    sys.emit(EventKind::Phase(Phase::FailoverNotice));
                     let Some(node) = crate::node_of(&host) else {
                         return;
                     };
@@ -579,6 +604,7 @@ impl SysApi for ClientFacade<'_> {
             self.st.real_to_app.remove(&stream.real);
             self.st.outstanding.remove(&conn);
             self.st.queries.remove(&conn);
+            self.st.awaiting_first_reply.remove(&conn);
             self.sys.close(stream.real);
         } else {
             self.sys.close(conn);
@@ -632,5 +658,9 @@ impl SysApi for ClientFacade<'_> {
 
     fn trace(&mut self, message: &str) {
         self.sys.trace(message)
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        self.sys.emit(kind)
     }
 }

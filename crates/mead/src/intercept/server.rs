@@ -25,13 +25,14 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use faults::{AdaptivePredictor, MemoryLeak, ResourceMonitor, ThresholdAction};
 use giop::{Endian, Frame, FrameKind, Message, MsgType, ObjectKey, ReplyBody, ReplyMessage};
 use groupcomm::{GcsClient, GcsDelivery};
+use obs::{EventKind, Phase};
 use simnet::{
     ConnId, Event, ExitReason, ListenerId, Port, Process, ProcessFactory, ProcessId, ReadOutcome,
     SimDuration, SimRng, SimTime, SysApi, SysError, TimerId,
 };
 
 use crate::config::{MeadConfig, RecoveryScheme};
-use crate::directory::{replica_member_name, ReplicaDirectory};
+use crate::directory::{replica_member_name, MemberName, ReplicaDirectory, Slot};
 use crate::intercept::common::{
     is_intercept_token, Stream, TOKEN_CHECKPOINT, TOKEN_DRAIN, TOKEN_GCS, TOKEN_LEAK,
 };
@@ -63,8 +64,8 @@ pub struct ServerInterceptor {
 
 struct ServerState {
     cfg: MeadConfig,
-    slot: u32,
-    member: String,
+    slot: Slot,
+    member: MemberName,
     gcs: Option<GcsClient>,
     dir: ReplicaDirectory,
     leak: Option<MemoryLeak>,
@@ -106,7 +107,7 @@ struct ServerState {
 
 impl ServerInterceptor {
     /// Wraps `inner` (an unmodified server process) for replica `slot`.
-    pub fn new(cfg: MeadConfig, slot: u32, inner: Box<dyn Process>) -> Self {
+    pub fn new(cfg: MeadConfig, slot: Slot, inner: Box<dyn Process>) -> Self {
         let leak = cfg.leak.clone().map(MemoryLeak::new);
         let monitor = ResourceMonitor::new(cfg.launch_threshold, cfg.migrate_threshold);
         let adaptive = cfg.adaptive.clone().map(AdaptivePredictor::new);
@@ -116,7 +117,7 @@ impl ServerInterceptor {
             st: ServerState {
                 cfg,
                 slot,
-                member: String::new(),
+                member: MemberName::new(""),
                 gcs: None,
                 dir: ReplicaDirectory::new(),
                 leak,
@@ -156,7 +157,7 @@ impl ServerInterceptor {
 impl Process for ServerInterceptor {
     fn on_start(&mut self, sys: &mut dyn SysApi) {
         self.st.member = replica_member_name(self.st.slot, sys.my_pid().raw());
-        let mut gcs = GcsClient::new(self.st.member.clone(), TOKEN_GCS);
+        let mut gcs = GcsClient::new(self.st.member.as_str().to_string(), TOKEN_GCS);
         gcs.start(sys);
         let group = self.st.cfg.server_group.clone();
         gcs.join(sys, &group);
@@ -348,6 +349,7 @@ impl ServerState {
             if !leak.is_active() {
                 leak.activate();
                 sys.count("mead.leak_activated", 1);
+                sys.emit(EventKind::Phase(Phase::LeakDetected));
             }
         }
         if self.cfg.scheme == RecoveryScheme::LocationForward {
@@ -409,7 +411,7 @@ impl ServerState {
             .request_keys
             .get_mut(&conn)
             .and_then(|m| m.remove(&rep.request_id));
-        let target = self.dir.next_after(&self.member).map(str::to_string);
+        let target = self.dir.next_after(&self.member).cloned();
         let (Some(key), Some(target)) = (key, target) else {
             return frame.bytes.to_vec(); // cannot redirect; serve normally
         };
@@ -428,6 +430,7 @@ impl ServerState {
         };
         sys.charge_cpu(self.cfg.costs.fabricate_cpu);
         sys.count("mead.forwards_sent", 1);
+        sys.emit(EventKind::Phase(Phase::FailoverNotice));
         self.notified.insert(conn);
         Message::Reply(ReplyMessage {
             request_id: rep.request_id,
@@ -440,9 +443,9 @@ impl ServerState {
     /// MEAD message: deliver the reply *and* piggyback a fail-over notice
     /// carrying the next replica's address (section 4.3).
     fn piggyback_reply(&mut self, sys: &mut dyn SysApi, conn: ConnId, frame: &Frame) -> Vec<u8> {
-        let target = self.dir.next_after(&self.member).map(str::to_string);
+        let target = self.dir.next_after(&self.member).cloned();
         let addr = target
-            .as_deref()
+            .as_ref()
             .and_then(|t| self.dir.addr_of(t).map(|(h, p)| (h.to_string(), p)));
         let Some((host, port)) = addr else {
             sys.count("mead.piggyback_no_target", 1);
@@ -450,11 +453,12 @@ impl ServerState {
         };
         sys.charge_cpu(self.cfg.costs.fabricate_cpu);
         sys.count("mead.piggybacks_sent", 1);
+        sys.emit(EventKind::Phase(Phase::FailoverNotice));
         self.notified.insert(conn);
         // "Piggybacking regular GIOP Reply messages onto the MEAD proactive
         // failover messages": the notice travels first so the client-side
         // interceptor can redirect before handing the reply up.
-        let mut out = FailoverNotice::new(&host, port, &self.member).encode();
+        let mut out = FailoverNotice::new(&host, port, self.member.as_str()).encode();
         out.extend_from_slice(&frame.bytes);
         out
     }
@@ -487,7 +491,7 @@ impl ServerState {
             sys.count("mead.ior_captured", 1);
             self.my_iors.push(ior.clone());
             let group = self.cfg.server_group.clone();
-            let member = self.member.clone();
+            let member = self.member.as_str().to_string();
             if let Some(gcs) = self.gcs.as_mut() {
                 gcs.multicast(sys, &group, &GroupMsg::IorAdvert { member, ior }.encode());
             }
@@ -516,9 +520,11 @@ impl ServerState {
         };
         match action {
             Some(ThresholdAction::LaunchReplacement) => {
+                sys.emit(EventKind::Phase(Phase::ThresholdCrossed { step: 1 }));
                 self.request_launch(sys);
             }
             Some(ThresholdAction::MigrateClients) => {
+                sys.emit(EventKind::Phase(Phase::ThresholdCrossed { step: 2 }));
                 self.request_launch(sys); // ensure a target exists
                 self.migrating = true;
                 sys.count("mead.migrations", 1);
@@ -547,7 +553,7 @@ impl ServerState {
             None => vec![0u8; self.cfg.checkpoint_bytes],
         };
         let group = self.cfg.server_group.clone();
-        let member = self.member.clone();
+        let member = self.member.as_str().to_string();
         if let Some(gcs) = self.gcs.as_mut() {
             gcs.multicast(
                 sys,
@@ -564,7 +570,7 @@ impl ServerState {
         self.launch_requested = true;
         sys.count("mead.launch_requests", 1);
         let group = self.cfg.server_group.clone();
-        let member = self.member.clone();
+        let member = self.member.as_str().to_string();
         if let Some(gcs) = self.gcs.as_mut() {
             gcs.multicast(sys, &group, &GroupMsg::LaunchRequest { member }.encode());
         }
@@ -576,7 +582,7 @@ impl ServerState {
         };
         let host = crate::host_of(sys.my_node());
         let group = self.cfg.server_group.clone();
-        let member = self.member.clone();
+        let member = self.member.as_str().to_string();
         let iors = self.my_iors.clone();
         if let Some(gcs) = self.gcs.as_mut() {
             gcs.multicast(
@@ -670,7 +676,7 @@ impl ServerState {
                             sys.charge_cpu(self.cfg.costs.fabricate_cpu);
                             sys.count("mead.address_replies", 1);
                             let host = crate::host_of(sys.my_node());
-                            let member = self.member.clone();
+                            let member = self.member.as_str().to_string();
                             if let Some(gcs) = self.gcs.as_mut() {
                                 gcs.multicast(
                                     sys,
@@ -687,7 +693,7 @@ impl ServerState {
                     }
                 }
                 Ok(GroupMsg::Checkpoint { member, state }) => {
-                    if member != self.member {
+                    if self.member != member.as_str() {
                         sys.count("mead.checkpoints_received", 1);
                         sys.count("mead.checkpoint_bytes", state.len() as u64);
                         // Warm-passive backups apply the primary's state.
@@ -948,5 +954,9 @@ impl SysApi for ServerFacade<'_> {
 
     fn trace(&mut self, message: &str) {
         self.sys.trace(message)
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        self.sys.emit(kind)
     }
 }

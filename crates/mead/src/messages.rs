@@ -14,38 +14,9 @@
 //!    synchronisation, and the address query/reply pair used by the
 //!    `NEEDS_ADDRESSING_MODE` scheme.
 
-use core::fmt;
-
-use giop::{encode_frame, CdrError, CdrReader, CdrWriter, Endian, Frame, Ior, MEAD_MAGIC};
-
-/// Errors decoding MEAD control messages.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum MeadWireError {
-    /// Marshalling failure.
-    Cdr(CdrError),
-    /// Unknown discriminant.
-    UnknownKind(u8),
-    /// Frame carried the wrong magic.
-    NotMead,
-}
-
-impl fmt::Display for MeadWireError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MeadWireError::Cdr(e) => write!(f, "mead marshalling error: {e}"),
-            MeadWireError::UnknownKind(k) => write!(f, "unknown mead message kind {k}"),
-            MeadWireError::NotMead => write!(f, "frame is not a MEAD frame"),
-        }
-    }
-}
-
-impl std::error::Error for MeadWireError {}
-
-impl From<CdrError> for MeadWireError {
-    fn from(e: CdrError) -> Self {
-        MeadWireError::Cdr(e)
-    }
-}
+use bytes::Bytes;
+use giop::{encode_frame, CdrReader, CdrWriter, Endian, Frame, Ior, MEAD_MAGIC};
+use obs::{CodecError, WireCodec};
 
 /// The proactive fail-over notice piggybacked onto GIOP replies
 /// (section 4.3): "a MEAD proactive fail-over message containing the
@@ -77,28 +48,44 @@ impl FailoverNotice {
 
     /// Encodes as a complete `"MEAD"` frame.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = CdrWriter::new(Endian::Big);
-        w.write_u8(1); // kind
-        w.write_string(&self.host);
-        w.write_u16(self.port);
-        w.write_string(&self.from_member);
-        w.write_octets(&self.pad);
-        encode_frame(MEAD_MAGIC, 1, Endian::Big, &w.finish()).to_vec()
+        self.encode_wire().to_vec()
     }
 
     /// Decodes from a split [`Frame`] (must carry the MEAD magic).
     ///
     /// # Errors
     ///
-    /// [`MeadWireError`] on foreign or malformed frames.
-    pub fn decode(frame: &Frame) -> Result<Self, MeadWireError> {
-        if frame.bytes.len() < 12 || frame.bytes[0..4] != MEAD_MAGIC {
-            return Err(MeadWireError::NotMead);
+    /// [`CodecError`] on foreign or malformed frames.
+    pub fn decode(frame: &Frame) -> Result<Self, CodecError> {
+        Self::decode_wire(&frame.bytes)
+    }
+}
+
+impl WireCodec for FailoverNotice {
+    const PROTOCOL: &'static str = "mead";
+
+    fn frame_name(&self) -> &'static str {
+        "failover_notice"
+    }
+
+    fn encode_wire(&self) -> Bytes {
+        let mut w = CdrWriter::new(Endian::Big);
+        w.write_u8(1); // kind
+        w.write_string(&self.host);
+        w.write_u16(self.port);
+        w.write_string(&self.from_member);
+        w.write_octets(&self.pad);
+        encode_frame(MEAD_MAGIC, 1, Endian::Big, &w.finish())
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() < 12 || bytes[0..4] != MEAD_MAGIC {
+            return Err(CodecError::BadMagic);
         }
-        let mut r = CdrReader::new(frame.body().to_vec().into(), Endian::Big);
+        let mut r = CdrReader::new(bytes[12..].to_vec().into(), Endian::Big);
         let kind = r.read_u8()?;
         if kind != 1 {
-            return Err(MeadWireError::UnknownKind(kind));
+            return Err(CodecError::UnknownKind(kind));
         }
         Ok(FailoverNotice {
             host: r.read_string()?,
@@ -193,6 +180,36 @@ impl GroupMsg {
 
     /// Encodes for multicast.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_wire().to_vec()
+    }
+
+    /// Decodes a multicast payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on malformed input.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        Self::decode_wire(payload)
+    }
+}
+
+impl WireCodec for GroupMsg {
+    const PROTOCOL: &'static str = "mead-group";
+
+    fn frame_name(&self) -> &'static str {
+        match self {
+            GroupMsg::AddrAdvert { .. } => "addr_advert",
+            GroupMsg::IorAdvert { .. } => "ior_advert",
+            GroupMsg::LaunchRequest { .. } => "launch_request",
+            GroupMsg::SyncList { .. } => "sync_list",
+            GroupMsg::AddressQuery { .. } => "address_query",
+            GroupMsg::AddressReply { .. } => "address_reply",
+            GroupMsg::Checkpoint { .. } => "checkpoint",
+            GroupMsg::RmState { .. } => "rm_state",
+        }
+    }
+
+    fn encode_wire(&self) -> Bytes {
         let mut w = CdrWriter::new(Endian::Big);
         w.write_u8(self.kind());
         match self {
@@ -236,15 +253,10 @@ impl GroupMsg {
                 }
             }
         }
-        w.finish().to_vec()
+        w.finish()
     }
 
-    /// Decodes a multicast payload.
-    ///
-    /// # Errors
-    ///
-    /// [`MeadWireError`] on malformed input.
-    pub fn decode(payload: &[u8]) -> Result<Self, MeadWireError> {
+    fn decode_wire(payload: &[u8]) -> Result<Self, CodecError> {
         let mut r = CdrReader::new(payload.to_vec().into(), Endian::Big);
         let kind = r.read_u8()?;
         Ok(match kind {
@@ -297,7 +309,7 @@ impl GroupMsg {
                     pendings,
                 }
             }
-            other => return Err(MeadWireError::UnknownKind(other)),
+            other => return Err(CodecError::UnknownKind(other)),
         })
     }
 }
@@ -393,6 +405,37 @@ mod tests {
 
     #[test]
     fn unknown_kind_rejected() {
-        assert_eq!(GroupMsg::decode(&[77]), Err(MeadWireError::UnknownKind(77)));
+        assert_eq!(GroupMsg::decode(&[77]), Err(CodecError::UnknownKind(77)));
+    }
+
+    #[test]
+    fn wire_codec_trait_round_trips_and_describes_frames() {
+        let notice = FailoverNotice::new("node3", 20001, "replica/7");
+        assert_eq!(
+            FailoverNotice::decode_wire(&notice.encode_wire()).unwrap(),
+            notice
+        );
+        match notice.frame_event() {
+            obs::EventKind::Frame {
+                protocol,
+                frame,
+                len,
+            } => {
+                assert_eq!(protocol, "mead");
+                assert_eq!(frame, "failover_notice");
+                assert_eq!(len as usize, notice.encode().len());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        let msg = GroupMsg::AddressQuery {
+            reply_group: "clients/1".into(),
+        };
+        assert_eq!(GroupMsg::decode_wire(&msg.encode_wire()).unwrap(), msg);
+        assert_eq!(msg.frame_name(), "address_query");
+        // Foreign magic is a typed error, not a kind confusion.
+        assert_eq!(
+            FailoverNotice::decode_wire(&[0u8; 16]),
+            Err(CodecError::BadMagic)
+        );
     }
 }

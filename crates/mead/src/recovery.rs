@@ -28,17 +28,18 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use groupcomm::{GcsClient, GcsDelivery};
+use obs::{EventKind, Phase};
 use simnet::{Event, NodeId, Port, Process, SimDuration, SimTime, SysApi};
 
 use crate::config::MeadConfig;
-use crate::directory::{replica_member_name, slot_of_member, REPLICA_PREFIX};
+use crate::directory::{replica_member_name, slot_of_member, MemberName, Slot, REPLICA_PREFIX};
 use crate::messages::GroupMsg;
 
 /// Parameters handed to the replica factory for each launch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReplicaSpec {
     /// The slot this instance fills (0-based).
-    pub slot: u32,
+    pub slot: Slot,
     /// Fresh listen port assigned by the Recovery Manager.
     pub port: Port,
     /// Node the instance will run on.
@@ -55,7 +56,7 @@ const TOKEN_TICK: u64 = 2;
 #[derive(Debug, Default)]
 struct SlotState {
     /// Member name we are waiting to see join, with launch time.
-    pending: Option<(String, SimTime)>,
+    pending: Option<(MemberName, SimTime)>,
 }
 
 /// The Recovery Manager process.
@@ -66,7 +67,7 @@ pub struct RecoveryManager {
     replica_nodes: Vec<NodeId>,
     target_degree: u32,
     next_port: u16,
-    slots: BTreeMap<u32, SlotState>,
+    slots: BTreeMap<Slot, SlotState>,
     last_view: Vec<String>,
     initial_launched: bool,
     pending_timeout: SimDuration,
@@ -145,7 +146,11 @@ impl RecoveryManager {
         let pendings: Vec<(u32, String)> = self
             .slots
             .iter()
-            .filter_map(|(slot, s)| s.pending.as_ref().map(|(m, _)| (*slot, m.clone())))
+            .filter_map(|(slot, s)| {
+                s.pending
+                    .as_ref()
+                    .map(|(m, _)| (slot.index(), m.as_str().to_string()))
+            })
             .collect();
         let msg = GroupMsg::RmState {
             next_port: self.next_port,
@@ -161,11 +166,11 @@ impl RecoveryManager {
     fn absorb_state(&mut self, sys: &mut dyn SysApi, next_port: u16, pendings: Vec<(u32, String)>) {
         self.next_port = self.next_port.max(next_port);
         let now = sys.now();
-        for slot in 0..self.target_degree {
+        for slot in (0..self.target_degree).map(Slot) {
             let pending = pendings
                 .iter()
-                .find(|(s, _)| *s == slot)
-                .map(|(_, m)| (m.clone(), now));
+                .find(|(s, _)| *s == slot.index())
+                .map(|(_, m)| (MemberName::from(m.as_str()), now));
             self.slots.entry(slot).or_default().pending = pending;
         }
         // A leader that launches exists: a takeover must reconcile, not
@@ -174,11 +179,11 @@ impl RecoveryManager {
     }
 
     /// The Naming Service binding name for a slot.
-    pub fn slot_binding(slot: u32) -> String {
+    pub fn slot_binding(slot: Slot) -> String {
         format!("replicas/slot{slot}")
     }
 
-    fn launch(&mut self, sys: &mut dyn SysApi, slot: u32) {
+    fn launch(&mut self, sys: &mut dyn SysApi, slot: Slot) {
         let port = Port(self.next_port);
         self.next_port += 1;
         let label = format!("replica-s{slot}");
@@ -188,12 +193,13 @@ impl RecoveryManager {
         // evaluation only kills processes.
         let n = self.replica_nodes.len();
         for attempt in 0..n {
-            let node = self.replica_nodes[(slot as usize + attempt) % n];
+            let node = self.replica_nodes[(slot.index() as usize + attempt) % n];
             let spec = ReplicaSpec { slot, port, node };
             let proc_box = (self.factory)(&spec);
             match sys.spawn(node, &label, Box::new(move || proc_box)) {
                 Ok(pid) => {
                     sys.count("rm.launches", 1);
+                    sys.emit(EventKind::Phase(Phase::ReplicaLaunch));
                     if attempt > 0 {
                         sys.count("rm.fallback_placements", 1);
                     }
@@ -211,7 +217,7 @@ impl RecoveryManager {
         sys.count("rm.launch_failed", 1);
     }
 
-    fn slot_is_live(&self, slot: u32) -> bool {
+    fn slot_is_live(&self, slot: Slot) -> bool {
         let prefix = format!("{REPLICA_PREFIX}{slot}/");
         self.last_view.iter().any(|m| m.starts_with(&prefix))
     }
@@ -219,11 +225,11 @@ impl RecoveryManager {
     /// Core reconciliation: make every slot either live or pending.
     fn ensure_degree(&mut self, sys: &mut dyn SysApi) {
         let now = sys.now();
-        for slot in 0..self.target_degree {
+        for slot in (0..self.target_degree).map(Slot) {
             // Clear fulfilled or expired pendings.
             let entry = self.slots.entry(slot).or_default();
             if let Some((expected, since)) = entry.pending.clone() {
-                if self.last_view.contains(&expected) {
+                if self.last_view.iter().any(|m| expected == m.as_str()) {
                     self.slots.entry(slot).or_default().pending = None;
                     self.dirty = true;
                 } else if now.saturating_since(since) > self.pending_timeout {
@@ -281,7 +287,7 @@ impl Process for RecoveryManager {
                     // to know whether it is the leader.
                     if !self.initial_launched && !self.replicated {
                         self.initial_launched = true;
-                        for slot in 0..self.target_degree {
+                        for slot in (0..self.target_degree).map(Slot) {
                             self.launch(sys, slot);
                         }
                     }
@@ -304,7 +310,7 @@ impl Process for RecoveryManager {
                             // First view at boot: the initial deployment.
                             if !self.initial_launched {
                                 self.initial_launched = true;
-                                for slot in 0..self.target_degree {
+                                for slot in (0..self.target_degree).map(Slot) {
                                     self.launch(sys, slot);
                                 }
                                 self.share_state(sys);
@@ -410,8 +416,8 @@ mod tests {
 
     #[test]
     fn slot_binding_names() {
-        assert_eq!(RecoveryManager::slot_binding(0), "replicas/slot0");
-        assert_eq!(RecoveryManager::slot_binding(2), "replicas/slot2");
+        assert_eq!(RecoveryManager::slot_binding(Slot(0)), "replicas/slot0");
+        assert_eq!(RecoveryManager::slot_binding(Slot(2)), "replicas/slot2");
     }
 
     #[test]
@@ -419,7 +425,7 @@ mod tests {
     fn zero_degree_rejected() {
         let factory: ReplicaFactory = Rc::new(|_spec| unreachable!("never launched"));
         let _ = RecoveryManager::new(
-            MeadConfig::paper(crate::RecoveryScheme::MeadFailover),
+            MeadConfig::builder(crate::RecoveryScheme::MeadFailover).build(),
             0,
             vec![NodeId::from_index(0)],
             factory,

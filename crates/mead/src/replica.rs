@@ -42,7 +42,7 @@ impl ReplicaApp {
     /// Creates the paper's time-of-day server for `slot`, listening on
     /// `port` and binding `replicas/slot<slot>` at the Naming Service on
     /// `naming_node`.
-    pub fn time_server(slot: u32, port: Port, naming_node: NodeId) -> Self {
+    pub fn time_server(slot: crate::Slot, port: Port, naming_node: NodeId) -> Self {
         let mut orb = ServerOrb::new(port, ServerOrbConfig::default());
         let key = time_object_key();
         orb.register(key.clone(), Box::new(TimeOfDayServant::default()));

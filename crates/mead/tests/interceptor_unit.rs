@@ -122,8 +122,11 @@ fn server_rig(scheme: RecoveryScheme) -> ServerRig {
         listen_on_start: Some(Port(2810)),
         ..AppState::default()
     }));
-    let mut interceptor =
-        ServerInterceptor::new(MeadConfig::paper(scheme), 0, Box::new(TestApp(app.clone())));
+    let mut interceptor = ServerInterceptor::new(
+        MeadConfig::builder(scheme).build(),
+        mead::Slot(0),
+        Box::new(TestApp(app.clone())),
+    );
     let mut sys = MockSys::new(NodeId::from_index(1));
     interceptor.on_start(&mut sys);
     // First connect is the GCS client reaching the local daemon; complete
@@ -433,8 +436,10 @@ fn client_rig(scheme: RecoveryScheme) -> ClientRig {
         connect_on_start: Some(Addr::new(NodeId::from_index(1), Port(2810))),
         ..AppState::default()
     }));
-    let mut interceptor =
-        ClientInterceptor::new(MeadConfig::paper(scheme), Box::new(TestApp(app.clone())));
+    let mut interceptor = ClientInterceptor::new(
+        MeadConfig::builder(scheme).build(),
+        Box::new(TestApp(app.clone())),
+    );
     let mut sys = MockSys::new(NodeId::from_index(4));
     interceptor.on_start(&mut sys);
     let (gcs_conn, gcs_addr) = sys.connected()[0];

@@ -1,0 +1,125 @@
+//! The trace event taxonomy.
+
+use crate::span::{Phase, SpanId};
+
+/// What happened. Kernel lifecycle, recovery phases, retries and decoded
+/// frames share one ordered stream so cross-layer causality is visible.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A typed recovery phase (see [`Phase`]).
+    Phase(Phase),
+    /// A span opened.
+    SpanStart {
+        /// The id the matching `SpanEnd` will carry.
+        id: SpanId,
+        /// What the span covers.
+        name: &'static str,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id allocated by the matching `SpanStart`.
+        id: SpanId,
+    },
+    /// A process initiated a connection.
+    ConnectAttempt {
+        /// Destination node index.
+        to_node: u32,
+        /// Destination port.
+        port: u16,
+    },
+    /// A connection attempt resolved.
+    ConnectOutcome {
+        /// Destination node index.
+        to_node: u32,
+        /// Destination port.
+        port: u16,
+        /// Whether a listener accepted it.
+        ok: bool,
+    },
+    /// The kernel cut links between two nodes.
+    Partition {
+        /// One side of the cut.
+        a: u32,
+        /// The other side.
+        b: u32,
+    },
+    /// The kernel restored links between two nodes.
+    Heal {
+        /// One side of the restored pair.
+        a: u32,
+        /// The other side.
+        b: u32,
+    },
+    /// A process was spawned.
+    Spawn {
+        /// Node the process landed on.
+        node: u32,
+        /// The process label.
+        label: String,
+    },
+    /// A process exited.
+    Exit {
+        /// True for a crash (fault), false for a graceful exit.
+        crashed: bool,
+    },
+    /// One kernel action dispatched (recorded only at
+    /// [`TraceLevel::Kernel`](crate::TraceLevel::Kernel)).
+    Dispatch {
+        /// Static name of the action variant.
+        action: &'static str,
+    },
+    /// The ORB retry policy scheduled another connection attempt.
+    Retry {
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Back-off delay before the attempt, in sim-nanoseconds.
+        delay_ns: u64,
+    },
+    /// A protocol frame was encoded or decoded via
+    /// [`WireCodec`](crate::WireCodec).
+    Frame {
+        /// Protocol family (`WireCodec::PROTOCOL`).
+        protocol: &'static str,
+        /// Frame type name.
+        frame: &'static str,
+        /// Wire length in bytes.
+        len: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable lower-snake name of the variant, used as the JSONL `ev` tag
+    /// and by the in-memory aggregator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Phase(p) => p.name(),
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::ConnectAttempt { .. } => "connect_attempt",
+            EventKind::ConnectOutcome { .. } => "connect_outcome",
+            EventKind::Partition { .. } => "partition",
+            EventKind::Heal { .. } => "heal",
+            EventKind::Spawn { .. } => "spawn",
+            EventKind::Exit { .. } => "exit",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Frame { .. } => "frame",
+        }
+    }
+}
+
+/// One recorded event: where and when (in simulated time) plus what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the trace (0-based, gap-free).
+    pub seq: u64,
+    /// Simulated time in nanoseconds since the run started.
+    pub at_ns: u64,
+    /// Node index the emitting process ran on (kernel events use the
+    /// primary affected node).
+    pub node: u32,
+    /// Raw process id of the emitter; 0 for kernel-originated events.
+    pub pid: u64,
+    /// What happened.
+    pub kind: EventKind,
+}

@@ -1,0 +1,228 @@
+//! Deterministic fixed-bucket histogram.
+//!
+//! HDR-style log-linear layout over `u64` values: 0–15 are exact, and
+//! every power-of-two range above that is split into 16 linear
+//! sub-buckets, giving a worst-case relative error of 1/16 (6.25%) across
+//! the full range with a fixed 976-slot table. All arithmetic is integer,
+//! so recording order and host platform cannot change any reported value.
+
+const SUB_BITS: u32 = 4; // 16 linear sub-buckets per power of two
+const EXACT: u64 = 1 << SUB_BITS; // values below this get exact buckets
+const BUCKETS: usize = EXACT as usize + (63 - SUB_BITS as usize) * (1 << SUB_BITS);
+
+/// A fixed-bucket log-linear histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < EXACT {
+            value as usize
+        } else {
+            let msb = 63 - value.leading_zeros() as usize; // >= SUB_BITS
+            let sub = ((value >> (msb as u32 - SUB_BITS)) & (EXACT - 1)) as usize;
+            EXACT as usize + (msb - SUB_BITS as usize) * EXACT as usize + sub
+        }
+    }
+
+    /// Smallest value mapping to bucket `index`.
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        let exact = EXACT as usize;
+        if index < exact {
+            index as u64
+        } else {
+            let msb = SUB_BITS as usize + (index - exact) / exact;
+            let sub = ((index - exact) % exact) as u64;
+            (1u64 << msb) | (sub << (msb as u32 - SUB_BITS))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as u64
+        }
+    }
+
+    /// The lower bound of the bucket holding the `num/den` quantile
+    /// (e.g. `value_at_quantile(99, 100)` for p99). Pure integer rank
+    /// arithmetic; returns 0 when empty.
+    pub fn value_at_quantile(&self, num: u64, den: u64) -> u64 {
+        if self.total == 0 || den == 0 {
+            return 0;
+        }
+        // rank = ceil(total * num / den), clamped to [1, total]
+        let rank = ((self.total as u128 * num as u128).div_ceil(den as u128)).max(1) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_lower_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience median (p50).
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(50, 100)
+    }
+
+    /// Convenience p99.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(99, 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_exact() {
+        for v in 0..16u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_round_trip() {
+        // For every sample, the bucket's lower bound must be <= the sample
+        // and the next bucket's lower bound must be > the sample.
+        let samples = [
+            0,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            255,
+            256,
+            257,
+            1_000,
+            65_535,
+            65_536,
+            1_000_000_007,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &samples {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_lower_bound(i) <= v, "v={v} i={i}");
+            if i + 1 < BUCKETS {
+                assert!(Histogram::bucket_lower_bound(i + 1) > v, "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut prev = 0usize;
+        let mut v = 1u64;
+        while v < 1 << 40 {
+            let i = Histogram::bucket_index(v);
+            assert!(i >= prev, "index regressed at {v}");
+            prev = i;
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // Worst-case bucket width / lower bound is 1/16.
+        for &v in &[100u64, 10_000, 123_456_789, 1 << 50] {
+            let i = Histogram::bucket_index(v);
+            let lo = Histogram::bucket_lower_bound(i);
+            let hi = Histogram::bucket_lower_bound(i + 1);
+            assert!((hi - lo) * 16 <= lo.max(16), "too-wide bucket at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_and_mean() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.mean(), 50_500);
+        let p50 = h.p50();
+        // p50 bucket lower bound must sit within one bucket of 50_000.
+        assert!((46_000..=50_000).contains(&p50), "p50={p50}");
+        assert!((90_000..=100_000).contains(&h.p99()));
+        let p100 = h.value_at_quantile(100, 100);
+        assert!(
+            p100 <= h.max() && p100 >= h.max() - h.max() / 16,
+            "p100={p100}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Hand-rolled JSON-lines encoding of a trace.
+//!
+//! The build environment is fully offline (no serde); every event encodes
+//! to exactly one `\n`-terminated line with keys in a fixed order, so two
+//! traces are equal iff their JSONL bytes are equal. That property is what
+//! the `--threads 1/4` bit-identity test leans on.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::span::Phase;
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends the single JSONL line for `ev` (newline included).
+pub fn push_event_line(out: &mut String, ev: &TraceEvent) {
+    use core::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"at\":{},\"node\":{},\"pid\":{},\"ev\":",
+        ev.seq, ev.at_ns, ev.node, ev.pid
+    );
+    push_json_str(out, ev.kind.name());
+    match &ev.kind {
+        EventKind::Phase(p) => {
+            if let Phase::ThresholdCrossed { step } = p {
+                let _ = write!(out, ",\"step\":{step}");
+            }
+        }
+        EventKind::SpanStart { id, name } => {
+            let _ = write!(out, ",\"span\":{}", id.0);
+            out.push_str(",\"name\":");
+            push_json_str(out, name);
+        }
+        EventKind::SpanEnd { id } => {
+            let _ = write!(out, ",\"span\":{}", id.0);
+        }
+        EventKind::ConnectAttempt { to_node, port } => {
+            let _ = write!(out, ",\"to_node\":{to_node},\"port\":{}", port);
+        }
+        EventKind::ConnectOutcome { to_node, port, ok } => {
+            let _ = write!(out, ",\"to_node\":{to_node},\"port\":{port},\"ok\":{ok}");
+        }
+        EventKind::Partition { a, b } | EventKind::Heal { a, b } => {
+            let _ = write!(out, ",\"a\":{a},\"b\":{b}");
+        }
+        EventKind::Spawn { node, label } => {
+            let _ = write!(out, ",\"on\":{node},\"label\":");
+            push_json_str(out, label);
+        }
+        EventKind::Exit { crashed } => {
+            let _ = write!(out, ",\"crashed\":{crashed}");
+        }
+        EventKind::Dispatch { action } => {
+            out.push_str(",\"action\":");
+            push_json_str(out, action);
+        }
+        EventKind::Retry { attempt, delay_ns } => {
+            let _ = write!(out, ",\"attempt\":{attempt},\"delay\":{delay_ns}");
+        }
+        EventKind::Frame {
+            protocol,
+            frame,
+            len,
+        } => {
+            out.push_str(",\"proto\":");
+            push_json_str(out, protocol);
+            out.push_str(",\"frame\":");
+            push_json_str(out, frame);
+            let _ = write!(out, ",\"len\":{len}");
+        }
+    }
+    out.push_str("}\n");
+}
+
+/// Serialises a whole trace; equal traces produce equal bytes.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        push_event_line(&mut out, ev);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanId;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn one_line_per_event_fixed_keys() {
+        let ev = TraceEvent {
+            seq: 3,
+            at_ns: 1_500_000,
+            node: 2,
+            pid: 7,
+            kind: EventKind::Phase(Phase::ThresholdCrossed { step: 2 }),
+        };
+        let line = to_jsonl(&[ev]);
+        assert_eq!(
+            line,
+            "{\"seq\":3,\"at\":1500000,\"node\":2,\"pid\":7,\"ev\":\"threshold_crossed\",\"step\":2}\n"
+        );
+    }
+
+    #[test]
+    fn span_and_frame_lines() {
+        let e1 = TraceEvent {
+            seq: 0,
+            at_ns: 0,
+            node: 0,
+            pid: 0,
+            kind: EventKind::SpanStart {
+                id: SpanId(1),
+                name: "redirect",
+            },
+        };
+        let e2 = TraceEvent {
+            seq: 1,
+            at_ns: 9,
+            node: 0,
+            pid: 0,
+            kind: EventKind::Frame {
+                protocol: "mead",
+                frame: "failover_notice",
+                len: 128,
+            },
+        };
+        let out = to_jsonl(&[e1, e2]);
+        assert!(out.contains("\"ev\":\"span_start\",\"span\":1,\"name\":\"redirect\""));
+        assert!(out.contains("\"proto\":\"mead\",\"frame\":\"failover_notice\",\"len\":128"));
+        assert_eq!(out.lines().count(), 2);
+    }
+}

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use giop::{Endian, FrameKind, FrameSplitter, Ior, Message, ObjectKey, ReplyBody, RequestMessage};
+use obs::{EventKind, Phase};
 use simnet::{Addr, ConnId, Event, NodeId, Port, SimDuration, SysApi};
 
 use crate::exceptions::{Completed, SystemException};
@@ -444,6 +445,11 @@ impl ClientOrb {
             ReplyBody::NoException(payload) => {
                 let p = self.pending.remove(&rid).expect("checked");
                 sys.charge_cpu(self.cfg.reply_cpu);
+                if p.forward_hops > 0 {
+                    // This reply came from the forwarded-to replica: the
+                    // end of a LOCATION_FORWARD fail-over window.
+                    sys.emit(EventKind::Phase(Phase::FirstReplyAfterFailover));
+                }
                 out.push(OrbUpshot::Reply {
                     request_id: rid,
                     operation: p.operation,
@@ -499,10 +505,16 @@ impl ClientOrb {
                         }
                         sys.count("orb.forwarded", 1);
                         match self.dispatch(sys, rid, addr) {
-                            Ok(()) => out.push(OrbUpshot::Forwarded {
-                                request_id: rid,
-                                to: addr,
-                            }),
+                            Ok(()) => {
+                                // The retransmission is on its way to the
+                                // replacement replica — the ORB-native
+                                // equivalent of a client redirect.
+                                sys.emit(EventKind::Phase(Phase::ClientRedirect));
+                                out.push(OrbUpshot::Forwarded {
+                                    request_id: rid,
+                                    to: addr,
+                                });
+                            }
                             Err(ex) => {
                                 let p = self.pending.remove(&rid).expect("checked");
                                 out.push(OrbUpshot::Exception {

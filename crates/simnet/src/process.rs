@@ -192,6 +192,12 @@ pub trait SysApi {
 
     /// Appends a line to the kernel trace (no-op unless tracing is on).
     fn trace(&mut self, message: &str);
+
+    /// Emits a typed observability event into the run's trace
+    /// ([`obs::Recorder`]), stamped with the current simulated time and
+    /// this process's node/pid. This is how the MEAD interceptors, the
+    /// Recovery Manager and the ORB retry path report recovery phases.
+    fn emit(&mut self, kind: obs::EventKind);
 }
 
 /// A simulated process: an event-driven state machine.

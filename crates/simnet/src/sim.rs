@@ -192,6 +192,10 @@ pub struct Simulation {
     next_timer: u64,
     net_rng: SimRng,
     metrics: Rc<RefCell<Metrics>>,
+    recorder: Rc<RefCell<obs::Recorder>>,
+    /// Mirror of the recorder's level so the per-dispatch hot path can
+    /// skip the `RefCell` borrow entirely at the default level.
+    obs_kernel: bool,
     trace: Vec<(SimTime, ProcessId, String)>,
     events_processed: u64,
     wall_in_run: Duration,
@@ -224,6 +228,8 @@ impl Simulation {
             next_timer: 0,
             net_rng,
             metrics: Rc::new(RefCell::new(Metrics::new())),
+            recorder: Rc::new(RefCell::new(obs::Recorder::new())),
+            obs_kernel: false,
             trace: Vec::new(),
             events_processed: 0,
             wall_in_run: Duration::ZERO,
@@ -288,6 +294,8 @@ impl Simulation {
         if a != b {
             self.partitions.insert(Self::link_key(a, b));
             self.metrics.borrow_mut().count("sim.partitions", 1);
+            let (lo, hi) = Self::link_key(a, b);
+            self.emit_kernel(NodeId(lo), obs::EventKind::Partition { a: lo, b: hi });
         }
     }
 
@@ -295,6 +303,8 @@ impl Simulation {
     /// at the current simulated time in its original send order.
     pub fn heal(&mut self, a: NodeId, b: NodeId) {
         if self.partitions.remove(&Self::link_key(a, b)) {
+            let (lo, hi) = Self::link_key(a, b);
+            self.emit_kernel(NodeId(lo), obs::EventKind::Heal { a: lo, b: hi });
             self.release_parked();
         }
     }
@@ -302,7 +312,10 @@ impl Simulation {
     /// Restores every severed link.
     pub fn heal_all(&mut self) {
         if !self.partitions.is_empty() {
-            self.partitions.clear();
+            let cut = std::mem::take(&mut self.partitions);
+            for (lo, hi) in cut {
+                self.emit_kernel(NodeId(lo), obs::EventKind::Heal { a: lo, b: hi });
+            }
             self.release_parked();
         }
     }
@@ -393,6 +406,15 @@ impl Simulation {
         );
         self.push(start_at, Action::StartProcess(pid));
         self.metrics.borrow_mut().count("sim.spawned", 1);
+        self.recorder.borrow_mut().emit(
+            self.now.as_nanos(),
+            node.0,
+            pid.0,
+            obs::EventKind::Spawn {
+                node: node.0,
+                label: label.to_string(),
+            },
+        );
         pid
     }
 
@@ -459,6 +481,34 @@ impl Simulation {
         Rc::clone(&self.metrics)
     }
 
+    /// Shared handle to the observability recorder (clone to keep the
+    /// trace after the run).
+    pub fn recorder_handle(&self) -> Rc<RefCell<obs::Recorder>> {
+        Rc::clone(&self.recorder)
+    }
+
+    /// Immutable snapshot accessor for the observability recorder.
+    pub fn with_recorder<T>(&self, f: impl FnOnce(&obs::Recorder) -> T) -> T {
+        f(&self.recorder.borrow())
+    }
+
+    /// Sets the trace verbosity, resetting the recorder. At
+    /// [`obs::TraceLevel::Kernel`] every dispatched action is recorded;
+    /// the default [`obs::TraceLevel::Recovery`] keeps only lifecycle and
+    /// recovery-phase events. Call before the run starts: any events
+    /// already recorded are discarded.
+    pub fn set_trace_level(&mut self, level: obs::TraceLevel) {
+        self.obs_kernel = level == obs::TraceLevel::Kernel;
+        *self.recorder.borrow_mut() = obs::Recorder::with_level(level);
+    }
+
+    /// Emits a kernel-originated event (pid 0) into the trace.
+    fn emit_kernel(&self, node: NodeId, kind: obs::EventKind) {
+        self.recorder
+            .borrow_mut()
+            .emit(self.now.as_nanos(), node.0, 0, kind);
+    }
+
     /// Immutable snapshot accessor for the metrics store.
     pub fn with_metrics<T>(&self, f: impl FnOnce(&Metrics) -> T) -> T {
         f(&self.metrics.borrow())
@@ -521,7 +571,32 @@ impl Simulation {
                 self.parked.push(sched);
                 continue;
             }
+            if self.obs_kernel {
+                let node = self
+                    .action_link(&sched.action)
+                    .map(|(a, _)| a)
+                    .unwrap_or(NodeId(0));
+                self.emit_kernel(
+                    node,
+                    obs::EventKind::Dispatch {
+                        action: Self::action_name(&sched.action),
+                    },
+                );
+            }
             self.handle(sched.action);
+        }
+    }
+
+    /// Static name of an action variant, for `Dispatch` trace events.
+    fn action_name(action: &Action) -> &'static str {
+        match action {
+            Action::StartProcess(_) => "start_process",
+            Action::ConnectAttempt { .. } => "connect_attempt",
+            Action::ConnectResult { .. } => "connect_result",
+            Action::DeliverData { .. } => "deliver_data",
+            Action::DeliverEof { .. } => "deliver_eof",
+            Action::TimerFire { .. } => "timer_fire",
+            Action::Notify { .. } => "notify",
         }
     }
 
@@ -610,6 +685,14 @@ impl Simulation {
                         peer_node: client_node,
                     },
                 );
+                self.emit_kernel(
+                    client_node,
+                    obs::EventKind::ConnectOutcome {
+                        to_node: addr.node.0,
+                        port: addr.port.0,
+                        ok: true,
+                    },
+                );
                 // SYN-ACK travels back to the initiator.
                 let back = self.sample_latency(server_node, client_node, 0);
                 let at = self.now + back;
@@ -622,6 +705,14 @@ impl Simulation {
                 );
             }
             (None, true, Some(client_node)) => {
+                self.emit_kernel(
+                    client_node,
+                    obs::EventKind::ConnectOutcome {
+                        to_node: addr.node.0,
+                        port: addr.port.0,
+                        ok: false,
+                    },
+                );
                 let back = self.sample_latency(addr.node, client_node, 0);
                 let at = self.now + back;
                 self.push(
@@ -816,6 +907,15 @@ impl Simulation {
             ExitReason::Crash(_) => m.count("sim.exit.crash", 1),
         }
         drop(m);
+        let node = self.procs.get(&pid).map(|s| s.node).unwrap_or(NodeId(0));
+        self.recorder.borrow_mut().emit(
+            self.now.as_nanos(),
+            node.0,
+            pid.0,
+            obs::EventKind::Exit {
+                crashed: matches!(reason, ExitReason::Crash(_)),
+            },
+        );
         if self.cfg.trace {
             self.trace
                 .push((self.now, pid, format!("{label} terminated: {reason:?}")));
@@ -940,6 +1040,10 @@ impl SysApi for Ctx<'_> {
             },
         );
         self.slot_mut().conns.insert(ep_id);
+        self.emit(obs::EventKind::ConnectAttempt {
+            to_node: addr.node.0,
+            port: addr.port.0,
+        });
         let send_at = self.sim.now.max(self.slot().busy_until);
         let lat = self.sim.sample_latency(node, addr.node, 0);
         self.sim.push(
@@ -1100,5 +1204,13 @@ impl SysApi for Ctx<'_> {
                 .trace
                 .push((self.sim.now, self.pid, message.to_string()));
         }
+    }
+
+    fn emit(&mut self, kind: obs::EventKind) {
+        let node = self.slot().node;
+        self.sim
+            .recorder
+            .borrow_mut()
+            .emit(self.sim.now.as_nanos(), node.0, self.pid.0, kind);
     }
 }

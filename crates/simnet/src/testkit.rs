@@ -68,6 +68,7 @@ pub struct MockSys {
     cpu_charged: SimDuration,
     exit: Option<ExitReason>,
     spawned: Vec<(NodeId, String)>,
+    emitted: Vec<(SimTime, obs::EventKind)>,
 }
 
 impl MockSys {
@@ -87,6 +88,7 @@ impl MockSys {
             cpu_charged: SimDuration::ZERO,
             exit: None,
             spawned: Vec::new(),
+            emitted: Vec::new(),
         }
     }
 
@@ -195,6 +197,12 @@ impl MockSys {
     pub fn spawned(&self) -> &[(NodeId, String)] {
         &self.spawned
     }
+
+    /// Observability events the subject emitted, with the mock time at
+    /// which each was emitted.
+    pub fn emitted(&self) -> &[(SimTime, obs::EventKind)] {
+        &self.emitted
+    }
 }
 
 impl SysApi for MockSys {
@@ -299,6 +307,9 @@ impl SysApi for MockSys {
         self.marks.push((series, self.now));
     }
     fn trace(&mut self, _message: &str) {}
+    fn emit(&mut self, kind: obs::EventKind) {
+        self.emitted.push((self.now, kind));
+    }
 }
 
 // Raw-id constructors, exposed only for the test kit.

@@ -50,7 +50,7 @@ struct IncrementClient {
 
 impl IncrementClient {
     fn resolve(&mut self, sys: &mut dyn SysApi) {
-        let name = RecoveryManager::slot_binding(self.slot_rr);
+        let name = RecoveryManager::slot_binding(mead::Slot(self.slot_rr));
         self.naming_rid = self
             .orb
             .invoke(
@@ -168,7 +168,7 @@ fn main() {
     // interceptor's warm-passive state hooks capturing/restoring it.
     // Checkpoint every 50 ms: with a rejuvenation every ~400 ms, each
     // hand-off then loses at most ~50 ms of increments.
-    let mut mead_cfg = MeadConfig::paper(RecoveryScheme::MeadFailover);
+    let mut mead_cfg = MeadConfig::builder(RecoveryScheme::MeadFailover).build();
     mead_cfg.checkpoint_interval = SimDuration::from_millis(50);
     let factory_cfg = mead_cfg.clone();
     let factory: ReplicaFactory = Rc::new(move |spec| {
@@ -206,7 +206,7 @@ fn main() {
         client_node,
         "client",
         Box::new(mead_repro::mead::ClientInterceptor::new(
-            MeadConfig::paper(RecoveryScheme::MeadFailover),
+            MeadConfig::builder(RecoveryScheme::MeadFailover).build(),
             Box::new(IncrementClient {
                 orb: ClientOrb::new(ClientOrbConfig::default()),
                 naming_node: infra,

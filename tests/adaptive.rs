@@ -46,9 +46,11 @@ fn preset_thresholds_fail_on_fast_leaks_adaptive_does_not() {
 fn adaptive_matches_preset_on_the_calibrated_leak() {
     // Two worker threads: exercises the parallel runner path while
     // asserting the same calibrated results as a sequential run.
-    let rows = run_adaptive_comparison(800, 9, 2);
+    let cells = run_adaptive_comparison(800, 9, 2);
     let at = |speed: f64, strategy: &str| {
-        rows.iter()
+        cells
+            .iter()
+            .map(|(row, _)| row)
             .find(|r| r.speed == speed && r.strategy == strategy)
             .expect("row exists")
             .clone()

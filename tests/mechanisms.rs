@@ -2,7 +2,9 @@
 //! MEAD framework, observed through the full stack.
 
 use mead_repro::experiments::{run_scenario, steady_state_rtt_ms, ScenarioConfig};
-use mead_repro::mead::{replica_member_name, slot_of_member, RecoveryScheme, ReplicaDirectory};
+use mead_repro::mead::{
+    replica_member_name, slot_of_member, MemberName, RecoveryScheme, ReplicaDirectory, Slot,
+};
 
 #[test]
 fn location_forward_uses_giop_forwards_not_exceptions() {
@@ -147,21 +149,30 @@ fn directory_semantics() {
     let mut dir = ReplicaDirectory::new();
     dir.on_view(vec![
         "mgr/recovery".into(),
-        replica_member_name(0, 1),
-        replica_member_name(1, 2),
-        replica_member_name(2, 3),
+        replica_member_name(Slot(0), 1).as_str().to_string(),
+        replica_member_name(Slot(1), 2).as_str().to_string(),
+        replica_member_name(Slot(2), 3).as_str().to_string(),
     ]);
     // The manager is never a fail-over target.
     assert_eq!(
-        dir.next_after(&replica_member_name(2, 3)),
-        Some("replica/0/1")
+        dir.next_after(&replica_member_name(Slot(2), 3)),
+        Some(&MemberName::from("replica/0/1"))
     );
-    assert_eq!(slot_of_member(&replica_member_name(7, 9)), Some(7));
+    assert_eq!(
+        slot_of_member(replica_member_name(Slot(7), 9).as_str()),
+        Some(Slot(7))
+    );
     // Advert retention across the advert/join race: an address recorded
     // before the member appears in a view must survive the next view.
     dir.record_addr("replica/0/99", "node1", 20009);
-    dir.on_view(vec![replica_member_name(0, 1), "replica/0/99".into()]);
-    assert_eq!(dir.addr_of("replica/0/99"), Some(("node1", 20009)));
+    dir.on_view(vec![
+        replica_member_name(Slot(0), 1).as_str().to_string(),
+        "replica/0/99".into(),
+    ]);
+    assert_eq!(
+        dir.addr_of(&MemberName::from("replica/0/99")),
+        Some(("node1", 20009))
+    );
 }
 
 #[test]
