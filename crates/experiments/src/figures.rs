@@ -131,13 +131,14 @@ pub fn fig5_point(
     let from = SimTime::from_millis(1000);
     let to = outcome.finished_at;
     let bandwidth = outcome.metrics.bandwidth(MESH_TAG, from, to);
-    let max_spike = outcome
-        .report
-        .records
-        .iter()
-        .skip(1) // initial naming spike is reported separately by the paper
-        .map(crate::workload::InvocationRecord::rtt_ms)
-        .fold(0.0_f64, f64::max);
+    let max_spike = crate::stats::max_f64(
+        outcome
+            .report
+            .records
+            .iter()
+            .skip(1) // initial naming spike is reported separately by the paper
+            .map(crate::workload::InvocationRecord::rtt_ms),
+    );
     Fig5Point {
         scheme,
         threshold_pct,

@@ -127,7 +127,7 @@ pub fn table1_row(
     let failover = if episodes.is_empty() {
         f64::NAN
     } else {
-        episodes.iter().sum::<f64>() / episodes.len() as f64
+        crate::stats::mean_f64(&episodes)
     };
     Table1Row {
         scheme,
@@ -163,7 +163,7 @@ pub fn run_table1(
     let outcomes = run_batch(&configs, threads);
     let baseline_steady = steady_state_rtt_ms(&outcomes[0]);
     let baseline_eps = failover_episodes_ms(&outcomes[0], schemes[0]);
-    let baseline_failover = baseline_eps.iter().sum::<f64>() / baseline_eps.len().max(1) as f64;
+    let baseline_failover = crate::stats::mean_f64(&baseline_eps);
     schemes
         .into_iter()
         .zip(outcomes)
@@ -223,7 +223,7 @@ pub fn trace_ascii(outcome: &ScenarioOutcome, buckets: usize, full_scale_ms: f64
     let per = records.len().div_ceil(buckets);
     let mut out = String::new();
     for (b, chunk) in records.chunks(per).enumerate() {
-        let max = chunk.iter().map(|r| r.rtt_ms()).fold(0.0_f64, f64::max);
+        let max = crate::stats::max_f64(chunk.iter().map(|r| r.rtt_ms()));
         let width = ((max / full_scale_ms) * 60.0).round().min(60.0) as usize;
         out.push_str(&format!(
             "{:>6} |{}{} {:.2}ms\n",

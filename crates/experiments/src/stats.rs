@@ -1,5 +1,36 @@
 //! Descriptive statistics for the evaluation: means, percentiles, and the
 //! 3-sigma outlier accounting of section 5.2.5.
+//!
+//! All `f64` aggregation goes through [`sum_f64`] / [`mean_f64`] /
+//! [`max_f64`] so the fold order is pinned in one place. Float addition
+//! is not associative; the figures' CSVs and the digest-stability suite
+//! assume every aggregate is a strict left fold in input order.
+
+/// Sums `values` as a strict left fold in iteration order.
+///
+/// `Iterator::sum::<f64>` happens to be the same sequential fold, but
+/// that is an implementation detail of the standard library; spelling
+/// the fold out makes the evaluation's aggregation order an explicit
+/// contract (bit-identical CSVs and digests across runs and toolchains).
+pub fn sum_f64(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().fold(0.0_f64, |acc, x| acc + x)
+}
+
+/// Mean via [`sum_f64`]; `0.0` for an empty slice (the table code treats
+/// "no episodes" as a zero baseline, never as NaN).
+pub fn mean_f64(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    sum_f64(samples.iter().copied()) / samples.len() as f64
+}
+
+/// Maximum via a strict left fold from `0.0` (the RTT plots' historical
+/// `fold(0.0, f64::max)`, kept so rendered figures do not move; negative
+/// inputs would clamp to zero, and RTTs are non-negative).
+pub fn max_f64(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().fold(0.0_f64, f64::max)
+}
 
 /// Summary statistics over a sample of milliseconds (or any f64 metric).
 #[derive(Clone, Debug, PartialEq)]
@@ -27,8 +58,8 @@ impl Summary {
             return None;
         }
         let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mean = mean_f64(samples);
+        let var = sum_f64(samples.iter().map(|x| (x - mean).powi(2))) / n as f64;
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
         Some(Summary {

@@ -10,6 +10,45 @@
 
 use std::process::{Command, Stdio};
 
+/// The pinned-fold aggregation helpers must be bit-exact replacements for
+/// the expressions they displaced (`Iterator::sum::<f64>`, division by
+/// length, and `fold(0.0, f64::max)`). Any drift here silently moves
+/// every Table 1 cell and Figure 5 point, so this is asserted with `==`,
+/// not a tolerance.
+#[test]
+fn aggregation_helpers_are_bit_exact_left_folds() {
+    // 0.1 is inexact in binary; summing it in different orders gives
+    // different bits, which is exactly what makes this a sharp probe.
+    let samples: Vec<f64> = (1..=1000).map(|i| (i as f64) * 0.1).collect();
+
+    let sum_ref: f64 = samples.iter().sum();
+    assert_eq!(
+        experiments::stats::sum_f64(samples.iter().copied()).to_bits(),
+        sum_ref.to_bits()
+    );
+
+    let mean_ref = sum_ref / samples.len() as f64;
+    assert_eq!(
+        experiments::stats::mean_f64(&samples).to_bits(),
+        mean_ref.to_bits()
+    );
+    assert_eq!(
+        experiments::stats::mean_f64(&[]).to_bits(),
+        0.0_f64.to_bits()
+    );
+
+    let max_ref = samples.iter().copied().fold(0.0_f64, f64::max);
+    assert_eq!(
+        experiments::stats::max_f64(samples.iter().copied()).to_bits(),
+        max_ref.to_bits()
+    );
+    // The historical fold starts at 0.0, so all-negative inputs clamp.
+    assert_eq!(
+        experiments::stats::max_f64([-3.0, -1.5].into_iter()).to_bits(),
+        0.0_f64.to_bits()
+    );
+}
+
 #[test]
 fn digests_identical_across_32_fresh_processes() {
     let exe = env!("CARGO_BIN_EXE_digest_probe");

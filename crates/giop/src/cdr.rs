@@ -73,6 +73,17 @@ impl fmt::Display for CdrError {
 
 impl std::error::Error for CdrError {}
 
+/// Converts a buffer length to its `unsigned long` wire representation.
+///
+/// CDR sequence/string lengths are `u32` on the wire while Rust lengths
+/// are `usize`. Every buffer the simulator marshals is orders of
+/// magnitude below `u32::MAX`, so the saturation can never change an
+/// encoding; it exists so the narrowing is explicit and a silent
+/// wrap-around is impossible even on hostile input sizes.
+pub fn wire_len(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
 /// A CDR encoder.
 ///
 /// ```
@@ -117,7 +128,7 @@ impl CdrWriter {
 
     /// Writes a boolean as one octet (0 or 1).
     pub fn write_bool(&mut self, v: bool) {
-        self.write_u8(v as u8);
+        self.write_u8(u8::from(v));
     }
 
     /// Writes an unsigned short, 2-aligned.
@@ -138,9 +149,9 @@ impl CdrWriter {
         }
     }
 
-    /// Writes a signed long, 4-aligned.
+    /// Writes a signed long, 4-aligned (two's-complement bit pattern).
     pub fn write_i32(&mut self, v: i32) {
-        self.write_u32(v as u32);
+        self.write_u32(u32::from_ne_bytes(v.to_ne_bytes()));
     }
 
     /// Writes an unsigned long long, 8-aligned.
@@ -160,14 +171,14 @@ impl CdrWriter {
     /// Writes a CDR string: u32 length *including* the terminating NUL,
     /// then the bytes, then NUL.
     pub fn write_string(&mut self, s: &str) {
-        self.write_u32(s.len() as u32 + 1);
+        self.write_u32(wire_len(s.len()) + 1);
         self.buf.put_slice(s.as_bytes());
         self.buf.put_u8(0);
     }
 
     /// Writes `sequence<octet>`: u32 length then raw bytes.
     pub fn write_octets(&mut self, bytes: &[u8]) {
-        self.write_u32(bytes.len() as u32);
+        self.write_u32(wire_len(bytes.len()));
         self.buf.put_slice(bytes);
     }
 
@@ -265,9 +276,9 @@ impl CdrReader {
         })
     }
 
-    /// Reads a signed long (4-aligned).
+    /// Reads a signed long (4-aligned, two's-complement bit pattern).
     pub fn read_i32(&mut self) -> Result<i32, CdrError> {
-        Ok(self.read_u32()? as i32)
+        Ok(i32::from_ne_bytes(self.read_u32()?.to_ne_bytes()))
     }
 
     /// Reads an unsigned long long (8-aligned).

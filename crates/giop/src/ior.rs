@@ -86,7 +86,7 @@ impl Ior {
     /// Writes this IOR into an ongoing CDR stream.
     pub fn write_into(&self, w: &mut CdrWriter) {
         w.write_string(&self.type_id);
-        w.write_u32(self.profiles.len() as u32);
+        w.write_u32(crate::cdr::wire_len(self.profiles.len()));
         for p in &self.profiles {
             w.write_u32(TAG_INTERNET_IOP);
             // Profile body is an encapsulation: sequence<octet> with its own
@@ -139,7 +139,7 @@ impl Ior {
                 // We only ever emit big-endian encapsulations.
                 return Err(CdrError::InvalidEnum {
                     what: "encapsulation endianness",
-                    value: endian_flag as u32,
+                    value: u32::from(endian_flag),
                 });
             }
             let version_major = b.read_u8()?;

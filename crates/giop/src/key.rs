@@ -61,7 +61,7 @@ impl ObjectKey {
         let mut a: u16 = 0;
         let mut b: u16 = 0;
         for &byte in &self.0 {
-            a = (a + byte as u16) % 255;
+            a = (a + u16::from(byte)) % 255;
             b = (b + a) % 255;
         }
         (b << 8) | a

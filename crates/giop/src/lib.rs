@@ -26,7 +26,7 @@ mod ior;
 mod key;
 mod message;
 
-pub use cdr::{CdrError, CdrReader, CdrWriter, Endian};
+pub use cdr::{wire_len, CdrError, CdrReader, CdrWriter, Endian};
 pub use ior::{IiopProfile, Ior, TAG_INTERNET_IOP};
 pub use key::ObjectKey;
 pub use message::{

@@ -74,6 +74,19 @@ pub enum MsgType {
 }
 
 impl MsgType {
+    /// The wire octet for this message type (inverse of `from_u8`).
+    pub fn code(self) -> u8 {
+        match self {
+            MsgType::Request => 0,
+            MsgType::Reply => 1,
+            MsgType::CancelRequest => 2,
+            MsgType::LocateRequest => 3,
+            MsgType::LocateReply => 4,
+            MsgType::CloseConnection => 5,
+            MsgType::MessageError => 6,
+        }
+    }
+
     fn from_u8(v: u8) -> Result<Self, GiopError> {
         Ok(match v {
             0 => MsgType::Request,
@@ -107,6 +120,17 @@ pub enum ReplyStatus {
 }
 
 impl ReplyStatus {
+    /// The wire discriminant for this status (inverse of `from_u32`).
+    pub fn code(self) -> u32 {
+        match self {
+            ReplyStatus::NoException => 0,
+            ReplyStatus::UserException => 1,
+            ReplyStatus::SystemException => 2,
+            ReplyStatus::LocationForward => 3,
+            ReplyStatus::NeedsAddressingMode => 5,
+        }
+    }
+
     fn from_u32(v: u32) -> Result<Self, GiopError> {
         Ok(match v {
             0 => ReplyStatus::NoException,
@@ -259,7 +283,7 @@ impl Message {
                 let mut w = CdrWriter::new(endian);
                 w.write_u32(0); // empty service context sequence
                 w.write_u32(rep.request_id);
-                w.write_u32(rep.body.status() as u32);
+                w.write_u32(rep.body.status().code());
                 match &rep.body {
                     ReplyBody::NoException(out) => {
                         let mut b = w.finish().to_vec();
@@ -293,7 +317,7 @@ impl Message {
             Message::CloseConnection => (MsgType::CloseConnection, Vec::new()),
             Message::MessageError => (MsgType::MessageError, Vec::new()),
         };
-        encode_frame(GIOP_MAGIC, msg_type as u8, endian, &body)
+        encode_frame(GIOP_MAGIC, msg_type.code(), endian, &body)
     }
 
     /// Decodes a complete frame previously produced by a [`FrameSplitter`].
@@ -364,7 +388,7 @@ impl Message {
             }
             MsgType::CloseConnection => Ok(Message::CloseConnection),
             MsgType::MessageError => Ok(Message::MessageError),
-            other => Err(GiopError::UnknownMsgType(other as u8)),
+            other => Err(GiopError::UnknownMsgType(other.code())),
         }
     }
 }
@@ -380,9 +404,10 @@ pub fn encode_frame(magic: [u8; 4], msg_type: u8, endian: Endian, body: &[u8]) -
         Endian::Little => 1,
     });
     out.put_u8(msg_type);
+    let len = crate::cdr::wire_len(body.len());
     match endian {
-        Endian::Big => out.put_u32(body.len() as u32),
-        Endian::Little => out.put_u32_le(body.len() as u32),
+        Endian::Big => out.put_u32(len),
+        Endian::Little => out.put_u32_le(len),
     }
     out.put_slice(body);
     out.freeze()
@@ -414,7 +439,7 @@ impl Frame {
         self.bytes
             .get(7)
             .copied()
-            .unwrap_or(MsgType::MessageError as u8)
+            .unwrap_or(MsgType::MessageError.code())
     }
 
     /// The frame's body (everything after the fixed header).

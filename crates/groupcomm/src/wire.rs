@@ -287,7 +287,7 @@ impl WireCodec for GcsWire {
             } => {
                 w.write_string(group);
                 w.write_u64(*view_id);
-                w.write_u32(members.len() as u32);
+                w.write_u32(giop::wire_len(members.len()));
                 for m in members {
                     w.write_string(m);
                 }
@@ -333,7 +333,7 @@ impl WireCodec for GcsWire {
                 w.write_u64(*seq);
                 w.write_string(group);
                 w.write_u64(*view_id);
-                w.write_u32(members.len() as u32);
+                w.write_u32(giop::wire_len(members.len()));
                 for m in members {
                     w.write_string(m);
                 }
@@ -353,7 +353,7 @@ impl WireCodec for GcsWire {
         }
         let body = w.finish();
         let mut out = BytesMut::with_capacity(4 + body.len());
-        out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&giop::wire_len(body.len()).to_be_bytes());
         out.extend_from_slice(&body);
         out.freeze()
     }

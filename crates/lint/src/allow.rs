@@ -9,22 +9,34 @@
 //! ```toml
 //! [[allow]]
 //! rule = "R2"                       # which rule to suppress
-//! path = "crates/simnet/src/sim.rs" # path suffix the finding must match
+//! path = "crates/simnet/src/sim.rs" # exact workspace-relative path
 //! pattern = "Instant::now"          # optional: source line must contain
 //! justification = "wall-clock accounting only; never feeds sim time"
 //! ```
 //!
-//! An entry with an empty or missing `justification` is a configuration
-//! *error*, not a silent no-op: `detlint` refuses to run.
+//! `path` must equal the finding's workspace-relative path exactly — a
+//! suppression for `crates/simnet/src/sim.rs` can never widen to a future
+//! `tests/sim.rs`. An entry with an empty or missing `justification` is a
+//! configuration *error*, not a silent no-op: `detlint` refuses to run.
+//! So is an entry that suppresses nothing in the current tree (a *stale*
+//! suppression): refactoring away the code an entry covered must also
+//! delete the entry.
+//!
+//! R5 entries are special: they suppress one *call-graph edge*, not a
+//! finding. `path` names the caller's file and `pattern` must match the
+//! call-site line. A taint chain is only silenced when one of its own
+//! edges is suppressed, so blessing one flow never blesses a new
+//! transitive flow through the same source.
 
 use crate::Finding;
 
 /// One suppression entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id this entry suppresses (`R1`..`R4`).
+    /// Rule id this entry suppresses (`R1`..`R8`).
     pub rule: String,
-    /// Path suffix a finding's file must end with.
+    /// Exact workspace-relative path of the finding's file (for R5: of
+    /// the suppressed edge's caller).
     pub path: String,
     /// Optional substring the offending source line must contain.
     pub pattern: Option<String>,
@@ -125,9 +137,30 @@ impl AllowList {
     /// Whether `finding` (whose offending source line is `line_text`) is
     /// suppressed by some entry.
     pub fn suppresses(&self, finding: &Finding, line_text: &str) -> bool {
-        self.entries.iter().any(|e| {
+        self.suppression_for(finding, line_text).is_some()
+    }
+
+    /// The index of the first entry suppressing `finding`, if any. The
+    /// caller records the index so stale (never-used) entries can be
+    /// reported as configuration errors.
+    pub fn suppression_for(&self, finding: &Finding, line_text: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
             e.rule == finding.rule
-                && finding.path.ends_with(e.path.as_str())
+                && finding.path == e.path
+                && e.pattern
+                    .as_deref()
+                    .map(|p| line_text.contains(p))
+                    .unwrap_or(true)
+        })
+    }
+
+    /// The index of the first R5 entry suppressing a call-graph edge
+    /// whose *caller* lives in `caller_path` and whose call-site source
+    /// line is `line_text`.
+    pub fn edge_suppression_for(&self, caller_path: &str, line_text: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == "R5"
+                && caller_path == e.path
                 && e.pattern
                     .as_deref()
                     .map(|p| line_text.contains(p))
@@ -150,10 +183,13 @@ impl PartialEntry {
             line: at,
             message: "entry is missing `rule`".to_string(),
         })?;
-        if !matches!(rule.as_str(), "R1" | "R2" | "R3" | "R4") {
+        if !matches!(
+            rule.as_str(),
+            "R1" | "R2" | "R3" | "R4" | "R5" | "R6" | "R7" | "R8"
+        ) {
             return Err(AllowError {
                 line: at,
-                message: format!("unknown rule `{rule}` (expected R1..R4)"),
+                message: format!("unknown rule `{rule}` (expected R1..R8)"),
             });
         }
         let path = self.path.ok_or(AllowError {
@@ -257,6 +293,49 @@ justification = "wall-clock accounting only"
             ..f
         };
         assert!(!list.suppresses(&other_file, "Instant::now()"));
+    }
+
+    #[test]
+    fn path_must_match_exactly_not_as_suffix() {
+        let list = AllowList::parse(
+            "[[allow]]\nrule = \"R2\"\npath = \"sim.rs\"\njustification = \"j\"\n",
+        )
+        .expect("parses");
+        let f = Finding {
+            rule: "R2",
+            path: "crates/simnet/src/sim.rs".to_string(),
+            line: 1,
+            col: 1,
+            message: "x".to_string(),
+        };
+        // A bare-filename entry no longer matches a nested path; only the
+        // exact workspace-relative path does.
+        assert!(!list.suppresses(&f, "Instant::now()"));
+        let exact = Finding {
+            path: "sim.rs".to_string(),
+            ..f
+        };
+        assert!(list.suppresses(&exact, "Instant::now()"));
+    }
+
+    #[test]
+    fn edge_suppression_matches_caller_file_and_line() {
+        let list = AllowList::parse(
+            "[[allow]]\nrule = \"R5\"\npath = \"crates/a/src/lib.rs\"\npattern = \"stamp()\"\njustification = \"audited flow\"\n",
+        )
+        .expect("parses");
+        assert_eq!(
+            list.edge_suppression_for("crates/a/src/lib.rs", "let t = stamp();"),
+            Some(0)
+        );
+        assert_eq!(
+            list.edge_suppression_for("crates/a/src/lib.rs", "let t = other();"),
+            None
+        );
+        assert_eq!(
+            list.edge_suppression_for("crates/b/src/lib.rs", "let t = stamp();"),
+            None
+        );
     }
 
     #[test]

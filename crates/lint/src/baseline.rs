@@ -1,0 +1,113 @@
+//! The accepted-findings baseline (`detlint-baseline.txt`).
+//!
+//! A baseline lets a new rule land before every historical violation is
+//! fixed: known findings are recorded as `rule|path|message` lines and
+//! reported separately instead of failing the run. The file is meant to
+//! be *temporary* debt — CI asserts it is empty on `main`, so a baseline
+//! only ever lives on a feature branch while the cleanup is in flight.
+//!
+//! Keys deliberately omit line numbers: unrelated edits above a finding
+//! must not invalidate its baseline entry. The cost is that two findings
+//! of the same rule with identical messages in one file collapse to a
+//! single key, which is acceptable for a branch-local snapshot.
+
+use std::collections::BTreeSet;
+
+use crate::Finding;
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+fn key(rule: &str, path: &str, message: &str) -> String {
+    format!("{rule}|{path}|{message}")
+}
+
+impl Baseline {
+    /// Parses `rule|path|message` lines; `#` comments and blank lines are
+    /// ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| l.to_string())
+            .collect();
+        Baseline { keys }
+    }
+
+    /// Number of baselined keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether `f` is covered by the baseline.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.keys.contains(&key(f.rule, &f.path, &f.message))
+    }
+
+    /// Renders `findings` as baseline text (sorted, deduplicated).
+    pub fn render(findings: &[Finding]) -> String {
+        let keys: BTreeSet<String> = findings
+            .iter()
+            .map(|f| key(f.rule, &f.path, &f.message))
+            .collect();
+        let mut out = String::from(
+            "# detlint baseline — accepted findings, one `rule|path|message` per line.\n\
+             # Must be empty on main; see DESIGN §9.\n",
+        );
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, message: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 1,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_ignores_lines() {
+        let a = finding("R6", "crates/giop/src/cdr.rs", 120, "truncating cast");
+        let b = finding("R7", "crates/orb/src/client.rs", 10, "unbounded loop");
+        let text = Baseline::render(&[a.clone(), b.clone()]);
+        let parsed = Baseline::parse(&text);
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.contains(&a));
+        // Same finding on a different line is still baselined.
+        assert!(parsed.contains(&finding(
+            "R6",
+            "crates/giop/src/cdr.rs",
+            999,
+            "truncating cast"
+        )));
+        // Different message is not.
+        assert!(!parsed.contains(&finding("R6", "crates/giop/src/cdr.rs", 120, "other")));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let parsed = Baseline::parse("# header\n\n  \nR1|a.rs|msg\n");
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed.is_empty());
+    }
+}

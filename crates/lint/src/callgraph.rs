@@ -1,0 +1,278 @@
+//! A workspace-wide, name-resolved call graph over the synlite AST.
+//!
+//! The graph is deliberately conservative in what it links: a method call
+//! `recv.next_frame()` resolves to every non-test `fn next_frame` that
+//! takes a receiver; a qualified call `Type::func(..)` resolves to the
+//! matching `impl Type` method when one exists, falling back to free
+//! functions of the same name (module-qualified paths like
+//! `stats::sum_f64(..)` carry no type information at token level); a bare
+//! call `helper(..)` resolves to free functions only. Over-approximation
+//! is acceptable — R5 verifies reachability of *taint*, so a spurious
+//! edge can only surface a chain a human then audits — but silently
+//! missing edges would let nondeterminism slip through, so unresolvable
+//! names simply produce no edge rather than aborting the scan.
+//!
+//! Test-gated functions are excluded from the graph entirely.
+
+use synlite::ast::{self, CallKind, Item, ItemKind};
+use synlite::{Span, TokenTree};
+
+/// One source file parsed for graph construction.
+#[derive(Clone, Debug)]
+pub struct FileAst {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The parsed item tree.
+    pub items: Vec<Item>,
+    /// The file's source lines (for allow-pattern matching).
+    pub lines: Vec<String>,
+}
+
+impl FileAst {
+    /// Parses `src` (already-lexed trees are not reused; files are parsed
+    /// once by the engine).
+    pub fn parse(path: &str, trees: &[TokenTree], src: &str) -> FileAst {
+        FileAst {
+            path: path.to_string(),
+            items: ast::parse_items(trees),
+            lines: src.lines().map(|l| l.to_string()).collect(),
+        }
+    }
+
+    /// The text of 1-based `line`, or `""`.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+}
+
+/// One resolved call edge.
+#[derive(Clone, Debug)]
+pub struct CallEdge {
+    /// Position of the called name at the call site.
+    pub span: Span,
+    /// Display form of the callee path as written (`sim::now_ns`).
+    pub display: String,
+    /// Indices of candidate callee nodes.
+    pub callees: Vec<usize>,
+}
+
+/// One non-test function in the workspace.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// File the function lives in.
+    pub file: String,
+    /// Qualified name: `Type::name` for methods, `name` for free fns.
+    pub qual: String,
+    /// Bare function name.
+    pub name: String,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Position of the `fn` keyword.
+    pub span: Span,
+    /// The body token stream (empty for body-less signatures).
+    pub body: Vec<TokenTree>,
+    /// Resolved outgoing calls.
+    pub calls: Vec<CallEdge>,
+}
+
+/// The workspace call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// All non-test functions, in (file, declaration) order.
+    pub nodes: Vec<FnNode>,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files (must be pre-sorted by path for
+    /// deterministic node order).
+    pub fn build(files: &[FileAst]) -> CallGraph {
+        let mut graph = CallGraph::default();
+        for file in files {
+            collect_fns(&file.path, &file.items, None, &mut graph.nodes);
+        }
+        graph.resolve();
+        graph
+    }
+
+    /// Re-resolves every call site against the node table.
+    fn resolve(&mut self) {
+        // Name index: bare name -> node indices.
+        let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+        for (i, n) in self.nodes.iter().enumerate() {
+            by_name.entry(n.name.as_str()).or_default().push(i);
+        }
+        let mut resolved: Vec<Vec<CallEdge>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let enclosing_ty = node.qual.rsplit_once("::").map(|(ty, _)| ty.to_string());
+            let mut edges = Vec::new();
+            for site in ast::call_sites(&node.body) {
+                let Some(last) = site.segments.last() else {
+                    continue;
+                };
+                let candidates = by_name.get(last.as_str()).cloned().unwrap_or_default();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let callees: Vec<usize> = match site.kind {
+                    CallKind::Method => candidates
+                        .into_iter()
+                        .filter(|&i| self.nodes[i].has_self)
+                        .collect(),
+                    CallKind::Path if site.segments.len() >= 2 => {
+                        let prefix = &site.segments[site.segments.len() - 2];
+                        let prefix = if prefix == "Self" || prefix == "self" {
+                            enclosing_ty.as_deref().unwrap_or(prefix.as_str())
+                        } else {
+                            prefix.as_str()
+                        };
+                        let qual = format!("{prefix}::{last}");
+                        let exact: Vec<usize> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&i| self.nodes[i].qual == qual)
+                            .collect();
+                        if !exact.is_empty() {
+                            exact
+                        } else {
+                            // Module-qualified call: fall back to free fns.
+                            candidates
+                                .into_iter()
+                                .filter(|&i| !self.nodes[i].has_self)
+                                .collect()
+                        }
+                    }
+                    CallKind::Path => candidates
+                        .into_iter()
+                        .filter(|&i| !self.nodes[i].has_self)
+                        .collect(),
+                };
+                if callees.is_empty() {
+                    continue;
+                }
+                edges.push(CallEdge {
+                    span: site.span,
+                    display: site.segments.join("::"),
+                    callees,
+                });
+            }
+            resolved.push(edges);
+        }
+        for (node, edges) in self.nodes.iter_mut().zip(resolved) {
+            node.calls = edges;
+        }
+    }
+
+    /// Node indices whose qualified or bare name equals `name`.
+    pub fn matching(&self, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.qual == name || (!name.contains("::") && n.name == name))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Flattens non-test `fn` items into `out`, carrying the enclosing impl's
+/// self type as the qualifier.
+fn collect_fns(path: &str, items: &[Item], self_ty: Option<&str>, out: &mut Vec<FnNode>) {
+    for item in items {
+        if item.test_only {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                let qual = match self_ty {
+                    Some(ty) => format!("{ty}::{}", f.name),
+                    None => f.name.clone(),
+                };
+                out.push(FnNode {
+                    file: path.to_string(),
+                    qual,
+                    name: f.name.clone(),
+                    has_self: f.has_self,
+                    span: item.span,
+                    body: f.body.clone().unwrap_or_default(),
+                    calls: Vec::new(),
+                });
+            }
+            ItemKind::Impl(b) => {
+                collect_fns(path, &b.items, Some(&b.self_ty), out);
+            }
+            ItemKind::Mod(m) => {
+                collect_fns(path, &m.items, None, out);
+            }
+            ItemKind::Enum(_) | ItemKind::Struct(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(sources: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<FileAst> = sources
+            .iter()
+            .map(|(path, src)| {
+                let trees = synlite::parse_file(src).expect("lexes");
+                FileAst::parse(path, &trees, src)
+            })
+            .collect();
+        CallGraph::build(&files)
+    }
+
+    #[test]
+    fn links_free_method_and_qualified_calls() {
+        let g = graph_of(&[
+            (
+                "a.rs",
+                "pub fn helper() -> u64 { 1 }\n\
+                 impl Widget { pub fn poke(&self) -> u64 { helper() } }",
+            ),
+            (
+                "b.rs",
+                "pub fn caller(w: &Widget) -> u64 { w.poke() + Widget::poke(w) }",
+            ),
+        ]);
+        let names: Vec<&str> = g.nodes.iter().map(|n| n.qual.as_str()).collect();
+        assert_eq!(names, ["helper", "Widget::poke", "caller"]);
+        let poke = &g.nodes[1];
+        assert_eq!(poke.calls.len(), 1);
+        assert_eq!(g.nodes[poke.calls[0].callees[0]].qual, "helper");
+        let caller = &g.nodes[2];
+        // both the method call and the qualified call resolve to the method
+        assert_eq!(caller.calls.len(), 2);
+        for edge in &caller.calls {
+            assert_eq!(edge.callees, vec![1]);
+        }
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn dead() { live(); } }",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].qual, "live");
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve_to_the_impl() {
+        let g = graph_of(&[(
+            "a.rs",
+            "impl Codec { fn size() -> u64 { 8 } fn total(&self) -> u64 { Self::size() } }",
+        )]);
+        let total = g
+            .nodes
+            .iter()
+            .find(|n| n.name == "total")
+            .expect("total present");
+        assert_eq!(total.calls.len(), 1);
+        assert_eq!(g.nodes[total.calls[0].callees[0]].qual, "Codec::size");
+    }
+}

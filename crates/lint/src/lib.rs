@@ -3,28 +3,53 @@
 //! The simulator's headline property (bit-identical digests across runs and
 //! thread counts) is only as strong as the code's freedom from ambient
 //! nondeterminism and panic paths. This crate makes that a *checked*
-//! property: a structural scan over `synlite` token trees enforces the
-//! determinism contract written down in DESIGN §9 (rules R1–R4; see
-//! [`rules`]), with suppressions allowed only through a justified
-//! [`lint-allow.toml`](allow) entry.
+//! property: a structural scan over `synlite` token trees and its
+//! lightweight AST enforces the determinism contract written down in
+//! DESIGN §9:
 //!
-//! Run it locally with `cargo run --bin detlint`; CI runs it as a blocking
-//! job and uploads the `--json` findings summary as an artifact.
+//! - **R1–R4** (see [`rules`]) are per-file sequence rules: hash-order
+//!   iteration, ambient nondeterminism, panic paths, protocol-match
+//!   exhaustiveness.
+//! - **R6–R7** (also [`rules`]) audit codec arithmetic (truncating `as`
+//!   casts, `wrapping_*`/`unchecked_*` calls) and loop boundedness in the
+//!   kernel dispatch and client retry paths.
+//! - **R5** (see [`taint`]) is interprocedural: a workspace
+//!   [call graph](callgraph) propagates taint from ambient-nondeterminism
+//!   sources to digest/trace sinks through any call chain.
+//! - **R8** (see [`conformance`]) cross-checks the event and wire
+//!   vocabularies: every emitted variant is consumed or declared
+//!   report-only, and codec encode/decode sides cover the same variants
+//!   and wire types.
+//!
+//! Suppressions are allowed only through a justified
+//! [`lint-allow.toml`](allow) entry; stale entries are configuration
+//! errors. Run it locally with `cargo run --bin detlint`; CI runs it as a
+//! blocking job, uploads the `--format sarif` report to code scanning and
+//! the `--json` summary as an artifact, and asserts the
+//! [baseline](baseline) stays empty on `main`.
 
 pub mod allow;
+pub mod baseline;
+pub mod callgraph;
+pub mod conformance;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 pub use allow::{AllowError, AllowList};
+pub use baseline::Baseline;
+pub use callgraph::{CallGraph, FileAst};
+pub use conformance::ConformanceConfig;
 pub use rules::RuleSet;
 
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`R1`..`R4`).
+    /// Rule id (`R1`..`R8`).
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
@@ -47,7 +72,8 @@ impl std::fmt::Display for Finding {
 }
 
 /// The determinism contract: which parts of the workspace each rule
-/// applies to, and which enums count as wire protocols for R4.
+/// applies to, which enums count as wire protocols for R4, which
+/// functions are R5 sinks, and the R8 conformance vocabulary.
 #[derive(Clone, Debug)]
 pub struct Contract {
     /// Directories (path prefixes) where R1 applies.
@@ -58,8 +84,18 @@ pub struct Contract {
     pub r3_scopes: Vec<String>,
     /// Directories where R4 applies.
     pub r4_scopes: Vec<String>,
+    /// Directories whose functions join the R5 call graph.
+    pub r5_scopes: Vec<String>,
+    /// Sink functions (`Type::name` or bare `name`) taint must not reach.
+    pub r5_sinks: Vec<String>,
+    /// Paths (files or directories) where R6 applies.
+    pub r6_scopes: Vec<String>,
+    /// Paths (files or directories) where R7 applies.
+    pub r7_scopes: Vec<String>,
     /// Enum names whose matches must be exhaustive (R4).
     pub protocol_enums: Vec<String>,
+    /// R8 conformance vocabulary; `None` disables the pass.
+    pub conformance: Option<ConformanceConfig>,
 }
 
 impl Default for Contract {
@@ -72,29 +108,63 @@ impl Default for Contract {
             "crates/faults/src",
             "crates/experiments/src",
         ];
+        // The lint engine and its parser must themselves be deterministic:
+        // their output feeds CI gates, so they are in scope for R1/R2.
+        let self_scopes = ["crates/obs/src", "crates/lint/src", "vendor/synlite/src"];
+        let strs = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
         Contract {
-            r1_scopes: sim_crates.iter().map(|s| s.to_string()).collect(),
+            r1_scopes: sim_crates
+                .iter()
+                .chain(self_scopes.iter())
+                .map(|s| s.to_string())
+                .collect(),
             r2_scopes: sim_crates
                 .iter()
+                .chain(self_scopes.iter())
                 .chain(["crates/giop/src"].iter())
                 .map(|s| s.to_string())
                 .collect(),
-            r3_scopes: vec![
-                "crates/giop/src".to_string(),
-                "crates/simnet/src/sim.rs".to_string(),
-                "crates/simnet/src/recv_queue.rs".to_string(),
-            ],
-            r4_scopes: vec![
-                "crates/mead/src".to_string(),
-                "crates/groupcomm/src".to_string(),
-            ],
-            protocol_enums: vec!["GcsWire".to_string(), "GroupMsg".to_string()],
+            r3_scopes: strs(&[
+                "crates/giop/src",
+                "crates/simnet/src/sim.rs",
+                "crates/simnet/src/recv_queue.rs",
+            ]),
+            r4_scopes: strs(&["crates/mead/src", "crates/groupcomm/src"]),
+            r5_scopes: sim_crates
+                .iter()
+                .chain(["crates/obs/src", "crates/giop/src"].iter())
+                .map(|s| s.to_string())
+                .collect(),
+            r5_sinks: strs(&[
+                "ScenarioOutcome::digest",
+                "ScenarioOutcome::trace_jsonl",
+                "ChaosOutcome::digest",
+                "CampaignOutcome::digest",
+                "to_jsonl",
+                "push_event_line",
+                "push_json_str",
+            ]),
+            r6_scopes: strs(&[
+                "crates/giop/src",
+                "crates/groupcomm/src/wire.rs",
+                "crates/mead/src/messages.rs",
+            ]),
+            r7_scopes: strs(&[
+                "crates/simnet/src/sim.rs",
+                "crates/orb/src/client.rs",
+                "crates/orb/src/retry.rs",
+                "crates/groupcomm/src/client.rs",
+            ]),
+            protocol_enums: strs(&["GcsWire", "GroupMsg"]),
+            conformance: Some(ConformanceConfig::default()),
         }
     }
 }
 
 impl Contract {
-    /// The rules that apply to `path` (workspace-relative, `/`-separated).
+    /// The per-file sequence rules that apply to `path`
+    /// (workspace-relative, `/`-separated). R5/R8 are cross-file passes
+    /// and are not part of the returned set.
     pub fn rules_for(&self, path: &str) -> RuleSet {
         let in_scope = |scopes: &[String]| scopes.iter().any(|s| path.starts_with(s.as_str()));
         RuleSet {
@@ -102,7 +172,14 @@ impl Contract {
             r2: in_scope(&self.r2_scopes),
             r3: in_scope(&self.r3_scopes),
             r4: in_scope(&self.r4_scopes),
+            r6: in_scope(&self.r6_scopes),
+            r7: in_scope(&self.r7_scopes),
         }
+    }
+
+    /// Whether `path` is inside the R5 call-graph scope.
+    pub fn in_r5_scope(&self, path: &str) -> bool {
+        self.r5_scopes.iter().any(|s| path.starts_with(s.as_str()))
     }
 }
 
@@ -123,10 +200,15 @@ pub fn lint_source(
 /// The outcome of a workspace scan.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
-    /// Unsuppressed findings, sorted by (path, line, col).
+    /// Unsuppressed, non-baselined findings, sorted by (path, line, col).
     pub findings: Vec<Finding>,
-    /// Findings silenced by a justified allowlist entry.
+    /// Findings silenced by a justified allowlist entry (for R5: chains
+    /// silenced through a suppressed edge).
     pub suppressed: Vec<Finding>,
+    /// Findings present in the accepted baseline file.
+    pub baselined: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing — a configuration error.
+    pub stale_allows: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -134,22 +216,39 @@ pub struct Report {
 impl Report {
     /// Finding count per rule id (over unsuppressed findings).
     pub fn counts(&self) -> BTreeMap<&'static str, usize> {
-        let mut counts: BTreeMap<&'static str, usize> =
-            [("R1", 0), ("R2", 0), ("R3", 0), ("R4", 0)].into();
+        let mut counts: BTreeMap<&'static str, usize> = [
+            ("R1", 0),
+            ("R2", 0),
+            ("R3", 0),
+            ("R4", 0),
+            ("R5", 0),
+            ("R6", 0),
+            ("R7", 0),
+            ("R8", 0),
+        ]
+        .into();
         for f in &self.findings {
             *counts.entry(f.rule).or_insert(0) += 1;
         }
         counts
     }
 
-    /// Machine-readable JSON summary (schema `detlint/1`).
+    /// Machine-readable JSON summary (schema `detlint/2`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"detlint/1\",\n");
+        out.push_str("{\n  \"schema\": \"detlint/2\",\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"total\": {},", self.findings.len());
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed.len());
-        out.push_str("  \"counts\": {");
+        let _ = writeln!(out, "  \"baselined\": {},", self.baselined.len());
+        out.push_str("  \"stale_allows\": [");
+        for (i, s) in self.stale_allows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", json_escape(s));
+        }
+        out.push_str("],\n  \"counts\": {");
         let counts = self.counts();
         let mut first = true;
         for (rule, n) in &counts {
@@ -177,7 +276,7 @@ impl Report {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -209,55 +308,136 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// Scans every in-scope `.rs` file under `root` and applies the allowlist.
-pub fn lint_workspace(
-    root: &Path,
+/// Lints a set of in-memory sources (workspace-relative path, text) with
+/// every pass the contract enables: per-file sequence rules, the R5 taint
+/// analysis over the cross-file call graph, and the R8 conformance
+/// checks. This is the whole engine; [`lint_workspace`] only adds the
+/// directory walk.
+pub fn lint_files(
+    sources: &[(String, String)],
     contract: &Contract,
     allow: &AllowList,
 ) -> Result<Report, EngineError> {
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files).map_err(|e| EngineError {
-        message: format!("walking {}: {e}", root.display()),
-    })?;
-    files.sort();
-
     let mut report = Report::default();
-    for file in files {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let rule_set = contract.rules_for(&rel);
-        if rule_set.is_empty() {
-            continue;
-        }
-        let src = std::fs::read_to_string(&file).map_err(|e| EngineError {
-            message: format!("reading {rel}: {e}"),
+    let mut allow_used = vec![false; allow.entries().len()];
+    let mut file_asts: Vec<FileAst> = Vec::with_capacity(sources.len());
+
+    for (rel, src) in sources {
+        let trees = synlite::parse_file(src).map_err(|e| EngineError {
+            message: format!("lexing {rel}: {e}"),
         })?;
         report.files_scanned += 1;
-        let found = lint_source(&rel, &src, rule_set, &contract.protocol_enums).map_err(|e| {
-            EngineError {
-                message: format!("lexing {rel}: {e}"),
-            }
-        })?;
+        let rule_set = contract.rules_for(rel);
+        let mut found = Vec::new();
+        if !rule_set.is_empty() {
+            rules::run(rel, &trees, rule_set, &contract.protocol_enums, &mut found);
+        }
         let lines: Vec<&str> = src.lines().collect();
         for f in found {
             let line_text = lines
                 .get(f.line.saturating_sub(1) as usize)
                 .copied()
                 .unwrap_or("");
-            if allow.suppresses(&f, line_text) {
-                report.suppressed.push(f);
-            } else {
-                report.findings.push(f);
+            match allow.suppression_for(&f, line_text) {
+                Some(i) => {
+                    allow_used[i] = true;
+                    report.suppressed.push(f);
+                }
+                None => report.findings.push(f),
+            }
+        }
+        file_asts.push(FileAst::parse(rel, &trees, src));
+    }
+
+    // R5: interprocedural taint over the call graph of in-scope files.
+    if !contract.r5_sinks.is_empty() {
+        let r5_files: Vec<FileAst> = file_asts
+            .iter()
+            .filter(|f| contract.in_r5_scope(&f.path))
+            .cloned()
+            .collect();
+        if !r5_files.is_empty() {
+            let graph = CallGraph::build(&r5_files);
+            let (mut found, mut silenced) = taint::check(
+                &graph,
+                &r5_files,
+                &contract.r5_sinks,
+                allow,
+                &mut allow_used,
+            );
+            report.findings.append(&mut found);
+            report.suppressed.append(&mut silenced);
+        }
+    }
+
+    // R8: event/codec conformance over the whole parsed set (liveness
+    // needs to see emitters wherever they live).
+    if let Some(cfg) = &contract.conformance {
+        let by_path: BTreeMap<&str, &FileAst> =
+            file_asts.iter().map(|f| (f.path.as_str(), f)).collect();
+        for f in conformance::check(&file_asts, cfg) {
+            let line_text = by_path
+                .get(f.path.as_str())
+                .map(|fa| fa.line_text(f.line))
+                .unwrap_or("");
+            match allow.suppression_for(&f, line_text) {
+                Some(i) => {
+                    allow_used[i] = true;
+                    report.suppressed.push(f);
+                }
+                None => report.findings.push(f),
             }
         }
     }
+
+    for (i, used) in allow_used.iter().enumerate() {
+        if !used {
+            let e = &allow.entries()[i];
+            report.stale_allows.push(format!(
+                "lint-allow.toml:{}: stale suppression ({} on {}) matches nothing in the \
+                 current tree; delete the entry",
+                e.defined_at, e.rule, e.path
+            ));
+        }
+    }
+
     report
         .findings
-        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(report)
+}
+
+/// Scans every `.rs` file under `root`'s `crates/` and `vendor/` trees
+/// and applies the allowlist.
+pub fn lint_workspace(
+    root: &Path,
+    contract: &Contract,
+    allow: &AllowList,
+) -> Result<Report, EngineError> {
+    let mut files = Vec::new();
+    for tree in ["crates", "vendor"] {
+        collect_rs_files(&root.join(tree), &mut files).map_err(|e| EngineError {
+            message: format!("walking {}: {e}", root.display()),
+        })?;
+    }
+    files.sort();
+
+    let mut sources = Vec::with_capacity(files.len());
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file).map_err(|e| EngineError {
+            message: format!("reading {rel}: {e}"),
+        })?;
+        sources.push((rel, src));
+    }
+    lint_files(&sources, contract, allow)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -276,12 +456,22 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 /// CLI driver shared by the `detlint` binaries. Returns the process exit
-/// code: 0 clean, 1 unsuppressed findings, 2 configuration error.
+/// code: 0 clean, 1 unsuppressed findings, 2 configuration error (bad
+/// flags, malformed or stale allowlist, unreadable tree).
 pub fn cli_main(args: &[String]) -> i32 {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
-    let mut json = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -299,16 +489,44 @@ pub fn cli_main(args: &[String]) -> i32 {
                 };
                 allow_path = Some(PathBuf::from(v));
             }
-            "--json" => json = true,
+            "--baseline" => {
+                let Some(v) = it.next() else {
+                    eprintln!("detlint: --baseline needs a value");
+                    return 2;
+                };
+                baseline_path = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                let Some(v) = it.next() else {
+                    eprintln!("detlint: --format needs a value (text|json|sarif)");
+                    return 2;
+                };
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        eprintln!("detlint: unknown format `{other}` (expected text|json|sarif)");
+                        return 2;
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!(
                     "detlint — determinism lint for the MEAD reproduction (DESIGN §9)\n\
                      \n\
-                     USAGE: detlint [--root DIR] [--allow FILE] [--json]\n\
+                     USAGE: detlint [--root DIR] [--allow FILE] [--baseline FILE]\n\
+                     \x20              [--format text|json|sarif] [--write-baseline]\n\
                      \n\
-                     --root DIR    workspace root to scan (default: .)\n\
-                     --allow FILE  suppression list (default: <root>/lint-allow.toml)\n\
-                     --json        emit the machine-readable findings summary"
+                     --root DIR        workspace root to scan (default: .)\n\
+                     --allow FILE      suppression list (default: <root>/lint-allow.toml)\n\
+                     --baseline FILE   accepted-findings baseline\n\
+                     \x20                 (default: <root>/detlint-baseline.txt)\n\
+                     --format FMT      output format: text (default), json, sarif\n\
+                     --json            shorthand for --format json\n\
+                     --write-baseline  snapshot current findings into the baseline file"
                 );
                 return 0;
             }
@@ -336,29 +554,83 @@ pub fn cli_main(args: &[String]) -> i32 {
     } else {
         AllowList::empty()
     };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("detlint-baseline.txt"));
+    let baseline = if baseline_path.exists() {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) => {
+                eprintln!("detlint: reading {}: {e}", baseline_path.display());
+                return 2;
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
     let contract = Contract::default();
-    let report = match lint_workspace(&root, &contract, &allow) {
+    let mut report = match lint_workspace(&root, &contract, &allow) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("detlint: {e}");
             return 2;
         }
     };
-    if json {
-        print!("{}", report.to_json());
-    } else {
-        for f in &report.findings {
-            println!("{f}");
+    if !report.stale_allows.is_empty() {
+        for s in &report.stale_allows {
+            eprintln!("detlint: {s}");
         }
-        let counts = report.counts();
-        let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}={n}")).collect();
+        return 2;
+    }
+    if write_baseline {
+        let all: Vec<Finding> = report
+            .findings
+            .iter()
+            .chain(report.baselined.iter())
+            .cloned()
+            .collect();
+        let text = Baseline::render(&all);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("detlint: writing {}: {e}", baseline_path.display());
+            return 2;
+        }
         println!(
-            "detlint: {} file(s) scanned, {} finding(s) [{}], {} suppressed",
-            report.files_scanned,
-            report.findings.len(),
-            summary.join(" "),
-            report.suppressed.len()
+            "detlint: wrote {} finding(s) to {}",
+            all.len(),
+            baseline_path.display()
         );
+        return 0;
+    }
+    let fresh: Vec<Finding> = std::mem::take(&mut report.findings)
+        .into_iter()
+        .filter(|f| {
+            if baseline.contains(f) {
+                report.baselined.push(f.clone());
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    report.findings = fresh;
+
+    match format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", sarif::render(&report)),
+        Format::Text => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            let counts = report.counts();
+            let summary: Vec<String> = counts.iter().map(|(r, n)| format!("{r}={n}")).collect();
+            println!(
+                "detlint: {} file(s) scanned, {} finding(s) [{}], {} suppressed, {} baselined",
+                report.files_scanned,
+                report.findings.len(),
+                summary.join(" "),
+                report.suppressed.len(),
+                report.baselined.len()
+            );
+        }
     }
     if report.findings.is_empty() {
         0

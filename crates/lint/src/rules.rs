@@ -13,6 +13,19 @@
 //! * **R4** — protocol-enum `match`es must be exhaustive: no `_`, bare
 //!   binding, or `Ok(_)` arm may swallow variants of a wire enum, so adding
 //!   a variant is a compile break, not a silent drop.
+//! * **R6** — no truncating `as` casts (`as u8`/`u16`/`u32`/`i8`/`i16`/
+//!   `i32`) and no `wrapping_*`/`unchecked_*`/`overflowing_*` arithmetic in
+//!   wire-codec code: length fields and discriminants must go through
+//!   `From`/`TryFrom` or a documented helper so silent truncation is
+//!   impossible.
+//! * **R7** — every `loop`/`while` in kernel-dispatch and client-retry
+//!   code must carry a provable budget: a comparison bound, a
+//!   limit/deadline/attempt counter with an exit, or a draining call
+//!   (`pop`/`next_*`/`recv`/..) that empties a finite queue.
+//!
+//! The interprocedural rules R5 (nondeterminism taint) and R8 (protocol
+//! conformance) live in [`crate::taint`] and [`crate::conformance`]; they
+//! run over the whole workspace rather than one file at a time.
 //!
 //! Code under `#[cfg(test)]` / `#[test]` is exempt from every rule.
 
@@ -31,26 +44,44 @@ pub struct RuleSet {
     pub r3: bool,
     /// R4: protocol-match exhaustiveness.
     pub r4: bool,
+    /// R6: truncating casts / wrapping arithmetic in codecs.
+    pub r6: bool,
+    /// R7: unbounded loops in dispatch/retry paths.
+    pub r7: bool,
 }
 
 impl RuleSet {
-    /// Every rule enabled (used by fixtures).
+    /// Every per-file rule enabled (used by fixtures).
     pub fn all() -> Self {
         RuleSet {
             r1: true,
             r2: true,
             r3: true,
             r4: true,
+            r6: true,
+            r7: true,
+        }
+    }
+
+    /// Exactly one rule enabled, by id (`"R1"`, .., `"R7"`).
+    pub fn only(rule: &str) -> Self {
+        RuleSet {
+            r1: rule == "R1",
+            r2: rule == "R2",
+            r3: rule == "R3",
+            r4: rule == "R4",
+            r6: rule == "R6",
+            r7: rule == "R7",
         }
     }
 
     /// No rule enabled.
     pub fn is_empty(&self) -> bool {
-        !(self.r1 || self.r2 || self.r3 || self.r4)
+        !(self.r1 || self.r2 || self.r3 || self.r4 || self.r6 || self.r7)
     }
 }
 
-const R1_ITER_METHODS: &[&str] = &[
+pub(crate) const R1_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -119,7 +150,7 @@ impl Cx<'_> {
 
 /// Records every identifier declared with a `HashMap`/`HashSet` type or
 /// initialised from one (`name: HashMap<..>`, `let name = HashSet::new()`).
-fn collect_hash_idents(trees: &[TokenTree], out: &mut Vec<String>) {
+pub(crate) fn collect_hash_idents(trees: &[TokenTree], out: &mut Vec<String>) {
     for (i, t) in trees.iter().enumerate() {
         if let Tok::Group(_, inner) = &t.tok {
             collect_hash_idents(inner, out);
@@ -226,7 +257,7 @@ fn is_test_attribute(trees: &[TokenTree], i: usize) -> bool {
     contains_ident(group, "test")
 }
 
-fn contains_ident(trees: &[TokenTree], name: &str) -> bool {
+pub(crate) fn contains_ident(trees: &[TokenTree], name: &str) -> bool {
     trees.iter().any(|t| match &t.tok {
         Tok::Ident(s) => s == name,
         Tok::Group(_, inner) => contains_ident(inner, name),
@@ -255,6 +286,12 @@ fn run_sequence_rules(
         }
         if cx.rules.r3 {
             r3_at(cx, trees, i, findings);
+        }
+        if cx.rules.r6 {
+            r6_at(cx, trees, i, findings);
+        }
+        if cx.rules.r7 {
+            r7_at(cx, trees, i, findings);
         }
         if cx.rules.r4 && t.is_ident("match") {
             // The match body is the next top-level brace group; make sure
@@ -426,6 +463,196 @@ fn r3_at(cx: &Cx<'_>, trees: &[TokenTree], i: usize, findings: &mut Vec<Finding>
             ));
         }
     }
+}
+
+/// Integer targets an `as` cast can truncate to (or reinterpret the sign
+/// of). `usize`/`u64`/`u128` are excluded: widening from wire-sized
+/// fields cannot lose bits.
+const R6_NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// R6 at index `i`: truncating casts and overflow-hiding arithmetic in
+/// wire-codec code.
+fn r6_at(cx: &Cx<'_>, trees: &[TokenTree], i: usize, findings: &mut Vec<Finding>) {
+    let t = &trees[i];
+    if t.is_ident("as") {
+        if let Some(ty) = trees.get(i + 1).and_then(|n| n.ident()) {
+            if R6_NARROW_TARGETS.contains(&ty) {
+                findings.push(cx.finding(
+                    "R6",
+                    &trees[i + 1],
+                    format!(
+                        "`as {ty}` can truncate or reinterpret; use `{ty}::from`/`try_from` \
+                         or a documented length helper"
+                    ),
+                ));
+            }
+        }
+    }
+    if t.is_punct('.') {
+        if let Some(m) = trees.get(i + 1).and_then(|n| n.ident()) {
+            let hides_overflow = m.starts_with("wrapping_")
+                || m.starts_with("unchecked_")
+                || m.starts_with("overflowing_");
+            if hides_overflow
+                && matches!(trees.get(i + 2), Some(n) if n.group(Delim::Paren).is_some())
+            {
+                findings.push(cx.finding(
+                    "R6",
+                    &trees[i + 1],
+                    format!(
+                        "`{m}` hides overflow in codec arithmetic; use `checked_*` and \
+                             surface the error"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Method names that drain a finite container or budget, bounding the
+/// loop that calls them.
+const R7_DRAIN_METHODS: &[&str] = &[
+    "pop",
+    "pop_front",
+    "pop_back",
+    "next",
+    "next_frame",
+    "next_message",
+    "next_delay",
+    "next_event",
+    "recv",
+    "try_recv",
+    "drain",
+    "dequeue",
+    "take",
+];
+
+/// Identifier fragments that signal an explicit iteration budget.
+const R7_BUDGET_WORDS: &[&str] = &[
+    "limit",
+    "budget",
+    "deadline",
+    "attempt",
+    "fuel",
+    "remaining",
+    "retries",
+];
+
+/// R7 at index `i`: `loop`/`while` without a provable bound.
+fn r7_at(cx: &Cx<'_>, trees: &[TokenTree], i: usize, findings: &mut Vec<Finding>) {
+    let t = &trees[i];
+    if t.is_ident("loop") {
+        let Some(body) = trees.get(i + 1).and_then(|n| n.group(Delim::Brace)) else {
+            return;
+        };
+        let has_exit = contains_ident(body, "break") || contains_ident(body, "return");
+        let bounded = has_exit && (has_budget_ident(body) || has_drain_call(body));
+        if !bounded {
+            findings.push(
+                cx.finding(
+                    "R7",
+                    t,
+                    "`loop` without a provable budget (no limit/deadline exit, no draining \
+                 call); bound it or add a justified allow"
+                        .to_string(),
+                ),
+            );
+        }
+        return;
+    }
+    if t.is_ident("while") {
+        // The condition runs up to the body brace at this nesting level.
+        let Some(body_idx) = trees[i + 1..]
+            .iter()
+            .position(|n| n.group(Delim::Brace).is_some())
+            .map(|k| i + 1 + k)
+        else {
+            return;
+        };
+        let cond = &trees[i + 1..body_idx];
+        let is_while_let = cond.first().map(|n| n.is_ident("let")).unwrap_or(false);
+        let bounded = if is_while_let {
+            // `while let Some(x) = q.pop()` — bounded iff the scrutinee
+            // drains something finite or tracks a budget.
+            has_drain_call(cond) || cond.iter().any(drain_or_budget_ident) || has_budget_ident(cond)
+        } else {
+            has_comparison(cond)
+                || has_budget_ident(cond)
+                || has_drain_call(cond)
+                || cond.iter().any(drain_or_budget_ident)
+        };
+        if !bounded {
+            findings.push(
+                cx.finding(
+                    "R7",
+                    t,
+                    "`while` condition has no visible bound (no comparison, budget counter, or \
+                 draining call); bound it or add a justified allow"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn has_budget_ident(trees: &[TokenTree]) -> bool {
+    trees.iter().any(|t| match &t.tok {
+        Tok::Ident(s) => {
+            let lower = s.to_lowercase();
+            R7_BUDGET_WORDS.iter().any(|w| lower.contains(w))
+        }
+        Tok::Group(_, inner) => has_budget_ident(inner),
+        _ => false,
+    })
+}
+
+fn drain_or_budget_ident(t: &TokenTree) -> bool {
+    match &t.tok {
+        Tok::Ident(s) => R7_DRAIN_METHODS.contains(&s.as_str()),
+        Tok::Group(_, inner) => inner.iter().any(drain_or_budget_ident),
+        _ => false,
+    }
+}
+
+/// `true` when `trees` contains a `.m(..)` call with `m` in the drain
+/// list, at any nesting depth.
+fn has_drain_call(trees: &[TokenTree]) -> bool {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tok::Group(_, inner) = &t.tok {
+            if has_drain_call(inner) {
+                return true;
+            }
+        }
+        if t.is_punct('.') {
+            if let Some(m) = trees.get(i + 1).and_then(|n| n.ident()) {
+                if R7_DRAIN_METHODS.contains(&m)
+                    && matches!(trees.get(i + 2), Some(n) if n.group(Delim::Paren).is_some())
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `true` when the condition contains a comparison operator (`<`, `>`,
+/// `<=`, `>=`, `!=`) at any depth.
+fn has_comparison(trees: &[TokenTree]) -> bool {
+    for (i, t) in trees.iter().enumerate() {
+        if let Tok::Group(_, inner) = &t.tok {
+            if has_comparison(inner) {
+                return true;
+            }
+        }
+        if t.is_punct('<') || t.is_punct('>') {
+            return true;
+        }
+        if t.is_punct('!') && matches!(trees.get(i + 1), Some(n) if n.is_punct('=')) {
+            return true;
+        }
+    }
+    false
 }
 
 /// R4: inside a match body, flag catch-all arms when any arm pattern

@@ -1,0 +1,139 @@
+//! SARIF 2.1.0 output for code-scanning upload.
+//!
+//! One run, driver `detlint`, static rule metadata for R1–R8, one result
+//! per unsuppressed finding. Hand-rolled (the build is offline and no
+//! JSON crate is vendored) against the subset of the SARIF 2.1.0 schema
+//! GitHub code scanning consumes: `tool.driver.rules[]`,
+//! `results[].ruleId/level/message/locations[].physicalLocation`.
+//! Baselined findings are emitted at level `note` so a feature branch
+//! still shows its accepted debt in the scanning UI without failing it.
+
+use std::fmt::Write as _;
+
+use crate::{json_escape, Finding, Report};
+
+/// Rule ids and short descriptions, in metadata order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "R1",
+        "Iteration over hash-ordered containers in deterministic code",
+    ),
+    (
+        "R2",
+        "Ambient nondeterminism (wall clock, OS RNG, hash seeding)",
+    ),
+    ("R3", "Panic path in a decoder or kernel hot path"),
+    ("R4", "Non-exhaustive match over a wire-protocol enum"),
+    (
+        "R5",
+        "Nondeterministic source reaches a digest/trace sink through a call chain",
+    ),
+    (
+        "R6",
+        "Truncating `as` cast or wrapping/unchecked arithmetic in a codec",
+    ),
+    (
+        "R7",
+        "Unbounded loop in kernel dispatch or a client retry path",
+    ),
+    (
+        "R8",
+        "Protocol-conformance violation (dead/unconsumed event variant, codec asymmetry)",
+    ),
+];
+
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Renders `report` as a SARIF 2.1.0 log.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"detlint\",\n");
+    let _ = writeln!(out, "          \"version\": \"{VERSION}\",");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            id,
+            json_escape(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let total = report.findings.len() + report.baselined.len();
+    let mut emitted = 0usize;
+    for (findings, level) in [(&report.findings, "error"), (&report.baselined, "note")] {
+        for f in findings.iter() {
+            emitted += 1;
+            push_result(&mut out, f, level, emitted < total);
+        }
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn push_result(out: &mut String, f: &Finding, level: &str, comma: bool) {
+    let _ = writeln!(
+        out,
+        "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \
+         \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+         \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}{}",
+        f.rule,
+        level,
+        json_escape(&f.message),
+        json_escape(&f.path),
+        f.line,
+        f.col,
+        if comma { "," } else { "" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rules_and_results() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "R6",
+                path: "crates/giop/src/cdr.rs".to_string(),
+                line: 120,
+                col: 9,
+                message: "truncating `as u8` cast".to_string(),
+            }],
+            baselined: vec![Finding {
+                rule: "R7",
+                path: "crates/orb/src/client.rs".to_string(),
+                line: 10,
+                col: 5,
+                message: "unbounded loop".to_string(),
+            }],
+            ..Report::default()
+        };
+        let sarif = render(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"detlint\""));
+        for (id, _) in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+        assert!(sarif.contains("\"ruleId\": \"R6\", \"level\": \"error\""));
+        assert!(sarif.contains("\"ruleId\": \"R7\", \"level\": \"note\""));
+        assert!(sarif.contains("\"startLine\": 120"));
+        // Exactly one run.
+        assert_eq!(sarif.matches("\"tool\"").count(), 1);
+    }
+
+    #[test]
+    fn empty_report_has_empty_results() {
+        let sarif = render(&Report::default());
+        assert!(sarif.contains("\"results\": [\n      ]"));
+    }
+}

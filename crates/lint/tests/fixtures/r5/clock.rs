@@ -1,0 +1,6 @@
+//! Ambient-time source shared by the R5 taint fixtures.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

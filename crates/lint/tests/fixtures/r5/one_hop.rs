@@ -1,0 +1,11 @@
+//! One-hop chain: the sink calls the ambient source directly.
+
+pub struct Outcome {
+    seed: u64,
+}
+
+impl Outcome {
+    pub fn digest(&self) -> u64 { //~ R5
+        stamp() ^ self.seed
+    }
+}

@@ -1,0 +1,24 @@
+//! Edge-suppression fixture: the allow entry blesses exactly one
+//! call-graph edge (the `blessed_tag` -> `stamp` call below), so the
+//! chain through it is silenced — but a *new* flow reaching the same
+//! source through a different edge must still be flagged.
+
+fn blessed_tag() -> u64 {
+    stamp() // audited ambient flow
+}
+
+pub struct Audit;
+
+impl Audit {
+    pub fn digest(&self) -> u64 { //~ R5(suppressed)
+        blessed_tag()
+    }
+}
+
+pub struct Fresh;
+
+impl Fresh {
+    pub fn digest(&self) -> u64 { //~ R5
+        stamp() ^ 0x9e3779b97f4a7c15
+    }
+}

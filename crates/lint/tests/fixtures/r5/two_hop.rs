@@ -1,0 +1,16 @@
+//! Two-hop chain: the sink reaches the source through a helper that is
+//! itself clean-looking at the call site.
+
+fn session_tag() -> u64 {
+    stamp().rotate_left(8)
+}
+
+pub struct Trace {
+    id: u64,
+}
+
+impl Trace {
+    pub fn digest(&self) -> u64 { //~ R5
+        session_tag() ^ self.id
+    }
+}

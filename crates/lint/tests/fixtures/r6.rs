@@ -1,0 +1,37 @@
+//! R6 fixture: truncating casts and wrapping arithmetic must be flagged
+//! in codec code; widening casts and checked conversions must not.
+
+fn encode_len(len: usize) -> u32 {
+    len as u32 //~ R6
+}
+
+fn encode_header(v: u64) -> (u8, u16, i32) {
+    let flag = v as u8; //~ R6
+    let short = v as u16; //~ R6
+    let signed = v as i32; //~ R6
+    (flag, short, signed)
+}
+
+fn modular_arithmetic(a: u32, b: u32) -> u32 {
+    let x = a.wrapping_add(b); //~ R6
+    let y = x.wrapping_mul(3); //~ R6
+    let (z, _carry) = y.overflowing_sub(b); //~ R6
+    z
+}
+
+fn clean(len: usize, v: u8, w: u32) -> (u64, usize, u32) {
+    // Widening casts and checked conversions are the sanctioned forms.
+    let wide = v as u64;
+    let index = w as usize;
+    let checked = u32::try_from(len).unwrap_or(u32::MAX);
+    (wide + len as u64, index, checked)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn truncation_is_fine_in_tests() {
+        let _ = 300u32 as u8;
+        let _ = 1u32.wrapping_add(2);
+    }
+}

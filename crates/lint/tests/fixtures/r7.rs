@@ -1,0 +1,61 @@
+//! R7 fixture: loops without an inline budget, bound, or drain call must
+//! be flagged; bounded and drain-driven loops must not.
+
+fn unbounded_spin(mut v: u64) -> u64 {
+    loop { //~ R7
+        v = v.rotate_left(1);
+        if v == 0 {
+            return v;
+        }
+    }
+}
+
+fn budgeted_spin(mut v: u64, budget: u32) -> u64 {
+    let mut remaining = budget;
+    loop {
+        if remaining == 0 {
+            break;
+        }
+        remaining -= 1;
+        v = v.rotate_left(1);
+    }
+    v
+}
+
+fn drain_queue(q: &mut Vec<u64>) -> u64 {
+    let mut acc = 0;
+    while let Some(x) = q.pop() {
+        acc += x;
+    }
+    acc
+}
+
+fn poll_forever(rx: &Mailbox) -> u64 {
+    while let Some(x) = rx.peek() { //~ R7
+        observe(x);
+    }
+    0
+}
+
+fn countdown(mut n: u32) -> u32 {
+    while n > 0 {
+        n -= 1;
+    }
+    n
+}
+
+fn spin_on_flag(flag: &Signal) {
+    while flag.is_set() { //~ R7
+        step();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spinning_is_fine_in_tests() {
+        loop {
+            break;
+        }
+    }
+}

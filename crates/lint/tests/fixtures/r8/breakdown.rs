@@ -1,0 +1,5 @@
+//! Consumer for the R8 event fixture: folds only `Ev::Consumed`.
+
+pub fn consume(e: &Ev) -> bool {
+    matches!(e, Ev::Consumed)
+}

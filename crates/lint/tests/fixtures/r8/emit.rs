@@ -1,0 +1,7 @@
+//! Emitter for the R8 event fixture: everything except `Ev::Dead`.
+
+pub fn emit_all(push: impl Fn(Ev)) {
+    push(Ev::Consumed);
+    push(Ev::ReportOnly);
+    push(Ev::Orphan);
+}

@@ -1,0 +1,9 @@
+//! R8 event-enum fixture: one consumed variant, one report-only variant,
+//! one emitted-but-unconsumed variant, one never-emitted variant.
+
+pub enum Ev {
+    Consumed,
+    ReportOnly,
+    Orphan, //~ R8
+    Dead, //~ R8
+}

@@ -1,0 +1,28 @@
+//! R8 codec fixture: `WireZ::B` is encoded but never decoded, and the
+//! encode side writes a `u32` no decoder reads back.
+
+pub enum WireZ {
+    A,
+    B, //~ R8
+}
+
+impl WireZ { //~ R8
+    fn kind(&self) -> u8 {
+        match self {
+            WireZ::A => 0,
+            WireZ::B => 1,
+        }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.write_u8(self.kind());
+        w.write_u32(9);
+    }
+
+    fn decode(r: &mut Reader) -> Option<WireZ> {
+        match r.read_u8()? {
+            0 => Some(WireZ::A),
+            _ => None,
+        }
+    }
+}

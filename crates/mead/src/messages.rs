@@ -224,7 +224,7 @@ impl WireCodec for GroupMsg {
             }
             GroupMsg::LaunchRequest { member } => w.write_string(member),
             GroupMsg::SyncList { entries } => {
-                w.write_u32(entries.len() as u32);
+                w.write_u32(giop::wire_len(entries.len()));
                 for (m, h, p) in entries {
                     w.write_string(m);
                     w.write_string(h);
@@ -246,7 +246,7 @@ impl WireCodec for GroupMsg {
                 pendings,
             } => {
                 w.write_u16(*next_port);
-                w.write_u32(pendings.len() as u32);
+                w.write_u32(giop::wire_len(pendings.len()));
                 for (slot, member) in pendings {
                     w.write_u32(*slot);
                     w.write_string(member);

@@ -1,0 +1,770 @@
+//! A lightweight item-level AST on top of the token-tree lexer.
+//!
+//! [`parse_items`] walks a lexed stream and recovers just enough structure
+//! for interprocedural lint rules: `fn` declarations (name, receiver, body
+//! stream), `impl`/`trait` blocks (self type, trait name, methods), inline
+//! `mod`s, `enum`s with their variants, and `struct` names. Everything it
+//! does not recognise becomes [`ItemKind::Other`] and is skipped without
+//! error — like the lexer, this is a lint front-end, not a compiler.
+//!
+//! Two expression-level utilities complete the surface `crates/lint`
+//! needs: [`call_sites`] extracts every path call (`a::b::c(..)`) and
+//! method call (`recv.next_frame(..)`) from a token stream, and
+//! [`match_arms`] splits a `match` body into `pattern => body` arms.
+//!
+//! Test gating follows the lexer-era convention: any item whose outer
+//! attributes mention the ident `test` (`#[test]`, `#[cfg(test)]`,
+//! `#[cfg(all(test, ..))]`) is marked [`Item::test_only`], and the flag is
+//! inherited by everything nested inside it.
+
+use crate::{Delim, Span, Tok, TokenTree};
+
+/// One recognised top-level or nested item.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Position of the item keyword (`fn`, `impl`, ...).
+    pub span: Span,
+    /// `true` when the item (or an enclosing item) is test-gated.
+    pub test_only: bool,
+    /// The parsed shape.
+    pub kind: ItemKind,
+}
+
+/// The recognised item shapes.
+#[derive(Clone, Debug)]
+pub enum ItemKind {
+    /// A `fn` declaration (free, method, or trait default).
+    Fn(FnDecl),
+    /// An `impl` or `trait` block and the items inside it.
+    Impl(ImplBlock),
+    /// An inline `mod name { .. }`.
+    Mod(ModDecl),
+    /// An `enum` with its variant list.
+    Enum(EnumDecl),
+    /// A `struct` (name only; fields are not modelled).
+    Struct(StructDecl),
+}
+
+/// A `fn` declaration.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// The function name.
+    pub name: String,
+    /// `true` when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// The body token stream; `None` for body-less signatures
+    /// (trait-required methods, `extern` decls).
+    pub body: Option<Vec<TokenTree>>,
+}
+
+/// An `impl Type`, `impl Trait for Type`, or `trait Name` block.
+#[derive(Clone, Debug)]
+pub struct ImplBlock {
+    /// The implemented-on type name (last path segment), or the trait
+    /// name for a `trait` block.
+    pub self_ty: String,
+    /// The trait name (last path segment) for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// Items inside the block (methods, nested consts are skipped).
+    pub items: Vec<Item>,
+}
+
+/// An inline module.
+#[derive(Clone, Debug)]
+pub struct ModDecl {
+    /// The module name.
+    pub name: String,
+    /// Items inside the module body.
+    pub items: Vec<Item>,
+}
+
+/// An `enum` declaration.
+#[derive(Clone, Debug)]
+pub struct EnumDecl {
+    /// The enum name.
+    pub name: String,
+    /// The declared variants, in order.
+    pub variants: Vec<Variant>,
+}
+
+/// One enum variant.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// The variant name.
+    pub name: String,
+    /// Position of the variant name.
+    pub span: Span,
+}
+
+/// A `struct` declaration (name and position only).
+#[derive(Clone, Debug)]
+pub struct StructDecl {
+    /// The struct name.
+    pub name: String,
+}
+
+/// Parses a lexed token stream into items. Unrecognised tokens are
+/// skipped; nested items inside `fn` bodies are not recovered.
+pub fn parse_items(trees: &[TokenTree]) -> Vec<Item> {
+    parse_items_inner(trees, false)
+}
+
+fn parse_items_inner(trees: &[TokenTree], inherited_test: bool) -> Vec<Item> {
+    let mut items = Vec::new();
+    let mut pending_test = false;
+    let mut i = 0;
+    while i < trees.len() {
+        let t = &trees[i];
+        // Outer attribute: `#` `[..]` (inner `#![..]` has a `!` between).
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            if matches!(trees.get(j), Some(n) if n.is_punct('!')) {
+                j += 1;
+            }
+            if let Some(Tok::Group(Delim::Bracket, inner)) = trees.get(j).map(|n| &n.tok) {
+                if contains_ident(inner, "test") {
+                    pending_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        let Some(kw) = t.ident() else {
+            // A stray `;` ends whatever the pending attributes applied to.
+            if t.is_punct(';') {
+                pending_test = false;
+            }
+            i += 1;
+            continue;
+        };
+        let test_only = inherited_test || pending_test;
+        match kw {
+            "fn" => {
+                let (item, next) = parse_fn(trees, i, test_only);
+                if let Some(item) = item {
+                    items.push(item);
+                }
+                pending_test = false;
+                i = next;
+            }
+            "impl" | "trait" => {
+                let (item, next) = parse_impl(trees, i, kw == "trait", test_only);
+                if let Some(item) = item {
+                    items.push(item);
+                }
+                pending_test = false;
+                i = next;
+            }
+            "mod" => {
+                let name = trees.get(i + 1).and_then(|n| n.ident());
+                let body = trees.get(i + 2).and_then(|n| n.group(Delim::Brace));
+                if let (Some(name), Some(body)) = (name, body) {
+                    items.push(Item {
+                        span: t.span,
+                        test_only,
+                        kind: ItemKind::Mod(ModDecl {
+                            name: name.to_string(),
+                            items: parse_items_inner(body, test_only),
+                        }),
+                    });
+                    pending_test = false;
+                    i += 3;
+                } else {
+                    // `mod name;` — out-of-line; nothing to recover here.
+                    pending_test = false;
+                    i += 1;
+                }
+            }
+            "enum" => {
+                let name = trees.get(i + 1).and_then(|n| n.ident());
+                // Skip generics between the name and the body.
+                let mut j = i + 2;
+                j = skip_generics(trees, j);
+                let body = trees.get(j).and_then(|n| n.group(Delim::Brace));
+                if let (Some(name), Some(body)) = (name, body) {
+                    items.push(Item {
+                        span: t.span,
+                        test_only,
+                        kind: ItemKind::Enum(EnumDecl {
+                            name: name.to_string(),
+                            variants: parse_variants(body),
+                        }),
+                    });
+                    pending_test = false;
+                    i = j + 1;
+                } else {
+                    pending_test = false;
+                    i += 1;
+                }
+            }
+            "struct" => {
+                if let Some(name) = trees.get(i + 1).and_then(|n| n.ident()) {
+                    items.push(Item {
+                        span: t.span,
+                        test_only,
+                        kind: ItemKind::Struct(StructDecl {
+                            name: name.to_string(),
+                        }),
+                    });
+                }
+                pending_test = false;
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    items
+}
+
+/// Parses `fn name<..>(args) -> Ret { body }` starting at the `fn`
+/// keyword. Returns the item (if the shape is recognisable) and the index
+/// to resume scanning at.
+fn parse_fn(trees: &[TokenTree], i: usize, test_only: bool) -> (Option<Item>, usize) {
+    let span = trees[i].span;
+    let Some(name) = trees.get(i + 1).and_then(|n| n.ident()) else {
+        return (None, i + 1);
+    };
+    let mut j = skip_generics(trees, i + 2);
+    // The argument list is the first paren group after the generics.
+    let Some(args) = trees.get(j).and_then(|n| n.group(Delim::Paren)) else {
+        return (None, i + 1);
+    };
+    let has_self = args
+        .iter()
+        .take_while(|a| !a.is_punct(','))
+        .any(|a| a.is_ident("self"));
+    j += 1;
+    // Return type / where clause run up to the body brace or a `;`.
+    let mut body = None;
+    while j < trees.len() {
+        match &trees[j].tok {
+            Tok::Group(Delim::Brace, inner) => {
+                body = Some(inner.clone());
+                j += 1;
+                break;
+            }
+            Tok::Punct(';') => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Some(Item {
+            span,
+            test_only,
+            kind: ItemKind::Fn(FnDecl {
+                name: name.to_string(),
+                has_self,
+                body,
+            }),
+        }),
+        j,
+    )
+}
+
+/// Parses `impl [<..>] [Trait for] Type [where ..] { items }` or
+/// `trait Name { items }` starting at the keyword.
+fn parse_impl(
+    trees: &[TokenTree],
+    i: usize,
+    is_trait: bool,
+    test_only: bool,
+) -> (Option<Item>, usize) {
+    let span = trees[i].span;
+    // Collect header idents outside angle-bracket depth until the body.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut header: Vec<&str> = Vec::new();
+    let mut body = None;
+    while j < trees.len() {
+        match &trees[j].tok {
+            Tok::Group(Delim::Brace, inner) if depth == 0 => {
+                body = Some(inner);
+                j += 1;
+                break;
+            }
+            Tok::Punct(';') if depth == 0 => {
+                j += 1;
+                break;
+            }
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                // `->` inside a generic bound (`Fn(..) -> T`) is not a
+                // closing angle bracket.
+                let arrow = j > 0 && trees[j - 1].is_punct('-');
+                if !arrow {
+                    depth -= 1;
+                }
+            }
+            Tok::Ident(name) if depth == 0 => header.push(name.as_str()),
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(body) = body else {
+        return (None, j);
+    };
+    // Drop the where clause from the header before naming types.
+    let header: Vec<&str> = match header.iter().position(|s| *s == "where") {
+        Some(w) => header[..w].to_vec(),
+        None => header,
+    };
+    let (self_ty, trait_name) = if is_trait {
+        match header.first() {
+            Some(name) => (name.to_string(), None),
+            None => return (None, j),
+        }
+    } else {
+        match header.iter().position(|s| *s == "for") {
+            Some(f) if f > 0 && f + 1 < header.len() => (
+                header.last().map(|s| s.to_string()).unwrap_or_default(),
+                Some(header[f - 1].to_string()),
+            ),
+            _ => match header.last() {
+                Some(name) => (name.to_string(), None),
+                None => return (None, j),
+            },
+        }
+    };
+    (
+        Some(Item {
+            span,
+            test_only,
+            kind: ItemKind::Impl(ImplBlock {
+                self_ty,
+                trait_name,
+                items: parse_items_inner(body, test_only),
+            }),
+        }),
+        j,
+    )
+}
+
+/// Skips a balanced `<..>` generic-parameter run starting at `j`, if one
+/// is present. `->` arrows inside bounds do not close the run.
+fn skip_generics(trees: &[TokenTree], mut j: usize) -> usize {
+    if !matches!(trees.get(j), Some(n) if n.is_punct('<')) {
+        return j;
+    }
+    let mut depth = 0i32;
+    while j < trees.len() {
+        if trees[j].is_punct('<') {
+            depth += 1;
+        } else if trees[j].is_punct('>') {
+            let arrow = j > 0 && trees[j - 1].is_punct('-');
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Splits an enum body into variants at top-level commas; the variant
+/// name is the first non-attribute ident of each chunk.
+fn parse_variants(body: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // One chunk: up to the next top-level comma.
+        let start = i;
+        while i < body.len() && !body[i].is_punct(',') {
+            i += 1;
+        }
+        let chunk = &body[start..i];
+        i += 1; // past the comma
+        let mut k = 0;
+        while k < chunk.len() {
+            if chunk[k].is_punct('#') {
+                // skip the attribute group
+                k += 1;
+                if matches!(
+                    chunk.get(k).map(|n| &n.tok),
+                    Some(Tok::Group(Delim::Bracket, _))
+                ) {
+                    k += 1;
+                }
+                continue;
+            }
+            if let Some(name) = chunk[k].ident() {
+                variants.push(Variant {
+                    name: name.to_string(),
+                    span: chunk[k].span,
+                });
+            }
+            break;
+        }
+    }
+    variants
+}
+
+fn contains_ident(trees: &[TokenTree], name: &str) -> bool {
+    trees.iter().any(|t| match &t.tok {
+        Tok::Ident(s) => s == name,
+        Tok::Group(_, inner) => contains_ident(inner, name),
+        _ => false,
+    })
+}
+
+/// How a call site invokes its target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `a::b::c(..)` or `c(..)`.
+    Path,
+    /// `recv.method(..)`.
+    Method,
+}
+
+/// One extracted call expression.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Position of the called name (last path segment / method name).
+    pub span: Span,
+    /// Path segments; a single element for bare calls and method calls.
+    pub segments: Vec<String>,
+    /// Path call vs method call.
+    pub kind: CallKind,
+}
+
+/// Keywords that look call-shaped when followed by a paren group
+/// (`if (..)`, `while (..)`, `return (..)`, ...).
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "in", "as", "move", "else", "break",
+    "continue", "fn", "let", "mut", "ref", "where", "impl", "dyn", "await", "unsafe", "use", "pub",
+    "crate", "super", "box", "yield",
+];
+
+/// Extracts every path call and method call from `trees`, recursing into
+/// nested groups. Macro invocations (`name!(..)`) and attribute bodies
+/// (`#[..]`) are excluded.
+pub fn call_sites(trees: &[TokenTree]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    collect_calls(trees, &mut out);
+    out
+}
+
+fn collect_calls(trees: &[TokenTree], out: &mut Vec<CallSite>) {
+    let mut i = 0;
+    while i < trees.len() {
+        let t = &trees[i];
+        // Attribute bodies are not expression context.
+        if t.is_punct('#') {
+            let mut j = i + 1;
+            if matches!(trees.get(j), Some(n) if n.is_punct('!')) {
+                j += 1;
+            }
+            if matches!(
+                trees.get(j).map(|n| &n.tok),
+                Some(Tok::Group(Delim::Bracket, _))
+            ) {
+                i = j + 1;
+                continue;
+            }
+        }
+        // Method call: `.name[::<..>](..)`.
+        if t.is_punct('.') {
+            if let Some(name_tok) = trees.get(i + 1) {
+                if let Some(name) = name_tok.ident() {
+                    let mut j = i + 2;
+                    j = skip_turbofish(trees, j);
+                    if matches!(trees.get(j), Some(n) if n.group(Delim::Paren).is_some()) {
+                        out.push(CallSite {
+                            span: name_tok.span,
+                            segments: vec![name.to_string()],
+                            kind: CallKind::Method,
+                        });
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Path call: `a::b::c[::<..>](..)`, not preceded by `.` (that is
+        // the method case) and not a macro (`name!(..)`) or `fn` decl.
+        if let Some(first) = t.ident() {
+            let after_dot = i > 0 && trees[i - 1].is_punct('.');
+            let after_fn = i > 0 && trees[i - 1].is_ident("fn");
+            if !after_dot && !after_fn && !CALL_KEYWORDS.contains(&first) {
+                let mut segments = vec![first.to_string()];
+                let mut j = i + 1;
+                loop {
+                    if matches!(trees.get(j), Some(n) if n.is_punct(':'))
+                        && matches!(trees.get(j + 1), Some(n) if n.is_punct(':'))
+                    {
+                        if let Some(seg) = trees.get(j + 2).and_then(|n| n.ident()) {
+                            segments.push(seg.to_string());
+                            j += 3;
+                            continue;
+                        }
+                        // `::<..>` turbofish — the path may continue
+                        // after it (`Vec::<u8>::new`).
+                        if matches!(trees.get(j + 2), Some(n) if n.is_punct('<')) {
+                            j = skip_angle_run(trees, j + 2);
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                let last_span = if segments.len() == 1 {
+                    t.span
+                } else {
+                    // span of the final segment (j - 1 is its index when
+                    // no turbofish followed; recompute defensively)
+                    trees
+                        .get(j.saturating_sub(1))
+                        .map(|n| n.span)
+                        .unwrap_or(t.span)
+                };
+                let is_macro = matches!(trees.get(j), Some(n) if n.is_punct('!'));
+                if !is_macro && matches!(trees.get(j), Some(n) if n.group(Delim::Paren).is_some()) {
+                    out.push(CallSite {
+                        span: last_span,
+                        segments,
+                        kind: CallKind::Path,
+                    });
+                }
+                // Resume after the path (the paren group itself is still
+                // recursed into below via the normal walk).
+                i = j.max(i + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Recurse into groups (arguments, bodies, brackets).
+    for t in trees {
+        if let Tok::Group(_, inner) = &t.tok {
+            collect_calls(inner, out);
+        }
+    }
+}
+
+/// Skips a `::<..>` turbofish starting at `j`, returning the index after
+/// the closing `>`.
+fn skip_turbofish(trees: &[TokenTree], j: usize) -> usize {
+    if matches!(trees.get(j), Some(n) if n.is_punct(':'))
+        && matches!(trees.get(j + 1), Some(n) if n.is_punct(':'))
+        && matches!(trees.get(j + 2), Some(n) if n.is_punct('<'))
+    {
+        return skip_angle_run(trees, j + 2);
+    }
+    j
+}
+
+/// Skips a balanced `<..>` run starting at the `<` at index `j`.
+fn skip_angle_run(trees: &[TokenTree], mut j: usize) -> usize {
+    let mut depth = 0i32;
+    while j < trees.len() {
+        if trees[j].is_punct('<') {
+            depth += 1;
+        } else if trees[j].is_punct('>') {
+            let arrow = j > 0 && trees[j - 1].is_punct('-');
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// One `pattern => body` arm of a `match` body.
+#[derive(Clone, Debug)]
+pub struct MatchArm<'a> {
+    /// The pattern tokens (including any `if` guard).
+    pub pattern: &'a [TokenTree],
+    /// The arm body: a single brace group or the expression tokens up to
+    /// the separating comma.
+    pub body: &'a [TokenTree],
+}
+
+/// Splits a `match` body into arms at `=>` boundaries.
+pub fn match_arms(body: &[TokenTree]) -> Vec<MatchArm<'_>> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let start = i;
+        let mut arrow = None;
+        while i < body.len() {
+            if body[i].is_punct('=') && matches!(body.get(i + 1), Some(n) if n.is_punct('>')) {
+                arrow = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        i = arrow + 2;
+        let body_start = i;
+        if matches!(body.get(i), Some(n) if n.group(Delim::Brace).is_some()) {
+            i += 1;
+        } else {
+            while i < body.len() && !body[i].is_punct(',') {
+                i += 1;
+            }
+        }
+        arms.push(MatchArm {
+            pattern: &body[start..arrow],
+            body: &body[body_start..i],
+        });
+        if matches!(body.get(i), Some(n) if n.is_punct(',')) {
+            i += 1;
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_file;
+
+    fn items_of(src: &str) -> Vec<Item> {
+        parse_items(&parse_file(src).expect("lexes"))
+    }
+
+    #[test]
+    fn parses_free_fn_and_method() {
+        let items = items_of(
+            "pub fn free(x: u32) -> u32 { x }\n\
+             impl Foo { fn method(&mut self, y: u32) { self.z = y; } }",
+        );
+        assert_eq!(items.len(), 2);
+        let ItemKind::Fn(f) = &items[0].kind else {
+            panic!("fn expected")
+        };
+        assert_eq!(f.name, "free");
+        assert!(!f.has_self);
+        assert!(f.body.is_some());
+        let ItemKind::Impl(b) = &items[1].kind else {
+            panic!("impl expected")
+        };
+        assert_eq!(b.self_ty, "Foo");
+        assert!(b.trait_name.is_none());
+        let ItemKind::Fn(m) = &b.items[0].kind else {
+            panic!("method expected")
+        };
+        assert_eq!(m.name, "method");
+        assert!(m.has_self);
+    }
+
+    #[test]
+    fn trait_impls_and_generics() {
+        let items = items_of(
+            "impl<'a, T: Fn(u32) -> bool> fmt::Display for Wrapper<'a, T> {\n\
+                 fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n\
+             }",
+        );
+        let ItemKind::Impl(b) = &items[0].kind else {
+            panic!("impl expected")
+        };
+        assert_eq!(b.self_ty, "Wrapper");
+        assert_eq!(b.trait_name.as_deref(), Some("Display"));
+        assert_eq!(b.items.len(), 1);
+    }
+
+    #[test]
+    fn generic_fn_signature_finds_args() {
+        let items = items_of("fn pick<F: Fn(u32) -> bool>(f: F, xs: &[u32]) -> u32 { 0 }");
+        let ItemKind::Fn(f) = &items[0].kind else {
+            panic!("fn expected")
+        };
+        assert_eq!(f.name, "pick");
+        assert!(!f.has_self);
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn enums_and_variant_spans() {
+        let items = items_of(
+            "pub enum Wire {\n    #[doc = \"x\"]\n    Join { who: u32 },\n    Leave(u8),\n    Ping,\n}",
+        );
+        let ItemKind::Enum(e) = &items[0].kind else {
+            panic!("enum expected")
+        };
+        assert_eq!(e.name, "Wire");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Join", "Leave", "Ping"]);
+        assert_eq!(e.variants[0].span.line, 3);
+    }
+
+    #[test]
+    fn test_gating_is_inherited() {
+        let items = items_of(
+            "#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n\
+             fn live() {}",
+        );
+        let ItemKind::Mod(m) = &items[0].kind else {
+            panic!("mod expected")
+        };
+        assert!(items[0].test_only);
+        assert!(m.items.iter().all(|it| it.test_only));
+        assert!(!items[1].test_only);
+    }
+
+    #[test]
+    fn call_sites_paths_methods_macros() {
+        let trees = parse_file(
+            "fn f() { let a = helper(1); let b = sim::clock::now_ns(); \
+             q.next_frame(); v.push(1); println!(\"no\"); if x { y.z; } \
+             Vec::<u8>::new(); }",
+        )
+        .expect("lexes");
+        let calls = call_sites(&trees);
+        let names: Vec<String> = calls.iter().map(|c| c.segments.join("::")).collect();
+        assert!(names.contains(&"helper".to_string()));
+        assert!(names.contains(&"sim::clock::now_ns".to_string()));
+        assert!(names.contains(&"next_frame".to_string()));
+        assert!(names.contains(&"push".to_string()));
+        assert!(names.contains(&"Vec::new".to_string()));
+        assert!(!names.iter().any(|n| n.contains("println")));
+        assert!(!names.iter().any(|n| n == "f"));
+        let method = calls
+            .iter()
+            .find(|c| c.segments == ["next_frame"])
+            .expect("method call");
+        assert_eq!(method.kind, CallKind::Method);
+    }
+
+    #[test]
+    fn match_arms_split() {
+        let trees = parse_file(
+            "fn f(x: u8) -> u8 { match x { 0 => zero(), 1 | 2 => { both() } _ => other(), } }",
+        )
+        .expect("lexes");
+        // dig out the match body
+        fn find_match(trees: &[TokenTree]) -> Option<&[TokenTree]> {
+            for (i, t) in trees.iter().enumerate() {
+                if t.is_ident("match") {
+                    for n in &trees[i + 1..] {
+                        if let Some(g) = n.group(Delim::Brace) {
+                            return Some(g);
+                        }
+                    }
+                }
+                if let Tok::Group(_, inner) = &t.tok {
+                    if let Some(g) = find_match(inner) {
+                        return Some(g);
+                    }
+                }
+            }
+            None
+        }
+        let body = find_match(&trees).expect("match body");
+        let arms = match_arms(body);
+        assert_eq!(arms.len(), 3);
+        assert!(arms[0].pattern[0].tok == Tok::Lit("0".to_string()));
+        // `_` lexes as an identifier, not punctuation.
+        assert!(arms[2].pattern[0].is_ident("_"));
+    }
+}

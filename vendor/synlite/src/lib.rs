@@ -15,6 +15,8 @@
 //! hard errors are unbalanced delimiters and unterminated literals —
 //! conditions under which span-based findings would be meaningless anyway.
 
+pub mod ast;
+
 /// A line/column position (both 1-based) in the lexed source.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Span {
