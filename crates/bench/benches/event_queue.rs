@@ -1,0 +1,107 @@
+//! Event-queue micro-benchmarks: the kernel's hierarchical timing wheel
+//! against the `BinaryHeap` it replaced (DESIGN §11).
+//!
+//! Two access patterns, each at 10³ / 10⁵ / 10⁷ pending entries:
+//!
+//! * `steady` — pop the earliest entry, reschedule it a little later
+//!   (the notify-requeue storm that dominates the fleet scenarios; the
+//!   hot requeue appends to the wheel's sorted run in O(1) while the
+//!   heap sifts through log n levels of a cold array), and
+//! * `drain` — enqueue n entries at scattered times, then pop them all
+//!   in `(time, seq)` order.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use simnet::TimingWheel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) for scattered times.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn wheel_with(n: u64) -> (TimingWheel<u64>, u64) {
+    let mut w = TimingWheel::new();
+    for seq in 0..n {
+        w.push(1_000_000 + (seq << 6), seq, seq);
+    }
+    (w, n)
+}
+
+type HeapEntry = (Reverse<(u64, u64)>, u64);
+
+fn heap_with(n: u64) -> (BinaryHeap<HeapEntry>, u64) {
+    let mut h = BinaryHeap::new();
+    for seq in 0..n {
+        h.push((Reverse((1_000_000 + (seq << 6), seq)), seq));
+    }
+    (h, n)
+}
+
+fn bench_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/steady");
+    for &n in &[1_000u64, 100_000, 10_000_000] {
+        group.bench_with_input(BenchmarkId::new("wheel", n), &n, |b, &n| {
+            let (mut w, mut seq) = wheel_with(n);
+            let mut horizon = 1_000_000 + (n << 6);
+            b.iter(|| {
+                let (at, _, v) = w.pop_due(u64::MAX).expect("non-empty");
+                horizon = horizon.max(at) + 40_000;
+                w.push(horizon, seq, black_box(v));
+                seq += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
+            let (mut h, mut seq) = heap_with(n);
+            let mut horizon = 1_000_000 + (n << 6);
+            b.iter(|| {
+                let (Reverse((at, _)), v) = h.pop().expect("non-empty");
+                horizon = horizon.max(at) + 40_000;
+                h.push((Reverse((horizon, seq)), black_box(v)));
+                seq += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/drain");
+    group.sample_size(10);
+    for &n in &[1_000u64, 100_000, 10_000_000] {
+        group.bench_with_input(BenchmarkId::new("wheel", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut w = TimingWheel::new();
+                for seq in 0..n {
+                    w.push(mix(seq) >> 20, seq, seq);
+                }
+                let mut popped = 0u64;
+                while w.pop_due(u64::MAX).is_some() {
+                    popped += 1;
+                }
+                black_box(popped)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = BinaryHeap::new();
+                for seq in 0..n {
+                    h.push((Reverse((mix(seq) >> 20, seq)), seq));
+                }
+                let mut popped = 0u64;
+                while h.pop().is_some() {
+                    popped += 1;
+                }
+                black_box(popped)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady, bench_drain);
+criterion_main!(benches);

@@ -3,7 +3,13 @@
 //! bit-identical outcomes, and writes the timing comparison to
 //! `BENCH_harness.json`.
 //!
-//! Usage: `harness [--threads N] [--trace out.jsonl] [invocations]`
+//! Usage: `harness [--threads N] [--trace out.jsonl] [invocations] [fleet_max_clients]`
+//!
+//! After the paper workload, the fleet scenario family (thousands of
+//! clients per replicated server group) is swept at 10²..10⁴ clients per
+//! group and its single-thread events/sec curve recorded next to the
+//! measured pre-slab/wheel-kernel baselines. `fleet_max_clients` trims
+//! the sweep (`0` skips it) for quick regenerations.
 //!
 //! The parallel leg defaults to the host's available parallelism. The
 //! JSON also records a projected 4-thread speedup from the measured
@@ -13,38 +19,11 @@
 
 use std::time::Instant;
 
-use experiments::{cli_from_args, default_threads, positional_or, run_batch, ScenarioConfig};
+use experiments::{
+    cli_from_args, default_threads, paper_workload, positional_or, run_batch, run_fleet,
+    FleetConfig, ScenarioConfig,
+};
 use mead::RecoveryScheme;
-
-/// The workload: every Table 1 row plus the full Figure 5 sweep.
-fn workload(invocations: u32) -> Vec<(String, ScenarioConfig)> {
-    let mut cells = Vec::new();
-    for scheme in RecoveryScheme::ALL {
-        cells.push((
-            format!("table1/{}", scheme.name().replace(' ', "_")),
-            ScenarioConfig {
-                invocations,
-                ..ScenarioConfig::paper(scheme)
-            },
-        ));
-    }
-    for scheme in [
-        RecoveryScheme::LocationForward,
-        RecoveryScheme::MeadFailover,
-    ] {
-        for pct in [20u32, 40, 60, 80] {
-            cells.push((
-                format!("fig5/{}@{pct}", scheme.name().replace(' ', "_")),
-                ScenarioConfig {
-                    invocations,
-                    threshold: Some(pct as f64 / 100.0),
-                    ..ScenarioConfig::paper(scheme)
-                },
-            ));
-        }
-    }
-    cells
-}
 
 /// Makespan of `times` on `workers` under longest-processing-time list
 /// scheduling — the model behind the projected speedup.
@@ -70,7 +49,8 @@ fn main() {
     let cli = cli_from_args();
     let threads = cli.threads;
     let invocations: u32 = positional_or(&cli.args, 0, 10_000);
-    let cells = workload(invocations);
+    let fleet_max_clients: u32 = positional_or(&cli.args, 1, 10_000);
+    let cells = paper_workload(invocations);
     let configs: Vec<ScenarioConfig> = cells.iter().map(|(_, c)| c.clone()).collect();
 
     eprintln!(
@@ -164,7 +144,55 @@ fn main() {
             if i + 1 < cells.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // Fleet scenario family: events/sec curve against client count, next
+    // to the baselines measured on the pre-slab/wheel kernel (BTreeMap
+    // state tables + BinaryHeap event queue) on the same host, single
+    // thread, same seeds — the ≥3x kernel-throughput acceptance gate.
+    const OLD_KERNEL_BASELINE: [(u32, u64, f64); 3] = [
+        (100, 50_382, 1_924_259.0),
+        (1_000, 5_327_220, 7_031_228.0),
+        (10_000, 3_015_989_114, 7_494_222.0),
+    ];
+    json.push_str("  \"fleet\": {\n");
+    json.push_str("    \"scheme\": \"MEAD_Message\",\n");
+    json.push_str("    \"groups\": 4,\n");
+    json.push_str("    \"invocations_per_client\": 5,\n");
+    json.push_str("    \"threads\": 1,\n");
+    json.push_str(
+        "    \"baseline_kernel\": \"BTreeMap tables + BinaryHeap queue (pre-DESIGN-s11)\",\n",
+    );
+    json.push_str("    \"points\": [\n");
+    let sweep: Vec<&(u32, u64, f64)> = OLD_KERNEL_BASELINE
+        .iter()
+        .filter(|(clients, _, _)| *clients <= fleet_max_clients)
+        .collect();
+    for (i, &&(clients, old_events, old_eps)) in sweep.iter().enumerate() {
+        eprintln!("fleet: {clients} clients/group ...");
+        let cfg = FleetConfig::new(RecoveryScheme::MeadFailover, clients);
+        let outcome = run_fleet(&cfg, 1);
+        let eps = outcome.events_per_sec();
+        assert_eq!(
+            outcome.total_events, old_events,
+            "fleet event count must match the old kernel bit-for-bit"
+        );
+        eprintln!(
+            "fleet: {clients} clients/group: {} events, {eps:.0} events/sec ({:.2}x old kernel)",
+            outcome.total_events,
+            eps / old_eps
+        );
+        json.push_str(&format!(
+            "      {{\"clients_per_group\": {clients}, \"events\": {}, \"digest\": \"{:#018x}\", \
+             \"events_per_sec\": {eps:.0}, \"old_kernel_events_per_sec\": {old_eps:.0}, \
+             \"speedup_vs_old_kernel\": {:.3}}}{}\n",
+            outcome.total_events,
+            outcome.digest(),
+            eps / old_eps,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     std::fs::write("BENCH_harness.json", &json).expect("write BENCH_harness.json");
     println!("{json}");

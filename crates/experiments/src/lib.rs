@@ -15,6 +15,7 @@ pub mod cli;
 pub mod counter;
 pub mod failover;
 pub mod figures;
+pub mod fleet;
 pub mod jitter;
 pub mod report;
 pub mod runner;
@@ -35,13 +36,14 @@ pub use failover::{
 pub use figures::{
     fig5_csv, fig5_point, format_fig5, run_fig3, run_fig4, run_fig5, Fig5Point, Trace,
 };
+pub use fleet::{group_configs, run_fleet, FleetConfig, FleetOutcome, CLIENTS_PER_NODE};
 pub use jitter::{format_jitter, jitter_stats, run_jitter_suite, JitterStats};
 pub use report::{
     failover_episodes_ms, format_table1, run_table1, steady_state_rtt_ms, table1_row, trace_ascii,
     trace_csv, Table1Row,
 };
 pub use runner::{default_threads, run_batch, run_batch_with};
-pub use scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use scenario::{paper_workload, run_scenario, ScenarioConfig, ScenarioOutcome};
 pub use stats::{percentile, Summary};
 pub use workload::{
     ClientPolicy, ClientWorkload, InvocationRecord, ReportHandle, WorkloadConfig, WorkloadReport,

@@ -54,6 +54,14 @@ pub struct ScenarioConfig {
     /// (message-loss fault; manifests as added delay on the reliable
     /// streams).
     pub message_loss: f64,
+    /// Number of nodes the client processes are spread over (fleet
+    /// scenarios). `1` reproduces the paper topology exactly: every
+    /// client on the single client node.
+    pub client_nodes: u32,
+    /// Explicit run deadline (`None` = the paper formula, which assumes a
+    /// single client). Fleet scenarios scale the deadline with the total
+    /// invocation count instead.
+    pub deadline_override: Option<SimTime>,
 }
 
 impl ScenarioConfig {
@@ -71,6 +79,8 @@ impl ScenarioConfig {
             tweak: None,
             crash_server_node_at: None,
             message_loss: 0.0,
+            client_nodes: 1,
+            deadline_override: None,
         }
     }
 
@@ -82,6 +92,38 @@ impl ScenarioConfig {
             ..Self::paper(scheme)
         }
     }
+}
+
+/// The canonical 13-cell paper workload: every Table 1 row plus the full
+/// Figure 5 threshold sweep. Shared by the bench harness and the digest
+/// pin test so they can never drift apart.
+pub fn paper_workload(invocations: u32) -> Vec<(String, ScenarioConfig)> {
+    let mut cells = Vec::new();
+    for scheme in RecoveryScheme::ALL {
+        cells.push((
+            format!("table1/{}", scheme.name().replace(' ', "_")),
+            ScenarioConfig {
+                invocations,
+                ..ScenarioConfig::paper(scheme)
+            },
+        ));
+    }
+    for scheme in [
+        RecoveryScheme::LocationForward,
+        RecoveryScheme::MeadFailover,
+    ] {
+        for pct in [20u32, 40, 60, 80] {
+            cells.push((
+                format!("fig5/{}@{pct}", scheme.name().replace(' ', "_")),
+                ScenarioConfig {
+                    invocations,
+                    threshold: Some(pct as f64 / 100.0),
+                    ..ScenarioConfig::paper(scheme)
+                },
+            ));
+        }
+    }
+    cells
 }
 
 /// Results of one scenario run.
@@ -243,13 +285,17 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let server_nodes: Vec<NodeId> = (1..=cfg.replicas.max(1))
         .map(|i| sim.add_node(&format!("node{i}")))
         .collect();
-    let client_node = sim.add_node(&format!("node{}", cfg.replicas + 1));
+    // Fleet scenarios spread the client processes over several nodes;
+    // `client_nodes == 1` is the paper's single client node.
+    let client_nodes: Vec<NodeId> = (0..cfg.client_nodes.max(1))
+        .map(|i| sim.add_node(&format!("node{}", cfg.replicas + 1 + i)))
+        .collect();
 
     // Group-communication daemons everywhere; sequencer on infra.
     let seq_addr = Addr::new(infra, GCS_PORT);
     for node in std::iter::once(infra)
         .chain(server_nodes.iter().copied())
-        .chain(std::iter::once(client_node))
+        .chain(client_nodes.iter().copied())
     {
         sim.spawn(
             node,
@@ -315,7 +361,8 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         } else {
             Box::new(workload)
         };
-        sim.spawn(client_node, &format!("client-{c}"), client_proc);
+        let node = client_nodes[c as usize % client_nodes.len()];
+        sim.spawn(node, &format!("client-{c}"), client_proc);
         reports.push(report);
     }
     let workload_start = sim.now();
@@ -327,7 +374,9 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
         sim.run_until(at);
         sim.crash_node(node);
     }
-    let deadline = SimTime::from_millis(1000 + cfg.invocations as u64 * 6);
+    let deadline = cfg
+        .deadline_override
+        .unwrap_or_else(|| SimTime::from_millis(1000 + cfg.invocations as u64 * 6));
     loop {
         let slice_end = SimTime::from_nanos(
             (sim.now() + SimDuration::from_millis(250))

@@ -128,6 +128,8 @@ impl Default for Contract {
                 "crates/giop/src",
                 "crates/simnet/src/sim.rs",
                 "crates/simnet/src/recv_queue.rs",
+                "crates/simnet/src/table.rs",
+                "crates/simnet/src/wheel.rs",
             ]),
             r4_scopes: strs(&["crates/mead/src", "crates/groupcomm/src"]),
             r5_scopes: sim_crates
@@ -151,6 +153,8 @@ impl Default for Contract {
             ]),
             r7_scopes: strs(&[
                 "crates/simnet/src/sim.rs",
+                "crates/simnet/src/table.rs",
+                "crates/simnet/src/wheel.rs",
                 "crates/orb/src/client.rs",
                 "crates/orb/src/retry.rs",
                 "crates/groupcomm/src/client.rs",

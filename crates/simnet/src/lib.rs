@@ -56,8 +56,10 @@ mod process;
 mod recv_queue;
 mod rng;
 mod sim;
+mod table;
 pub mod testkit;
 mod time;
+mod wheel;
 
 pub use error::SysError;
 pub use ids::{Addr, ConnId, ListenerId, NodeId, Port, ProcessId, TimerId};
@@ -66,5 +68,7 @@ pub use metrics::{ByteRecord, Metrics};
 pub use process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
 pub use recv_queue::RecvQueue;
 pub use rng::SimRng;
-pub use sim::{RunOutcome, SimConfig, Simulation};
+pub use sim::{KernelStats, RunOutcome, SimConfig, Simulation};
+pub use table::{IdTable, Slab, SlotKey};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;

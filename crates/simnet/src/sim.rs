@@ -24,7 +24,8 @@
 //! * per-connection FIFO order is preserved even under latency jitter.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, VecDeque};
+use std::mem;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -37,7 +38,9 @@ use crate::metrics::Metrics;
 use crate::process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
 use crate::recv_queue::RecvQueue;
 use crate::rng::SimRng;
+use crate::table::{IdTable, Slab, SlotKey};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 
 /// Configuration for a simulation run.
 #[derive(Clone, Debug)]
@@ -85,36 +88,60 @@ pub enum RunOutcome {
 #[derive(Debug)]
 enum Action {
     StartProcess(ProcessId),
-    ConnectAttempt { client_ep: ConnId, addr: Addr },
-    ConnectResult { client_ep: ConnId, ok: bool },
-    DeliverData { ep: ConnId, data: Bytes },
-    DeliverEof { ep: ConnId },
-    TimerFire { timer: TimerId },
-    Notify { pid: ProcessId, event: Event },
+    ConnectAttempt {
+        client_ep: ConnId,
+        addr: Addr,
+    },
+    ConnectResult {
+        client_ep: ConnId,
+        ok: bool,
+    },
+    DeliverData {
+        ep: ConnId,
+        data: Bytes,
+    },
+    DeliverEof {
+        ep: ConnId,
+    },
+    TimerFire {
+        timer: TimerId,
+    },
+    Notify {
+        pid: ProcessId,
+        event: Event,
+    },
+    /// A coalesced run of parked notifies for one process: `events[i]`
+    /// owns sequence number `first_seq + i`, where `first_seq` is the
+    /// wheel key the batch is scheduled under. Built by the bounce
+    /// accumulator ([`Simulation::bounce`]) whenever a requeue wave
+    /// targets one `(pid, busy_until)` with consecutive sequence numbers,
+    /// so a busy destination re-bounces the whole wave in O(1) instead of
+    /// O(wave size).
+    NotifyBatch {
+        pid: ProcessId,
+        events: VecDeque<Event>,
+    },
 }
 
+/// An open bounce accumulator: parked notifies bound for one
+/// `(pid, at)` destination whose sequence numbers run consecutively from
+/// `first_seq`. Lives outside the wheel until some other push needs a
+/// sequence number (breaking the consecutive run) or the clock is about
+/// to reach `at` — see [`Simulation::flush_bounce`].
+struct PendingBounce {
+    pid: ProcessId,
+    at: SimTime,
+    first_seq: u64,
+    events: VecDeque<Event>,
+}
+
+/// A queued action with its full scheduling key; the event queue itself
+/// (a [`TimingWheel`]) stores the `(at, seq)` pair unpacked, so this
+/// struct only survives in the partition parking lot.
 struct Scheduled {
     at: SimTime,
     seq: u64,
     action: Action,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    // Reversed so BinaryHeap pops the earliest (time, seq) first.
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,17 +175,60 @@ struct NodeState {
     alive: bool,
 }
 
-struct ProcSlot {
+/// The part of a process that outlives it: identity queries
+/// (`process_node`, `process_label`, `process_alive`) and trace emission
+/// must keep answering for dead pids, so this record is never removed.
+/// Indexed directly by `ProcessId` (pids are issued densely in spawn
+/// order).
+struct ProcMeta {
     node: NodeId,
     label: String,
+    alive: bool,
+    /// Single-threaded-process backlog horizon. Kept here rather than in
+    /// [`ProcLive`] so the notify hot path (busy? requeue at this time)
+    /// answers from one dense pid-indexed load without touching the slab.
+    busy_until: SimTime,
+    /// Slab slot holding the live half; stale (generation-checked) once
+    /// the process terminates.
+    live: SlotKey,
+}
+
+/// The part of a process that dies with it, stored in a recycled slab
+/// slot: the boxed state machine, its RNG, scheduling state and resource
+/// ownership sets.
+struct ProcLive {
     proc: Option<Box<dyn Process>>,
     rng: SimRng,
-    busy_until: SimTime,
-    alive: bool,
     started: bool,
     conns: BTreeSet<ConnId>,
     listeners: BTreeSet<ListenerId>,
     exit_requested: Option<ExitReason>,
+}
+
+/// Storage-layout counters of the kernel tables (DESIGN §11), exposing
+/// slab recycling to tests: slot counts stay bounded by peak concurrency
+/// while the issued-id counts grow monotonically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Processes ever spawned (dense pid space).
+    pub processes_spawned: u64,
+    /// Processes currently alive.
+    pub live_processes: u64,
+    /// Physical slab slots backing live process state.
+    pub proc_slots: u64,
+    /// Timer ids ever issued.
+    pub timers_issued: u64,
+    /// Physical slab slots backing pending timers.
+    pub timer_slots: u64,
+    /// Listener ids ever issued.
+    pub listeners_issued: u64,
+    /// Physical slab slots backing open listeners.
+    pub listener_slots: u64,
+    /// Connection endpoints ever created (endpoints are never removed —
+    /// closed ones keep answering state queries, as on the old kernel).
+    pub endpoints: u64,
+    /// Events currently pending in the timing wheel.
+    pub pending_events: u64,
 }
 
 /// The deterministic discrete-event simulator.
@@ -175,21 +245,29 @@ pub struct Simulation {
     cfg: SimConfig,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    queue: TimingWheel<Action>,
     nodes: Vec<NodeState>,
-    // Kernel state is kept in `BTreeMap`s, not `HashMap`s: several paths
-    // iterate these maps (crash_node, live_processes, terminate), and hash
-    // iteration order is seeded per OS process — a determinism leak the
-    // detlint R1 rule now guards against.
-    procs: BTreeMap<ProcessId, ProcSlot>,
-    listeners_by_addr: BTreeMap<Addr, ListenerId>,
-    listener_owner: BTreeMap<ListenerId, (ProcessId, Addr)>,
-    endpoints: BTreeMap<ConnId, Endpoint>,
-    timers: BTreeMap<TimerId, TimerState>,
-    next_pid: u64,
-    next_conn: u64,
-    next_listener: u64,
-    next_timer: u64,
+    // Kernel tables are keyed by the dense, monotonic ids in `ids.rs` and
+    // backed by indexed storage (DESIGN §11): plain vectors where entries
+    // are never removed, generation-tagged slabs where they are. All
+    // iteration (crash_node, live_processes, terminate) walks dense id
+    // order, so determinism does not rest on map iteration order — the
+    // detlint R1 rule still guards against seeded-hash containers.
+    /// Per-pid identity records, never removed; `ProcessId` indexes
+    /// directly.
+    procs: Vec<ProcMeta>,
+    /// Live process state, recycled on termination.
+    proc_slab: Slab<ProcLive>,
+    /// Per-node listener directory, sorted by port (few listeners per
+    /// node; binary search beats a global ordered map).
+    node_listeners: Vec<Vec<(Port, ListenerId)>>,
+    /// Listener id → (owner, address); recycled on unlisten/terminate.
+    listeners: IdTable<(ProcessId, Addr)>,
+    /// Connection endpoints, indexed by `ConnId`; never removed (closed
+    /// endpoints keep answering `write`/`close` state queries).
+    endpoints: Vec<Endpoint>,
+    /// Timer id → state; recycled when the timer fires.
+    timers: IdTable<TimerState>,
     net_rng: SimRng,
     metrics: Rc<RefCell<Metrics>>,
     recorder: Rc<RefCell<obs::Recorder>>,
@@ -205,6 +283,16 @@ pub struct Simulation {
     /// Actions stashed at their would-be arrival because the link was
     /// down; re-released (in original sequence order) on heal.
     parked: Vec<Scheduled>,
+    /// Open bounce accumulator (see [`Self::bounce`]); `None` when no
+    /// coalescible notify run is in flight.
+    pending_bounce: Option<PendingBounce>,
+    /// Recycled backing storage for drained batches, so scenarios with no
+    /// storms never allocate per singleton bounce.
+    bounce_spare: VecDeque<Event>,
+    /// Logical events folded inside queued [`Action::NotifyBatch`]
+    /// entries (batch length − 1 each), so
+    /// [`KernelStats::pending_events`] keeps counting individual events.
+    batched_extra: u64,
 }
 
 impl Simulation {
@@ -215,17 +303,14 @@ impl Simulation {
             cfg,
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             nodes: Vec::new(),
-            procs: BTreeMap::new(),
-            listeners_by_addr: BTreeMap::new(),
-            listener_owner: BTreeMap::new(),
-            endpoints: BTreeMap::new(),
-            timers: BTreeMap::new(),
-            next_pid: 0,
-            next_conn: 0,
-            next_listener: 0,
-            next_timer: 0,
+            procs: Vec::new(),
+            proc_slab: Slab::new(),
+            node_listeners: Vec::new(),
+            listeners: IdTable::new(),
+            endpoints: Vec::new(),
+            timers: IdTable::new(),
             net_rng,
             metrics: Rc::new(RefCell::new(Metrics::new())),
             recorder: Rc::new(RefCell::new(obs::Recorder::new())),
@@ -235,6 +320,9 @@ impl Simulation {
             wall_in_run: Duration::ZERO,
             partitions: BTreeSet::new(),
             parked: Vec::new(),
+            pending_bounce: None,
+            bounce_spare: VecDeque::new(),
+            batched_extra: 0,
         }
     }
 
@@ -245,7 +333,68 @@ impl Simulation {
             name: name.to_string(),
             alive: true,
         });
+        self.node_listeners.push(Vec::new());
         id
+    }
+
+    /// Identity record for `pid` (kept after death).
+    fn meta(&self, pid: ProcessId) -> Option<&ProcMeta> {
+        self.procs.get(pid.0 as usize)
+    }
+
+    /// Live state for `pid`; `None` once it terminated (the slab slot is
+    /// recycled and the stale key fails its generation check anyway).
+    fn live_mut(&mut self, pid: ProcessId) -> Option<&mut ProcLive> {
+        let meta = self.procs.get(pid.0 as usize)?;
+        if !meta.alive {
+            return None;
+        }
+        self.proc_slab.get_mut(meta.live)
+    }
+
+    fn endpoint(&self, id: ConnId) -> Option<&Endpoint> {
+        self.endpoints.get(id.0 as usize)
+    }
+
+    fn endpoint_mut(&mut self, id: ConnId) -> Option<&mut Endpoint> {
+        self.endpoints.get_mut(id.0 as usize)
+    }
+
+    /// The listener bound to `addr`, if any.
+    fn listener_at(&self, addr: Addr) -> Option<ListenerId> {
+        let by_port = self.node_listeners.get(addr.node.0 as usize)?;
+        let pos = by_port.binary_search_by_key(&addr.port, |&(p, _)| p).ok()?;
+        by_port.get(pos).map(|&(_, lsn)| lsn)
+    }
+
+    /// Drops the `addr` → listener binding (the id itself stays issued).
+    fn unbind_listener_addr(&mut self, addr: Addr) {
+        if let Some(by_port) = self.node_listeners.get_mut(addr.node.0 as usize) {
+            if let Ok(pos) = by_port.binary_search_by_key(&addr.port, |&(p, _)| p) {
+                by_port.remove(pos);
+            }
+        }
+    }
+
+    /// Storage-layout counters for the kernel tables (DESIGN §11).
+    pub fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            processes_spawned: self.procs.len() as u64,
+            live_processes: self.proc_slab.len() as u64,
+            proc_slots: self.proc_slab.slot_count() as u64,
+            timers_issued: self.timers.ids_issued(),
+            timer_slots: self.timers.slot_count() as u64,
+            listeners_issued: self.listeners.ids_issued(),
+            listener_slots: self.listeners.slot_count() as u64,
+            endpoints: self.endpoints.len() as u64,
+            pending_events: self.queue.len() as u64
+                + self.batched_extra
+                + self
+                    .pending_bounce
+                    .as_ref()
+                    .map(|p| p.events.len() as u64)
+                    .unwrap_or(0),
+        }
     }
 
     /// Whether `node` exists and has not crashed.
@@ -266,8 +415,9 @@ impl Simulation {
         let victims: Vec<ProcessId> = self
             .procs
             .iter()
-            .filter(|(_, s)| s.node == node && s.alive)
-            .map(|(pid, _)| *pid)
+            .enumerate()
+            .filter(|(_, m)| m.node == node && m.alive)
+            .map(|(pid, _)| ProcessId(pid as u64))
             .collect();
         for pid in victims {
             self.terminate(pid, ExitReason::Crash("node crash".into()));
@@ -334,14 +484,14 @@ impl Simulation {
     /// actions and for endpoints that no longer exist).
     fn action_link(&self, action: &Action) -> Option<(NodeId, NodeId)> {
         let ep_link = |ep_id: &ConnId| {
-            let ep = self.endpoints.get(ep_id)?;
-            let owner_node = self.procs.get(&ep.owner)?.node;
+            let ep = self.endpoint(*ep_id)?;
+            let owner_node = self.meta(ep.owner)?.node;
             Some((owner_node, ep.remote_node))
         };
         match action {
             Action::ConnectAttempt { client_ep, addr } => {
-                let ep = self.endpoints.get(client_ep)?;
-                let owner_node = self.procs.get(&ep.owner)?.node;
+                let ep = self.endpoint(*client_ep)?;
+                let owner_node = self.meta(ep.owner)?.node;
                 Some((owner_node, addr.node))
             }
             Action::ConnectResult { client_ep, .. } => ep_link(client_ep),
@@ -367,9 +517,9 @@ impl Simulation {
             }
         }
         freed.sort_by_key(|s| s.seq);
-        for mut sched in freed {
-            sched.at = sched.at.max(self.now);
-            self.queue.push(sched);
+        for sched in freed {
+            let at = sched.at.max(self.now);
+            self.queue.push(at.as_nanos(), sched.seq, sched.action);
         }
     }
 
@@ -385,25 +535,24 @@ impl Simulation {
     }
 
     fn spawn_internal(&mut self, node: NodeId, label: &str, proc: Box<dyn Process>) -> ProcessId {
-        let pid = ProcessId(self.next_pid);
-        self.next_pid += 1;
+        let pid = ProcessId(self.procs.len() as u64);
         let rng = SimRng::for_process(self.cfg.seed, pid);
         let start_at = self.now + self.cfg.launch_latency;
-        self.procs.insert(
-            pid,
-            ProcSlot {
-                node,
-                label: label.to_string(),
-                proc: Some(proc),
-                rng,
-                busy_until: start_at,
-                alive: true,
-                started: false,
-                conns: BTreeSet::new(),
-                listeners: BTreeSet::new(),
-                exit_requested: None,
-            },
-        );
+        let live = self.proc_slab.insert(ProcLive {
+            proc: Some(proc),
+            rng,
+            started: false,
+            conns: BTreeSet::new(),
+            listeners: BTreeSet::new(),
+            exit_requested: None,
+        });
+        self.procs.push(ProcMeta {
+            node,
+            label: label.to_string(),
+            alive: true,
+            busy_until: start_at,
+            live,
+        });
         self.push(start_at, Action::StartProcess(pid));
         self.metrics.borrow_mut().count("sim.spawned", 1);
         self.recorder.borrow_mut().emit(
@@ -425,26 +574,28 @@ impl Simulation {
 
     /// Whether `pid` is still running.
     pub fn process_alive(&self, pid: ProcessId) -> bool {
-        self.procs.get(&pid).map(|s| s.alive).unwrap_or(false)
+        self.meta(pid).map(|m| m.alive).unwrap_or(false)
     }
 
     /// The label `pid` was spawned with (empty if unknown).
     pub fn process_label(&self, pid: ProcessId) -> &str {
-        self.procs.get(&pid).map(|s| s.label.as_str()).unwrap_or("")
+        self.meta(pid).map(|m| m.label.as_str()).unwrap_or("")
     }
 
     /// Node hosting `pid`, if the process exists.
     pub fn process_node(&self, pid: ProcessId) -> Option<NodeId> {
-        self.procs.get(&pid).map(|s| s.node)
+        self.meta(pid).map(|m| m.node)
     }
 
-    /// Ids of all live processes, in spawn order (`BTreeMap` iteration is
-    /// already pid-ordered, and pids are assigned in spawn order).
+    /// Ids of all live processes, in spawn order (the meta table is
+    /// indexed by pid, and pids are assigned densely in spawn order —
+    /// slab slot recycling underneath never reorders this view).
     pub fn live_processes(&self) -> Vec<ProcessId> {
         self.procs
             .iter()
-            .filter(|(_, s)| s.alive)
-            .map(|(p, _)| *p)
+            .enumerate()
+            .filter(|(_, m)| m.alive)
+            .map(|(pid, _)| ProcessId(pid as u64))
             .collect()
     }
 
@@ -544,21 +695,45 @@ impl Simulation {
         let mut dispatched = 0u64;
         loop {
             if dispatched >= event_limit {
+                self.flush_bounce();
                 return RunOutcome::EventLimit;
             }
-            let Some(sched) = self.queue.pop() else {
-                self.now = deadline.max(self.now);
-                return RunOutcome::Idle;
-            };
-            if sched.at > deadline {
-                // Not due yet: put it back (same (at, seq), so ordering is
-                // unchanged) and stop at the deadline.
-                self.queue.push(sched);
+            // While a bounce accumulator is open, every queued entry has
+            // a smaller sequence number than the accumulator's (pushes
+            // flush it first), so entries up to and including its `at`
+            // may pop freely — but nothing beyond `at` may overtake it,
+            // so the pop window is capped until it flushes.
+            let cap = self
+                .pending_bounce
+                .as_ref()
+                .map(|p| p.at.as_nanos())
+                .unwrap_or(u64::MAX);
+            let Some((at, seq, action)) = self.queue.pop_due(deadline.as_nanos().min(cap)) else {
+                if self.pending_bounce.is_some() {
+                    self.flush_bounce();
+                    continue;
+                }
+                if self.queue.is_empty() {
+                    self.now = deadline.max(self.now);
+                    return RunOutcome::Idle;
+                }
+                // The earliest event is beyond the deadline; it stays
+                // queued (no pop-then-push-back) and the clock stops at
+                // the deadline, exactly as the heap kernel did.
                 self.now = deadline;
                 return RunOutcome::DeadlineReached;
+            };
+            let at = SimTime::from_nanos(at);
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            if let Action::NotifyBatch { pid, events } = action {
+                self.batched_extra -= events.len() as u64 - 1;
+                let n = self.notify_batch(pid, events, seq, event_limit - dispatched);
+                self.events_processed += n;
+                dispatched += n;
+                continue;
             }
-            debug_assert!(sched.at >= self.now, "time went backwards");
-            self.now = sched.at;
+            let sched = Scheduled { at, seq, action };
             self.events_processed += 1;
             dispatched += 1;
             // A severed link parks the action instead of delivering it;
@@ -597,13 +772,194 @@ impl Simulation {
             Action::DeliverEof { .. } => "deliver_eof",
             Action::TimerFire { .. } => "timer_fire",
             Action::Notify { .. } => "notify",
+            Action::NotifyBatch { .. } => "notify_batch",
         }
     }
 
     fn push(&mut self, at: SimTime, action: Action) {
+        // Any unrelated push breaks the accumulator's consecutive-seq
+        // run, so it must materialise in the wheel first.
+        self.flush_bounce();
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, action });
+        self.queue.push(at.as_nanos(), seq, action);
+    }
+
+    /// Parks `event` for a busy `pid`, waking at `at`: consecutive parks
+    /// for one `(pid, at)` destination coalesce into a single
+    /// [`Action::NotifyBatch`] wheel entry instead of one entry each.
+    /// Sequence numbers are allocated here exactly as the individual
+    /// pushes would have, so dispatch order is bit-identical — the win is
+    /// purely that a wave of `k` parked notifies re-bounces off a busy
+    /// process in O(1) rather than O(k) wheel operations.
+    fn bounce(&mut self, pid: ProcessId, at: SimTime, event: Event) {
+        match &mut self.pending_bounce {
+            Some(p) if p.pid == pid && p.at == at => {
+                debug_assert_eq!(p.first_seq + p.events.len() as u64, self.seq);
+                p.events.push_back(event);
+                self.seq += 1;
+            }
+            _ => {
+                self.flush_bounce();
+                let mut events = mem::take(&mut self.bounce_spare);
+                events.clear();
+                events.push_back(event);
+                self.pending_bounce = Some(PendingBounce {
+                    pid,
+                    at,
+                    first_seq: self.seq,
+                    events,
+                });
+                self.seq += 1;
+            }
+        }
+    }
+
+    /// [`bounce`](Self::bounce) for a whole popped batch at once: the
+    /// elements keep their relative order and receive the same
+    /// consecutive sequence numbers the per-entry requeues would have.
+    fn bounce_many(&mut self, pid: ProcessId, at: SimTime, mut events: VecDeque<Event>) {
+        match &mut self.pending_bounce {
+            Some(p) if p.pid == pid && p.at == at => {
+                debug_assert_eq!(p.first_seq + p.events.len() as u64, self.seq);
+                self.seq += events.len() as u64;
+                p.events.append(&mut events);
+                self.bounce_spare = events;
+            }
+            _ => {
+                self.flush_bounce();
+                let first_seq = self.seq;
+                self.seq += events.len() as u64;
+                self.pending_bounce = Some(PendingBounce {
+                    pid,
+                    at,
+                    first_seq,
+                    events,
+                });
+            }
+        }
+    }
+
+    /// Materialises the open bounce accumulator as a wheel entry — a
+    /// plain [`Action::Notify`] when it holds a single event (so
+    /// storm-free scenarios behave exactly as before), a
+    /// [`Action::NotifyBatch`] otherwise.
+    fn flush_bounce(&mut self) {
+        let Some(mut p) = self.pending_bounce.take() else {
+            return;
+        };
+        if p.events.len() == 1 {
+            if let Some(event) = p.events.pop_front() {
+                self.bounce_spare = p.events;
+                self.queue.push(
+                    p.at.as_nanos(),
+                    p.first_seq,
+                    Action::Notify { pid: p.pid, event },
+                );
+            }
+        } else {
+            self.batched_extra += p.events.len() as u64 - 1;
+            self.queue.push(
+                p.at.as_nanos(),
+                p.first_seq,
+                Action::NotifyBatch {
+                    pid: p.pid,
+                    events: p.events,
+                },
+            );
+        }
+    }
+
+    /// Processes a popped notify batch element by element, exactly as
+    /// the pre-coalescing kernel popped the individual entries: each
+    /// element counts as one dispatched event and sees the *current*
+    /// liveness/busyness of its destination. A busy destination requeues
+    /// every remaining element in one move (the O(1) wave bounce); a
+    /// dead one drops them one by one. Returns how many elements were
+    /// consumed against `budget` (≥ 1 on entry); an unconsumed tail is
+    /// re-queued under its own original key so an event-limited run
+    /// stops exactly where the individual entries would have.
+    fn notify_batch(
+        &mut self,
+        pid: ProcessId,
+        mut events: VecDeque<Event>,
+        first_seq: u64,
+        budget: u64,
+    ) -> u64 {
+        let mut consumed = 0u64;
+        loop {
+            if events.is_empty() {
+                events.clear();
+                self.bounce_spare = events;
+                return consumed;
+            }
+            if consumed >= budget {
+                // Event budget exhausted mid-batch: the tail keeps its
+                // original key (`self.now` is the batch's pop time), so
+                // it pops first when the run resumes.
+                let extra = events.len() as u64 - 1;
+                self.batched_extra += extra;
+                let action = Self::batch_action(pid, events);
+                self.queue
+                    .push(self.now.as_nanos(), first_seq + consumed, action);
+                return consumed;
+            }
+            if self.obs_kernel {
+                self.emit_kernel(NodeId(0), obs::EventKind::Dispatch { action: "notify" });
+            }
+            let Some(ev) = events.pop_front() else {
+                return consumed;
+            };
+            consumed += 1;
+            match self.procs.get(pid.0 as usize) {
+                None => continue,
+                Some(meta) if !meta.alive => continue,
+                Some(meta) if meta.busy_until > self.now => {
+                    // Still busy: this element and every one behind it
+                    // requeue at the new horizon, as far as the budget
+                    // allows; the rest keep their original key.
+                    let busy_until = meta.busy_until;
+                    events.push_front(ev);
+                    consumed -= 1;
+                    let can = (budget - consumed).min(events.len() as u64);
+                    let tail = events.split_off(can as usize);
+                    consumed += can;
+                    if self.obs_kernel {
+                        // The old kernel emitted one Dispatch line per
+                        // bounce pop; the first element's was emitted
+                        // above already.
+                        for _ in 1..can {
+                            self.emit_kernel(
+                                NodeId(0),
+                                obs::EventKind::Dispatch { action: "notify" },
+                            );
+                        }
+                    }
+                    self.bounce_many(pid, busy_until, events);
+                    if !tail.is_empty() {
+                        let extra = tail.len() as u64 - 1;
+                        self.batched_extra += extra;
+                        let action = Self::batch_action(pid, tail);
+                        self.queue
+                            .push(self.now.as_nanos(), first_seq + consumed, action);
+                    }
+                    return consumed;
+                }
+                Some(_) => self.dispatch(pid, Some(ev)),
+            }
+        }
+    }
+
+    /// Wraps a drained run back up as the smallest action that holds it.
+    fn batch_action(pid: ProcessId, mut events: VecDeque<Event>) -> Action {
+        if events.len() == 1 {
+            match events.pop_front() {
+                Some(event) => Action::Notify { pid, event },
+                None => Action::NotifyBatch { pid, events },
+            }
+        } else {
+            Action::NotifyBatch { pid, events }
+        }
     }
 
     fn handle(&mut self, action: Action) {
@@ -617,17 +973,25 @@ impl Simulation {
             Action::DeliverEof { ep } => self.handle_deliver_eof(ep),
             Action::TimerFire { timer } => self.handle_timer_fire(timer),
             Action::Notify { pid, event } => self.notify(pid, event),
+            // Batches are intercepted in `dispatch_until` (they carry
+            // their own event accounting); deliver element-wise if one
+            // ever reaches here anyway.
+            Action::NotifyBatch { pid, events } => {
+                for event in events {
+                    self.notify(pid, event);
+                }
+            }
         }
     }
 
     fn handle_connect_attempt(&mut self, client_ep: ConnId, addr: Addr) {
         // The SYN has arrived at the target node. Check for a live listener.
         let accepting = if self.node_alive(addr.node) {
-            self.listeners_by_addr.get(&addr).and_then(|lsn| {
-                self.listener_owner
-                    .get(lsn)
-                    .filter(|(pid, _)| self.procs.get(pid).map(|s| s.alive).unwrap_or(false))
-                    .map(|(pid, _)| (*lsn, *pid))
+            self.listener_at(addr).and_then(|lsn| {
+                self.listeners
+                    .get(lsn.0)
+                    .filter(|(pid, _)| self.process_alive(*pid))
+                    .map(|(pid, _)| (lsn, *pid))
             })
         } else {
             None
@@ -635,19 +999,12 @@ impl Simulation {
         // The initiating endpoint may have been closed or its owner killed
         // while the SYN was in flight.
         let client_alive = self
-            .endpoints
-            .get(&client_ep)
-            .map(|ep| {
-                ep.state == EpState::Connecting
-                    && self.procs.get(&ep.owner).map(|s| s.alive).unwrap_or(false)
-            })
+            .endpoint(client_ep)
+            .map(|ep| ep.state == EpState::Connecting && self.process_alive(ep.owner))
             .unwrap_or(false);
-        let client_node = self.endpoints.get(&client_ep).map(|ep| {
-            self.procs
-                .get(&ep.owner)
-                .map(|s| s.node)
-                .unwrap_or(NodeId(0))
-        });
+        let client_node = self
+            .endpoint(client_ep)
+            .map(|ep| self.meta(ep.owner).map(|m| m.node).unwrap_or(NodeId(0)));
         // `client_alive` implies the endpoint exists, so `client_node` is
         // `Some` in the live arms; matching on it keeps that connection
         // panic-free instead of relying on an `expect`.
@@ -656,28 +1013,24 @@ impl Simulation {
                 let Some(server_node) = self.process_node(server_pid) else {
                     return; // listener owner vanished; nothing to accept
                 };
-                let server_ep = ConnId(self.next_conn);
-                self.next_conn += 1;
-                self.endpoints.insert(
-                    server_ep,
-                    Endpoint {
-                        owner: server_pid,
-                        peer: Some(client_ep),
-                        state: EpState::Established,
-                        recv: RecvQueue::new(),
-                        peer_eof: false,
-                        last_arrival: self.now,
-                        tag: None,
-                        remote_node: client_node,
-                    },
-                );
-                if let Some(ep) = self.endpoints.get_mut(&client_ep) {
+                let server_ep = ConnId(self.endpoints.len() as u64);
+                self.endpoints.push(Endpoint {
+                    owner: server_pid,
+                    peer: Some(client_ep),
+                    state: EpState::Established,
+                    recv: RecvQueue::new(),
+                    peer_eof: false,
+                    last_arrival: self.now,
+                    tag: None,
+                    remote_node: client_node,
+                });
+                if let Some(ep) = self.endpoint_mut(client_ep) {
                     ep.peer = Some(server_ep);
                 }
-                if let Some(slot) = self.procs.get_mut(&server_pid) {
-                    slot.conns.insert(server_ep);
+                if let Some(live) = self.live_mut(server_pid) {
+                    live.conns.insert(server_ep);
                 }
-                self.enqueue_notify(
+                self.notify(
                     server_pid,
                     Event::Accepted {
                         listener: lsn,
@@ -732,7 +1085,7 @@ impl Simulation {
     }
 
     fn handle_connect_result(&mut self, client_ep: ConnId, ok: bool) {
-        let Some(ep) = self.endpoints.get_mut(&client_ep) else {
+        let Some(ep) = self.endpoint_mut(client_ep) else {
             return;
         };
         if ep.state != EpState::Connecting {
@@ -741,33 +1094,35 @@ impl Simulation {
         let owner = ep.owner;
         if ok {
             ep.state = EpState::Established;
-            self.enqueue_notify(owner, Event::ConnEstablished { conn: client_ep });
+            self.notify(owner, Event::ConnEstablished { conn: client_ep });
         } else {
             ep.state = EpState::ClosedLocal;
-            if let Some(slot) = self.procs.get_mut(&owner) {
-                slot.conns.remove(&client_ep);
+            if let Some(live) = self.live_mut(owner) {
+                live.conns.remove(&client_ep);
             }
-            self.enqueue_notify(owner, Event::ConnRefused { conn: client_ep });
+            self.notify(owner, Event::ConnRefused { conn: client_ep });
         }
     }
 
     fn handle_deliver_data(&mut self, ep_id: ConnId, data: Bytes) {
-        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+        let Some(ep) = self.endpoint_mut(ep_id) else {
             return;
         };
         if ep.state == EpState::ClosedLocal {
             return; // receiver closed; bytes fall on the floor
         }
         let owner = ep.owner;
-        if !self.procs.get(&owner).map(|s| s.alive).unwrap_or(false) {
+        if !self.process_alive(owner) {
             return;
         }
-        ep.recv.push(data);
-        self.enqueue_notify(owner, Event::DataReadable { conn: ep_id });
+        if let Some(ep) = self.endpoint_mut(ep_id) {
+            ep.recv.push(data);
+        }
+        self.notify(owner, Event::DataReadable { conn: ep_id });
     }
 
     fn handle_deliver_eof(&mut self, ep_id: ConnId) {
-        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+        let Some(ep) = self.endpoint_mut(ep_id) else {
             return;
         };
         if ep.state == EpState::ClosedLocal || ep.peer_eof {
@@ -775,20 +1130,20 @@ impl Simulation {
         }
         ep.peer_eof = true;
         let owner = ep.owner;
-        if self.procs.get(&owner).map(|s| s.alive).unwrap_or(false) {
-            self.enqueue_notify(owner, Event::PeerClosed { conn: ep_id });
+        if self.process_alive(owner) {
+            self.notify(owner, Event::PeerClosed { conn: ep_id });
         }
     }
 
     fn handle_timer_fire(&mut self, timer: TimerId) {
-        let Some(ts) = self.timers.remove(&timer) else {
+        let Some(ts) = self.timers.remove(timer.0) else {
             return;
         };
         if ts.cancelled {
             return;
         }
-        if self.procs.get(&ts.pid).map(|s| s.alive).unwrap_or(false) {
-            self.enqueue_notify(
+        if self.process_alive(ts.pid) {
+            self.notify(
                 ts.pid,
                 Event::TimerFired {
                     timer,
@@ -801,33 +1156,23 @@ impl Simulation {
     /// Delivers `event` to `pid` now if it is idle, or at its `busy_until`
     /// otherwise (modelling a single-threaded process working through its
     /// backlog).
-    fn enqueue_notify(&mut self, pid: ProcessId, event: Event) {
-        let Some(slot) = self.procs.get(&pid) else {
-            return;
-        };
-        if !slot.alive {
-            return;
-        }
-        if slot.busy_until > self.now {
-            let at = slot.busy_until;
-            self.push(at, Action::Notify { pid, event });
-        } else {
-            self.dispatch(pid, Some(event));
-        }
-    }
-
+    /// Delivers `event` to `pid` now, or parks it until the process is
+    /// free. Used both for fresh kernel notifications and for parked
+    /// notifies popping back out of the wheel (the destination may have
+    /// become busy again in the meantime). One dense meta load answers
+    /// both the liveness and the busy check — this is the hottest kernel
+    /// path under server contention (notify-requeue storms), and busy
+    /// parks go through the coalescing [`bounce`](Self::bounce) path.
     fn notify(&mut self, pid: ProcessId, event: Event) {
-        // Re-check busyness: the process may have become busy again since
-        // this notification was queued.
-        let Some(slot) = self.procs.get(&pid) else {
+        let Some(meta) = self.procs.get(pid.0 as usize) else {
             return;
         };
-        if !slot.alive {
+        if !meta.alive {
             return;
         }
-        if slot.busy_until > self.now {
-            let at = slot.busy_until;
-            self.push(at, Action::Notify { pid, event });
+        if meta.busy_until > self.now {
+            let at = meta.busy_until;
+            self.bounce(pid, at, event);
         } else {
             self.dispatch(pid, Some(event));
         }
@@ -835,12 +1180,9 @@ impl Simulation {
 
     /// Runs one handler: `on_start` when `event` is `None`, else `on_event`.
     fn dispatch(&mut self, pid: ProcessId, event: Option<Event>) {
-        let Some(slot) = self.procs.get_mut(&pid) else {
+        let Some(slot) = self.live_mut(pid) else {
             return;
         };
-        if !slot.alive {
-            return;
-        }
         let Some(mut proc) = slot.proc.take() else {
             return; // re-entrant dispatch cannot happen; defensive
         };
@@ -849,8 +1191,12 @@ impl Simulation {
             Some(_) if !slot.started => {
                 // Event raced ahead of on_start (should not happen since
                 // busy_until covers launch, but be safe): requeue.
-                let at = slot.busy_until;
                 slot.proc = Some(proc);
+                let at = self
+                    .procs
+                    .get(pid.0 as usize)
+                    .map(|m| m.busy_until)
+                    .unwrap_or(self.now);
                 if let Some(ev) = event {
                     self.push(at, Action::Notify { pid, event: ev });
                 }
@@ -865,9 +1211,9 @@ impl Simulation {
                 Some(ev) => proc.on_event(&mut ctx, ev),
             }
         }
-        // Slots are never removed from `procs` (only marked dead), so the
-        // slot is still there after the handler ran; stay panic-free anyway.
-        let exit = match self.procs.get_mut(&pid) {
+        // The process cannot remove its own slot from inside a handler
+        // (only the kernel terminates processes), but stay panic-free.
+        let exit = match self.live_mut(pid) {
             Some(slot) => {
                 slot.proc = Some(proc);
                 slot.exit_requested.take()
@@ -880,22 +1226,27 @@ impl Simulation {
     }
 
     fn terminate(&mut self, pid: ProcessId, reason: ExitReason) {
-        let Some(slot) = self.procs.get_mut(&pid) else {
+        let Some(meta) = self.procs.get_mut(pid.0 as usize) else {
             return;
         };
-        if !slot.alive {
+        if !meta.alive {
             return;
         }
-        slot.alive = false;
-        slot.proc = None;
-        // BTreeSet iteration is id-ordered, giving a deterministic EOF
-        // order without an explicit sort.
-        let conns = std::mem::take(&mut slot.conns);
-        let listeners = std::mem::take(&mut slot.listeners);
-        let label = slot.label.clone();
+        meta.alive = false;
+        let key = meta.live;
+        let label = meta.label.clone();
+        let node = meta.node;
+        // Free the live half; its slab slot is recycled for future spawns
+        // (the meta record keeps answering identity queries for the dead
+        // pid). BTreeSet iteration is id-ordered, giving a deterministic
+        // EOF order without an explicit sort.
+        let (conns, listeners) = match self.proc_slab.remove(key) {
+            Some(live) => (live.conns, live.listeners),
+            None => (BTreeSet::new(), BTreeSet::new()),
+        };
         for lsn in listeners {
-            if let Some((_, addr)) = self.listener_owner.remove(&lsn) {
-                self.listeners_by_addr.remove(&addr);
+            if let Some((_, addr)) = self.listeners.remove(lsn.0) {
+                self.unbind_listener_addr(addr);
             }
         }
         for c in conns {
@@ -907,7 +1258,6 @@ impl Simulation {
             ExitReason::Crash(_) => m.count("sim.exit.crash", 1),
         }
         drop(m);
-        let node = self.procs.get(&pid).map(|s| s.node).unwrap_or(NodeId(0));
         self.recorder.borrow_mut().emit(
             self.now.as_nanos(),
             node.0,
@@ -925,7 +1275,7 @@ impl Simulation {
     /// Closes `ep_id` from the owner side: schedules EOF at the peer after
     /// any in-flight data.
     fn close_endpoint(&mut self, ep_id: ConnId) {
-        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+        let Some(ep) = self.endpoint_mut(ep_id) else {
             return;
         };
         if ep.state == EpState::ClosedLocal {
@@ -941,8 +1291,7 @@ impl Simulation {
         }
         if let Some(peer_id) = peer {
             let owner_node = self
-                .endpoints
-                .get(&peer_id)
+                .endpoint(peer_id)
                 .map(|p| p.remote_node)
                 .unwrap_or(remote);
             let lat = self.sample_latency(owner_node, remote, 0);
@@ -954,7 +1303,7 @@ impl Simulation {
     /// Enforces per-connection FIFO: a segment may not arrive before one
     /// scheduled earlier.
     fn fifo_arrival(&mut self, ep_id: ConnId, proposed: SimTime) -> SimTime {
-        let Some(ep) = self.endpoints.get_mut(&ep_id) else {
+        let Some(ep) = self.endpoint_mut(ep_id) else {
             return proposed;
         };
         let arrival = proposed.max(ep.last_arrival);
@@ -977,11 +1326,14 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    fn slot(&self) -> &ProcSlot {
-        self.sim.procs.get(&self.pid).expect("own slot exists")
+    fn slot_mut(&mut self) -> &mut ProcLive {
+        self.sim.live_mut(self.pid).expect("own slot exists")
     }
-    fn slot_mut(&mut self) -> &mut ProcSlot {
-        self.sim.procs.get_mut(&self.pid).expect("own slot exists")
+    fn node(&self) -> NodeId {
+        self.sim.meta(self.pid).expect("own slot exists").node
+    }
+    fn busy_until(&self) -> SimTime {
+        self.sim.meta(self.pid).expect("own slot exists").busy_until
     }
 }
 
@@ -991,7 +1343,7 @@ impl SysApi for Ctx<'_> {
     }
 
     fn my_node(&self) -> NodeId {
-        self.slot().node
+        self.node()
     }
 
     fn my_pid(&self) -> ProcessId {
@@ -999,52 +1351,52 @@ impl SysApi for Ctx<'_> {
     }
 
     fn listen(&mut self, port: Port) -> Result<ListenerId, SysError> {
-        let node = self.slot().node;
+        let node = self.node();
         let addr = Addr::new(node, port);
-        if self.sim.listeners_by_addr.contains_key(&addr) {
-            return Err(SysError::PortInUse(port));
+        let Some(by_port) = self.sim.node_listeners.get_mut(node.0 as usize) else {
+            return Err(SysError::NoSuchTarget); // own node always exists
+        };
+        let pos = match by_port.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(_) => return Err(SysError::PortInUse(port)),
+            Err(pos) => pos,
+        };
+        let lsn = ListenerId(self.sim.listeners.insert((self.pid, addr)));
+        if let Some(by_port) = self.sim.node_listeners.get_mut(node.0 as usize) {
+            by_port.insert(pos, (port, lsn));
         }
-        let lsn = ListenerId(self.sim.next_listener);
-        self.sim.next_listener += 1;
-        self.sim.listeners_by_addr.insert(addr, lsn);
-        self.sim.listener_owner.insert(lsn, (self.pid, addr));
         self.slot_mut().listeners.insert(lsn);
         Ok(lsn)
     }
 
     fn unlisten(&mut self, listener: ListenerId) {
-        if let Some((owner, addr)) = self.sim.listener_owner.get(&listener).copied() {
+        if let Some((owner, addr)) = self.sim.listeners.get(listener.0).copied() {
             if owner == self.pid {
-                self.sim.listener_owner.remove(&listener);
-                self.sim.listeners_by_addr.remove(&addr);
+                self.sim.listeners.remove(listener.0);
+                self.sim.unbind_listener_addr(addr);
                 self.slot_mut().listeners.remove(&listener);
             }
         }
     }
 
     fn connect(&mut self, addr: Addr) -> ConnId {
-        let node = self.slot().node;
-        let ep_id = ConnId(self.sim.next_conn);
-        self.sim.next_conn += 1;
-        self.sim.endpoints.insert(
-            ep_id,
-            Endpoint {
-                owner: self.pid,
-                peer: None,
-                state: EpState::Connecting,
-                recv: RecvQueue::new(),
-                peer_eof: false,
-                last_arrival: self.sim.now,
-                tag: None,
-                remote_node: addr.node,
-            },
-        );
+        let node = self.node();
+        let ep_id = ConnId(self.sim.endpoints.len() as u64);
+        self.sim.endpoints.push(Endpoint {
+            owner: self.pid,
+            peer: None,
+            state: EpState::Connecting,
+            recv: RecvQueue::new(),
+            peer_eof: false,
+            last_arrival: self.sim.now,
+            tag: None,
+            remote_node: addr.node,
+        });
         self.slot_mut().conns.insert(ep_id);
         self.emit(obs::EventKind::ConnectAttempt {
             to_node: addr.node.0,
             port: addr.port.0,
         });
-        let send_at = self.sim.now.max(self.slot().busy_until);
+        let send_at = self.sim.now.max(self.busy_until());
         let lat = self.sim.sample_latency(node, addr.node, 0);
         self.sim.push(
             send_at + lat,
@@ -1058,13 +1410,9 @@ impl SysApi for Ctx<'_> {
 
     fn write(&mut self, conn: ConnId, bytes: &[u8]) -> Result<(), SysError> {
         let now = self.sim.now;
-        let busy_until = self.slot().busy_until;
-        let src_node = self.slot().node;
-        let ep = self
-            .sim
-            .endpoints
-            .get(&conn)
-            .ok_or(SysError::UnknownConn(conn))?;
+        let busy_until = self.busy_until();
+        let src_node = self.node();
+        let ep = self.sim.endpoint(conn).ok_or(SysError::UnknownConn(conn))?;
         if ep.owner != self.pid {
             return Err(SysError::UnknownConn(conn));
         }
@@ -1103,8 +1451,7 @@ impl SysApi for Ctx<'_> {
     fn read(&mut self, conn: ConnId, max: usize) -> Result<ReadOutcome, SysError> {
         let ep = self
             .sim
-            .endpoints
-            .get_mut(&conn)
+            .endpoint_mut(conn)
             .ok_or(SysError::UnknownConn(conn))?;
         if ep.owner != self.pid {
             return Err(SysError::UnknownConn(conn));
@@ -1120,8 +1467,7 @@ impl SysApi for Ctx<'_> {
     fn close(&mut self, conn: ConnId) {
         let owns = self
             .sim
-            .endpoints
-            .get(&conn)
+            .endpoint(conn)
             .map(|ep| ep.owner == self.pid)
             .unwrap_or(false);
         if !owns {
@@ -1132,23 +1478,18 @@ impl SysApi for Ctx<'_> {
     }
 
     fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerId {
-        let timer = TimerId(self.sim.next_timer);
-        self.sim.next_timer += 1;
-        self.sim.timers.insert(
-            timer,
-            TimerState {
-                pid: self.pid,
-                token,
-                cancelled: false,
-            },
-        );
+        let timer = TimerId(self.sim.timers.insert(TimerState {
+            pid: self.pid,
+            token,
+            cancelled: false,
+        }));
         let at = self.sim.now + after;
         self.sim.push(at, Action::TimerFire { timer });
         timer
     }
 
     fn cancel_timer(&mut self, timer: TimerId) {
-        if let Some(ts) = self.sim.timers.get_mut(&timer) {
+        if let Some(ts) = self.sim.timers.get_mut(timer.0) {
             if ts.pid == self.pid {
                 ts.cancelled = true;
             }
@@ -1173,8 +1514,9 @@ impl SysApi for Ctx<'_> {
 
     fn charge_cpu(&mut self, cost: SimDuration) {
         let now = self.sim.now;
-        let slot = self.slot_mut();
-        slot.busy_until = slot.busy_until.max(now) + cost;
+        if let Some(meta) = self.sim.procs.get_mut(self.pid.0 as usize) {
+            meta.busy_until = meta.busy_until.max(now) + cost;
+        }
     }
 
     fn rng(&mut self) -> &mut SimRng {
@@ -1182,7 +1524,7 @@ impl SysApi for Ctx<'_> {
     }
 
     fn tag_conn(&mut self, conn: ConnId, tag: &'static str) {
-        if let Some(ep) = self.sim.endpoints.get_mut(&conn) {
+        if let Some(ep) = self.sim.endpoint_mut(conn) {
             if ep.owner == self.pid {
                 ep.tag = Some(tag);
             }
@@ -1207,7 +1549,7 @@ impl SysApi for Ctx<'_> {
     }
 
     fn emit(&mut self, kind: obs::EventKind) {
-        let node = self.slot().node;
+        let node = self.node();
         self.sim
             .recorder
             .borrow_mut()

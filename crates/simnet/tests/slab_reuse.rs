@@ -1,0 +1,141 @@
+//! Storage-layout tests for the slab-backed process table (DESIGN §11):
+//! slot recycling must stay invisible at the `ProcessId` level — dead
+//! pids never come back to life, identity queries keep answering for
+//! them, physical slots stay bounded by peak concurrency, and live-pid
+//! iteration remains in spawn order across arbitrary churn.
+
+use simnet::*;
+
+/// A process that idles until killed externally.
+struct Idler;
+impl Process for Idler {
+    fn on_start(&mut self, _sys: &mut dyn SysApi) {}
+    fn on_event(&mut self, _sys: &mut dyn SysApi, _ev: Event) {}
+    fn label(&self) -> &str {
+        "idler"
+    }
+}
+
+#[test]
+fn slot_reuse_never_resurrects_a_dead_pid() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let node = sim.add_node("host");
+
+    let mut dead: Vec<(ProcessId, String)> = Vec::new();
+    for round in 0..50 {
+        let label = format!("victim-{round}");
+        let pid = sim.spawn(node, &label, Box::new(Idler));
+        sim.run_until(sim.now() + SimDuration::from_millis(1));
+        sim.kill_process(pid, "churn");
+        dead.push((pid, label));
+
+        // Spawn a replacement that reuses the freed slab slot.
+        let label = format!("fresh-{round}");
+        let fresh = sim.spawn(node, &label, Box::new(Idler));
+        sim.run_until(sim.now() + SimDuration::from_millis(1));
+        assert!(sim.process_alive(fresh), "fresh process must be alive");
+
+        // Every previously killed pid must stay dead and keep its
+        // identity, no matter how often its physical slot is recycled.
+        for (pid, label) in &dead {
+            assert!(!sim.process_alive(*pid), "dead pid {pid} resurrected");
+            assert_eq!(sim.process_label(*pid), label.as_str());
+            assert_eq!(sim.process_node(*pid), Some(node));
+        }
+        sim.kill_process(fresh, "churn");
+        dead.push((fresh, label));
+    }
+
+    let stats = sim.kernel_stats();
+    assert_eq!(stats.processes_spawned, 100, "dense pid space");
+    assert_eq!(stats.live_processes, 0);
+    // Peak concurrency was 2 (victim + fresh overlap briefly), so the
+    // slab must not have grown anywhere near the 100 pids issued.
+    assert!(
+        stats.proc_slots <= 4,
+        "proc slots grew to {} despite bounded concurrency",
+        stats.proc_slots
+    );
+}
+
+#[test]
+fn live_pid_iteration_stays_in_spawn_order_after_reuse() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let node = sim.add_node("host");
+
+    let a = sim.spawn(node, "a", Box::new(Idler));
+    let b = sim.spawn(node, "b", Box::new(Idler));
+    let c = sim.spawn(node, "c", Box::new(Idler));
+    sim.run_until(sim.now() + SimDuration::from_millis(1));
+    assert_eq!(sim.live_processes(), vec![a, b, c]);
+
+    // Kill the middle process; its slab slot is freed first.
+    sim.kill_process(b, "gap");
+    assert_eq!(sim.live_processes(), vec![a, c]);
+
+    // The next spawns reuse freed physical slots, but their pids are new
+    // and must appear *after* the survivors in spawn-order iteration.
+    let d = sim.spawn(node, "d", Box::new(Idler));
+    let e = sim.spawn(node, "e", Box::new(Idler));
+    sim.run_until(sim.now() + SimDuration::from_millis(1));
+    assert_ne!(d, b, "recycled slot must not resurface as an old pid");
+    assert_eq!(sim.live_processes(), vec![a, c, d, e]);
+
+    // Stats reflect recycling: five pids ever, four alive, slots bounded.
+    let stats = sim.kernel_stats();
+    assert_eq!(stats.processes_spawned, 5);
+    assert_eq!(stats.live_processes, 4);
+    assert!(stats.proc_slots <= 4, "slot for b must have been reused");
+}
+
+#[test]
+fn dead_process_resources_are_recycled() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let node = sim.add_node("host");
+
+    struct ListenAndTime;
+    impl Process for ListenAndTime {
+        fn on_start(&mut self, sys: &mut dyn SysApi) {
+            let _ = sys.listen(Port(7));
+            let _ = sys.set_timer(SimDuration::from_secs(60), 1);
+        }
+        fn on_event(&mut self, _sys: &mut dyn SysApi, _ev: Event) {}
+        fn label(&self) -> &str {
+            "listener"
+        }
+    }
+
+    for _ in 0..20 {
+        let pid = sim.spawn(node, "listener", Box::new(ListenAndTime));
+        // Run past the 30ms launch latency so `on_start` actually runs.
+        sim.run_until(sim.now() + SimDuration::from_millis(40));
+        sim.kill_process(pid, "churn");
+    }
+    let stats = sim.kernel_stats();
+    assert_eq!(stats.listeners_issued, 20, "listener ids never reused");
+    assert!(
+        stats.listener_slots <= 2,
+        "listener slots grew to {}",
+        stats.listener_slots
+    );
+    assert_eq!(stats.timers_issued, 20, "timer ids never reused");
+
+    // Timer slots recycle once timers fire: run past every deadline and
+    // spin another churn round — the table must reuse freed slots
+    // instead of growing.
+    sim.run_until(sim.now() + SimDuration::from_secs(120));
+    let drained = sim.kernel_stats();
+    assert_eq!(drained.timer_slots, 20, "all 20 timers have fired");
+    for _ in 0..20 {
+        let pid = sim.spawn(node, "listener", Box::new(ListenAndTime));
+        sim.run_until(sim.now() + SimDuration::from_millis(40));
+        sim.kill_process(pid, "churn");
+    }
+    sim.run_until(sim.now() + SimDuration::from_secs(120));
+    let after = sim.kernel_stats();
+    assert_eq!(after.timers_issued, 40);
+    assert_eq!(
+        after.timer_slots, 20,
+        "fired-timer slots must be recycled, not regrown"
+    );
+}

@@ -1,0 +1,129 @@
+//! Property-based equivalence of the hierarchical timing wheel against a
+//! reference `BinaryHeap` model: under arbitrary interleavings of
+//! schedules and deadline-bounded pops — with deliberately colliding
+//! timestamps — both structures must serve the exact same `(time, seq)`
+//! sequence, including the seq tie-break among equal times. The 13
+//! pinned scenario digests rest on this total order.
+
+use proptest::prelude::*;
+use simnet::TimingWheel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const TICK: u64 = 1 << 16; // wheel tick granularity in ns
+const HORIZON: u64 = TICK << 36; // first time past the wheel's range
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule at `base + jitter`; many pushes share a base so equal
+    /// timestamps (tie-broken by seq) are common, not accidental.
+    Push { base: u64, jitter: u64 },
+    /// Pop everything due up to the deadline, one entry at a time.
+    PopDue { deadline: u64 },
+}
+
+fn arb_time() -> impl Strategy<Value = (u64, u64)> {
+    // Bases collide across five buckets; jitter spans sub-tick offsets,
+    // a few slots, a level boundary, and the far-overflow horizon.
+    (
+        0u64..5,
+        prop_oneof![
+            Just(0u64),
+            1u64..3,
+            Just(TICK),
+            Just(TICK * 64),
+            Just(TICK * 64 * 64 * 3),
+            Just(HORIZON + 17),
+        ],
+    )
+        .prop_map(|(bucket, jitter)| (bucket * 40_000, jitter))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored `prop_oneof!` is unweighted; repeating the push arm
+    // approximates a 3:2 push/pop mix so the wheel stays populated.
+    let push = || arb_time().prop_map(|(base, jitter)| Op::Push { base, jitter });
+    let pop = || {
+        prop_oneof![
+            Just(0u64),
+            40_000u64..200_000,
+            Just(TICK * 128),
+            Just(HORIZON * 2),
+            Just(u64::MAX),
+        ]
+        .prop_map(|deadline| Op::PopDue { deadline })
+    };
+    prop_oneof![push(), push(), push(), pop(), pop()]
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_heap_model(ops in prop::collection::vec(arb_op(), 1..250)) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // The kernel never schedules into the past; track its clock.
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Push { base, jitter } => {
+                    let at = now.max(base.saturating_add(jitter));
+                    wheel.push(at, seq, seq);
+                    model.push(Reverse((at, seq)));
+                    seq += 1;
+                }
+                Op::PopDue { deadline } => {
+                    let deadline = now.max(deadline);
+                    loop {
+                        let expected = match model.peek() {
+                            Some(&Reverse((at, _))) if at <= deadline => model.pop(),
+                            _ => None,
+                        };
+                        let got = wheel.pop_due(deadline);
+                        match (expected, got) {
+                            (None, None) => break,
+                            (Some(Reverse((at, s))), Some((gat, gseq, gval))) => {
+                                prop_assert_eq!((at, s, s), (gat, gseq, gval));
+                                now = now.max(gat);
+                            }
+                            (e, g) => {
+                                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                                    "model/wheel diverged: model={e:?} wheel={g:?}"
+                                )));
+                            }
+                        }
+                    }
+                    // After a bounded pop the kernel clock stands at the
+                    // deadline (Idle and DeadlineReached both land there).
+                    now = now.max(deadline);
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.len());
+            prop_assert_eq!(wheel.is_empty(), model.is_empty());
+        }
+        // Full drain must agree to the last entry, ties included.
+        while let Some(Reverse((at, s))) = model.pop() {
+            let got = wheel.pop_due(u64::MAX);
+            prop_assert_eq!(Some((at, s, s)), got);
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert_eq!(wheel.pop_due(u64::MAX).map(|e| e.0), None);
+    }
+
+    /// Same-timestamp bursts must come back in exact seq (FIFO) order —
+    /// the tie-break the notify-requeue storm depends on.
+    #[test]
+    fn equal_timestamps_pop_in_seq_order(
+        n in 1usize..200,
+        at in prop_oneof![Just(0u64), Just(123_456), Just(TICK * 7 + 3), Just(HORIZON + 1)],
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        for seq in 0..n as u64 {
+            wheel.push(at, seq, seq);
+        }
+        for seq in 0..n as u64 {
+            prop_assert_eq!(wheel.pop_due(u64::MAX), Some((at, seq, seq)));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}
