@@ -9,12 +9,15 @@
 //!    (an invariant violation) on plans that kill the RM;
 //! 3. the campaign digest must be identical at 1 and N worker threads.
 //!
-//! Usage: `chaos [--threads N] [--trace out.jsonl] [--smoke] [plans]`
-//! (plans defaults to 240, `--smoke` runs the short fixed-seed CI
-//! configuration). Exits non-zero when any of the three checks fails.
+//! Usage: `chaos [--threads N] [--trace out.jsonl] [--smoke]
+//! [--violations out.json] [plans]` (plans defaults to 240, `--smoke`
+//! runs the short fixed-seed CI configuration, `--violations` writes the
+//! machine-readable violation report). Exits non-zero when any of the
+//! three checks fails.
 
 use experiments::{
-    cli_from_args, format_campaign, run_chaos_campaign, CampaignConfig, ChaosConfig,
+    cli_from_args, format_campaign, run_chaos_campaign, take_flag, violations_json, CampaignConfig,
+    ChaosConfig, SweepViolation,
 };
 
 fn campaign(plans: u32, rm_instances: u32, threads: usize) -> experiments::CampaignOutcome {
@@ -34,12 +37,13 @@ fn main() {
     let cli = cli_from_args();
     let threads = cli.threads;
     let smoke = cli.args.iter().any(|a| a == "--smoke");
-    let positional: Vec<String> = cli
+    let mut positional: Vec<String> = cli
         .args
         .iter()
         .filter(|a| *a != "--smoke")
         .cloned()
         .collect();
+    let violations_path = take_flag(&mut positional, "--violations");
     let default_plans = if smoke { 24 } else { 240 };
     let plans: u32 = experiments::positional_or(&positional, 0, default_plans);
     let legacy_plans = (plans / 6).max(8);
@@ -95,6 +99,38 @@ fn main() {
             threads.max(2)
         );
         failed = true;
+    }
+
+    // Machine-readable violation report: every replicated-mode violation
+    // plus any legacy-mode violation not explained by an RM crash (the
+    // expected SPOF stalls are the campaign's point, not a defect).
+    if let Some(path) = &violations_path {
+        let records: Vec<SweepViolation> = replicated
+            .outcomes
+            .iter()
+            .filter(|o| !o.violations.is_empty())
+            .map(|o| ("replicated", o))
+            .chain(
+                legacy
+                    .outcomes
+                    .iter()
+                    .filter(|o| {
+                        !o.violations.is_empty() && !legacy.rm_crash_seeds.contains(&o.seed)
+                    })
+                    .map(|o| ("legacy", o)),
+            )
+            .map(|(mode, o)| SweepViolation {
+                cell: mode.to_string(),
+                seed: o.seed,
+                violations: o.violations.clone(),
+            })
+            .collect();
+        let body = violations_json("chaos", &records);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write violations to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("violations written to {path}");
     }
 
     let sections: Vec<_> = replicated

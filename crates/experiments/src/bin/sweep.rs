@@ -1,0 +1,153 @@
+//! Generative fault sweep driver (DESIGN §12).
+//!
+//! Loads a checked-in scenario file, expands its
+//! topology × scheme × mix matrix into seeded fault plans, runs every
+//! plan under the chaos invariants (exactly-once, bounded recovery, view
+//! convergence, graceful degradation) and verifies the sweep digest is
+//! identical at 1 and N worker threads.
+//!
+//! Usage: `sweep [--threads N] [--trace out.jsonl] [--smoke]
+//! [--violations out.json] [--report out.txt] [scenario.toml]`
+//!
+//! The scenario defaults to `scenarios/sweep-full.toml`
+//! (`scenarios/sweep-smoke.toml` with `--smoke`); an explicit positional
+//! path overrides both. Exits non-zero on any invariant violation, a
+//! digest mismatch across thread counts, or an unreadable/invalid
+//! scenario.
+
+use experiments::{
+    cli_from_args, expand_sweep, format_sweep, parse_sweep, run_batch_with, run_chaos_plan,
+    take_flag, violations_json, SweepOutcome,
+};
+
+/// Units to re-run when checking thread-count independence (a prefix of
+/// the matrix keeps the check cheap on big sweeps).
+const DETERMINISM_SAMPLE: usize = 24;
+
+fn main() {
+    let cli = cli_from_args();
+    let threads = cli.threads;
+    let smoke = cli.args.iter().any(|a| a == "--smoke");
+    let mut positional: Vec<String> = cli
+        .args
+        .iter()
+        .filter(|a| *a != "--smoke")
+        .cloned()
+        .collect();
+    let violations_path = take_flag(&mut positional, "--violations");
+    let report_path = take_flag(&mut positional, "--report");
+    let default_scenario = if smoke {
+        "scenarios/sweep-smoke.toml"
+    } else {
+        "scenarios/sweep-full.toml"
+    };
+    let scenario_path = positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or(default_scenario);
+
+    let src = match std::fs::read_to_string(scenario_path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("error: cannot read scenario {scenario_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match parse_sweep(&src) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("error: invalid scenario {scenario_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let units = match expand_sweep(&spec) {
+        Ok(units) => units,
+        Err(e) => {
+            eprintln!("error: scenario {scenario_path} does not expand: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "sweep \"{}\": {} topologies x {} schemes x {} mixes -> {} plans on {} threads",
+        spec.name,
+        spec.topologies.len(),
+        spec.schemes.len(),
+        spec.mixes.len(),
+        units.len(),
+        threads
+    );
+
+    let run_units = |units: &[experiments::SweepUnit], threads: usize| SweepOutcome {
+        name: spec.name.clone(),
+        results: run_batch_with(units, threads, |unit| {
+            (unit.cell.clone(), run_chaos_plan(&unit.plan, &unit.chaos))
+        }),
+    };
+
+    let outcome = run_units(&units, threads);
+    let report = format_sweep(&outcome);
+    print!("{report}");
+    let violations = outcome.violations();
+    let mut failed = false;
+    if violations.is_empty() {
+        println!(
+            "  PASS: zero invariant violations across {} plans",
+            units.len()
+        );
+    } else {
+        println!(
+            "  FAIL: {} of {} plans violated an invariant",
+            violations.len(),
+            units.len()
+        );
+        failed = true;
+    }
+
+    // Thread-count independence over a fixed matrix prefix.
+    let sample = &units[..units.len().min(DETERMINISM_SAMPLE)];
+    let one = run_units(sample, 1);
+    let many = run_units(sample, threads.max(2));
+    if one.digest() == many.digest() {
+        println!(
+            "determinism: {}-plan digest {:016x} identical at 1 and {} threads — PASS",
+            sample.len(),
+            one.digest(),
+            threads.max(2)
+        );
+    } else {
+        println!(
+            "determinism: FAIL — digest {:016x} at 1 thread vs {:016x} at {} threads",
+            one.digest(),
+            many.digest(),
+            threads.max(2)
+        );
+        failed = true;
+    }
+
+    if let Some(path) = &violations_path {
+        let body = violations_json(&spec.name, &violations);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write violations to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("violations written to {path}");
+    }
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("error: cannot write report to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("report written to {path}");
+    }
+
+    let sections: Vec<_> = outcome
+        .results
+        .iter()
+        .map(|(cell, o)| (format!("{cell}/seed{}", o.seed), o.trace.as_slice()))
+        .collect();
+    cli.write_trace(&sections);
+
+    if failed {
+        std::process::exit(1);
+    }
+}

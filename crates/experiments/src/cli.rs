@@ -150,6 +150,31 @@ pub fn positional_or<T: std::str::FromStr>(args: &[String], index: usize, defaul
         .unwrap_or(default)
 }
 
+/// Removes a bin-specific `--flag VALUE` / `--flag=VALUE` pair from the
+/// positional remainder and returns the value, or `None` when the flag is
+/// absent. A flag present without a value prints a usage message and
+/// exits with status 2 (matching the common-flag behaviour).
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let eq_prefix = format!("{flag}=");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&eq_prefix) {
+            let v = v.to_string();
+            args.remove(i);
+            return Some(v);
+        }
+        if args[i] == flag {
+            if i + 1 >= args.len() {
+                usage(&format!("{flag} requires a value"));
+            }
+            args.remove(i);
+            return Some(args.remove(i));
+        }
+        i += 1;
+    }
+    None
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
@@ -218,5 +243,24 @@ mod tests {
         assert_eq!(positional_or(&args, 0, 10u32), 250);
         assert_eq!(positional_or(&args, 1, 10u32), 10);
         assert_eq!(positional_or(&args, 5, 7u64), 7);
+    }
+
+    #[test]
+    fn take_flag_handles_both_forms_and_absence() {
+        let mut args = argv(&["--violations", "v.json", "24"]);
+        assert_eq!(
+            take_flag(&mut args, "--violations").as_deref(),
+            Some("v.json")
+        );
+        assert_eq!(args, argv(&["24"]));
+        let mut args = argv(&["24", "--violations=out/v.json"]);
+        assert_eq!(
+            take_flag(&mut args, "--violations").as_deref(),
+            Some("out/v.json")
+        );
+        assert_eq!(args, argv(&["24"]));
+        let mut args = argv(&["24"]);
+        assert_eq!(take_flag(&mut args, "--violations"), None);
+        assert_eq!(args, argv(&["24"]));
     }
 }

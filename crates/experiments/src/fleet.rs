@@ -69,7 +69,7 @@ impl FleetConfig {
 /// SplitMix64 step — the standard 64-bit seed expander. Group seeds must
 /// be decorrelated (group 0 of seed 43 must not collide with group 1 of
 /// seed 42), which a plain `seed + group` offset would not give.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -21,14 +21,15 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod stats;
+pub mod sweep;
 pub mod workload;
 
 pub use adaptive::{format_adaptive, run_adaptive_comparison, AdaptiveRow};
 pub use chaos::{
-    chaos_plan_space, format_campaign, run_chaos_campaign, run_chaos_plan, CampaignConfig,
-    CampaignOutcome, ChaosConfig, ChaosOutcome,
+    chaos_plan_space, chaos_plan_space_for, format_campaign, run_chaos_campaign, run_chaos_plan,
+    CampaignConfig, CampaignOutcome, ChaosConfig, ChaosOutcome,
 };
-pub use cli::{cli_from_args, positional_or, render_trace_sections, Cli};
+pub use cli::{cli_from_args, positional_or, render_trace_sections, take_flag, Cli};
 pub use counter::{counter_key, run_counter_scenario, CounterConfig, CounterOutcome};
 pub use failover::{
     failover_row, failover_row_from, failover_rows, format_failover, model_budget, FailoverRow,
@@ -45,6 +46,10 @@ pub use report::{
 pub use runner::{default_threads, run_batch, run_batch_with};
 pub use scenario::{paper_workload, run_scenario, ScenarioConfig, ScenarioOutcome};
 pub use stats::{percentile, Summary};
+pub use sweep::{
+    expand_sweep, format_sweep, parse_sweep, run_sweep, scheme_from_name, scheme_name,
+    violations_json, SweepOutcome, SweepSpec, SweepUnit, SweepViolation, TopologySpec,
+};
 pub use workload::{
     ClientPolicy, ClientWorkload, InvocationRecord, ReportHandle, WorkloadConfig, WorkloadReport,
 };

@@ -1,0 +1,616 @@
+//! Generative fault sweeps: a checked-in scenario file (DESIGN §12)
+//! declares a matrix of topologies × recovery schemes × fault mixes, and
+//! the sweep expands it into hundreds of seeded [`FaultPlan`]s, each run
+//! under the full chaos invariant set (exactly-once, bounded recovery,
+//! view convergence, graceful degradation).
+//!
+//! Everything is deterministic: the scenario file plus its `base_seed`
+//! fully determine every generated plan (per-cell seeds are derived with
+//! splitmix64, the same idiom the fleet runner uses), and the sweep
+//! digest — an FNV-1a fold of every outcome digest in matrix order — is
+//! bit-identical across worker-thread counts.
+//!
+//! A scenario may also carry explicit `[[fault]]` events; these form one
+//! hand-written plan that is validated and run against every
+//! topology × scheme cell, which is how the checked-in scenarios pin the
+//! new fault models (correlated crashes, rolling restarts, asymmetric
+//! partitions, jittery links, flash crowds, CPU/fd pressure) to a
+//! reviewable timeline.
+
+use faults::config::{fault_from_table, mix_from_table};
+use faults::{ConfigError, FaultEvent, FaultPlan, NamedMix};
+use mead::RecoveryScheme;
+use simnet::SimDuration;
+use tomlite::{Table, Value};
+
+use crate::chaos::{chaos_plan_space_for, run_chaos_plan, ChaosConfig, ChaosOutcome, Fnv};
+use crate::fleet::splitmix64;
+use crate::runner::run_batch_with;
+
+/// One topology axis entry: the chaos executor's node layout is derived
+/// from the slot count (node 0 infrastructure, one server node per slot,
+/// one client node).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Display name, e.g. `"paper"`.
+    pub name: String,
+    /// Replica slots (the paper's topology has 3).
+    pub slots: u32,
+    /// Recovery-Manager instances (`1` reproduces the DESIGN §6.5 SPOF).
+    pub rm_instances: u32,
+}
+
+/// A parsed sweep scenario: the full matrix plus per-run workload knobs.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Scenario name (reports and artifact labels).
+    pub name: String,
+    /// Seed the whole matrix derives from.
+    pub base_seed: u64,
+    /// Generated plans per (topology × scheme × mix) cell.
+    pub plans_per_cell: u32,
+    /// Increments the chaos client must get acknowledged per plan.
+    pub increments: u32,
+    /// Client think time between acknowledged increments.
+    pub think_time: SimDuration,
+    /// Graceful-degradation budget (see [`ChaosConfig::goodput_budget`]).
+    pub goodput_budget: SimDuration,
+    /// Recovery-Manager crashes allowed per generated plan.
+    pub rm_crashes: u32,
+    /// Topology axis (at least one entry).
+    pub topologies: Vec<TopologySpec>,
+    /// Recovery-scheme axis (at least one entry).
+    pub schemes: Vec<RecoveryScheme>,
+    /// Fault-mix axis (at least one entry).
+    pub mixes: Vec<NamedMix>,
+    /// Optional explicit fault timeline, run once per topology × scheme
+    /// cell in addition to the generated plans.
+    pub explicit: Vec<FaultEvent>,
+}
+
+impl SweepSpec {
+    /// Total plans the matrix expands to.
+    pub fn total_plans(&self) -> usize {
+        let cells = self.topologies.len() * self.schemes.len() * self.mixes.len();
+        let explicit = if self.explicit.is_empty() {
+            0
+        } else {
+            self.topologies.len() * self.schemes.len()
+        };
+        cells * self.plans_per_cell as usize + explicit
+    }
+}
+
+/// Parses a recovery-scheme name as written in scenario files.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for anything but the five known schemes.
+pub fn scheme_from_name(name: &str) -> Result<RecoveryScheme, ConfigError> {
+    match name {
+        "reactive_no_cache" => Ok(RecoveryScheme::ReactiveNoCache),
+        "reactive_cache" => Ok(RecoveryScheme::ReactiveCache),
+        "needs_addressing" => Ok(RecoveryScheme::NeedsAddressing),
+        "location_forward" => Ok(RecoveryScheme::LocationForward),
+        "mead_failover" => Ok(RecoveryScheme::MeadFailover),
+        other => Err(ConfigError::new(
+            "scheme",
+            format!(
+                "unknown scheme \"{other}\" (expected reactive_no_cache, \
+                 reactive_cache, needs_addressing, location_forward or \
+                 mead_failover)"
+            ),
+        )),
+    }
+}
+
+/// Stable scenario-file spelling of a scheme (inverse of
+/// [`scheme_from_name`]).
+pub fn scheme_name(scheme: RecoveryScheme) -> &'static str {
+    match scheme {
+        RecoveryScheme::ReactiveNoCache => "reactive_no_cache",
+        RecoveryScheme::ReactiveCache => "reactive_cache",
+        RecoveryScheme::NeedsAddressing => "needs_addressing",
+        RecoveryScheme::LocationForward => "location_forward",
+        RecoveryScheme::MeadFailover => "mead_failover",
+    }
+}
+
+fn section_tables<'a>(root: &'a Table, key: &str) -> Result<Vec<&'a Table>, ConfigError> {
+    match root.get(key) {
+        None => Ok(Vec::new()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_table().ok_or_else(|| {
+                    ConfigError::new(
+                        key,
+                        format!("expected [[{key}]] tables, got {}", v.type_name()),
+                    )
+                })
+            })
+            .collect(),
+        Some(other) => Err(ConfigError::new(
+            key,
+            format!("expected [[{key}]] tables, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Parses a sweep scenario document (the `tomlite` TOML subset).
+///
+/// Required sections: `[sweep]` (name, base_seed, plans_per_cell plus
+/// optional workload knobs and the `schemes` array), at least one
+/// `[[topology]]` and at least one `[[mix]]`; `[[fault]]` entries are
+/// optional. Unknown keys anywhere are rejected, so a typo cannot
+/// silently weaken a scenario.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] naming the offending section and key for any
+/// syntactic or semantic problem.
+pub fn parse_sweep(src: &str) -> Result<SweepSpec, ConfigError> {
+    let root = tomlite::parse(src).map_err(|e| ConfigError::new("scenario", e.to_string()))?;
+    for key in root.keys() {
+        if !matches!(key.as_str(), "sweep" | "topology" | "mix" | "fault") {
+            return Err(ConfigError::new(
+                "scenario",
+                format!("unknown section \"{key}\""),
+            ));
+        }
+    }
+    let sweep_table = root
+        .get("sweep")
+        .and_then(Value::as_table)
+        .ok_or_else(|| ConfigError::new("scenario", "missing [sweep] section"))?;
+    let r = faults::config::TableReader::new(sweep_table, "sweep");
+    r.reject_unknown(&[
+        "name",
+        "base_seed",
+        "plans_per_cell",
+        "increments",
+        "think_ms",
+        "goodput_budget_ms",
+        "rm_crashes",
+        "schemes",
+    ])?;
+    let name = r.str_req("name")?.to_string();
+    let base_seed = r.u64_req("base_seed")?;
+    let plans_per_cell = r.u32_req("plans_per_cell")?;
+    let increments = r.u32_or("increments", 120)?;
+    let think_time = r.duration_ms_or("think_ms", SimDuration::from_millis(10))?;
+    let goodput_budget = r.duration_ms_or("goodput_budget_ms", SimDuration::from_millis(3_500))?;
+    let rm_crashes = r.u32_or("rm_crashes", 1)?;
+
+    let schemes = match sweep_table.get("schemes") {
+        None => vec![RecoveryScheme::MeadFailover],
+        Some(Value::Array(items)) => {
+            let mut schemes = Vec::new();
+            for v in items {
+                let name = v.as_str().ok_or_else(|| {
+                    ConfigError::new(
+                        "sweep",
+                        format!("schemes entries must be strings, got {}", v.type_name()),
+                    )
+                })?;
+                schemes.push(scheme_from_name(name)?);
+            }
+            schemes
+        }
+        Some(other) => {
+            return Err(ConfigError::new(
+                "sweep",
+                format!("schemes must be an array, got {}", other.type_name()),
+            ))
+        }
+    };
+    if schemes.is_empty() {
+        return Err(ConfigError::new("sweep", "schemes array is empty"));
+    }
+
+    let mut topologies = Vec::new();
+    for table in section_tables(&root, "topology")? {
+        let probe = faults::config::TableReader::new(table, "topology");
+        let name = probe.str_req("name")?.to_string();
+        let r = faults::config::TableReader::new(table, format!("topology \"{name}\""));
+        r.reject_unknown(&["name", "slots", "rm_instances"])?;
+        let slots = r.u32_or("slots", 3)?;
+        let rm_instances = r.u32_or("rm_instances", 2)?;
+        if slots == 0 {
+            return Err(ConfigError::new(
+                format!("topology \"{name}\""),
+                "slots must be at least 1",
+            ));
+        }
+        topologies.push(TopologySpec {
+            name,
+            slots,
+            rm_instances,
+        });
+    }
+    if topologies.is_empty() {
+        return Err(ConfigError::new(
+            "scenario",
+            "at least one [[topology]] is required",
+        ));
+    }
+
+    let mut mixes = Vec::new();
+    for table in section_tables(&root, "mix")? {
+        mixes.push(mix_from_table(table)?);
+    }
+    if mixes.is_empty() {
+        return Err(ConfigError::new(
+            "scenario",
+            "at least one [[mix]] is required",
+        ));
+    }
+
+    let mut explicit = Vec::new();
+    for table in section_tables(&root, "fault")? {
+        explicit.push(fault_from_table(table)?);
+    }
+    explicit.sort_by_key(|e| e.at);
+
+    if plans_per_cell == 0 && explicit.is_empty() {
+        return Err(ConfigError::new(
+            "sweep",
+            "plans_per_cell = 0 with no [[fault]] events leaves nothing to run",
+        ));
+    }
+
+    Ok(SweepSpec {
+        name,
+        base_seed,
+        plans_per_cell,
+        increments,
+        think_time,
+        goodput_budget,
+        rm_crashes,
+        topologies,
+        schemes,
+        mixes,
+        explicit,
+    })
+}
+
+/// One executable unit of the expanded matrix.
+#[derive(Clone, Debug)]
+pub struct SweepUnit {
+    /// Cell label, `"<topology>/<scheme>/<mix>"` (mix is `"explicit"` for
+    /// the hand-written timeline).
+    pub cell: String,
+    /// The validated plan.
+    pub plan: FaultPlan,
+    /// Per-run chaos parameters for this cell.
+    pub chaos: ChaosConfig,
+}
+
+/// Expands the scenario matrix into validated plans, in deterministic
+/// matrix order (topology-major, then scheme, then mix, then plan index;
+/// explicit timelines come after a cell's generated mixes).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when a plan fails [`FaultPlan::validate`] —
+/// generated plans validating clean is a generator invariant, so this
+/// practically fires only for malformed explicit `[[fault]]` timelines.
+pub fn expand_sweep(spec: &SweepSpec) -> Result<Vec<SweepUnit>, ConfigError> {
+    let mut units = Vec::with_capacity(spec.total_plans());
+    let mut cell_index: u64 = 0;
+    for topo in &spec.topologies {
+        let space = chaos_plan_space_for(topo.slots, spec.rm_crashes);
+        for &scheme in &spec.schemes {
+            for named in &spec.mixes {
+                let chaos = ChaosConfig {
+                    increments: spec.increments,
+                    think_time: spec.think_time,
+                    rm_instances: topo.rm_instances,
+                    slots: topo.slots,
+                    scheme,
+                    goodput_budget: spec.goodput_budget,
+                };
+                let cell = format!("{}/{}/{}", topo.name, scheme_name(scheme), named.name);
+                for i in 0..spec.plans_per_cell {
+                    let seed = splitmix64(spec.base_seed ^ (cell_index << 32) ^ u64::from(i));
+                    let plan = FaultPlan::generate_with(seed, &space, &named.mix);
+                    plan.validate(&space).map_err(|e| {
+                        ConfigError::new(
+                            format!("cell {cell}, seed {seed}"),
+                            format!("generated plan failed validation: {e}"),
+                        )
+                    })?;
+                    units.push(SweepUnit {
+                        cell: cell.clone(),
+                        plan,
+                        chaos: chaos.clone(),
+                    });
+                }
+                cell_index += 1;
+            }
+            if !spec.explicit.is_empty() {
+                let cell = format!("{}/{}/explicit", topo.name, scheme_name(scheme));
+                let seed = splitmix64(spec.base_seed ^ (cell_index << 32));
+                let plan = FaultPlan {
+                    seed,
+                    events: spec.explicit.clone(),
+                    leak_all: false,
+                };
+                plan.validate(&space).map_err(|e| {
+                    ConfigError::new(format!("cell {cell}"), format!("explicit plan: {e}"))
+                })?;
+                units.push(SweepUnit {
+                    cell,
+                    plan,
+                    chaos: ChaosConfig {
+                        increments: spec.increments,
+                        think_time: spec.think_time,
+                        rm_instances: topo.rm_instances,
+                        slots: topo.slots,
+                        scheme,
+                        goodput_budget: spec.goodput_budget,
+                    },
+                });
+                cell_index += 1;
+            }
+        }
+    }
+    Ok(units)
+}
+
+/// One plan's invariant violations, labelled for machine consumption.
+#[derive(Clone, Debug)]
+pub struct SweepViolation {
+    /// The matrix cell the plan belongs to.
+    pub cell: String,
+    /// The plan's seed.
+    pub seed: u64,
+    /// The violated invariants, verbatim from the chaos executor.
+    pub violations: Vec<String>,
+}
+
+/// Aggregated sweep results, in matrix order.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Per-plan `(cell, outcome)` pairs, in matrix order.
+    pub results: Vec<(String, ChaosOutcome)>,
+}
+
+impl SweepOutcome {
+    /// Every plan with at least one invariant violation.
+    pub fn violations(&self) -> Vec<SweepViolation> {
+        self.results
+            .iter()
+            .filter(|(_, o)| !o.violations.is_empty())
+            .map(|(cell, o)| SweepViolation {
+                cell: cell.clone(),
+                seed: o.seed,
+                violations: o.violations.clone(),
+            })
+            .collect()
+    }
+
+    /// FNV-1a fold of cell labels and per-plan digests — identical across
+    /// worker-thread counts when the sweep is deterministic.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (cell, o) in &self.results {
+            h.bytes(cell.as_bytes());
+            h.u64(o.digest());
+        }
+        h.finish()
+    }
+}
+
+/// Expands and runs a sweep scenario on `threads` workers.
+///
+/// # Errors
+///
+/// Propagates [`expand_sweep`] errors; individual invariant violations
+/// are data ([`SweepOutcome::violations`]), not errors.
+pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepOutcome, ConfigError> {
+    let units = expand_sweep(spec)?;
+    let results = run_batch_with(&units, threads, |unit| {
+        (unit.cell.clone(), run_chaos_plan(&unit.plan, &unit.chaos))
+    });
+    Ok(SweepOutcome {
+        name: spec.name.clone(),
+        results,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders violations as the machine-readable `violations.json` document
+/// both chaos binaries emit: an object with the scenario label, the
+/// violation count and one record per violated plan.
+pub fn violations_json(label: &str, violations: &[SweepViolation]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"scenario\":\"{}\",\"violated_plans\":{},\"violations\":[",
+        json_escape(label),
+        violations.len()
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"cell\":\"{}\",\"seed\":{},\"violations\":[",
+            json_escape(&v.cell),
+            v.seed
+        ));
+        for (j, msg) in v.violations.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(msg)));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Human-readable sweep summary: per-cell plan counts, violation counts,
+/// crowd goodput and the worst degradation gap.
+pub fn format_sweep(outcome: &SweepOutcome) -> String {
+    let mut out = String::new();
+    let violations = outcome.violations();
+    out.push_str(&format!(
+        "sweep \"{}\": {} plans, {} with violations, digest {:016x}\n",
+        outcome.name,
+        outcome.results.len(),
+        violations.len(),
+        outcome.digest()
+    ));
+    let mut cell_order: Vec<&str> = Vec::new();
+    for (cell, _) in &outcome.results {
+        if cell_order.last() != Some(&cell.as_str()) {
+            cell_order.push(cell);
+        }
+    }
+    for cell in cell_order {
+        let plans: Vec<&ChaosOutcome> = outcome
+            .results
+            .iter()
+            .filter(|(c, _)| c == cell)
+            .map(|(_, o)| o)
+            .collect();
+        let violated = plans.iter().filter(|o| !o.violations.is_empty()).count();
+        let worst_gap = plans
+            .iter()
+            .map(|o| o.worst_goodput_gap)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let crowd: u64 = plans.iter().map(|o| o.crowd_acked).sum();
+        out.push_str(&format!(
+            "  {cell}: {} plans, {} violated, worst goodput gap {} ms, crowd acks {}\n",
+            plans.len(),
+            violated,
+            worst_gap.as_nanos() / 1_000_000,
+            crowd
+        ));
+    }
+    for v in violations.iter().take(10) {
+        out.push_str(&format!("  FAIL {} seed {}:\n", v.cell, v.seed));
+        for msg in &v.violations {
+            out.push_str(&format!("    - {msg}\n"));
+        }
+    }
+    if violations.len() > 10 {
+        out.push_str(&format!("  ... and {} more\n", violations.len() - 10));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"
+[sweep]
+name = "test"
+base_seed = 9
+plans_per_cell = 2
+increments = 40
+schemes = ["mead_failover"]
+
+[[topology]]
+name = "paper"
+slots = 3
+rm_instances = 2
+
+[[mix]]
+name = "classic"
+crashes = true
+partitions = true
+loss = true
+leak = true
+
+[[mix]]
+name = "net"
+asymmetric = true
+jitter = true
+
+[[fault]]
+kind = "correlated_crash"
+at_ms = 900
+slots = [0, 2]
+"#;
+
+    #[test]
+    fn parses_and_expands_the_matrix() {
+        let spec = parse_sweep(SMOKE).expect("scenario parses");
+        assert_eq!(spec.name, "test");
+        assert_eq!(spec.topologies.len(), 1);
+        assert_eq!(spec.schemes, vec![RecoveryScheme::MeadFailover]);
+        assert_eq!(spec.mixes.len(), 2);
+        assert_eq!(spec.explicit.len(), 1);
+        // 1 topo × 1 scheme × 2 mixes × 2 plans + 1 explicit.
+        assert_eq!(spec.total_plans(), 5);
+        let units = expand_sweep(&spec).expect("expansion validates");
+        assert_eq!(units.len(), 5);
+        assert_eq!(units[0].cell, "paper/mead_failover/classic");
+        assert_eq!(units[4].cell, "paper/mead_failover/explicit");
+        // Different cells draw different seeds.
+        assert_ne!(units[0].plan.seed, units[2].plan.seed);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let spec = parse_sweep(SMOKE).expect("scenario parses");
+        let a = expand_sweep(&spec).expect("expansion validates");
+        let b = expand_sweep(&spec).expect("expansion validates");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.plan, y.plan);
+            assert_eq!(x.cell, y.cell);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_bad_schemes() {
+        assert!(parse_sweep("[sweep]\nname = \"x\"\nbase_seed = 1\nplans_per_cell = 1\n").is_err());
+        let unknown = format!("{SMOKE}\n[wat]\nx = 1\n");
+        assert!(parse_sweep(&unknown).is_err());
+        let bad_scheme = SMOKE.replace("mead_failover", "quantum");
+        assert!(parse_sweep(&bad_scheme).is_err());
+    }
+
+    #[test]
+    fn violations_json_is_well_formed() {
+        let json = violations_json(
+            "smoke",
+            &[SweepViolation {
+                cell: "paper/mead_failover/classic".to_string(),
+                seed: 7,
+                violations: vec!["client \"gave\tup\"".to_string()],
+            }],
+        );
+        assert!(json.starts_with("{\"scenario\":\"smoke\""));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\\\"gave\\tup\\\""));
+        let empty = violations_json("smoke", &[]);
+        assert_eq!(
+            empty,
+            "{\"scenario\":\"smoke\",\"violated_plans\":0,\"violations\":[]}\n"
+        );
+    }
+}

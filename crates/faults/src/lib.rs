@@ -14,24 +14,37 @@
 //! * [`CrashSchedule`] — abrupt crash-fault scheduling, and
 //! * [`FaultPlan`] — seeded chaos schedules composing crashes,
 //!   partitions, loss bursts and multi-replica leaks for the chaos
-//!   campaign (`experiments --bin chaos`).
+//!   campaign (`experiments --bin chaos`), plus the expanded zoo
+//!   ([`FaultKind::CorrelatedCrash`], [`FaultKind::FlashCrowd`],
+//!   [`FaultKind::RollingRestart`], [`FaultKind::AsymmetricPartition`],
+//!   [`FaultKind::JitteryLink`], [`FaultKind::CpuExhaustion`],
+//!   [`FaultKind::FdLeak`]) selected per-plan by a [`FaultMix`] and
+//!   checked by [`FaultPlan::validate`], and
+//! * [`ResourcePressure`] — deterministic CPU-exhaustion / fd-leak
+//!   models feeding the two-step thresholds, and
+//! * [`config`] — the scenario-file (`tomlite`) schema for mixes and
+//!   explicit fault events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
+pub mod config;
 mod crash;
 mod memleak;
 mod plan;
+mod pressure;
 mod resource;
 mod weibull;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePredictor};
+pub use config::{ConfigError, NamedMix};
 pub use crash::CrashSchedule;
 pub use memleak::{LeakConfig, MemoryLeak};
 pub use plan::{
-    FaultEvent, FaultKind, FaultPlan, PlanSpace, MAX_BURST, MAX_PARTITION, MAX_RESTART,
-    MIN_CRASH_GAP,
+    FaultEvent, FaultKind, FaultMix, FaultPlan, PlanError, PlanSpace, MAX_BURST, MAX_CROWD,
+    MAX_CROWD_SPREAD, MAX_JITTER_BOUND, MAX_JITTER_SPAN, MAX_PARTITION, MAX_RESTART, MIN_CRASH_GAP,
 };
-pub use resource::{ResourceMonitor, ThresholdAction};
+pub use pressure::{PressureConfig, PressureKind, ResourcePressure};
+pub use resource::{ResourceMonitor, ThresholdAction, ThresholdError};
 pub use weibull::Weibull;

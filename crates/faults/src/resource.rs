@@ -14,6 +14,8 @@
 //! polling thread) and it reports threshold crossings exactly once per
 //! rejuvenation cycle.
 
+use std::fmt;
+
 /// A proactive action demanded by a threshold crossing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ThresholdAction {
@@ -23,16 +25,41 @@ pub enum ThresholdAction {
     MigrateClients,
 }
 
+/// Rejected threshold configuration: the pair must satisfy
+/// `0 < launch <= migrate <= 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThresholdError {
+    /// The offending launch threshold.
+    pub launch: f64,
+    /// The offending migrate threshold.
+    pub migrate: f64,
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thresholds must satisfy 0 < launch ({}) <= migrate ({}) <= 1",
+            self.launch, self.migrate
+        )
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
 /// Two-step threshold monitor over a resource-usage fraction.
 ///
 /// ```
 /// use faults::{ResourceMonitor, ThresholdAction};
 ///
-/// let mut m = ResourceMonitor::new(0.8, 0.9);
+/// # fn main() -> Result<(), faults::ThresholdError> {
+/// let mut m = ResourceMonitor::new(0.8, 0.9)?;
 /// assert_eq!(m.observe(0.5), None);
 /// assert_eq!(m.observe(0.85), Some(ThresholdAction::LaunchReplacement));
 /// assert_eq!(m.observe(0.86), None); // fired once
 /// assert_eq!(m.observe(0.95), Some(ThresholdAction::MigrateClients));
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Clone, Debug)]
 pub struct ResourceMonitor {
@@ -46,14 +73,33 @@ pub struct ResourceMonitor {
 impl ResourceMonitor {
     /// Creates a monitor with the two thresholds (fractions in `[0, 1]`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `0 < launch <= migrate <= 1`.
-    pub fn new(launch: f64, migrate: f64) -> Self {
-        assert!(
-            launch > 0.0 && launch <= migrate && migrate <= 1.0,
-            "thresholds must satisfy 0 < launch ({launch}) <= migrate ({migrate}) <= 1"
-        );
+    /// Returns [`ThresholdError`] unless `0 < launch <= migrate <= 1`
+    /// (the R3 panic-freedom contract: bad configuration is a typed
+    /// error, not an assert).
+    pub fn new(launch: f64, migrate: f64) -> Result<Self, ThresholdError> {
+        if !(launch > 0.0 && launch <= migrate && migrate <= 1.0) {
+            return Err(ThresholdError { launch, migrate });
+        }
+        Ok(ResourceMonitor {
+            launch_threshold: launch,
+            migrate_threshold: migrate,
+            launch_fired: false,
+            migrate_fired: false,
+            last_fraction: 0.0,
+        })
+    }
+
+    /// Creates a monitor from untrusted thresholds by clamping them into
+    /// validity (launch into `(0, 1]`, migrate into `[launch, 1]`) — the
+    /// infallible constructor for callers that must produce *a* monitor
+    /// (the interceptor) rather than surface a config error.
+    pub fn clamped(launch: f64, migrate: f64) -> Self {
+        let launch = if launch.is_finite() { launch } else { 0.8 };
+        let migrate = if migrate.is_finite() { migrate } else { 0.9 };
+        let launch = launch.clamp(f64::MIN_POSITIVE, 1.0);
+        let migrate = migrate.clamp(launch, 1.0);
         ResourceMonitor {
             launch_threshold: launch,
             migrate_threshold: migrate,
@@ -65,7 +111,13 @@ impl ResourceMonitor {
 
     /// The paper's running example: launch at 80 %, migrate at 90 %.
     pub fn paper_default() -> Self {
-        ResourceMonitor::new(0.8, 0.9)
+        ResourceMonitor {
+            launch_threshold: 0.8,
+            migrate_threshold: 0.9,
+            launch_fired: false,
+            migrate_fired: false,
+            last_fraction: 0.0,
+        }
     }
 
     /// First (launch) threshold.
@@ -152,20 +204,45 @@ mod tests {
 
     #[test]
     fn equal_thresholds_fire_migrate_only() {
-        let mut m = ResourceMonitor::new(0.9, 0.9);
+        let mut m = ResourceMonitor::new(0.9, 0.9).expect("valid");
         assert_eq!(m.observe(0.9), Some(ThresholdAction::MigrateClients));
         assert_eq!(m.observe(0.95), None);
     }
 
     #[test]
-    #[should_panic(expected = "thresholds must satisfy")]
-    fn inverted_thresholds_rejected() {
-        let _ = ResourceMonitor::new(0.9, 0.8);
+    fn invalid_thresholds_are_typed_errors() {
+        for (launch, migrate) in [(0.9, 0.8), (0.0, 0.9), (-0.1, 0.5), (0.8, 1.1)] {
+            let err = ResourceMonitor::new(launch, migrate).expect_err("invalid");
+            assert_eq!(err, ThresholdError { launch, migrate });
+            assert!(err.to_string().contains("thresholds must satisfy"));
+        }
+    }
+
+    #[test]
+    fn clamped_always_yields_valid_monitor() {
+        for (launch, migrate) in [
+            (0.9, 0.8),
+            (0.0, 0.9),
+            (-3.0, -1.0),
+            (2.0, 0.1),
+            (f64::NAN, 0.5),
+            (0.8, f64::INFINITY),
+        ] {
+            let m = ResourceMonitor::clamped(launch, migrate);
+            assert!(
+                ResourceMonitor::new(m.launch_threshold(), m.migrate_threshold()).is_ok(),
+                "clamped({launch}, {migrate}) produced invalid thresholds"
+            );
+        }
+        // Valid inputs pass through untouched.
+        let m = ResourceMonitor::clamped(0.7, 0.85);
+        assert_eq!(m.launch_threshold(), 0.7);
+        assert_eq!(m.migrate_threshold(), 0.85);
     }
 
     #[test]
     fn accessors() {
-        let m = ResourceMonitor::new(0.2, 0.5);
+        let m = ResourceMonitor::new(0.2, 0.5).expect("valid");
         assert_eq!(m.launch_threshold(), 0.2);
         assert_eq!(m.migrate_threshold(), 0.5);
     }

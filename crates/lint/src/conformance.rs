@@ -65,6 +65,11 @@ impl Default for ConformanceConfig {
                 "ConnectOutcome",
                 "Partition",
                 "Heal",
+                "PartitionOneway",
+                "HealOneway",
+                "LinkJitter",
+                "FaultInjected",
+                "ResourcePressure",
                 "Spawn",
                 "Dispatch",
                 "Retry",

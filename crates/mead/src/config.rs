@@ -1,7 +1,7 @@
 //! MEAD configuration: recovery scheme selection, thresholds, and the
 //! interceptor cost model.
 
-use faults::{AdaptiveConfig, LeakConfig};
+use faults::{AdaptiveConfig, LeakConfig, PressureConfig};
 use simnet::SimDuration;
 
 /// The recovery strategy in force, covering the paper's three proactive
@@ -139,6 +139,12 @@ pub struct MeadConfig {
     /// Memory-leak fault injected at the primary (section 5.1). `None`
     /// disables fault injection (fault-free runs).
     pub leak: Option<LeakConfig>,
+    /// Resource-pressure fault (CPU-exhaustion ramp or fd leak) armed at
+    /// an absolute instant; feeds the same two-step thresholds as the
+    /// leak. Replicas started *after* the activation instant never arm it
+    /// (a fresh replacement does not inherit the runaway). `None` (the
+    /// default, and the paper's configuration) disables it.
+    pub pressure: Option<PressureConfig>,
     /// Group that replicas and the Recovery Manager join.
     pub server_group: String,
     /// Warm-passive checkpoint interval (primary → backups over GCS).
@@ -201,6 +207,7 @@ impl MeadConfig {
                 migrate_threshold: 0.9,
                 costs: CostModel::default(),
                 leak: Some(LeakConfig::default()),
+                pressure: None,
                 server_group: "servers".to_string(),
                 checkpoint_interval: SimDuration::from_millis(250),
                 checkpoint_bytes: 128,
@@ -250,6 +257,12 @@ impl MeadConfigBuilder {
     /// Sets (or, with `None`, disables) the injected memory leak.
     pub fn leak(mut self, leak: Option<LeakConfig>) -> Self {
         self.cfg.leak = leak;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the resource-pressure fault.
+    pub fn pressure(mut self, pressure: Option<PressureConfig>) -> Self {
+        self.cfg.pressure = pressure;
         self
     }
 

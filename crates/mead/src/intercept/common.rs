@@ -24,6 +24,10 @@ pub const TOKEN_DRAIN: u64 = TOKEN_BASE + 2;
 pub const TOKEN_CHECKPOINT: u64 = TOKEN_BASE + 3;
 /// Address-query timeout timer (client side, 10 ms).
 pub const TOKEN_QUERY_TIMEOUT: u64 = TOKEN_BASE + 4;
+/// Resource-pressure activation timer (fires once at `activate_at`).
+pub const TOKEN_PRESSURE_ARM: u64 = TOKEN_BASE + 5;
+/// CPU-exhaustion ramp tick timer.
+pub const TOKEN_PRESSURE_TICK: u64 = TOKEN_BASE + 6;
 /// Base for redirect-completion timers (client side); offsets index the
 /// interceptor's `finishing` table.
 pub const TOKEN_REDIRECT_DONE_BASE: u64 = TOKEN_BASE + 1000;

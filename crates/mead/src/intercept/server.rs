@@ -22,7 +22,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use faults::{AdaptivePredictor, MemoryLeak, ResourceMonitor, ThresholdAction};
+use faults::{
+    AdaptivePredictor, MemoryLeak, PressureKind, ResourceMonitor, ResourcePressure, ThresholdAction,
+};
 use giop::{Endian, Frame, FrameKind, Message, MsgType, ObjectKey, ReplyBody, ReplyMessage};
 use groupcomm::{GcsClient, GcsDelivery};
 use obs::{EventKind, Phase};
@@ -35,6 +37,7 @@ use crate::config::{MeadConfig, RecoveryScheme};
 use crate::directory::{replica_member_name, MemberName, ReplicaDirectory, Slot};
 use crate::intercept::common::{
     is_intercept_token, Stream, TOKEN_CHECKPOINT, TOKEN_DRAIN, TOKEN_GCS, TOKEN_LEAK,
+    TOKEN_PRESSURE_ARM, TOKEN_PRESSURE_TICK,
 };
 use crate::messages::{FailoverNotice, GroupMsg};
 
@@ -69,6 +72,12 @@ struct ServerState {
     gcs: Option<GcsClient>,
     dir: ReplicaDirectory,
     leak: Option<MemoryLeak>,
+    /// Resource-pressure fault (CPU ramp / fd leak); armed by timer at
+    /// `cfg.pressure.activate_at` if this instance started before then.
+    pressure: Option<ResourcePressure>,
+    /// Last pressure decile traced (emit `resource_pressure` only on
+    /// decile crossings, not every tick).
+    pressure_decile: u32,
     monitor: ResourceMonitor,
     adaptive: Option<AdaptivePredictor>,
     listen_port: Option<Port>,
@@ -109,7 +118,8 @@ impl ServerInterceptor {
     /// Wraps `inner` (an unmodified server process) for replica `slot`.
     pub fn new(cfg: MeadConfig, slot: Slot, inner: Box<dyn Process>) -> Self {
         let leak = cfg.leak.clone().map(MemoryLeak::new);
-        let monitor = ResourceMonitor::new(cfg.launch_threshold, cfg.migrate_threshold);
+        let pressure = cfg.pressure.clone().map(ResourcePressure::new);
+        let monitor = ResourceMonitor::clamped(cfg.launch_threshold, cfg.migrate_threshold);
         let adaptive = cfg.adaptive.clone().map(AdaptivePredictor::new);
         ServerInterceptor {
             label: format!("mead-server-interceptor/{slot}"),
@@ -121,6 +131,8 @@ impl ServerInterceptor {
                 gcs: None,
                 dir: ReplicaDirectory::new(),
                 leak,
+                pressure,
+                pressure_decile: 0,
                 monitor,
                 adaptive,
                 listen_port: None,
@@ -171,6 +183,16 @@ impl Process for ServerInterceptor {
                 .expect("leak config present")
                 .interval;
             sys.set_timer(interval, TOKEN_LEAK);
+        }
+        if let Some(pressure) = self.st.pressure.as_ref() {
+            let activate_at = pressure.config().activate_at;
+            if activate_at >= sys.now() {
+                sys.set_timer(activate_at - sys.now(), TOKEN_PRESSURE_ARM);
+            } else {
+                // Started after the activation instant: a fresh
+                // replacement does not inherit the runaway.
+                self.st.pressure = None;
+            }
         }
         sys.set_timer(self.st.cfg.checkpoint_interval, TOKEN_CHECKPOINT);
         let mut facade = ServerFacade {
@@ -352,6 +374,15 @@ impl ServerState {
                 sys.emit(EventKind::Phase(Phase::LeakDetected));
             }
         }
+        // An armed fd leak consumes descriptor-table space per request.
+        if let Some(p) = self.pressure.as_mut() {
+            if p.is_active() && p.config().kind == PressureKind::Fd {
+                p.on_request();
+                if self.pressure_progress(sys) {
+                    return;
+                }
+            }
+        }
         if self.cfg.scheme == RecoveryScheme::LocationForward {
             // Full parse to harvest request_id and object key — the source
             // of this scheme's ~90 % overhead (section 5.2.2).
@@ -498,6 +529,51 @@ impl ServerState {
         }
     }
 
+    /// Combined resource-usage fraction feeding the two-step thresholds:
+    /// the worst (max) of the active leak and the active pressure model.
+    /// `None` while no resource fault is active.
+    fn usage_fraction(&self) -> Option<f64> {
+        let leak = self
+            .leak
+            .as_ref()
+            .filter(|l| l.is_active())
+            .map(|l| l.fraction());
+        let pressure = self
+            .pressure
+            .as_ref()
+            .filter(|p| p.is_active())
+            .map(|p| p.fraction());
+        match (leak, pressure) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(0.0).max(b.unwrap_or(0.0))),
+        }
+    }
+
+    /// Traces pressure decile crossings and crashes the process when the
+    /// resource is fully consumed. Returns `true` when the process exited.
+    fn pressure_progress(&mut self, sys: &mut dyn SysApi) -> bool {
+        let Some(p) = self.pressure.as_ref() else {
+            return false;
+        };
+        if !p.is_active() {
+            return false;
+        }
+        let resource = p.config().kind.resource();
+        let permille = p.permille();
+        let decile = permille / 100;
+        if decile > self.pressure_decile {
+            self.pressure_decile = decile;
+            sys.emit(EventKind::ResourcePressure { resource, permille });
+        }
+        if p.exhausted() {
+            sys.count("mead.crash_exhaustion", 1);
+            sys.mark("mead.crash_at");
+            sys.exit(ExitReason::Crash(format!("{resource} exhausted")));
+            return true;
+        }
+        false
+    }
+
     /// Observes the current resource usage against the configured
     /// trigger (preset two-step thresholds, or the adaptive predictor)
     /// and initiates launch/migration on crossings.
@@ -505,18 +581,15 @@ impl ServerState {
         if !self.cfg.scheme.is_proactive_migration() {
             return;
         }
-        let Some(leak) = self.leak.as_ref() else {
+        let Some(fraction) = self.usage_fraction() else {
             return;
         };
-        if !leak.is_active() {
-            return;
-        }
         let action = match self.adaptive.as_mut() {
             // The predictor samples on the leak-tick cadence so its rate
             // estimate sees clean usage deltas.
-            Some(predictor) if from_timer => predictor.observe(sys.now(), leak.fraction()),
+            Some(predictor) if from_timer => predictor.observe(sys.now(), fraction),
             Some(_) => None,
-            None => self.monitor.observe(leak.fraction()),
+            None => self.monitor.observe(fraction),
         };
         match action {
             Some(ThresholdAction::LaunchReplacement) => {
@@ -776,6 +849,47 @@ impl ServerState {
             TOKEN_DRAIN => {
                 sys.count("mead.graceful_rejuvenations", 1);
                 sys.exit(ExitReason::Graceful);
+            }
+            TOKEN_PRESSURE_ARM => {
+                if let Some(p) = self.pressure.as_mut() {
+                    p.activate();
+                    let kind = p.config().kind;
+                    let tick = p.config().tick;
+                    match kind {
+                        PressureKind::Cpu => sys.count("mead.pressure_armed_cpu", 1),
+                        PressureKind::Fd => sys.count("mead.pressure_armed_fd", 1),
+                    }
+                    sys.emit(EventKind::ResourcePressure {
+                        resource: kind.resource(),
+                        permille: 0,
+                    });
+                    if kind == PressureKind::Cpu {
+                        sys.set_timer(tick, TOKEN_PRESSURE_TICK);
+                    }
+                }
+            }
+            TOKEN_PRESSURE_TICK => {
+                let mut tick = None;
+                if let Some(p) = self.pressure.as_mut() {
+                    if p.is_active() && p.config().kind == PressureKind::Cpu {
+                        let fraction = p.on_tick();
+                        // The runaway computation steals real cycles:
+                        // charge the consumed share of the tick so service
+                        // latency degrades as the ramp climbs.
+                        let stolen = p.config().tick.as_nanos() as f64 * fraction * 0.25;
+                        sys.charge_cpu(SimDuration::from_nanos(stolen as u64));
+                        tick = Some(p.config().tick);
+                    }
+                }
+                if self.pressure_progress(sys) {
+                    return;
+                }
+                if self.cfg.poll_thresholds || self.cfg.adaptive.is_some() {
+                    self.check_thresholds(sys, true);
+                }
+                if let Some(tick) = tick {
+                    sys.set_timer(tick, TOKEN_PRESSURE_TICK);
+                }
             }
             _ => {}
         }

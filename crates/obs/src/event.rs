@@ -50,6 +50,45 @@ pub enum EventKind {
         /// The other side.
         b: u32,
     },
+    /// The kernel cut one direction of a link (asymmetric partition).
+    PartitionOneway {
+        /// Node whose outbound traffic is blocked.
+        from: u32,
+        /// Destination the blocked traffic was heading to.
+        to: u32,
+    },
+    /// The kernel restored a previously cut link direction.
+    HealOneway {
+        /// Node whose outbound traffic resumes.
+        from: u32,
+        /// Destination the traffic flows to again.
+        to: u32,
+    },
+    /// The kernel changed the extra fault-jitter bound on a link
+    /// (`bound_ns == 0` clears it).
+    LinkJitter {
+        /// One side of the link (lower node index).
+        a: u32,
+        /// The other side.
+        b: u32,
+        /// Upper bound of the extra uniform per-delivery delay, in
+        /// sim-nanoseconds.
+        bound_ns: u64,
+    },
+    /// A chaos fault was injected into the run (executor- or
+    /// interceptor-originated marker; the `fault` tag is the
+    /// `FaultKind` snake-case name).
+    FaultInjected {
+        /// Snake-case fault-model name.
+        fault: &'static str,
+    },
+    /// A resource-exhaustion model reported its consumption level.
+    ResourcePressure {
+        /// Which resource (`"cpu"` or `"fd"`).
+        resource: &'static str,
+        /// Consumed fraction of capacity, in permille.
+        permille: u32,
+    },
     /// A process was spawned.
     Spawn {
         /// Node the process landed on.
@@ -99,6 +138,11 @@ impl EventKind {
             EventKind::ConnectOutcome { .. } => "connect_outcome",
             EventKind::Partition { .. } => "partition",
             EventKind::Heal { .. } => "heal",
+            EventKind::PartitionOneway { .. } => "partition_oneway",
+            EventKind::HealOneway { .. } => "heal_oneway",
+            EventKind::LinkJitter { .. } => "link_jitter",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::ResourcePressure { .. } => "resource_pressure",
             EventKind::Spawn { .. } => "spawn",
             EventKind::Exit { .. } => "exit",
             EventKind::Dispatch { .. } => "dispatch",

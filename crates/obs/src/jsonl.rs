@@ -59,6 +59,21 @@ pub fn push_event_line(out: &mut String, ev: &TraceEvent) {
         EventKind::Partition { a, b } | EventKind::Heal { a, b } => {
             let _ = write!(out, ",\"a\":{a},\"b\":{b}");
         }
+        EventKind::PartitionOneway { from, to } | EventKind::HealOneway { from, to } => {
+            let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+        }
+        EventKind::LinkJitter { a, b, bound_ns } => {
+            let _ = write!(out, ",\"a\":{a},\"b\":{b},\"bound\":{bound_ns}");
+        }
+        EventKind::FaultInjected { fault } => {
+            out.push_str(",\"fault\":");
+            push_json_str(out, fault);
+        }
+        EventKind::ResourcePressure { resource, permille } => {
+            out.push_str(",\"resource\":");
+            push_json_str(out, resource);
+            let _ = write!(out, ",\"permille\":{permille}");
+        }
         EventKind::Spawn { node, label } => {
             let _ = write!(out, ",\"on\":{node},\"label\":");
             push_json_str(out, label);

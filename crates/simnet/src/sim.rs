@@ -24,7 +24,7 @@
 //! * per-connection FIFO order is preserved even under latency jitter.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::mem;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -283,6 +283,16 @@ pub struct Simulation {
     /// Actions stashed at their would-be arrival because the link was
     /// down; re-released (in original sequence order) on heal.
     parked: Vec<Scheduled>,
+    /// Directed severed links `(from, to)`: traffic travelling from →
+    /// to parks, the reverse direction flows normally (asymmetric
+    /// partition faults).
+    oneway_cuts: BTreeSet<(u32, u32)>,
+    /// Per-link extra jitter bound (normalised pair): while present, each
+    /// delivery crossing the link draws one extra uniform delay in
+    /// `[0, bound]` from the kernel RNG (jittery-link faults). Links
+    /// without an entry draw nothing, so configuring jitter on one link
+    /// cannot perturb the RNG stream of unrelated scenarios.
+    link_jitter: BTreeMap<(u32, u32), SimDuration>,
     /// Open bounce accumulator (see [`Self::bounce`]); `None` when no
     /// coalescible notify run is in flight.
     pending_bounce: Option<PendingBounce>,
@@ -320,6 +330,8 @@ impl Simulation {
             wall_in_run: Duration::ZERO,
             partitions: BTreeSet::new(),
             parked: Vec::new(),
+            oneway_cuts: BTreeSet::new(),
+            link_jitter: BTreeMap::new(),
             pending_bounce: None,
             bounce_spare: VecDeque::new(),
             batched_extra: 0,
@@ -459,13 +471,51 @@ impl Simulation {
         }
     }
 
-    /// Restores every severed link.
+    /// Restores every severed link, symmetric and directional.
     pub fn heal_all(&mut self) {
-        if !self.partitions.is_empty() {
-            let cut = std::mem::take(&mut self.partitions);
-            for (lo, hi) in cut {
-                self.emit_kernel(NodeId(lo), obs::EventKind::Heal { a: lo, b: hi });
-            }
+        let had_cuts = !self.partitions.is_empty() || !self.oneway_cuts.is_empty();
+        let cut = std::mem::take(&mut self.partitions);
+        for (lo, hi) in cut {
+            self.emit_kernel(NodeId(lo), obs::EventKind::Heal { a: lo, b: hi });
+        }
+        let oneway = std::mem::take(&mut self.oneway_cuts);
+        for (from, to) in oneway {
+            self.emit_kernel(NodeId(from), obs::EventKind::HealOneway { from, to });
+        }
+        if had_cuts {
+            self.release_parked();
+        }
+    }
+
+    /// Severs only the `from` → `to` direction of a link (asymmetric
+    /// partition fault): segments travelling that way park until
+    /// [`heal_oneway`](Self::heal_oneway), while replies keep flowing the
+    /// other way — the classic half-open failure TCP keep-alives exist
+    /// for. Loopback traffic cannot be cut.
+    pub fn partition_oneway(&mut self, from: NodeId, to: NodeId) {
+        if from != to && self.oneway_cuts.insert((from.0, to.0)) {
+            self.metrics.borrow_mut().count("sim.partitions_oneway", 1);
+            self.emit_kernel(
+                from,
+                obs::EventKind::PartitionOneway {
+                    from: from.0,
+                    to: to.0,
+                },
+            );
+        }
+    }
+
+    /// Restores the `from` → `to` direction; parked traffic is released
+    /// at the current simulated time in its original send order.
+    pub fn heal_oneway(&mut self, from: NodeId, to: NodeId) {
+        if self.oneway_cuts.remove(&(from.0, to.0)) {
+            self.emit_kernel(
+                from,
+                obs::EventKind::HealOneway {
+                    from: from.0,
+                    to: to.0,
+                },
+            );
             self.release_parked();
         }
     }
@@ -473,6 +523,42 @@ impl Simulation {
     /// Whether the link between `a` and `b` is currently severed.
     pub fn link_severed(&self, a: NodeId, b: NodeId) -> bool {
         self.partitions.contains(&Self::link_key(a, b))
+    }
+
+    /// Whether traffic travelling `from` → `to` is currently blocked,
+    /// either by a symmetric partition or a directional cut.
+    pub fn link_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.partitions.contains(&Self::link_key(from, to))
+            || self.oneway_cuts.contains(&(from.0, to.0))
+    }
+
+    /// Sets (or, with [`SimDuration::ZERO`], clears) the extra per-message
+    /// jitter bound on the `a` ↔ `b` link. While set, every delivery
+    /// crossing the link draws one additional uniform delay in
+    /// `[0, bound]` from the seeded kernel RNG — a jittery link rather
+    /// than a severed one. Per-connection FIFO order is still enforced
+    /// downstream by [`fifo_arrival`](Self::fifo_arrival).
+    pub fn set_link_jitter(&mut self, a: NodeId, b: NodeId, bound: SimDuration) {
+        if a == b {
+            return;
+        }
+        let key = Self::link_key(a, b);
+        let changed = if bound.is_zero() {
+            self.link_jitter.remove(&key).is_some()
+        } else {
+            self.link_jitter.insert(key, bound) != Some(bound)
+        };
+        if changed {
+            self.metrics.borrow_mut().count("sim.link_jitter_set", 1);
+            self.emit_kernel(
+                NodeId(key.0),
+                obs::EventKind::LinkJitter {
+                    a: key.0,
+                    b: key.1,
+                    bound_ns: bound.as_nanos(),
+                },
+            );
+        }
     }
 
     /// Replaces the message-loss model mid-run (loss-burst faults).
@@ -500,17 +586,37 @@ impl Simulation {
         }
     }
 
+    /// The direction a network action travels, as `(src, dst)` nodes —
+    /// unlike [`action_link`](Self::action_link), which reports the pair
+    /// with the *affected endpoint's* node first. A `ConnectAttempt` is a
+    /// SYN travelling initiator → listener; a `ConnectResult` is the
+    /// SYN-ACK coming back; deliveries travel peer → owner.
+    fn action_direction(&self, action: &Action) -> Option<(NodeId, NodeId)> {
+        match action {
+            Action::ConnectAttempt { .. } => self.action_link(action),
+            Action::ConnectResult { .. }
+            | Action::DeliverData { .. }
+            | Action::DeliverEof { .. } => self
+                .action_link(action)
+                .map(|(owner, remote)| (remote, owner)),
+            _ => None,
+        }
+    }
+
+    /// Whether a symmetric partition or directional cut blocks `action`.
+    fn action_blocked(&self, action: &Action) -> bool {
+        self.action_direction(action)
+            .map(|(src, dst)| self.link_blocked(src, dst))
+            .unwrap_or(false)
+    }
+
     /// Re-queues parked actions whose links have healed, preserving their
     /// original sequence order (per-connection FIFO survives a partition).
     fn release_parked(&mut self) {
         let parked = std::mem::take(&mut self.parked);
         let mut freed = Vec::new();
         for sched in parked {
-            let blocked = self
-                .action_link(&sched.action)
-                .map(|(a, b)| self.link_severed(a, b))
-                .unwrap_or(false);
-            if blocked {
+            if self.action_blocked(&sched.action) {
                 self.parked.push(sched);
             } else {
                 freed.push(sched);
@@ -736,13 +842,10 @@ impl Simulation {
             let sched = Scheduled { at, seq, action };
             self.events_processed += 1;
             dispatched += 1;
-            // A severed link parks the action instead of delivering it;
-            // heal() re-releases parked actions in send order.
-            let severed = self
-                .action_link(&sched.action)
-                .map(|(a, b)| self.link_severed(a, b))
-                .unwrap_or(false);
-            if severed {
+            // A severed link (symmetric or directional) parks the action
+            // instead of delivering it; heal() re-releases parked actions
+            // in send order.
+            if self.action_blocked(&sched.action) {
                 self.parked.push(sched);
                 continue;
             }
@@ -1315,7 +1418,17 @@ impl Simulation {
         let base = self.cfg.latency.sample(&mut self.net_rng, src, dst, len);
         let noise = self.cfg.noise.sample(&mut self.net_rng);
         let loss = self.cfg.loss.sample(&mut self.net_rng);
-        base + noise + loss
+        // Per-link fault jitter. Scenarios that never call
+        // `set_link_jitter` take no draw here, keeping their RNG stream —
+        // and hence their pinned digests — untouched.
+        let fault_jitter = match self.link_jitter.get(&Self::link_key(src, dst)) {
+            Some(bound) if src != dst && !bound.is_zero() => {
+                use rand::Rng;
+                SimDuration::from_nanos(self.net_rng.gen_range(0..=bound.as_nanos()))
+            }
+            _ => SimDuration::ZERO,
+        };
+        base + noise + loss + fault_jitter
     }
 }
 

@@ -159,6 +159,76 @@ fn partition_is_deterministic() {
 }
 
 #[test]
+fn oneway_cut_blocks_only_the_cut_direction() {
+    // Data travels ticker (node b) → sink (node a). Cutting a → b leaves
+    // that flow untouched; cutting b → a parks it.
+    let (mut sim, a, b, got, _) = two_node_sim();
+    sim.run_until(SimTime::from_millis(60));
+    let before = got.borrow().len();
+    sim.partition_oneway(a, b);
+    assert!(sim.link_blocked(a, b));
+    assert!(!sim.link_blocked(b, a));
+    assert!(!sim.link_severed(a, b), "oneway cut is not symmetric");
+    sim.run_until(SimTime::from_millis(300));
+    assert_eq!(
+        got.borrow().clone(),
+        (0..8).collect::<Vec<u8>>(),
+        "reverse direction must keep flowing"
+    );
+    assert!(got.borrow().len() > before);
+}
+
+#[test]
+fn oneway_cut_parks_data_until_healed() {
+    let (mut sim, a, b, got, _) = two_node_sim();
+    sim.run_until(SimTime::from_millis(60));
+    let before = got.borrow().len();
+    sim.partition_oneway(b, a);
+    sim.run_until(SimTime::from_millis(120));
+    assert_eq!(got.borrow().len(), before, "cut direction parks data");
+    sim.heal_oneway(b, a);
+    sim.run_until(SimTime::from_millis(300));
+    assert_eq!(got.borrow().clone(), (0..8).collect::<Vec<u8>>());
+}
+
+#[test]
+fn oneway_cut_parks_synack_half_open() {
+    // Cut a → b before anything runs: the SYN (b → a) gets through, the
+    // SYN-ACK parks — a half-open connection until the direction heals.
+    let (mut sim, a, b, got, refused) = two_node_sim();
+    sim.partition_oneway(a, b);
+    sim.run_until(SimTime::from_millis(100));
+    assert!(got.borrow().is_empty(), "no established conn, no data");
+    assert_eq!(*refused.borrow(), 0, "a cut link is not a refusal");
+    sim.heal_all();
+    assert!(!sim.link_blocked(a, b), "heal_all clears directional cuts");
+    sim.run_until(SimTime::from_millis(400));
+    assert_eq!(got.borrow().clone(), (0..8).collect::<Vec<u8>>());
+}
+
+#[test]
+fn link_jitter_delays_but_preserves_fifo_and_determinism() {
+    let run = |jitter_ms: u64| {
+        let (mut sim, a, b, got, _) = two_node_sim();
+        sim.set_link_jitter(a, b, SimDuration::from_millis(jitter_ms));
+        sim.run_until(SimTime::from_millis(250));
+        sim.set_link_jitter(a, b, SimDuration::ZERO);
+        sim.run_until(SimTime::from_millis(600));
+        let bytes = got.borrow().clone();
+        (bytes, sim.now())
+    };
+    let (plain, _) = run(0);
+    assert_eq!(plain, (0..8).collect::<Vec<u8>>());
+    let (jittered, _) = run(40);
+    assert_eq!(
+        jittered,
+        (0..8).collect::<Vec<u8>>(),
+        "jitter reorders nothing (per-connection FIFO)"
+    );
+    assert_eq!(run(40), run(40), "jitter draws are seeded");
+}
+
+#[test]
 fn loss_model_can_change_mid_run() {
     let (mut sim, _a, _b, got, _) = two_node_sim();
     sim.run_until(SimTime::from_millis(30));

@@ -1,0 +1,586 @@
+//! A minimal, offline TOML-subset parser in the same vendored-subset
+//! spirit as `vendor/bytes` and `vendor/rand`: just enough surface for the
+//! chaos scenario files under `scenarios/` without pulling the real `toml`
+//! crate into a fully offline build.
+//!
+//! Supported grammar (a strict subset of TOML 1.0):
+//!
+//! - top-level and nested tables: `[a]`, `[a.b]`
+//! - arrays of tables: `[[a]]`, `[[a.b]]`
+//! - `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`) or quoted keys
+//! - values: basic strings with escapes, integers (`i64`, `_` separators),
+//!   floats, booleans, and homogeneous-or-not `[v, v, ...]` arrays
+//!   (trailing comma allowed, may span multiple lines)
+//! - `#` comments (full-line and trailing)
+//!
+//! Deliberately *not* supported (a typed [`TomlError`] is returned):
+//! datetimes, inline tables, dotted keys in key position, multi-line or
+//! literal strings, and duplicate key definitions.
+//!
+//! Determinism contract: documents parse into [`BTreeMap`]-backed
+//! [`Table`]s, so iteration order is the sorted key order — independent of
+//! insertion order and safe to fold into digests (DESIGN §9 R1). Parsing
+//! never panics; every malformed input maps to a [`TomlError`] carrying
+//! the 1-based source line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed table: sorted key → value map.
+pub type Table = BTreeMap<String, Value>;
+
+/// One parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A nested table (from `[a.b]` headers or `[[a]]` elements).
+    Table(Table),
+}
+
+impl Value {
+    /// Stable lower-case name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen losslessly for small values).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The nested table, if this is a table.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A parse error with the 1-based source line it was detected on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line number of the offending input line.
+    pub line: u32,
+    /// Human-readable description of the problem.
+    pub msg: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: u32, msg: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses a TOML-subset document into its root [`Table`].
+///
+/// # Errors
+///
+/// Returns a [`TomlError`] naming the first offending line for any input
+/// outside the supported subset (see the module docs), including duplicate
+/// key or table definitions.
+pub fn parse(src: &str) -> Result<Table, TomlError> {
+    let mut root = Table::new();
+    // Path of the table currently receiving `key = value` lines; empty for
+    // the root. The final component of an array-of-tables path addresses
+    // the *last* element of that array.
+    let mut current: Vec<String> = Vec::new();
+    let mut lines = src.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = line_no(idx);
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let inner = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[table]] header"))?;
+            let path = parse_header_path(inner, lineno)?;
+            push_array_table(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated [table] header"))?;
+            let path = parse_header_path(inner, lineno)?;
+            define_table(&mut root, &path, lineno)?;
+            current = path;
+        } else {
+            let (key, value_src) = split_key_value(line, lineno)?;
+            let mut value_src = value_src.to_string();
+            // Arrays may span lines: keep appending physical lines until
+            // the brackets balance (strings are comment/bracket-opaque).
+            let mut guard: u32 = 0;
+            while !brackets_balanced(&value_src, lineno)? {
+                let (_, next) = lines
+                    .next()
+                    .ok_or_else(|| err(lineno, "unterminated array"))?;
+                value_src.push(' ');
+                value_src.push_str(strip_comment(next).trim());
+                guard = guard.saturating_add(1);
+                if guard > 10_000 {
+                    return Err(err(lineno, "array spans too many lines"));
+                }
+            }
+            let value = parse_value(value_src.trim(), lineno)?;
+            let table = navigate_mut(&mut root, &current, lineno)?;
+            if table.contains_key(&key) {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+            table.insert(key, value);
+        }
+    }
+    Ok(root)
+}
+
+fn line_no(idx: usize) -> u32 {
+    u32::try_from(idx.saturating_add(1)).unwrap_or(u32::MAX)
+}
+
+/// Strips a trailing `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `true` once every `[` outside a string has a matching `]`.
+fn brackets_balanced(src: &str, lineno: u32) -> Result<bool, TomlError> {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in src.chars() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(err(lineno, "unbalanced `]` in value"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_str && depth == 0 {
+        return Err(err(lineno, "unterminated string"));
+    }
+    Ok(depth == 0)
+}
+
+fn is_bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+fn parse_header_path(inner: &str, lineno: u32) -> Result<Vec<String>, TomlError> {
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Err(err(lineno, "empty table header"));
+    }
+    let mut path = Vec::new();
+    for part in inner.split('.') {
+        let part = part.trim();
+        if part.is_empty() || !part.chars().all(is_bare_key_char) {
+            return Err(err(lineno, format!("bad table header component `{part}`")));
+        }
+        path.push(part.to_string());
+    }
+    Ok(path)
+}
+
+fn split_key_value(line: &str, lineno: u32) -> Result<(String, &str), TomlError> {
+    let eq = line
+        .find('=')
+        .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+    let key_src = line[..eq].trim();
+    let value_src = line[eq + 1..].trim();
+    if value_src.is_empty() {
+        return Err(err(lineno, "missing value after `=`"));
+    }
+    let key = if let Some(rest) = key_src.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| err(lineno, "unterminated quoted key"))?;
+        unescape(inner, lineno)?
+    } else if !key_src.is_empty() && key_src.chars().all(is_bare_key_char) {
+        key_src.to_string()
+    } else {
+        return Err(err(
+            lineno,
+            format!("bad key `{key_src}` (dotted keys are not supported)"),
+        ));
+    };
+    Ok((key, value_src))
+}
+
+fn unescape(src: &str, lineno: u32) -> Result<String, TomlError> {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(other) => {
+                return Err(err(lineno, format!("unsupported escape `\\{other}`")));
+            }
+            None => return Err(err(lineno, "dangling `\\` at end of string")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(src: &str, lineno: u32) -> Result<Value, TomlError> {
+    if let Some(rest) = src.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .filter(|_| src.len() >= 2)
+            .ok_or_else(|| err(lineno, "unterminated string"))?;
+        // Reject embedded unescaped quotes (`"a" junk "b"` must not parse).
+        if !well_formed_string_body(inner) {
+            return Err(err(lineno, "malformed string value"));
+        }
+        return Ok(Value::Str(unescape(inner, lineno)?));
+    }
+    if src == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if src == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = src.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in split_array_items(inner, lineno)? {
+            items.push(parse_value(part.trim(), lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    let numeric = src.replace('_', "");
+    if looks_like_int(&numeric) {
+        return numeric
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(lineno, format!("integer out of range: `{src}`")));
+    }
+    if looks_like_float(&numeric) {
+        return numeric
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(lineno, format!("bad float: `{src}`")));
+    }
+    Err(err(lineno, format!("unsupported value: `{src}`")))
+}
+
+/// `true` when every `"` in a string body is escaped.
+fn well_formed_string_body(body: &str) -> bool {
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => return false,
+            _ => {}
+        }
+    }
+    !escaped
+}
+
+/// Splits array contents on top-level commas (strings and nested arrays
+/// are opaque). Returns the non-empty item slices.
+fn split_array_items(inner: &str, lineno: u32) -> Result<Vec<&str>, TomlError> {
+    let mut items = Vec::new();
+    let mut depth: u32 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| err(lineno, "unbalanced `]` in array"))?;
+            }
+            ',' if !in_str && depth == 0 => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&inner[start..]);
+    Ok(items
+        .into_iter()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect())
+}
+
+fn looks_like_int(src: &str) -> bool {
+    let body = src.strip_prefix(['+', '-']).unwrap_or(src);
+    !body.is_empty() && body.chars().all(|c| c.is_ascii_digit())
+}
+
+fn looks_like_float(src: &str) -> bool {
+    let body = src.strip_prefix(['+', '-']).unwrap_or(src);
+    !body.is_empty()
+        && body
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        && body.chars().any(|c| c.is_ascii_digit())
+}
+
+/// Walks `path` from `root`, descending through tables and the last
+/// element of arrays-of-tables, returning the addressed table.
+fn navigate_mut<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    lineno: u32,
+) -> Result<&'a mut Table, TomlError> {
+    let mut cur = root;
+    for comp in path {
+        let slot = cur
+            .entry(comp.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        cur = match slot {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => {
+                    return Err(err(lineno, format!("`{comp}` is not an array of tables")));
+                }
+            },
+            other => {
+                return Err(err(
+                    lineno,
+                    format!("`{comp}` already defined as {}", other.type_name()),
+                ));
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Defines `[a.b]`: intermediate components may exist, the leaf must not
+/// already be defined as a non-table.
+fn define_table(root: &mut Table, path: &[String], lineno: u32) -> Result<(), TomlError> {
+    let (leaf, parents) = path
+        .split_last()
+        .ok_or_else(|| err(lineno, "empty table header"))?;
+    let parent = navigate_mut(root, parents, lineno)?;
+    match parent.get(leaf) {
+        None => {
+            parent.insert(leaf.clone(), Value::Table(Table::new()));
+            Ok(())
+        }
+        // Re-opening a table created implicitly by a deeper header is
+        // allowed by TOML; re-opening an explicit value is not. We accept
+        // the re-open only for tables (scenario files never rely on it
+        // being rejected).
+        Some(Value::Table(_)) => Ok(()),
+        Some(other) => Err(err(
+            lineno,
+            format!("`{leaf}` already defined as {}", other.type_name()),
+        )),
+    }
+}
+
+/// Appends a fresh element to the `[[a.b]]` array, creating it on first
+/// use.
+fn push_array_table(root: &mut Table, path: &[String], lineno: u32) -> Result<(), TomlError> {
+    let (leaf, parents) = path
+        .split_last()
+        .ok_or_else(|| err(lineno, "empty table header"))?;
+    let parent = navigate_mut(root, parents, lineno)?;
+    match parent
+        .entry(leaf.clone())
+        .or_insert_with(|| Value::Array(Vec::new()))
+    {
+        Value::Array(items) => {
+            items.push(Value::Table(Table::new()));
+            Ok(())
+        }
+        other => Err(err(
+            lineno,
+            format!("`{leaf}` already defined as {}", other.type_name()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_comments() {
+        let t = parse(
+            "# header\nname = \"mead\" # trailing\ncount = 42\nratio = 0.75\nok = true\nneg = -7\nbig = 1_000_000\n",
+        )
+        .unwrap();
+        assert_eq!(t["name"], Value::Str("mead".into()));
+        assert_eq!(t["count"], Value::Int(42));
+        assert_eq!(t["ratio"], Value::Float(0.75));
+        assert_eq!(t["ok"], Value::Bool(true));
+        assert_eq!(t["neg"], Value::Int(-7));
+        assert_eq!(t["big"], Value::Int(1_000_000));
+    }
+
+    #[test]
+    fn nested_tables_and_arrays() {
+        let t = parse("[a.b]\nx = 1\n[a.c]\ny = [1, 2, 3,]\nz = [\"p\", \"q\"]\n").unwrap();
+        let a = t["a"].as_table().unwrap();
+        assert_eq!(a["b"].as_table().unwrap()["x"], Value::Int(1));
+        let y = a["c"].as_table().unwrap()["y"].as_array().unwrap();
+        assert_eq!(y, &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn arrays_of_tables() {
+        let t = parse("[[mix]]\nname = \"a\"\n[[mix]]\nname = \"b\"\nnested = [4]\n").unwrap();
+        let mix = t["mix"].as_array().unwrap();
+        assert_eq!(mix.len(), 2);
+        assert_eq!(mix[1].as_table().unwrap()["name"], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let t = parse("xs = [\n  1, # one\n  2,\n  3\n]\n").unwrap();
+        assert_eq!(
+            t["xs"].as_array().unwrap(),
+            &[Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_hash_in_string() {
+        let t = parse("s = \"a#b \\\"q\\\" \\n\\t\\\\\"\n").unwrap();
+        assert_eq!(t["s"], Value::Str("a#b \"q\" \n\t\\".into()));
+    }
+
+    #[test]
+    fn quoted_keys() {
+        let t = parse("\"dotted.key\" = 1\n").unwrap();
+        assert_eq!(t["dotted.key"], Value::Int(1));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (src, line, frag) in [
+            ("x = 1\nx = 2\n", 2, "duplicate key"),
+            ("[t]\n[t.x\n", 2, "unterminated"),
+            ("x =\n", 1, "missing value"),
+            ("x = nope\n", 1, "unsupported value"),
+            ("x = \"open\n", 1, "unterminated string"),
+            ("x = [1, 2\n", 1, "unterminated array"),
+            ("a.b = 1\n", 1, "dotted keys"),
+            ("x = \"a\" junk \"b\"\n", 1, "malformed string"),
+            ("x = 99999999999999999999\n", 1, "out of range"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert_eq!(e.line, line, "src: {src:?} -> {e}");
+            assert!(e.msg.contains(frag), "src: {src:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn redefinition_conflicts_rejected() {
+        assert!(parse("[a]\nx = 1\n[a.x]\n").is_err());
+        assert!(parse("[[a]]\n[a]\n").is_err());
+        assert!(parse("a = 1\n[[a]]\n").is_err());
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let t = parse("z = 1\na = 2\nm = 3\n").unwrap();
+        let keys: Vec<_> = t.keys().cloned().collect();
+        assert_eq!(keys, ["a", "m", "z"]);
+    }
+}
