@@ -114,6 +114,7 @@ impl CdrWriter {
 
     /// Pads with zero bytes so the next value starts `align`-aligned.
     fn align(&mut self, align: usize) {
+        let align = align.max(1);
         let pos = self.buf.len();
         let pad = (align - pos % align) % align;
         for _ in 0..pad {
@@ -171,7 +172,7 @@ impl CdrWriter {
     /// Writes a CDR string: u32 length *including* the terminating NUL,
     /// then the bytes, then NUL.
     pub fn write_string(&mut self, s: &str) {
-        self.write_u32(wire_len(s.len()) + 1);
+        self.write_u32(wire_len(s.len()).saturating_add(1));
         self.buf.put_slice(s.as_bytes());
         self.buf.put_u8(0);
     }
@@ -224,6 +225,7 @@ impl CdrReader {
     }
 
     fn align(&mut self, align: usize) {
+        let align = align.max(1);
         let pad = (align - self.pos % align) % align;
         self.pos = self.pos.saturating_add(pad);
     }

@@ -349,7 +349,7 @@ impl Message {
                 let object_key = ObjectKey::from_bytes(r.read_octets()?);
                 let operation = r.read_string()?;
                 let _principal = r.read_octets()?;
-                let consumed = body.len() - r.remaining();
+                let consumed = body.len().saturating_sub(r.remaining());
                 Ok(Message::Request(RequestMessage {
                     request_id,
                     response_expected,
@@ -365,7 +365,7 @@ impl Message {
                 let status = ReplyStatus::from_u32(r.read_u32()?)?;
                 let reply_body = match status {
                     ReplyStatus::NoException => {
-                        let consumed = body.len() - r.remaining();
+                        let consumed = body.len().saturating_sub(r.remaining());
                         ReplyBody::NoException(body.get(consumed..).unwrap_or(&[]).to_vec())
                     }
                     ReplyStatus::UserException => ReplyBody::UserException(r.read_string()?),
@@ -501,7 +501,7 @@ impl FrameSplitter {
         };
         let little = read_u8_at(&self.buf, 6)? & 1 == 1;
         let body_len = read_len(&self.buf, little)?;
-        let total = HEADER_LEN + body_len;
+        let total = HEADER_LEN.saturating_add(body_len);
         if self.buf.len() < total {
             return Ok(None);
         }

@@ -2,9 +2,9 @@
 //!
 //! Determinism findings may only be silenced through an explicit,
 //! *justified* entry here — never with an inline attribute — so every
-//! exception to the contract is reviewable in one place. The format is a
-//! deliberately tiny TOML subset (parsed by hand; the build is offline and
-//! no TOML crate is vendored):
+//! exception to the contract is reviewable in one place. The file is
+//! parsed with the vendored [`tomlite`] parser (the same one the chaos
+//! scenario DSL uses — one TOML parser in the tree, not two):
 //!
 //! ```toml
 //! [[allow]]
@@ -27,13 +27,18 @@
 //! call-site line. A taint chain is only silenced when one of its own
 //! edges is suppressed, so blessing one flow never blesses a new
 //! transitive flow through the same source.
+//!
+//! Diagnostics carry 1-based line numbers: TOML syntax errors point at
+//! the offending line (straight from [`tomlite::TomlError`]), semantic
+//! errors (missing/unknown keys, bad rule ids) point at the `[[allow]]`
+//! header line of the entry they belong to.
 
 use crate::Finding;
 
 /// One suppression entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id this entry suppresses (`R1`..`R8`).
+    /// Rule id this entry suppresses (`R1`..`R10`).
     pub rule: String,
     /// Exact workspace-relative path of the finding's file (for R5: of
     /// the suppressed edge's caller).
@@ -69,6 +74,9 @@ impl std::fmt::Display for AllowError {
 
 impl std::error::Error for AllowError {}
 
+/// Rule ids that may appear in `rule = "..."`.
+const KNOWN_RULES: [&str; 10] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"];
+
 impl AllowList {
     /// An empty list (suppresses nothing).
     pub fn empty() -> Self {
@@ -80,56 +88,46 @@ impl AllowList {
         &self.entries
     }
 
-    /// Parses the TOML-subset text. See the module docs for the grammar.
+    /// Parses the allow file. See the module docs for the format.
     pub fn parse(text: &str) -> Result<AllowList, AllowError> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        let mut current: Option<(u32, PartialEntry)> = None;
-        for (idx, raw) in text.lines().enumerate() {
-            let lineno = idx as u32 + 1;
-            let line = strip_comment(raw).trim();
-            if line.is_empty() {
-                continue;
-            }
-            if line == "[[allow]]" {
-                if let Some((at, partial)) = current.take() {
-                    entries.push(partial.finish(at)?);
-                }
-                current = Some((lineno, PartialEntry::default()));
-                continue;
-            }
-            if line.starts_with('[') {
+        let tracked = tomlite::parse_tracked(text).map_err(|e| AllowError {
+            line: e.line,
+            message: e.msg,
+        })?;
+        for key in tracked.table.keys() {
+            if key != "allow" {
                 return Err(AllowError {
-                    line: lineno,
-                    message: format!("unknown section `{line}` (only [[allow]] is recognised)"),
+                    line: 1,
+                    message: format!("unknown section `{key}` (only [[allow]] is recognised)"),
                 });
-            }
-            let Some((key, value)) = parse_kv(line) else {
-                return Err(AllowError {
-                    line: lineno,
-                    message: format!("expected `key = \"value\"`, got `{line}`"),
-                });
-            };
-            let Some((_, partial)) = current.as_mut() else {
-                return Err(AllowError {
-                    line: lineno,
-                    message: "key outside any [[allow]] entry".to_string(),
-                });
-            };
-            match key {
-                "rule" => partial.rule = Some(value),
-                "path" => partial.path = Some(value),
-                "pattern" => partial.pattern = Some(value),
-                "justification" => partial.justification = Some(value),
-                other => {
-                    return Err(AllowError {
-                        line: lineno,
-                        message: format!("unknown key `{other}`"),
-                    });
-                }
             }
         }
-        if let Some((at, partial)) = current.take() {
-            entries.push(partial.finish(at)?);
+        let raw = match tracked.table.get("allow") {
+            None => return Ok(AllowList::default()),
+            Some(tomlite::Value::Array(items)) => items,
+            Some(other) => {
+                return Err(AllowError {
+                    line: 1,
+                    message: format!(
+                        "`allow` must be an array of tables, got {}",
+                        other.type_name()
+                    ),
+                });
+            }
+        };
+        let header_lines = tracked
+            .array_lines
+            .get("allow")
+            .cloned()
+            .unwrap_or_default();
+        let mut entries = Vec::with_capacity(raw.len());
+        for (idx, item) in raw.iter().enumerate() {
+            let at = header_lines.get(idx).copied().unwrap_or(1);
+            let table = item.as_table().ok_or_else(|| AllowError {
+                line: at,
+                message: "`allow` must be an array of tables".to_string(),
+            })?;
+            entries.push(entry_from_table(table, at)?);
         }
         Ok(AllowList { entries })
     }
@@ -169,96 +167,63 @@ impl AllowList {
     }
 }
 
-#[derive(Default)]
-struct PartialEntry {
-    rule: Option<String>,
-    path: Option<String>,
-    pattern: Option<String>,
-    justification: Option<String>,
-}
-
-impl PartialEntry {
-    fn finish(self, at: u32) -> Result<AllowEntry, AllowError> {
-        let rule = self.rule.ok_or(AllowError {
+/// Validates one `[[allow]]` table into an [`AllowEntry`]. `at` is the
+/// header line used to anchor diagnostics.
+fn entry_from_table(table: &tomlite::Table, at: u32) -> Result<AllowEntry, AllowError> {
+    for key in table.keys() {
+        if !matches!(key.as_str(), "rule" | "path" | "pattern" | "justification") {
+            return Err(AllowError {
+                line: at,
+                message: format!("unknown key `{key}`"),
+            });
+        }
+    }
+    let string_key = |key: &str| -> Result<Option<String>, AllowError> {
+        match table.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| AllowError {
+                    line: at,
+                    message: format!("`{key}` must be a string, got {}", v.type_name()),
+                }),
+        }
+    };
+    let rule = string_key("rule")?.ok_or(AllowError {
+        line: at,
+        message: "entry is missing `rule`".to_string(),
+    })?;
+    if !KNOWN_RULES.contains(&rule.as_str()) {
+        return Err(AllowError {
             line: at,
-            message: "entry is missing `rule`".to_string(),
-        })?;
-        if !matches!(
-            rule.as_str(),
-            "R1" | "R2" | "R3" | "R4" | "R5" | "R6" | "R7" | "R8"
-        ) {
-            return Err(AllowError {
-                line: at,
-                message: format!("unknown rule `{rule}` (expected R1..R8)"),
-            });
-        }
-        let path = self.path.ok_or(AllowError {
+            message: format!("unknown rule `{rule}` (expected R1..R10)"),
+        });
+    }
+    let path = string_key("path")?.ok_or(AllowError {
+        line: at,
+        message: "entry is missing `path`".to_string(),
+    })?;
+    if path.is_empty() {
+        return Err(AllowError {
             line: at,
-            message: "entry is missing `path`".to_string(),
-        })?;
-        if path.is_empty() {
-            return Err(AllowError {
-                line: at,
-                message: "`path` must be non-empty".to_string(),
-            });
-        }
-        let justification = self.justification.unwrap_or_default();
-        if justification.trim().is_empty() {
-            return Err(AllowError {
-                line: at,
-                message: "suppression requires a non-empty `justification`".to_string(),
-            });
-        }
-        Ok(AllowEntry {
-            rule,
-            path,
-            pattern: self.pattern,
-            justification,
-            defined_at: at,
-        })
+            message: "`path` must be non-empty".to_string(),
+        });
     }
-}
-
-/// Drops a `#`-comment, respecting `#` inside double-quoted strings.
-fn strip_comment(line: &str) -> &str {
-    let mut in_str = false;
-    let mut prev_backslash = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' if !prev_backslash => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
-            _ => {}
-        }
-        prev_backslash = c == '\\' && !prev_backslash;
+    let justification = string_key("justification")?.unwrap_or_default();
+    if justification.trim().is_empty() {
+        return Err(AllowError {
+            line: at,
+            message: "suppression requires a non-empty `justification`".to_string(),
+        });
     }
-    line
-}
-
-/// Parses `key = "value"`.
-fn parse_kv(line: &str) -> Option<(&str, String)> {
-    let (key, rest) = line.split_once('=')?;
-    let key = key.trim();
-    let rest = rest.trim();
-    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
-    // Minimal unescaping: the only escapes we accept are \" and \\.
-    let mut value = String::with_capacity(inner.len());
-    let mut chars = inner.chars();
-    while let Some(c) = chars.next() {
-        if c == '\\' {
-            match chars.next() {
-                Some('"') => value.push('"'),
-                Some('\\') => value.push('\\'),
-                Some(other) => {
-                    value.push('\\');
-                    value.push(other);
-                }
-                None => value.push('\\'),
-            }
-        } else {
-            value.push(c);
-        }
-    }
-    Some((key, value))
+    Ok(AllowEntry {
+        rule,
+        path,
+        pattern: string_key("pattern")?,
+        justification,
+        defined_at: at,
+    })
 }
 
 #[cfg(test)]
@@ -355,13 +320,29 @@ justification = "wall-clock accounting only"
 
     #[test]
     fn unknown_rule_or_key_is_an_error() {
+        // R9/R10 are valid rule ids as of detlint v3; R11 is not.
         assert!(AllowList::parse(
             "[[allow]]\nrule = \"R9\"\npath = \"a\"\njustification = \"j\"\n"
+        )
+        .is_ok());
+        assert!(AllowList::parse(
+            "[[allow]]\nrule = \"R11\"\npath = \"a\"\njustification = \"j\"\n"
         )
         .is_err());
         assert!(AllowList::parse(
             "[[allow]]\nrule = \"R1\"\nfile = \"a\"\njustification = \"j\"\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn errors_anchor_at_entry_header_line() {
+        let err = AllowList::parse(
+            "# leading comment\n\n[[allow]]\nrule = \"R2\"\npath = \"a.rs\"\njustification = \"j\"\n\n[[allow]]\nrule = \"R3\"\npath = \"b.rs\"\n",
+        )
+        .expect_err("second entry invalid");
+        assert_eq!(err.line, 8);
+        let err = AllowList::parse("[x]\ny = 1\n").expect_err("unknown section");
+        assert!(err.message.contains("unknown section"));
     }
 }

@@ -20,6 +20,15 @@
 //!   vocabularies: every emitted variant is consumed or declared
 //!   report-only, and codec encode/decode sides cover the same variants
 //!   and wire types.
+//! - **R9** (see [`fsm`]) extracts the *implemented* recovery-protocol
+//!   transition relation from match arms and send sites and diffs it
+//!   against the declared state machine in `specs/recovery-protocol.toml`:
+//!   missing handlers, undeclared transitions, unreachable spec states,
+//!   dead message variants.
+//! - **R10** (see [`dataflow`]) proves the codec bounds discipline with
+//!   an interval abstract interpretation over lowered CFGs: every
+//!   subtraction, index, split, and narrowing conversion in the GIOP
+//!   decoders and the simnet receive queue must be dominated by a check.
 //!
 //! Suppressions are allowed only through a justified
 //! [`lint-allow.toml`](allow) entry; stale entries are configuration
@@ -32,6 +41,8 @@ pub mod allow;
 pub mod baseline;
 pub mod callgraph;
 pub mod conformance;
+pub mod dataflow;
+pub mod fsm;
 pub mod rules;
 pub mod sarif;
 pub mod taint;
@@ -49,7 +60,7 @@ pub use rules::RuleSet;
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`R1`..`R8`).
+    /// Rule id (`R1`..`R10`).
     pub rule: &'static str,
     /// Workspace-relative path with forward slashes.
     pub path: String,
@@ -96,6 +107,10 @@ pub struct Contract {
     pub protocol_enums: Vec<String>,
     /// R8 conformance vocabulary; `None` disables the pass.
     pub conformance: Option<ConformanceConfig>,
+    /// R9 protocol-FSM conformance; `None` disables the pass.
+    pub fsm: Option<fsm::FsmConfig>,
+    /// R10 interval-dataflow proofs; `None` disables the pass.
+    pub dataflow: Option<dataflow::DataflowConfig>,
 }
 
 impl Default for Contract {
@@ -161,6 +176,8 @@ impl Default for Contract {
             ]),
             protocol_enums: strs(&["GcsWire", "GroupMsg"]),
             conformance: Some(ConformanceConfig::default()),
+            fsm: Some(fsm::FsmConfig::default()),
+            dataflow: Some(dataflow::DataflowConfig::default()),
         }
     }
 }
@@ -229,6 +246,8 @@ impl Report {
             ("R6", 0),
             ("R7", 0),
             ("R8", 0),
+            ("R9", 0),
+            ("R10", 0),
         ]
         .into();
         for f in &self.findings {
@@ -237,10 +256,10 @@ impl Report {
         counts
     }
 
-    /// Machine-readable JSON summary (schema `detlint/2`).
+    /// Machine-readable JSON summary (schema `detlint/3`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"detlint/2\",\n");
+        out.push_str("{\n  \"schema\": \"detlint/3\",\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"total\": {},", self.findings.len());
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed.len());
@@ -376,21 +395,45 @@ pub fn lint_files(
 
     // R8: event/codec conformance over the whole parsed set (liveness
     // needs to see emitters wherever they live).
-    if let Some(cfg) = &contract.conformance {
-        let by_path: BTreeMap<&str, &FileAst> =
-            file_asts.iter().map(|f| (f.path.as_str(), f)).collect();
-        for f in conformance::check(&file_asts, cfg) {
-            let line_text = by_path
-                .get(f.path.as_str())
-                .map(|fa| fa.line_text(f.line))
-                .unwrap_or("");
-            match allow.suppression_for(&f, line_text) {
-                Some(i) => {
-                    allow_used[i] = true;
-                    report.suppressed.push(f);
-                }
-                None => report.findings.push(f),
+    let by_path: BTreeMap<&str, &FileAst> =
+        file_asts.iter().map(|f| (f.path.as_str(), f)).collect();
+    let route = |f: Finding, report: &mut Report, allow_used: &mut Vec<bool>| {
+        // Findings may land in files we did not scan (the spec file);
+        // those have no source line to pattern-match against.
+        let line_text = by_path
+            .get(f.path.as_str())
+            .map(|fa| fa.line_text(f.line))
+            .unwrap_or("");
+        match allow.suppression_for(&f, line_text) {
+            Some(i) => {
+                allow_used[i] = true;
+                report.suppressed.push(f);
             }
+            None => report.findings.push(f),
+        }
+    };
+    if let Some(cfg) = &contract.conformance {
+        for f in conformance::check(&file_asts, cfg) {
+            route(f, &mut report, &mut allow_used);
+        }
+    }
+
+    // R9: protocol-FSM conformance against the declared state machine.
+    if let Some(cfg) = &contract.fsm {
+        if let Some(spec_src) = &cfg.spec_src {
+            let analysis = fsm::check(&file_asts, cfg, spec_src).map_err(|e| EngineError {
+                message: format!("{}:{}: {}", cfg.spec_path, e.line, e.message),
+            })?;
+            for f in analysis.findings {
+                route(f, &mut report, &mut allow_used);
+            }
+        }
+    }
+
+    // R10: interval-dataflow bounds proofs over the codec scopes.
+    if let Some(cfg) = &contract.dataflow {
+        for f in dataflow::check(sources, cfg) {
+            route(f, &mut report, &mut allow_used);
         }
     }
 
@@ -414,13 +457,9 @@ pub fn lint_files(
     Ok(report)
 }
 
-/// Scans every `.rs` file under `root`'s `crates/` and `vendor/` trees
-/// and applies the allowlist.
-pub fn lint_workspace(
-    root: &Path,
-    contract: &Contract,
-    allow: &AllowList,
-) -> Result<Report, EngineError> {
+/// Reads every `.rs` file under `root`'s `crates/` and `vendor/` trees
+/// into (workspace-relative path, text) pairs, sorted by path.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, String)>, EngineError> {
     let mut files = Vec::new();
     for tree in ["crates", "vendor"] {
         collect_rs_files(&root.join(tree), &mut files).map_err(|e| EngineError {
@@ -441,7 +480,38 @@ pub fn lint_workspace(
         })?;
         sources.push((rel, src));
     }
-    lint_files(&sources, contract, allow)
+    Ok(sources)
+}
+
+/// Fills `contract.fsm.spec_src` from disk when the R9 pass is enabled
+/// but the spec text has not been provided in-memory. A missing or
+/// unreadable spec file is a configuration error (exit 2), not a clean
+/// run: the spec is the whole point of R9.
+pub fn load_spec(root: &Path, contract: &Contract) -> Result<Contract, EngineError> {
+    let mut contract = contract.clone();
+    if let Some(cfg) = &mut contract.fsm {
+        if cfg.spec_src.is_none() {
+            let path = root.join(&cfg.spec_path);
+            let src = std::fs::read_to_string(&path).map_err(|e| EngineError {
+                message: format!("reading protocol spec {}: {e}", cfg.spec_path),
+            })?;
+            cfg.spec_src = Some(src);
+        }
+    }
+    Ok(contract)
+}
+
+/// Scans every `.rs` file under `root`'s `crates/` and `vendor/` trees
+/// and applies the allowlist. Loads the R9 protocol spec from `root`
+/// when the contract enables the pass without embedding the spec text.
+pub fn lint_workspace(
+    root: &Path,
+    contract: &Contract,
+    allow: &AllowList,
+) -> Result<Report, EngineError> {
+    let sources = collect_sources(root)?;
+    let contract = load_spec(root, contract)?;
+    lint_files(&sources, &contract, allow)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -467,14 +537,170 @@ enum Format {
     Sarif,
 }
 
+/// Runs the R9 extractor alone over `sources` and renders its
+/// machine-readable report (`detlint-fsm/1`): the parsed spec, every
+/// recovered code site, and the conformance diff.
+pub fn fsm_report(
+    sources: &[(String, String)],
+    cfg: &fsm::FsmConfig,
+) -> Result<String, EngineError> {
+    let Some(spec_src) = &cfg.spec_src else {
+        return Err(EngineError {
+            message: format!("fsm report: spec {} not loaded", cfg.spec_path),
+        });
+    };
+    let mut file_asts = Vec::with_capacity(sources.len());
+    for (rel, src) in sources {
+        let trees = synlite::parse_file(src).map_err(|e| EngineError {
+            message: format!("lexing {rel}: {e}"),
+        })?;
+        file_asts.push(FileAst::parse(rel, &trees, src));
+    }
+    let analysis = fsm::check(&file_asts, cfg, spec_src).map_err(|e| EngineError {
+        message: format!("{}:{}: {}", cfg.spec_path, e.line, e.message),
+    })?;
+    Ok(fsm::report_json(&analysis))
+}
+
+/// One contract per rule with every other pass disabled, so each rule's
+/// cost can be measured in isolation for `--timings`.
+fn per_rule_contracts(full: &Contract) -> Vec<(&'static str, Contract)> {
+    let base = Contract {
+        r1_scopes: Vec::new(),
+        r2_scopes: Vec::new(),
+        r3_scopes: Vec::new(),
+        r4_scopes: Vec::new(),
+        r5_scopes: Vec::new(),
+        r5_sinks: Vec::new(),
+        r6_scopes: Vec::new(),
+        r7_scopes: Vec::new(),
+        protocol_enums: full.protocol_enums.clone(),
+        conformance: None,
+        fsm: None,
+        dataflow: None,
+    };
+    vec![
+        (
+            "R1",
+            Contract {
+                r1_scopes: full.r1_scopes.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R2",
+            Contract {
+                r2_scopes: full.r2_scopes.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R3",
+            Contract {
+                r3_scopes: full.r3_scopes.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R4",
+            Contract {
+                r4_scopes: full.r4_scopes.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R5",
+            Contract {
+                r5_scopes: full.r5_scopes.clone(),
+                r5_sinks: full.r5_sinks.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R6",
+            Contract {
+                r6_scopes: full.r6_scopes.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R7",
+            Contract {
+                r7_scopes: full.r7_scopes.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R8",
+            Contract {
+                conformance: full.conformance.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R9",
+            Contract {
+                fsm: full.fsm.clone(),
+                ..base.clone()
+            },
+        ),
+        (
+            "R10",
+            Contract {
+                dataflow: full.dataflow.clone(),
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Files a rule actually looks at, for the `--timings` report. R8 and R9
+/// are whole-tree passes (liveness and the transition extractor must see
+/// every file); the rest are scope-filtered.
+fn files_for_rule(rule: &str, contract: &Contract, sources: &[(String, String)]) -> usize {
+    let scope_count = |scopes: &[String]| {
+        sources
+            .iter()
+            .filter(|(p, _)| scopes.iter().any(|s| p.starts_with(s.as_str())))
+            .count()
+    };
+    match rule {
+        "R1" => scope_count(&contract.r1_scopes),
+        "R2" => scope_count(&contract.r2_scopes),
+        "R3" => scope_count(&contract.r3_scopes),
+        "R4" => scope_count(&contract.r4_scopes),
+        "R5" => scope_count(&contract.r5_scopes),
+        "R6" => scope_count(&contract.r6_scopes),
+        "R7" => scope_count(&contract.r7_scopes),
+        "R8" | "R9" => sources.len(),
+        "R10" => contract
+            .dataflow
+            .as_ref()
+            .map(|d| sources.iter().filter(|(p, _)| d.in_scope(p)).count())
+            .unwrap_or(0),
+        _ => 0,
+    }
+}
+
 /// CLI driver shared by the `detlint` binaries. Returns the process exit
 /// code: 0 clean, 1 unsuppressed findings, 2 configuration error (bad
-/// flags, malformed or stale allowlist, unreadable tree).
+/// flags, malformed or stale allowlist, unreadable tree, missing or
+/// malformed protocol spec). The lint crate is itself in R1 scope, so
+/// the monotonic clock used by `--timings` is injected by the binary;
+/// [`cli_main`] runs with a zero clock (timings print as 0.00ms).
 pub fn cli_main(args: &[String]) -> i32 {
+    cli_main_with_clock(args, &|| 0)
+}
+
+/// [`cli_main`] with an injected monotonic nanosecond clock for
+/// `--timings`.
+pub fn cli_main_with_clock(args: &[String], now_nanos: &dyn Fn() -> u64) -> i32 {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut timings = false;
+    let mut fsm_report_path: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -501,6 +727,14 @@ pub fn cli_main(args: &[String]) -> i32 {
                 baseline_path = Some(PathBuf::from(v));
             }
             "--write-baseline" => write_baseline = true,
+            "--timings" => timings = true,
+            "--fsm-report" => {
+                let Some(v) = it.next() else {
+                    eprintln!("detlint: --fsm-report needs a value");
+                    return 2;
+                };
+                fsm_report_path = Some(PathBuf::from(v));
+            }
             "--json" => format = Format::Json,
             "--format" => {
                 let Some(v) = it.next() else {
@@ -523,6 +757,7 @@ pub fn cli_main(args: &[String]) -> i32 {
                      \n\
                      USAGE: detlint [--root DIR] [--allow FILE] [--baseline FILE]\n\
                      \x20              [--format text|json|sarif] [--write-baseline]\n\
+                     \x20              [--timings] [--fsm-report FILE]\n\
                      \n\
                      --root DIR        workspace root to scan (default: .)\n\
                      --allow FILE      suppression list (default: <root>/lint-allow.toml)\n\
@@ -530,7 +765,13 @@ pub fn cli_main(args: &[String]) -> i32 {
                      \x20                 (default: <root>/detlint-baseline.txt)\n\
                      --format FMT      output format: text (default), json, sarif\n\
                      --json            shorthand for --format json\n\
-                     --write-baseline  snapshot current findings into the baseline file"
+                     --write-baseline  snapshot current findings into the baseline file\n\
+                     --timings         print per-rule wall-clock and file counts to stderr\n\
+                     --fsm-report FILE write the R9 state-machine extraction report (JSON)\n\
+                     \n\
+                     Exit codes: 0 clean, 1 unsuppressed findings, 2 configuration\n\
+                     error (bad flags, malformed or stale allowlist, unreadable tree,\n\
+                     missing or malformed protocol spec)."
                 );
                 return 0;
             }
@@ -571,8 +812,21 @@ pub fn cli_main(args: &[String]) -> i32 {
         Baseline::default()
     };
 
-    let contract = Contract::default();
-    let mut report = match lint_workspace(&root, &contract, &allow) {
+    let sources = match collect_sources(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return 2;
+        }
+    };
+    let contract = match load_spec(&root, &Contract::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return 2;
+        }
+    };
+    let mut report = match lint_files(&sources, &contract, &allow) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("detlint: {e}");
@@ -584,6 +838,45 @@ pub fn cli_main(args: &[String]) -> i32 {
             eprintln!("detlint: {s}");
         }
         return 2;
+    }
+    if let Some(path) = &fsm_report_path {
+        let json = match contract.fsm.as_ref().ok_or_else(|| EngineError {
+            message: "fsm report: the R9 pass is disabled in this contract".to_string(),
+        }) {
+            Ok(cfg) => match fsm_report(&sources, cfg) {
+                Ok(json) => json,
+                Err(e) => {
+                    eprintln!("detlint: {e}");
+                    return 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("detlint: writing {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!("detlint: wrote fsm report to {}", path.display());
+    }
+    if timings {
+        // Re-run each rule in isolation against the already-loaded
+        // sources; the empty allowlist keeps suppression cost out of the
+        // per-rule numbers.
+        let no_allow = AllowList::empty();
+        eprintln!("detlint: per-rule timings:");
+        for (name, rule_contract) in per_rule_contracts(&contract) {
+            let n = files_for_rule(name, &contract, &sources);
+            let t0 = now_nanos();
+            let _ = lint_files(&sources, &rule_contract, &no_allow);
+            let dt = now_nanos().saturating_sub(t0);
+            eprintln!(
+                "detlint:   {name:<4} {ms:>9.2}ms  {n} file(s)",
+                ms = dt as f64 / 1e6
+            );
+        }
     }
     if write_baseline {
         let all: Vec<Finding> = report

@@ -1,6 +1,6 @@
 //! SARIF 2.1.0 output for code-scanning upload.
 //!
-//! One run, driver `detlint`, static rule metadata for R1–R8, one result
+//! One run, driver `detlint`, static rule metadata for R1–R10, one result
 //! per unsuppressed finding. Hand-rolled (the build is offline and no
 //! JSON crate is vendored) against the subset of the SARIF 2.1.0 schema
 //! GitHub code scanning consumes: `tool.driver.rules[]`,
@@ -39,6 +39,14 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "R8",
         "Protocol-conformance violation (dead/unconsumed event variant, codec asymmetry)",
+    ),
+    (
+        "R9",
+        "Protocol-FSM spec conformance (missing handler, undeclared transition, unreachable state, dead message)",
+    ),
+    (
+        "R10",
+        "Interval-dataflow bounds proof failure (unproven index/arithmetic or silent narrowing in a codec)",
     ),
 ];
 

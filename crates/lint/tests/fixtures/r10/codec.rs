@@ -1,0 +1,66 @@
+//! R10 fixture: interval-dataflow bounds proofs. Every line with a
+//! trailing R10 marker must be flagged; each unmarked sibling carries
+//! the dominating guard or fact the engine must prove it with.
+
+pub struct Queue {
+    segments: Vec<Vec<u8>>,
+    len: usize,
+}
+
+impl Queue {
+    pub fn drain(&mut self, max: usize) {
+        let take = max.min(self.len);
+        self.len -= take;
+    }
+
+    pub fn shrink_unproven(&mut self, take: usize) {
+        self.len -= take; //~ R10
+    }
+}
+
+pub struct Framer {
+    buf: Vec<u8>,
+}
+
+impl Framer {
+    pub fn next_frame(&mut self, total: usize) -> usize {
+        if self.buf.len() < total {
+            return 0;
+        }
+        let frame = self.buf.split_to(total);
+        frame.len()
+    }
+
+    pub fn split_unproven(&mut self, total: usize) -> usize {
+        let frame = self.buf.split_to(total); //~ R10
+        frame.len()
+    }
+}
+
+pub fn byte_at(buf: &[u8], i: usize) -> u8 {
+    if i < buf.len() {
+        buf[i]
+    } else {
+        0
+    }
+}
+
+pub fn byte_at_unproven(buf: &[u8], i: usize) -> u8 {
+    buf[i] //~ R10
+}
+
+pub fn low_nibble(x: usize) -> u8 {
+    (x % 16) as u8
+}
+
+pub fn narrow_unproven(x: usize) -> u8 {
+    x as u8 //~ R10
+}
+
+pub fn wire_len(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
+pub fn wire_len_truncating(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or(7) //~ R10
+}

@@ -1,0 +1,16 @@
+//! R9 fixture: the client role. `shutdown` sends `ToyWire::Bye`, which
+//! the spec never declares as a client send — the finding must carry a
+//! `run -> shutdown` evidence chain.
+
+pub fn run(io: &mut Io) {
+    ping(io);
+    shutdown(io);
+}
+
+pub fn ping(io: &mut Io) {
+    io.send(ToyWire::Ping);
+}
+
+pub fn shutdown(io: &mut Io) {
+    io.send(ToyWire::Bye); //~ R9
+}

@@ -1,0 +1,23 @@
+//! R9 fixture: the server role. The spec declares `recv ToyWire::Bye`,
+//! but the only matching arm leads with a protocol-error rejection, so
+//! the transition counts as missing (and the finding names this arm).
+
+pub struct Server {
+    busy: bool,
+}
+
+impl Server {
+    pub fn on_message(&mut self, io: &mut Io, msg: ToyWire) {
+        match msg {
+            ToyWire::Ping => {
+                self.busy = true;
+                io.send(ToyWire::Pong);
+            }
+            ToyWire::Pong => {}
+            ToyWire::Bye => {
+                io.count("toy.protocol_error", 1);
+            }
+            ToyWire::Orphan => {}
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! R9 fixture: the toy wire protocol. `Orphan` appears in no spec
+//! transition, so the extractor must flag it as a dead variant.
+
+pub enum ToyWire {
+    Ping,
+    Pong,
+    Bye,
+    Orphan, //~ R9
+}

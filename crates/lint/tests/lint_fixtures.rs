@@ -149,6 +149,8 @@ fn r5_contract() -> Contract {
         r7_scopes: vec![],
         protocol_enums: vec![],
         conformance: None,
+        fsm: None,
+        dataflow: None,
     }
 }
 
@@ -237,6 +239,8 @@ fn r8_conformance_fixture() {
             codec_structs: vec![],
             ..ConformanceConfig::default()
         }),
+        fsm: None,
+        dataflow: None,
     };
     let report = lint_files(&sources, &contract, &AllowList::empty()).expect("lints");
     assert_eq!(

@@ -51,7 +51,7 @@ impl RecvQueue {
         if data.is_empty() {
             return;
         }
-        self.len += data.len();
+        self.len = self.len.saturating_add(data.len());
         self.segments.push_back(data);
     }
 

@@ -52,9 +52,21 @@ pub struct FnDecl {
     pub name: String,
     /// `true` when the first parameter is a `self` receiver.
     pub has_self: bool,
+    /// Simply-named parameters with their declared types (`x: usize`);
+    /// `self` receivers and destructuring patterns are omitted.
+    pub params: Vec<Param>,
     /// The body token stream; `None` for body-less signatures
     /// (trait-required methods, `extern` decls).
     pub body: Option<Vec<TokenTree>>,
+}
+
+/// One simply-named `name: Type` function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// The binding name (without `mut`).
+    pub name: String,
+    /// The declared type, rendered as compact source text.
+    pub ty: String,
 }
 
 /// An `impl Type`, `impl Trait for Type`, or `trait Name` block.
@@ -101,6 +113,41 @@ pub struct Variant {
 pub struct StructDecl {
     /// The struct name.
     pub name: String,
+    /// Named fields with their declared types; empty for tuple/unit
+    /// structs and structs whose body was not recognised.
+    pub fields: Vec<Param>,
+}
+
+/// Renders a token slice back to compact source text: idents/literals are
+/// separated by single spaces only where gluing them would merge tokens,
+/// punctuation binds tightly, and groups re-print their delimiters.
+pub fn tokens_text(trees: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in trees {
+        let piece = match &t.tok {
+            Tok::Ident(s) => s.clone(),
+            Tok::Lifetime(s) => format!("'{s}"),
+            Tok::Punct(c) => c.to_string(),
+            Tok::Lit(s) => s.clone(),
+            Tok::Group(d, inner) => {
+                let (open, close) = match d {
+                    Delim::Paren => ('(', ')'),
+                    Delim::Bracket => ('[', ']'),
+                    Delim::Brace => ('{', '}'),
+                };
+                format!("{open}{}{close}", tokens_text(inner))
+            }
+        };
+        let needs_space = matches!(
+            (out.chars().last(), piece.chars().next()),
+            (Some(a), Some(b)) if (a.is_alphanumeric() || a == '_') && (b.is_alphanumeric() || b == '_')
+        );
+        if needs_space {
+            out.push(' ');
+        }
+        out.push_str(&piece);
+    }
+    out
 }
 
 /// Parses a lexed token stream into items. Unrecognised tokens are
@@ -199,11 +246,20 @@ fn parse_items_inner(trees: &[TokenTree], inherited_test: bool) -> Vec<Item> {
             }
             "struct" => {
                 if let Some(name) = trees.get(i + 1).and_then(|n| n.ident()) {
+                    // Named fields live in the brace group after the name
+                    // (and any generics); tuple/unit structs have none.
+                    let j = skip_generics(trees, i + 2);
+                    let fields = trees
+                        .get(j)
+                        .and_then(|n| n.group(Delim::Brace))
+                        .map(parse_params)
+                        .unwrap_or_default();
                     items.push(Item {
                         span: t.span,
                         test_only,
                         kind: ItemKind::Struct(StructDecl {
                             name: name.to_string(),
+                            fields,
                         }),
                     });
                 }
@@ -235,6 +291,7 @@ fn parse_fn(trees: &[TokenTree], i: usize, test_only: bool) -> (Option<Item>, us
         .iter()
         .take_while(|a| !a.is_punct(','))
         .any(|a| a.is_ident("self"));
+    let params = parse_params(args);
     j += 1;
     // Return type / where clause run up to the body brace or a `;`.
     let mut body = None;
@@ -259,11 +316,92 @@ fn parse_fn(trees: &[TokenTree], i: usize, test_only: bool) -> (Option<Item>, us
             kind: ItemKind::Fn(FnDecl {
                 name: name.to_string(),
                 has_self,
+                params,
                 body,
             }),
         }),
         j,
     )
+}
+
+/// Parses `name: Type` pairs from a comma-separated list (fn argument
+/// list or struct body). `self` receivers, destructuring patterns,
+/// attributes and visibility modifiers are skipped; only simply-named
+/// entries are kept.
+fn parse_params(list: &[TokenTree]) -> Vec<Param> {
+    let mut params = Vec::new();
+    for piece in split_commas(list) {
+        // Drop leading attributes (`#[..]`), `pub`/`pub(..)` and `mut`.
+        let mut k = 0;
+        while k < piece.len() {
+            if piece[k].is_punct('#') {
+                k += 1;
+                if matches!(
+                    piece.get(k).map(|n| &n.tok),
+                    Some(Tok::Group(Delim::Bracket, _))
+                ) {
+                    k += 1;
+                }
+                continue;
+            }
+            if piece[k].is_ident("pub") {
+                k += 1;
+                if matches!(
+                    piece.get(k).map(|n| &n.tok),
+                    Some(Tok::Group(Delim::Paren, _))
+                ) {
+                    k += 1;
+                }
+                continue;
+            }
+            if piece[k].is_ident("mut") {
+                k += 1;
+                continue;
+            }
+            break;
+        }
+        let Some(name) = piece.get(k).and_then(|n| n.ident()) else {
+            continue;
+        };
+        if name == "self" {
+            continue;
+        }
+        // `name :` but not `name ::` (a path expression, not a binding).
+        if !matches!(piece.get(k + 1), Some(n) if n.is_punct(':'))
+            || matches!(piece.get(k + 2), Some(n) if n.is_punct(':'))
+        {
+            continue;
+        }
+        params.push(Param {
+            name: name.to_string(),
+            ty: tokens_text(&piece[k + 2..]),
+        });
+    }
+    params
+}
+
+/// Splits a token list on top-level commas (angle-bracket generic depth is
+/// respected so `BTreeMap<K, V>` stays one piece).
+fn split_commas(list: &[TokenTree]) -> Vec<&[TokenTree]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, t) in list.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('<') => depth += 1,
+            // `->` is not a closing angle bracket.
+            Tok::Punct('>') if !(i > 0 && list[i - 1].is_punct('-')) => depth -= 1,
+            Tok::Punct(',') if depth == 0 => {
+                out.push(&list[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < list.len() {
+        out.push(&list[start..]);
+    }
+    out
 }
 
 /// Parses `impl [<..>] [Trait for] Type [where ..] { items }` or

@@ -1,0 +1,766 @@
+//! Control-flow-graph lowering of function bodies.
+//!
+//! R10's interval analysis runs a fixpoint over basic blocks, so it needs
+//! `let` / `if` / `while` / `loop` / `for` / `match` / `return` /
+//! `break` / `continue` structure rather than a flat token stream. The
+//! lowering here is approximate in the same spirit as [`crate::expr`]:
+//! every statement keeps its raw tokens (for the expression parser), and
+//! constructs we cannot model precisely fall back to conservative edges
+//! rather than being dropped.
+//!
+//! Known approximations, all conservative for a may-analysis joining at
+//! merge points:
+//! - `?` is treated as falling through (the early-return path leaves the
+//!   function and so never reaches a checked site anyway);
+//! - labelled `break`/`continue` target the innermost loop;
+//! - `let .. else` blocks are lowered as diverging.
+
+use crate::{Delim, Span, Tok, TokenTree};
+
+/// A lowered function body: basic blocks with explicit edges.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+/// One basic block: straight-line statements plus a terminator.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements executed in order.
+    pub stmts: Vec<Stmt>,
+    /// How control leaves the block.
+    pub term: Term,
+}
+
+/// One statement, with the raw tokens an analysis can re-parse.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    /// Position of the statement's first token.
+    pub span: Span,
+    /// The statement shape.
+    pub kind: StmtKind,
+}
+
+/// Statement shapes the lowering distinguishes.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `let [mut] name[: ty] = init;` — `name` is `None` for patterns
+    /// more complex than one identifier, `init` is `None` for
+    /// declarations without an initialiser.
+    Let {
+        /// Bound variable for single-identifier patterns.
+        name: Option<String>,
+        /// Every identifier the pattern binds (also for destructuring
+        /// patterns where `name` is `None`) — an analysis must kill any
+        /// fact about these, since they are rebound fresh.
+        bindings: Vec<String>,
+        /// Declared type text, when annotated.
+        ty: Option<String>,
+        /// Initialiser tokens.
+        init: Option<Vec<TokenTree>>,
+    },
+    /// `target = value;` or `target op= value;` (`op` is the compound
+    /// operator character, `None` for plain `=`).
+    Assign {
+        /// Left-hand-side tokens.
+        target: Vec<TokenTree>,
+        /// Compound operator (`+` for `+=`, ...), if any.
+        op: Option<char>,
+        /// Right-hand-side tokens.
+        value: Vec<TokenTree>,
+    },
+    /// Any other expression statement (including scrutinees of lowered
+    /// `match`/`if`/`while` — their condition tokens appear here so site
+    /// scans still visit them).
+    Expr(Vec<TokenTree>),
+}
+
+/// Block terminators.
+#[derive(Clone, Debug, Default)]
+pub enum Term {
+    /// Unconditional jump.
+    Goto(usize),
+    /// Two-way branch on `cond` (empty for `if let`-style conditions the
+    /// analysis cannot refine on).
+    Branch {
+        /// Condition tokens.
+        cond: Vec<TokenTree>,
+        /// Successor when the condition holds.
+        then_to: usize,
+        /// Successor when it does not.
+        else_to: usize,
+    },
+    /// Multi-way branch from a `match`; each arm carries its pattern
+    /// tokens (guard included) and target block.
+    Match {
+        /// `(pattern-and-guard tokens, target block)` per arm.
+        arms: Vec<(Vec<TokenTree>, usize)>,
+    },
+    /// The function returns here.
+    #[default]
+    Return,
+}
+
+/// Lowers a function body (the token stream inside the outer braces) to a
+/// [`Cfg`].
+pub fn lower(body: &[TokenTree]) -> Cfg {
+    let mut b = Builder {
+        blocks: vec![Block::default()],
+        cur: 0,
+        loops: Vec::new(),
+    };
+    b.stmts(body);
+    b.seal(Term::Return);
+    Cfg { blocks: b.blocks }
+}
+
+struct LoopCtx {
+    continue_to: usize,
+    break_to: usize,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    cur: usize,
+    loops: Vec<LoopCtx>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn emit(&mut self, span: Span, kind: StmtKind) {
+        self.blocks[self.cur].stmts.push(Stmt { span, kind });
+    }
+
+    /// Terminates the current block and moves the cursor to a fresh
+    /// (initially unreachable) one.
+    fn seal(&mut self, term: Term) {
+        self.blocks[self.cur].term = term;
+    }
+
+    fn goto_new(&mut self) -> usize {
+        let next = self.new_block();
+        self.seal(Term::Goto(next));
+        self.cur = next;
+        next
+    }
+
+    /// Lowers a statement list into the current block chain.
+    fn stmts(&mut self, trees: &[TokenTree]) {
+        let mut i = 0usize;
+        while i < trees.len() {
+            let t = &trees[i];
+            // Skip attributes and stray semicolons.
+            if t.is_punct(';') {
+                i += 1;
+                continue;
+            }
+            if t.is_punct('#') {
+                i += 1;
+                if matches!(trees.get(i), Some(n) if n.group(Delim::Bracket).is_some()) {
+                    i += 1;
+                }
+                continue;
+            }
+            match t.ident() {
+                Some("let") => i = self.lower_let(trees, i),
+                Some("if") => i = self.lower_if(trees, i),
+                Some("while") => i = self.lower_while(trees, i),
+                Some("loop") => i = self.lower_loop(trees, i),
+                Some("for") => i = self.lower_for(trees, i),
+                Some("match") => i = self.lower_match(trees, i),
+                Some("return") => {
+                    let end = stmt_end(trees, i + 1);
+                    if i + 1 < end {
+                        self.emit(t.span, StmtKind::Expr(trees[i + 1..end].to_vec()));
+                    }
+                    self.seal(Term::Return);
+                    self.cur = self.new_block();
+                    i = end + 1;
+                }
+                Some(kw @ ("break" | "continue")) => {
+                    let end = stmt_end(trees, i + 1);
+                    let target = self.loops.last().map(|l| {
+                        if kw == "break" {
+                            l.break_to
+                        } else {
+                            l.continue_to
+                        }
+                    });
+                    match target {
+                        Some(to) => self.seal(Term::Goto(to)),
+                        None => self.seal(Term::Return),
+                    }
+                    self.cur = self.new_block();
+                    i = end + 1;
+                }
+                _ => {
+                    // Bare block statement: lower inline.
+                    if let Some(inner) = t.group(Delim::Brace) {
+                        let inner = inner.to_vec();
+                        self.stmts(&inner);
+                        i += 1;
+                        continue;
+                    }
+                    i = self.lower_expr_stmt(trees, i);
+                }
+            }
+        }
+    }
+
+    fn lower_let(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        let span = trees[i].span;
+        let end = stmt_end(trees, i + 1);
+        let inner = &trees[i + 1..end];
+        // `let PAT[: TY] = INIT [else { .. }]`.
+        let eq = top_level_eq(inner);
+        let (pat_ty, init) = match eq {
+            Some(p) => (&inner[..p], Some(&inner[p + 1..])),
+            None => (inner, None),
+        };
+        // Split an optional `: ty` off the pattern (top-level single `:`).
+        let mut colon = None;
+        let mut k = 0usize;
+        while k < pat_ty.len() {
+            if pat_ty[k].is_punct(':') {
+                if k + 1 < pat_ty.len() && pat_ty[k + 1].is_punct(':') {
+                    k += 2;
+                    continue;
+                }
+                colon = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let (pat, ty) = match colon {
+            Some(c) => (
+                &pat_ty[..c],
+                Some(crate::ast::tokens_text(&pat_ty[c + 1..])),
+            ),
+            None => (pat_ty, None),
+        };
+        let name = simple_binding(pat);
+        let bindings = pattern_bindings(pat);
+        // `let .. else { diverge }`: the else block leaves this scope.
+        let mut init_tokens = init.map(|s| s.to_vec());
+        let mut has_else = false;
+        if let Some(toks) = &mut init_tokens {
+            if let Some(e) = toks
+                .iter()
+                .position(|t| t.is_ident("else"))
+                .filter(|e| matches!(toks.get(e + 1), Some(n) if n.group(Delim::Brace).is_some()))
+            {
+                toks.truncate(e);
+                has_else = true;
+            }
+        }
+        self.emit(
+            span,
+            StmtKind::Let {
+                name,
+                bindings,
+                ty,
+                init: init_tokens,
+            },
+        );
+        if has_else {
+            // Model the refutable binding as a branch whose else-side
+            // diverges.
+            let cont = self.new_block();
+            let diverge = self.new_block();
+            self.seal(Term::Branch {
+                cond: Vec::new(),
+                then_to: cont,
+                else_to: diverge,
+            });
+            self.blocks[diverge].term = Term::Return;
+            self.cur = cont;
+        }
+        end + 1
+    }
+
+    fn lower_if(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        // `if COND { .. } [else if .. | else { .. }]`
+        let mut j = i + 1;
+        let cond_start = j;
+        while j < trees.len() && trees[j].group(Delim::Brace).is_none() {
+            j += 1;
+        }
+        let cond = refinable_cond(&trees[cond_start..j]);
+        let then_body: Vec<TokenTree> = trees
+            .get(j)
+            .and_then(|t| t.group(Delim::Brace))
+            .map(|b| b.to_vec())
+            .unwrap_or_default();
+        let then_b = self.new_block();
+        let join = self.new_block();
+        // Lower the then-branch.
+        let mut else_to = join;
+        let mut next = j + 1;
+        let mut else_lower: Option<usize> = None;
+        if matches!(trees.get(next), Some(t) if t.is_ident("else")) {
+            let eb = self.new_block();
+            else_to = eb;
+            else_lower = Some(eb);
+            next += 1;
+        }
+        self.seal(Term::Branch {
+            cond,
+            then_to: then_b,
+            else_to,
+        });
+        self.cur = then_b;
+        self.stmts(&then_body);
+        self.seal(Term::Goto(join));
+        if let Some(eb) = else_lower {
+            self.cur = eb;
+            if matches!(trees.get(next), Some(t) if t.is_ident("if")) {
+                next = self.lower_if(trees, next);
+            } else if let Some(body) = trees.get(next).and_then(|t| t.group(Delim::Brace)) {
+                let body = body.to_vec();
+                self.stmts(&body);
+                next += 1;
+            }
+            self.seal(Term::Goto(join));
+        }
+        self.cur = join;
+        next
+    }
+
+    fn lower_while(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        let mut j = i + 1;
+        let cond_start = j;
+        while j < trees.len() && trees[j].group(Delim::Brace).is_none() {
+            j += 1;
+        }
+        let cond = refinable_cond(&trees[cond_start..j]);
+        let body: Vec<TokenTree> = trees
+            .get(j)
+            .and_then(|t| t.group(Delim::Brace))
+            .map(|b| b.to_vec())
+            .unwrap_or_default();
+        let header = self.goto_new();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.seal(Term::Branch {
+            cond,
+            then_to: body_b,
+            else_to: exit,
+        });
+        self.cur = body_b;
+        self.loops.push(LoopCtx {
+            continue_to: header,
+            break_to: exit,
+        });
+        self.stmts(&body);
+        self.loops.pop();
+        self.seal(Term::Goto(header));
+        self.cur = exit;
+        j + 1
+    }
+
+    fn lower_loop(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        let body: Vec<TokenTree> = trees
+            .get(i + 1)
+            .and_then(|t| t.group(Delim::Brace))
+            .map(|b| b.to_vec())
+            .unwrap_or_default();
+        let header = self.goto_new();
+        let exit = self.new_block();
+        self.loops.push(LoopCtx {
+            continue_to: header,
+            break_to: exit,
+        });
+        self.stmts(&body);
+        self.loops.pop();
+        self.seal(Term::Goto(header));
+        self.cur = exit;
+        i + 2
+    }
+
+    fn lower_for(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        // `for PAT in EXPR { .. }` — evaluate EXPR once, then an opaque
+        // loop whose binding is unknown.
+        let mut j = i + 1;
+        while j < trees.len() && !trees[j].is_ident("in") {
+            j += 1;
+        }
+        let pat = &trees[i + 1..j.min(trees.len())];
+        let name = simple_binding(pat);
+        let bindings = pattern_bindings(pat);
+        let iter_start = j + 1;
+        let mut k = iter_start;
+        while k < trees.len() && trees[k].group(Delim::Brace).is_none() {
+            k += 1;
+        }
+        if iter_start < k {
+            self.emit(trees[i].span, StmtKind::Expr(trees[iter_start..k].to_vec()));
+        }
+        let body: Vec<TokenTree> = trees
+            .get(k)
+            .and_then(|t| t.group(Delim::Brace))
+            .map(|b| b.to_vec())
+            .unwrap_or_default();
+        let header = self.goto_new();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.seal(Term::Branch {
+            cond: Vec::new(),
+            then_to: body_b,
+            else_to: exit,
+        });
+        self.cur = body_b;
+        // The loop variable is freshly bound each iteration with an
+        // unknown value.
+        self.emit(
+            trees[i].span,
+            StmtKind::Let {
+                name,
+                bindings,
+                ty: None,
+                init: None,
+            },
+        );
+        self.loops.push(LoopCtx {
+            continue_to: header,
+            break_to: exit,
+        });
+        self.stmts(&body);
+        self.loops.pop();
+        self.seal(Term::Goto(header));
+        self.cur = exit;
+        k + 1
+    }
+
+    fn lower_match(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        let mut j = i + 1;
+        while j < trees.len() && trees[j].group(Delim::Brace).is_none() {
+            j += 1;
+        }
+        let scrutinee = &trees[i + 1..j.min(trees.len())];
+        if !scrutinee.is_empty() {
+            self.emit(trees[i].span, StmtKind::Expr(scrutinee.to_vec()));
+        }
+        let arms = trees
+            .get(j)
+            .and_then(|t| t.group(Delim::Brace))
+            .map(crate::ast::match_arms)
+            .unwrap_or_default();
+        let owned: Vec<(Vec<TokenTree>, Vec<TokenTree>)> = arms
+            .into_iter()
+            .map(|a| (a.pattern.to_vec(), a.body.to_vec()))
+            .collect();
+        let join = self.new_block();
+        let mut term_arms = Vec::new();
+        let from = self.cur;
+        for (pattern, body) in owned {
+            let arm_b = self.new_block();
+            term_arms.push((pattern, arm_b));
+            self.cur = arm_b;
+            if body.len() == 1 {
+                if let Some(inner) = body[0].group(Delim::Brace) {
+                    let inner = inner.to_vec();
+                    self.stmts(&inner);
+                    self.seal(Term::Goto(join));
+                    continue;
+                }
+            }
+            // Expression arm: lower as one statement list (handles
+            // `return ..`, nested `match`, plain expressions alike).
+            self.stmts(&body);
+            self.seal(Term::Goto(join));
+        }
+        self.cur = from;
+        self.seal(Term::Match { arms: term_arms });
+        self.cur = join;
+        j + 1
+    }
+
+    /// Lowers one expression/assignment statement ending at `;` or a
+    /// top-level brace-terminated construct boundary.
+    fn lower_expr_stmt(&mut self, trees: &[TokenTree], i: usize) -> usize {
+        let end = stmt_end(trees, i);
+        let span = trees[i].span;
+        let inner = &trees[i..end];
+        if let Some((p, op)) = top_level_assign(inner) {
+            // `p` indexes the operator start: `=` for plain assignment,
+            // the op char(s) for compound (`-=`, `<<=`).
+            let value_at = match op {
+                None => p + 1,
+                Some('<' | '>') if inner.get(p + 1).map(|t| !t.is_punct('=')).unwrap_or(false) => {
+                    p + 3
+                }
+                Some(_) => p + 2,
+            };
+            self.emit(
+                span,
+                StmtKind::Assign {
+                    target: inner[..p].to_vec(),
+                    op,
+                    value: inner[value_at.min(inner.len())..].to_vec(),
+                },
+            );
+        } else if !inner.is_empty() {
+            self.emit(span, StmtKind::Expr(inner.to_vec()));
+        }
+        end + 1
+    }
+}
+
+/// The index just past the last token of the statement starting at `i`
+/// (the position of the terminating `;`, or `trees.len()`).
+fn stmt_end(trees: &[TokenTree], i: usize) -> usize {
+    let mut j = i;
+    while j < trees.len() && !trees[j].is_punct(';') {
+        j += 1;
+    }
+    j
+}
+
+/// Finds a top-level `=` that is plain assignment (`=`), not `==`, `<=`,
+/// `>=`, `!=`, `=>`, and returns `(index-of-'='-token, compound-op)`.
+/// For compound assignment (`+=`), the returned index is that of the `=`
+/// and the operator char is carried separately (target excludes it).
+fn top_level_assign(trees: &[TokenTree]) -> Option<(usize, Option<char>)> {
+    let eq = top_level_eq(trees)?;
+    if eq == 0 {
+        return None;
+    }
+    if let Tok::Punct(c @ ('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')) = trees[eq - 1].tok {
+        // `a += b` — exclude the op char from the target tokens.
+        return Some((eq - 1, Some(c)));
+    }
+    if eq >= 2 && trees[eq - 1].is_punct('<') && trees[eq - 2].is_punct('<') {
+        return Some((eq - 2, Some('<')));
+    }
+    if eq >= 2 && trees[eq - 1].is_punct('>') && trees[eq - 2].is_punct('>') {
+        return Some((eq - 2, Some('>')));
+    }
+    Some((eq, None))
+}
+
+/// Finds the first top-level plain `=` (not part of `==`, `!=`, `<=`,
+/// `>=`, `=>`, and not preceded by a comparison that consumed it).
+fn top_level_eq(trees: &[TokenTree]) -> Option<usize> {
+    let mut k = 0usize;
+    while k < trees.len() {
+        if trees[k].is_punct('=') {
+            let next_eq = matches!(trees.get(k + 1), Some(t) if t.is_punct('=') || t.is_punct('>'));
+            let prev_cmp = k > 0 && matches!(trees[k - 1].tok, Tok::Punct('=' | '!' | '<' | '>'));
+            if next_eq {
+                k += 2;
+                continue;
+            }
+            if prev_cmp {
+                // Part of `==`/`!=`/`<=`/`>=` — but `+=`-style compound
+                // assignment is handled by the caller; `<`/`>` could also
+                // be shifts (`<<=`), already excluded by prev char.
+                k += 1;
+                continue;
+            }
+            return Some(k);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// `Some(name)` when the pattern is a single (optionally `mut`/`ref`)
+/// identifier.
+fn simple_binding(pat: &[TokenTree]) -> Option<String> {
+    let pat: Vec<&TokenTree> = pat
+        .iter()
+        .filter(|t| !t.is_ident("mut") && !t.is_ident("ref"))
+        .collect();
+    match pat.as_slice() {
+        [only] => only.ident().map(str::to_string),
+        _ => None,
+    }
+}
+
+/// Every identifier a pattern binds: lowercase-initial idents that are
+/// not keywords, not path segments (`Enum::Variant`), and not struct
+/// field names in `field: subpat` position. Good enough for kill sets —
+/// over-approximating (killing a fact that would have survived) only
+/// loses precision, never soundness.
+pub fn pattern_bindings(pat: &[TokenTree]) -> Vec<String> {
+    fn walk(trees: &[TokenTree], out: &mut Vec<String>) {
+        let mut k = 0usize;
+        while k < trees.len() {
+            match &trees[k].tok {
+                Tok::Ident(name) => {
+                    let lower_start = name
+                        .chars()
+                        .next()
+                        .map(|c| c.is_ascii_lowercase() || c == '_')
+                        .unwrap_or(false);
+                    let keyword = matches!(name.as_str(), "mut" | "ref" | "if" | "box" | "_");
+                    let path_seg = matches!(trees.get(k + 1), Some(n) if n.is_punct(':'))
+                        && matches!(trees.get(k + 2), Some(n) if n.is_punct(':'));
+                    if path_seg {
+                        k += 3;
+                        continue;
+                    }
+                    // `field: subpat` — the ident names a field, the
+                    // binding (if any) is in the sub-pattern.
+                    if matches!(trees.get(k + 1), Some(n) if n.is_punct(':')) {
+                        k += 2;
+                        continue;
+                    }
+                    if lower_start && !keyword && !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                }
+                Tok::Group(_, inner) => walk(inner, out),
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    let mut out = Vec::new();
+    walk(pat, &mut out);
+    out
+}
+
+/// Condition tokens usable for branch refinement: `if let`/`while let`
+/// conditions yield an empty vec (no numeric refinement possible).
+fn refinable_cond(cond: &[TokenTree]) -> Vec<TokenTree> {
+    if matches!(cond.first(), Some(t) if t.is_ident("let")) {
+        Vec::new()
+    } else {
+        cond.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_file;
+
+    fn cfg(src: &str) -> Cfg {
+        lower(&parse_file(src).expect("lex"))
+    }
+
+    #[test]
+    fn straight_line_lets_and_assigns() {
+        let c = cfg("let mut x: usize = 1; x += 2; self.pos = x;");
+        let b = &c.blocks[0];
+        assert_eq!(b.stmts.len(), 3);
+        assert!(matches!(
+            &b.stmts[0].kind,
+            StmtKind::Let { name: Some(n), ty: Some(t), init: Some(_), .. }
+                if n == "x" && t == "usize"
+        ));
+        assert!(matches!(
+            &b.stmts[1].kind,
+            StmtKind::Assign { op: Some('+'), .. }
+        ));
+        assert!(matches!(
+            &b.stmts[2].kind,
+            StmtKind::Assign { op: None, .. }
+        ));
+    }
+
+    #[test]
+    fn if_else_branches_and_join() {
+        let c = cfg("if a < b { x = 1; } else { x = 2; } y = 3;");
+        let Term::Branch {
+            cond,
+            then_to,
+            else_to,
+        } = &c.blocks[0].term
+        else {
+            panic!("want branch: {:?}", c.blocks[0].term);
+        };
+        assert_eq!(cond.len(), 3);
+        assert_ne!(then_to, else_to);
+        // Both sides join and the join block holds `y = 3`.
+        let Term::Goto(j1) = c.blocks[*then_to].term else {
+            panic!()
+        };
+        let Term::Goto(j2) = c.blocks[*else_to].term else {
+            panic!()
+        };
+        assert_eq!(j1, j2);
+        assert_eq!(c.blocks[j1].stmts.len(), 1);
+    }
+
+    #[test]
+    fn while_loops_back_to_header() {
+        let c = cfg("while i < n { i += 1; } done = 1;");
+        // Entry jumps to a header that branches into body/exit.
+        let Term::Goto(h) = c.blocks[0].term else {
+            panic!()
+        };
+        let Term::Branch {
+            then_to, else_to, ..
+        } = c.blocks[h].term
+        else {
+            panic!()
+        };
+        let Term::Goto(back) = c.blocks[then_to].term else {
+            panic!()
+        };
+        assert_eq!(back, h);
+        assert_eq!(c.blocks[else_to].stmts.len(), 1);
+    }
+
+    #[test]
+    fn match_fans_out_and_rejoins() {
+        let c = cfg("match m { A => { x = 1; } B(v) => y = v, _ => {} } z = 1;");
+        // Scrutinee recorded as an Expr stmt first.
+        assert!(matches!(&c.blocks[0].stmts[0].kind, StmtKind::Expr(_)));
+        let Term::Match { arms } = &c.blocks[0].term else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 3);
+    }
+
+    #[test]
+    fn break_targets_innermost_loop() {
+        let c = cfg("loop { if done { break; } n += 1; } after = 1;");
+        // Some block must Goto the loop exit (the block holding `after`).
+        let exit = c
+            .blocks
+            .iter()
+            .position(|b| {
+                b.stmts.iter().any(|s| {
+                    matches!(&s.kind, StmtKind::Assign { target, .. }
+                        if target.first().map(|t| t.is_ident("after")).unwrap_or(false))
+                })
+            })
+            .expect("exit block");
+        assert!(c
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(bi, b)| { bi != exit && matches!(b.term, Term::Goto(to) if to == exit) }));
+    }
+
+    #[test]
+    fn destructuring_let_reports_bindings() {
+        let c = cfg("let Some(front) = q.front_mut() else { break; };");
+        let StmtKind::Let { name, bindings, .. } = &c.blocks[0].stmts[0].kind else {
+            panic!("want let");
+        };
+        assert_eq!(*name, None);
+        assert_eq!(bindings, &["front".to_string()]);
+        assert_eq!(
+            pattern_bindings(&parse_file("Reply { id: rid, ref mut body }").expect("lex")),
+            vec!["rid".to_string(), "body".to_string()]
+        );
+    }
+
+    #[test]
+    fn if_let_cond_is_not_refinable() {
+        let c = cfg("if let Some(v) = q.pop() { x = v; }");
+        let Term::Branch { cond, .. } = &c.blocks[0].term else {
+            panic!()
+        };
+        assert!(cond.is_empty());
+    }
+}

@@ -1,0 +1,826 @@
+//! A best-effort expression AST over lexed token trees.
+//!
+//! detlint's interval-dataflow pass (R10) needs to see *inside*
+//! right-hand sides: `self.pos.checked_add(n)`, `(align - pos % align) %
+//! align`, `s.try_into().unwrap_or([0; 2])`. The spanned token trees from
+//! [`crate::parse_file`] are too flat for that, so this module parses one
+//! expression at a time with a small precedence climber.
+//!
+//! The parser is deliberately forgiving: any construct outside the
+//! recognised grammar (struct literals, closures, `if`/`match` in value
+//! position, ...) becomes [`ExprKind::Opaque`] whose children are still
+//! parsed best-effort, so an analysis can keep walking for interesting
+//! sites without understanding the whole expression.
+
+use crate::{Delim, Span, Tok, TokenTree};
+
+use crate::ast::tokens_text;
+
+/// A parsed expression with the source position of its head token.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    /// Position of the expression's first token.
+    pub span: Span,
+    /// The expression shape.
+    pub kind: ExprKind,
+}
+
+/// Binary operators the analysis distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// Any other recognised-but-uninterpreted operator (`&`, `|`, `^`,
+    /// `<<`, `>>`).
+    Other,
+}
+
+/// The shape of one expression.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    /// An integer literal (underscores and a type suffix are accepted).
+    Int(i128),
+    /// A non-integer literal (string, float, char, bool keyword).
+    Lit(String),
+    /// A `::`-joined path: `x`, `u32::MAX`, `Endian::Big`.
+    Path(String),
+    /// Field access: `self.pos`, `hdr.len`.
+    Field {
+        /// The expression owning the field.
+        base: Box<Expr>,
+        /// The field name.
+        name: String,
+    },
+    /// A path call: `wire_len(x)`, `u32::try_from(v)`.
+    Call {
+        /// The callee path (`wire_len`, `u32::try_from`).
+        func: String,
+        /// Parsed arguments.
+        args: Vec<Expr>,
+    },
+    /// A method call: `buf.get(a..b)`, `x.min(y)`.
+    MethodCall {
+        /// The receiver expression.
+        recv: Box<Expr>,
+        /// The method name.
+        name: String,
+        /// Parsed arguments.
+        args: Vec<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A prefix unary operation (`-`, `!`, `&`, `*`).
+    Unary {
+        /// The operator character.
+        op: char,
+        /// The operand.
+        inner: Box<Expr>,
+    },
+    /// `expr as Type`.
+    Cast {
+        /// The value being cast.
+        inner: Box<Expr>,
+        /// The target type, as compact text.
+        ty: String,
+    },
+    /// `expr?`.
+    Try(Box<Expr>),
+    /// `base[index]`.
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `lo..hi` / `lo..=hi` (either end optional).
+    Range {
+        /// Lower bound, if present.
+        lo: Option<Box<Expr>>,
+        /// Upper bound, if present.
+        hi: Option<Box<Expr>>,
+        /// `true` for `..=`.
+        inclusive: bool,
+    },
+    /// `[elem; len]`.
+    Repeat {
+        /// The repeated element.
+        elem: Box<Expr>,
+        /// The length expression.
+        len: Box<Expr>,
+    },
+    /// Anything unrecognised; children are parsed best-effort so walks
+    /// can still find sites inside.
+    Opaque(Vec<Expr>),
+}
+
+impl Expr {
+    /// Renders the expression back to a canonical compact string, used as
+    /// a symbolic key by the dataflow pass (`self.pos`, `front.len()`).
+    pub fn key(&self) -> String {
+        match &self.kind {
+            ExprKind::Int(v) => v.to_string(),
+            ExprKind::Lit(s) | ExprKind::Path(s) => s.clone(),
+            ExprKind::Field { base, name } => format!("{}.{name}", base.key()),
+            ExprKind::Call { func, args } => {
+                let args: Vec<String> = args.iter().map(Expr::key).collect();
+                format!("{func}({})", args.join(","))
+            }
+            ExprKind::MethodCall { recv, name, args } => {
+                let args: Vec<String> = args.iter().map(Expr::key).collect();
+                format!("{}.{name}({})", recv.key(), args.join(","))
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let op = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                    BinOp::Other => "?op?",
+                };
+                format!("{} {op} {}", lhs.key(), rhs.key())
+            }
+            ExprKind::Unary { op, inner } => format!("{op}{}", inner.key()),
+            ExprKind::Cast { inner, ty } => format!("{} as {ty}", inner.key()),
+            ExprKind::Try(inner) => format!("{}?", inner.key()),
+            ExprKind::Index { base, index } => format!("{}[{}]", base.key(), index.key()),
+            ExprKind::Range { lo, hi, inclusive } => format!(
+                "{}..{}{}",
+                lo.as_ref().map(|e| e.key()).unwrap_or_default(),
+                if *inclusive { "=" } else { "" },
+                hi.as_ref().map(|e| e.key()).unwrap_or_default(),
+            ),
+            ExprKind::Repeat { elem, len } => format!("[{}; {}]", elem.key(), len.key()),
+            ExprKind::Opaque(_) => "?".to_string(),
+        }
+    }
+
+    /// Visits this expression and every child, outermost first.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Lit(_) | ExprKind::Path(_) => {}
+            ExprKind::Field { base, .. } => base.walk(f),
+            ExprKind::Call { args, .. } => args.iter().for_each(|a| a.walk(f)),
+            ExprKind::MethodCall { recv, args, .. } => {
+                recv.walk(f);
+                args.iter().for_each(|a| a.walk(f));
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            ExprKind::Unary { inner, .. } | ExprKind::Cast { inner, .. } | ExprKind::Try(inner) => {
+                inner.walk(f)
+            }
+            ExprKind::Index { base, index } => {
+                base.walk(f);
+                index.walk(f);
+            }
+            ExprKind::Range { lo, hi, .. } => {
+                if let Some(lo) = lo {
+                    lo.walk(f);
+                }
+                if let Some(hi) = hi {
+                    hi.walk(f);
+                }
+            }
+            ExprKind::Repeat { elem, len } => {
+                elem.walk(f);
+                len.walk(f);
+            }
+            ExprKind::Opaque(children) => children.iter().for_each(|c| c.walk(f)),
+        }
+    }
+}
+
+/// Parses `trees` as one expression. Always succeeds; unrecognised input
+/// degrades to [`ExprKind::Opaque`].
+pub fn parse_expr(trees: &[TokenTree]) -> Expr {
+    let mut p = Parser { trees, i: 0 };
+    let e = p.expr(0);
+    if p.i < trees.len() {
+        // Leftover tokens: the whole thing was not a single expression we
+        // understand. Keep what parsed as an opaque child alongside a
+        // best-effort parse of the remainder.
+        let rest = parse_children(&trees[p.i..]);
+        let mut children = vec![e];
+        children.extend(rest);
+        return Expr {
+            span: span_of(trees),
+            kind: ExprKind::Opaque(children),
+        };
+    }
+    e
+}
+
+fn span_of(trees: &[TokenTree]) -> Span {
+    trees
+        .first()
+        .map(|t| t.span)
+        .unwrap_or(Span { line: 0, col: 0 })
+}
+
+/// Best-effort parse of a token run into child expressions: groups parse
+/// recursively, everything else is skipped.
+fn parse_children(trees: &[TokenTree]) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for t in trees {
+        if let Tok::Group(_, inner) = &t.tok {
+            out.push(parse_expr(inner));
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    trees: &'a [TokenTree],
+    i: usize,
+}
+
+/// Binding powers, loosest to tightest.
+const BP_RANGE: u8 = 1;
+const BP_OR: u8 = 2;
+const BP_AND: u8 = 3;
+const BP_CMP: u8 = 4;
+const BP_BITOR: u8 = 5;
+const BP_ADD: u8 = 6;
+const BP_MUL: u8 = 7;
+const BP_CAST: u8 = 8;
+
+impl<'a> Parser<'a> {
+    fn peek(&self, off: usize) -> Option<&'a TokenTree> {
+        self.trees.get(self.i + off)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.trees.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    fn at_punct(&self, off: usize, c: char) -> bool {
+        matches!(self.peek(off), Some(t) if t.is_punct(c))
+    }
+
+    /// The operator starting at the cursor, with its binding power and
+    /// token length. `None` when the next tokens are not a binary op.
+    fn binop(&self) -> Option<(BinOp, u8, usize)> {
+        let t = self.peek(0)?;
+        let c = match &t.tok {
+            Tok::Punct(c) => *c,
+            Tok::Ident(s) if s == "as" => return Some((BinOp::Other, BP_CAST, 1)),
+            _ => return None,
+        };
+        let eq = self.at_punct(1, '=');
+        Some(match c {
+            '.' if self.at_punct(1, '.') => {
+                let len = if self.at_punct(2, '=') { 3 } else { 2 };
+                (BinOp::Other, BP_RANGE, len)
+            }
+            '|' if self.at_punct(1, '|') => (BinOp::Or, BP_OR, 2),
+            '&' if self.at_punct(1, '&') => (BinOp::And, BP_AND, 2),
+            '=' if eq => (BinOp::Eq, BP_CMP, 2),
+            '!' if eq => (BinOp::Ne, BP_CMP, 2),
+            '<' if eq => (BinOp::Le, BP_CMP, 2),
+            '>' if eq => (BinOp::Ge, BP_CMP, 2),
+            '<' if self.at_punct(1, '<') => (BinOp::Other, BP_MUL, 2),
+            '>' if self.at_punct(1, '>') => (BinOp::Other, BP_MUL, 2),
+            '<' => (BinOp::Lt, BP_CMP, 1),
+            '>' => (BinOp::Gt, BP_CMP, 1),
+            '+' if !eq => (BinOp::Add, BP_ADD, 1),
+            '-' if !eq => (BinOp::Sub, BP_ADD, 1),
+            '*' if !eq => (BinOp::Mul, BP_MUL, 1),
+            '/' if !eq => (BinOp::Div, BP_MUL, 1),
+            '%' if !eq => (BinOp::Rem, BP_MUL, 1),
+            '|' if !eq => (BinOp::Other, BP_BITOR, 1),
+            '&' if !eq => (BinOp::Other, BP_BITOR, 1),
+            '^' if !eq => (BinOp::Other, BP_BITOR, 1),
+            _ => return None,
+        })
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Expr {
+        let mut lhs = self.unary();
+        // `..`/`..=` must not be confused with field access `.`.
+        while let Some((op, bp, len)) = self.binop() {
+            if bp < min_bp {
+                break;
+            }
+            if bp == BP_RANGE {
+                self.i += len;
+                let inclusive = len == 3;
+                let hi = if self.i < self.trees.len() && self.binop().is_none() {
+                    Some(Box::new(self.expr(BP_RANGE + 1)))
+                } else {
+                    None
+                };
+                lhs = Expr {
+                    span: lhs.span,
+                    kind: ExprKind::Range {
+                        lo: Some(Box::new(lhs)),
+                        hi,
+                        inclusive,
+                    },
+                };
+                continue;
+            }
+            if bp == BP_CAST {
+                self.i += 1;
+                // The target type runs as far as a plausible type can:
+                // idents, `::`, and generic groups.
+                let start = self.i;
+                while let Some(t) = self.peek(0) {
+                    match &t.tok {
+                        Tok::Ident(_) | Tok::Punct(':') => self.i += 1,
+                        _ => break,
+                    }
+                }
+                lhs = Expr {
+                    span: lhs.span,
+                    kind: ExprKind::Cast {
+                        inner: Box::new(lhs),
+                        ty: tokens_text(&self.trees[start..self.i]),
+                    },
+                };
+                continue;
+            }
+            self.i += len;
+            let rhs = self.expr(bp + 1);
+            lhs = Expr {
+                span: lhs.span,
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+            };
+        }
+        lhs
+    }
+
+    fn unary(&mut self) -> Expr {
+        if let Some(t) = self.peek(0) {
+            if let Tok::Punct(c @ ('-' | '!' | '&' | '*')) = t.tok {
+                // `&&x` lexes as two `&`; fold the double-reference.
+                let span = t.span;
+                self.i += 1;
+                if c == '&' && matches!(self.peek(0), Some(n) if n.is_ident("mut")) {
+                    self.i += 1;
+                }
+                let inner = self.unary();
+                return Expr {
+                    span,
+                    kind: ExprKind::Unary {
+                        op: c,
+                        inner: Box::new(inner),
+                    },
+                };
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Expr {
+        let mut e = self.primary();
+        loop {
+            // `?`
+            if self.at_punct(0, '?') {
+                self.i += 1;
+                e = Expr {
+                    span: e.span,
+                    kind: ExprKind::Try(Box::new(e)),
+                };
+                continue;
+            }
+            // `.method(args)` / `.field` / `.await` — but not `..` range.
+            if self.at_punct(0, '.') && !self.at_punct(1, '.') {
+                if let Some(name) = self.peek(1).and_then(|t| t.ident()) {
+                    // Skip a `::<..>` turbofish between name and args.
+                    let mut k = 2;
+                    if matches!(self.peek(k), Some(t) if t.is_punct(':'))
+                        && matches!(self.peek(k + 1), Some(t) if t.is_punct(':'))
+                    {
+                        k += 2;
+                        let mut depth = 0i32;
+                        while let Some(t) = self.peek(k) {
+                            match &t.tok {
+                                Tok::Punct('<') => depth += 1,
+                                Tok::Punct('>') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    if let Some(args) = self.peek(k).and_then(|t| t.group(Delim::Paren)) {
+                        let args = parse_args(args);
+                        self.i += k + 1;
+                        e = Expr {
+                            span: e.span,
+                            kind: ExprKind::MethodCall {
+                                recv: Box::new(e),
+                                name: name.to_string(),
+                                args,
+                            },
+                        };
+                    } else {
+                        self.i += 2;
+                        e = Expr {
+                            span: e.span,
+                            kind: ExprKind::Field {
+                                base: Box::new(e),
+                                name: name.to_string(),
+                            },
+                        };
+                    }
+                    continue;
+                }
+                // Tuple index `.0` — treat as a field.
+                if let Some(Tok::Lit(l)) = self.peek(1).map(|t| &t.tok) {
+                    let name = l.clone();
+                    self.i += 2;
+                    e = Expr {
+                        span: e.span,
+                        kind: ExprKind::Field {
+                            base: Box::new(e),
+                            name,
+                        },
+                    };
+                    continue;
+                }
+            }
+            // Index `base[i]`.
+            if let Some(inner) = self
+                .peek(0)
+                .and_then(|t| t.group(Delim::Bracket))
+                .filter(|_| !matches!(e.kind, ExprKind::Opaque(_)))
+            {
+                let index = parse_expr(inner);
+                self.i += 1;
+                e = Expr {
+                    span: e.span,
+                    kind: ExprKind::Index {
+                        base: Box::new(e),
+                        index: Box::new(index),
+                    },
+                };
+                continue;
+            }
+            break;
+        }
+        e
+    }
+
+    fn primary(&mut self) -> Expr {
+        let Some(t) = self.bump() else {
+            return Expr {
+                span: Span { line: 0, col: 0 },
+                kind: ExprKind::Opaque(Vec::new()),
+            };
+        };
+        let span = t.span;
+        match &t.tok {
+            Tok::Lit(l) => match parse_int(l) {
+                Some(v) => Expr {
+                    span,
+                    kind: ExprKind::Int(v),
+                },
+                None => Expr {
+                    span,
+                    kind: ExprKind::Lit(l.clone()),
+                },
+            },
+            Tok::Ident(first) => {
+                if first == "true" || first == "false" {
+                    return Expr {
+                        span,
+                        kind: ExprKind::Lit(first.clone()),
+                    };
+                }
+                // Keywords that start constructs we do not model.
+                if matches!(
+                    first.as_str(),
+                    "if" | "match" | "loop" | "while" | "for" | "unsafe" | "move" | "return"
+                ) {
+                    let rest = &self.trees[self.i..];
+                    self.i = self.trees.len();
+                    return Expr {
+                        span,
+                        kind: ExprKind::Opaque(parse_children(rest)),
+                    };
+                }
+                // Path: idents joined by `::`.
+                let mut path = first.clone();
+                while self.at_punct(0, ':') && self.at_punct(1, ':') {
+                    if let Some(seg) = self.peek(2).and_then(|t| t.ident()) {
+                        path.push_str("::");
+                        path.push_str(seg);
+                        self.i += 3;
+                    } else if let Some(t) = self.peek(2) {
+                        if t.is_punct('<') {
+                            // turbofish `path::<..>` — skip the generics.
+                            self.i += 3;
+                            let mut depth = 1i32;
+                            while let Some(t) = self.peek(0) {
+                                match &t.tok {
+                                    Tok::Punct('<') => depth += 1,
+                                    Tok::Punct('>') => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            self.i += 1;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                self.i += 1;
+                            }
+                            continue;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                // A call when a paren group follows; a struct literal
+                // (opaque) when a brace group follows a plain path.
+                if let Some(args) = self.peek(0).and_then(|t| t.group(Delim::Paren)) {
+                    let args = parse_args(args);
+                    self.i += 1;
+                    return Expr {
+                        span,
+                        kind: ExprKind::Call { func: path, args },
+                    };
+                }
+                if let Some(body) = self.peek(0).and_then(|t| t.group(Delim::Brace)) {
+                    self.i += 1;
+                    return Expr {
+                        span,
+                        kind: ExprKind::Opaque(parse_children(body)),
+                    };
+                }
+                Expr {
+                    span,
+                    kind: ExprKind::Path(path),
+                }
+            }
+            Tok::Group(Delim::Paren, inner) => parse_expr_spanned(inner, span),
+            Tok::Group(Delim::Bracket, inner) => {
+                // `[elem; len]` repeat or an array literal (opaque).
+                if let Some(semi) = inner.iter().position(|t| t.is_punct(';')) {
+                    let elem = parse_expr(&inner[..semi]);
+                    let len = parse_expr(&inner[semi + 1..]);
+                    Expr {
+                        span,
+                        kind: ExprKind::Repeat {
+                            elem: Box::new(elem),
+                            len: Box::new(len),
+                        },
+                    }
+                } else {
+                    Expr {
+                        span,
+                        kind: ExprKind::Opaque(parse_children(inner)),
+                    }
+                }
+            }
+            Tok::Group(Delim::Brace, inner) => Expr {
+                span,
+                kind: ExprKind::Opaque(parse_children(inner)),
+            },
+            // `<Ty>::func(args)` qualified calls and anything else
+            // punctuation-led: opaque, children best-effort.
+            _ => {
+                let rest = &self.trees[self.i..];
+                self.i = self.trees.len();
+                let mut children = parse_children(rest);
+                // Recover `<Ty>::name(args)` as a Call so checked
+                // conversions (`<[u8; 4]>::try_from(s)`) are visible.
+                if t.is_punct('<') {
+                    if let Some(close) = rest.iter().position(|n| n.is_punct('>')) {
+                        let after = &rest[close + 1..];
+                        if after.len() >= 4 && after[0].is_punct(':') && after[1].is_punct(':') {
+                            if let (Some(name), Some(args)) = (
+                                after[2].ident(),
+                                after.get(3).and_then(|n| n.group(Delim::Paren)),
+                            ) {
+                                return Expr {
+                                    span,
+                                    kind: ExprKind::Call {
+                                        func: format!("<{}>::{name}", tokens_text(&rest[..close])),
+                                        args: parse_args(args),
+                                    },
+                                };
+                            }
+                        }
+                    }
+                    children = parse_children(rest);
+                }
+                Expr {
+                    span,
+                    kind: ExprKind::Opaque(children),
+                }
+            }
+        }
+    }
+}
+
+fn parse_expr_spanned(trees: &[TokenTree], span: Span) -> Expr {
+    let mut e = parse_expr(trees);
+    if trees.is_empty() {
+        e.span = span;
+    }
+    e
+}
+
+/// Splits a call argument list on top-level commas and parses each.
+fn parse_args(inner: &[TokenTree]) -> Vec<Expr> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut depth = 0i32;
+    for (i, t) in inner.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('<') => depth += 1,
+            // `->` is not a closing angle bracket.
+            Tok::Punct('>') if !(i > 0 && inner[i - 1].is_punct('-')) => depth -= 1,
+            Tok::Punct(',') if depth <= 0 => {
+                if start < i {
+                    out.push(parse_expr(&inner[start..i]));
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < inner.len() {
+        out.push(parse_expr(&inner[start..]));
+    }
+    out
+}
+
+/// Parses an integer literal: decimal/hex/octal/binary, `_` separators,
+/// optional type suffix.
+pub fn parse_int(lit: &str) -> Option<i128> {
+    let clean: String = lit.chars().filter(|c| *c != '_').collect();
+    let body = clean.as_str();
+    // Strip a type suffix (`10usize`, `0xFFu32`).
+    let strip = |s: &str| -> String {
+        for suf in [
+            "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        ] {
+            if let Some(stripped) = s.strip_suffix(suf) {
+                return stripped.to_string();
+            }
+        }
+        s.to_string()
+    };
+    let body = strip(body);
+    if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        return i128::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = body.strip_prefix("0o") {
+        return i128::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = body.strip_prefix("0b") {
+        return i128::from_str_radix(bin, 2).ok();
+    }
+    if body.is_empty() || !body.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    body.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_file;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(&parse_file(src).expect("lex"))
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = expr("a + b * 2");
+        let ExprKind::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &e.kind
+        else {
+            panic!("want Add at top: {e:?}");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn method_chain_and_try() {
+        let e = expr("self.pos.checked_add(n).ok_or(Eof)?");
+        assert_eq!(e.key(), "self.pos.checked_add(n).ok_or(Eof)?");
+    }
+
+    #[test]
+    fn modulo_alignment_shape() {
+        let e = expr("(align - pos % align) % align");
+        let ExprKind::Binary {
+            op: BinOp::Rem,
+            lhs,
+            rhs,
+        } = &e.kind
+        else {
+            panic!("want Rem: {e:?}");
+        };
+        assert_eq!(rhs.key(), "align");
+        assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Sub, .. }));
+    }
+
+    #[test]
+    fn ranges_and_indexing() {
+        let e = expr("buf.get(self.pos..end)");
+        let ExprKind::MethodCall { name, args, .. } = &e.kind else {
+            panic!("want method call: {e:?}");
+        };
+        assert_eq!(name, "get");
+        assert!(matches!(args[0].kind, ExprKind::Range { .. }));
+        assert!(matches!(expr("xs[i + 1]").kind, ExprKind::Index { .. }));
+    }
+
+    #[test]
+    fn repeat_and_qualified_call() {
+        assert!(matches!(expr("[0; 2]").kind, ExprKind::Repeat { .. }));
+        let e = expr("<[u8; 4]>::try_from(s)");
+        let ExprKind::Call { func, .. } = &e.kind else {
+            panic!("want call: {e:?}");
+        };
+        assert_eq!(func, "<[u8;4]>::try_from");
+    }
+
+    #[test]
+    fn int_literals() {
+        assert_eq!(parse_int("1_000"), Some(1000));
+        assert_eq!(parse_int("0xFFu32"), Some(255));
+        assert_eq!(parse_int("12usize"), Some(12));
+        assert_eq!(parse_int("abc"), None);
+    }
+
+    #[test]
+    fn comparisons_join_two_chars() {
+        let e = expr("a <= b");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Le, .. }));
+        let e = expr("x != y");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Ne, .. }));
+    }
+
+    #[test]
+    fn unknown_constructs_degrade_to_opaque() {
+        let e = expr("if c { 1 } else { 2 }");
+        assert!(matches!(e.kind, ExprKind::Opaque(_)));
+        let e = expr("Foo { a: 1 }");
+        assert!(matches!(e.kind, ExprKind::Opaque(_)));
+    }
+}

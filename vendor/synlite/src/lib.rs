@@ -16,6 +16,8 @@
 //! conditions under which span-based findings would be meaningless anyway.
 
 pub mod ast;
+pub mod cfg;
+pub mod expr;
 
 /// A line/column position (both 1-based) in the lexed source.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -136,6 +136,20 @@ fn err(line: u32, msg: impl Into<String>) -> TomlError {
     }
 }
 
+/// A parse result that additionally records where each `[[array]]` table
+/// element was declared, so consumers (like detlint's allowlist and
+/// protocol-spec loaders) can anchor diagnostics at the entry that caused
+/// them. [`Table`] values deliberately carry no positions — this sidecar
+/// keeps the value model simple while preserving error line numbers.
+#[derive(Clone, Debug, Default)]
+pub struct Tracked {
+    /// The parsed document.
+    pub table: Table,
+    /// 1-based source line of every `[[path]]` header, keyed by the dotted
+    /// header path (`"allow"`, `"a.b"`), in document order per key.
+    pub array_lines: BTreeMap<String, Vec<u32>>,
+}
+
 /// Parses a TOML-subset document into its root [`Table`].
 ///
 /// # Errors
@@ -144,7 +158,18 @@ fn err(line: u32, msg: impl Into<String>) -> TomlError {
 /// outside the supported subset (see the module docs), including duplicate
 /// key or table definitions.
 pub fn parse(src: &str) -> Result<Table, TomlError> {
+    Ok(parse_tracked(src)?.table)
+}
+
+/// Like [`parse`], but also records the source line of every `[[table]]`
+/// array-element header (see [`Tracked`]).
+///
+/// # Errors
+///
+/// Same failure modes as [`parse`].
+pub fn parse_tracked(src: &str) -> Result<Tracked, TomlError> {
     let mut root = Table::new();
+    let mut array_lines: BTreeMap<String, Vec<u32>> = BTreeMap::new();
     // Path of the table currently receiving `key = value` lines; empty for
     // the root. The final component of an array-of-tables path addresses
     // the *last* element of that array.
@@ -162,6 +187,7 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
                 .ok_or_else(|| err(lineno, "unterminated [[table]] header"))?;
             let path = parse_header_path(inner, lineno)?;
             push_array_table(&mut root, &path, lineno)?;
+            array_lines.entry(path.join(".")).or_default().push(lineno);
             current = path;
         } else if let Some(rest) = line.strip_prefix('[') {
             let inner = rest
@@ -195,7 +221,10 @@ pub fn parse(src: &str) -> Result<Table, TomlError> {
             table.insert(key, value);
         }
     }
-    Ok(root)
+    Ok(Tracked {
+        table: root,
+        array_lines,
+    })
 }
 
 fn line_no(idx: usize) -> u32 {
@@ -575,6 +604,16 @@ mod tests {
         assert!(parse("[a]\nx = 1\n[a.x]\n").is_err());
         assert!(parse("[[a]]\n[a]\n").is_err());
         assert!(parse("a = 1\n[[a]]\n").is_err());
+    }
+
+    #[test]
+    fn tracked_records_array_header_lines() {
+        let t =
+            parse_tracked("# c\n[[mix]]\nname = \"a\"\n\n[[mix]]\nname = \"b\"\n[m]\n[[m.x]]\n")
+                .unwrap();
+        assert_eq!(t.array_lines["mix"], vec![2, 5]);
+        assert_eq!(t.array_lines["m.x"], vec![8]);
+        assert_eq!(t.table["mix"].as_array().unwrap().len(), 2);
     }
 
     #[test]
