@@ -16,8 +16,8 @@
 //! three checks fails.
 
 use experiments::{
-    cli_from_args, format_campaign, run_chaos_campaign, take_flag, violations_json, CampaignConfig,
-    ChaosConfig, SweepViolation,
+    cli_from_args, format_campaign, run_chaos_campaign, take_flag, CampaignConfig, ChaosConfig,
+    ViolationRecord, ViolationReport,
 };
 
 fn campaign(plans: u32, rm_instances: u32, threads: usize) -> experiments::CampaignOutcome {
@@ -105,7 +105,7 @@ fn main() {
     // plus any legacy-mode violation not explained by an RM crash (the
     // expected SPOF stalls are the campaign's point, not a defect).
     if let Some(path) = &violations_path {
-        let records: Vec<SweepViolation> = replicated
+        let records: Vec<ViolationRecord> = replicated
             .outcomes
             .iter()
             .filter(|o| !o.violations.is_empty())
@@ -119,13 +119,13 @@ fn main() {
                     })
                     .map(|o| ("legacy", o)),
             )
-            .map(|(mode, o)| SweepViolation {
+            .map(|(mode, o)| ViolationRecord {
                 cell: mode.to_string(),
                 seed: o.seed,
                 violations: o.violations.clone(),
             })
             .collect();
-        let body = violations_json("chaos", &records);
+        let body = ViolationReport::new("chaos", records).to_json();
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("error: cannot write violations to {path}: {e}");
             std::process::exit(1);

@@ -17,7 +17,7 @@
 
 use experiments::{
     cli_from_args, expand_sweep, format_sweep, parse_sweep, run_batch_with, run_chaos_plan,
-    take_flag, violations_json, SweepOutcome,
+    take_flag, SweepOutcome, ViolationReport,
 };
 
 /// Units to re-run when checking thread-count independence (a prefix of
@@ -125,7 +125,7 @@ fn main() {
     }
 
     if let Some(path) = &violations_path {
-        let body = violations_json(&spec.name, &violations);
+        let body = ViolationReport::new(spec.name.clone(), violations.clone()).to_json();
         if let Err(e) = std::fs::write(path, body) {
             eprintln!("error: cannot write violations to {path}: {e}");
             std::process::exit(1);

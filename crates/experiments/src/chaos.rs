@@ -30,6 +30,7 @@ use std::rc::Rc;
 
 use faults::{FaultEvent, FaultKind, FaultPlan, PlanSpace, PressureConfig};
 use giop::Ior;
+use giop::{CdrReader, CdrWriter, Endian};
 use groupcomm::{GcsClient, GcsConfig, GcsDaemon, GcsDelivery, GCS_PORT};
 use mead::{
     ClientInterceptor, MeadConfig, RecoveryManager, RecoveryScheme, ReplicaApp, ReplicaFactory,
@@ -37,12 +38,12 @@ use mead::{
 };
 use orb::{
     decode_counter_reply, decode_resolve_reply, encode_increment_once, encode_name, naming_ior,
-    ClientOrb, ClientOrbConfig, DedupCounterServant, DedupState, NamingConfig, NamingService,
-    OrbUpshot, RetryPolicy, RetryState, COUNTER_TYPE_ID,
+    ClientOrb, ClientOrbConfig, Completed, DedupCounterServant, DedupState, NamingConfig,
+    NamingService, OrbUpshot, RetryPolicy, RetryState, Servant, SystemException, COUNTER_TYPE_ID,
 };
 use simnet::{
-    Addr, Event, ExitReason, LossModel, Metrics, NodeId, NoiseModel, Process, SimConfig,
-    SimDuration, SimTime, Simulation, SysApi,
+    Addr, Event, ExitReason, FifoScheduler, LossModel, Metrics, NodeId, NoiseModel, Process,
+    Scheduler, SimConfig, SimDuration, SimTime, Simulation, SysApi,
 };
 
 use crate::counter::counter_key;
@@ -81,6 +82,15 @@ pub struct ChaosConfig {
     /// crashes are [`faults::MIN_CRASH_GAP`]-spaced), so a stall past
     /// this budget means recovery — not the fault itself — was too slow.
     pub goodput_budget: SimDuration,
+    /// The client's in-flight invocation watchdog. The default (800 ms)
+    /// is longer than any single honest delay a plan can impose; the
+    /// schedule-space explorer shortens it towards the round-trip time
+    /// so the reply-vs-watchdog race falls inside its reorder window.
+    pub watchdog: SimDuration,
+    /// Seeded protocol mutation ([`ServantMutation::Intact`] = the
+    /// production protocol). Exists so the explorer can prove it catches
+    /// and minimizes a real ordering bug.
+    pub mutation: ServantMutation,
 }
 
 impl Default for ChaosConfig {
@@ -92,7 +102,81 @@ impl Default for ChaosConfig {
             slots: 3,
             scheme: RecoveryScheme::MeadFailover,
             goodput_budget: SimDuration::from_millis(3_500),
+            watchdog: WATCHDOG,
+            mutation: ServantMutation::Intact,
         }
+    }
+}
+
+/// An intentionally seeded protocol mutation, selectable per scenario.
+/// Only the explorer's known-bug fixtures set anything but
+/// [`Intact`](ServantMutation::Intact): the mutations exist to prove the
+/// schedule search catches ordering bugs the FIFO schedule misses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServantMutation {
+    /// The production protocol (deduplicating counter servant).
+    #[default]
+    Intact,
+    /// Servant-side operation-id dedup removed: a retried increment
+    /// whose first attempt actually committed applies twice. Invisible
+    /// under the FIFO schedule (replies beat the watchdog); exposed when
+    /// a scheduler fires the watchdog before the in-flight reply.
+    DropDedup,
+}
+
+/// [`DedupCounterServant`] with the dedup check removed — the
+/// [`ServantMutation::DropDedup`] bug. Every well-formed
+/// `increment_once` applies unconditionally; checkpoint capture/restore
+/// stays byte-compatible via [`DedupState`]'s public snapshot format, so
+/// fail-over plumbing is unaffected and only the exactly-once invariant
+/// can tell the difference.
+struct NoDedupCounterServant {
+    state: Rc<DedupState>,
+}
+
+impl Servant for NoDedupCounterServant {
+    fn invoke(
+        &mut self,
+        sys: &mut dyn SysApi,
+        operation: &str,
+        body: &[u8],
+    ) -> Result<Vec<u8>, SystemException> {
+        let mut reply = CdrWriter::new(Endian::Big);
+        match operation {
+            "increment_once" => {
+                let mut r = CdrReader::new(body.to_vec().into(), Endian::Big);
+                let parsed = r
+                    .read_u64()
+                    .and_then(|op| r.read_u64().map(|delta| (op, delta)));
+                let (op_id, delta) = parsed.map_err(|_| SystemException::Other {
+                    repo_id: "IDL:omg.org/CORBA/MARSHAL:1.0".into(),
+                    completed: Completed::No,
+                })?;
+                // The bug: no `op_id <= last_op` check, so a retransmit
+                // of an already-committed operation applies again.
+                let mut snapshot = [0u8; 16];
+                let value = self.state.value().wrapping_add(delta);
+                let last_op = self.state.last_op().max(op_id);
+                snapshot[..8].copy_from_slice(&value.to_be_bytes());
+                snapshot[8..].copy_from_slice(&last_op.to_be_bytes());
+                self.state.restore(&snapshot);
+                sys.count("counter.increments", 1);
+                reply.write_u64(self.state.value());
+                Ok(reply.finish().to_vec())
+            }
+            "get" => {
+                reply.write_u64(self.state.value());
+                Ok(reply.finish().to_vec())
+            }
+            _ => Err(SystemException::Other {
+                repo_id: "IDL:omg.org/CORBA/BAD_OPERATION:1.0".into(),
+                completed: Completed::No,
+            }),
+        }
+    }
+
+    fn type_id(&self) -> &str {
+        COUNTER_TYPE_ID
     }
 }
 
@@ -221,6 +305,7 @@ struct ChaosClient {
     acked: u32,
     total: u32,
     think_time: SimDuration,
+    watchdog: SimDuration,
     slot_rr: u32,
     slots: u32,
     policy: RetryPolicy,
@@ -242,7 +327,7 @@ impl ChaosClient {
         ) {
             Ok(rid) => {
                 self.naming_rid = Some(rid);
-                sys.set_timer(WATCHDOG, WATCHDOG_BASE + rid as u64);
+                sys.set_timer(self.watchdog, WATCHDOG_BASE + rid as u64);
             }
             Err(_) => self.backoff(sys),
         }
@@ -261,7 +346,7 @@ impl ChaosClient {
         match self.orb.invoke(sys, &target, "increment_once", &body) {
             Ok(rid) => {
                 self.current_rid = Some(rid);
-                sys.set_timer(WATCHDOG, WATCHDOG_BASE + rid as u64);
+                sys.set_timer(self.watchdog, WATCHDOG_BASE + rid as u64);
             }
             Err(_) => {
                 self.rotate();
@@ -592,11 +677,27 @@ enum Action {
 /// Runs one fault plan against the chaos topology and checks the
 /// invariants. Fully deterministic: a pure function of `(plan, cfg)`.
 pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
-    let mut sim = Simulation::new(SimConfig {
-        seed: plan.seed,
-        noise: NoiseModel::none(),
-        ..SimConfig::default()
-    });
+    run_chaos_plan_with(plan, cfg, Box::new(FifoScheduler))
+}
+
+/// [`run_chaos_plan`] under an explicit event-ordering policy: the entry
+/// point of the schedule-space explorer (`crates/explore`), which drives
+/// the same scenario through recording, replaying and exploring
+/// schedulers. Deterministic for any deterministic scheduler: a pure
+/// function of `(plan, cfg, scheduler)`.
+pub fn run_chaos_plan_with(
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+    scheduler: Box<dyn Scheduler>,
+) -> ChaosOutcome {
+    let mut sim = Simulation::with_scheduler(
+        SimConfig {
+            seed: plan.seed(),
+            noise: NoiseModel::none(),
+            ..SimConfig::default()
+        },
+        scheduler,
+    );
     let slots = cfg.slots.max(1);
     let infra = sim.add_node("node0");
     let servers: Vec<NodeId> = (1..=slots)
@@ -626,7 +727,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
     mead_cfg.checkpoint_interval = SimDuration::from_millis(50);
     mead_cfg.commit_acks = true;
     mead_cfg.rm_instances = cfg.rm_instances;
-    if !plan.leak_all {
+    if !plan.leak_all() {
         mead_cfg.leak = None;
     }
     // Resource-pressure faults are armed declaratively: the replica
@@ -634,7 +735,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
     // activation timer (set only on instances started before the
     // activation instant) does the injection.
     let mut pressure_by_slot: BTreeMap<u32, PressureConfig> = BTreeMap::new();
-    for FaultEvent { at, kind } in &plan.events {
+    for FaultEvent { at, kind } in plan.events() {
         match kind {
             FaultKind::CpuExhaustion { slot, ramp_per_sec } => {
                 pressure_by_slot.insert(*slot, PressureConfig::cpu(*at, *ramp_per_sec));
@@ -646,16 +747,19 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
         }
     }
     let factory_cfg = mead_cfg.clone();
+    let mutation = cfg.mutation;
     let factory: ReplicaFactory = Rc::new(move |spec| {
         let mut factory_cfg = factory_cfg.clone();
         factory_cfg.pressure = pressure_by_slot.get(&spec.slot.0).cloned();
         let state = DedupState::new();
+        let servant: Box<dyn Servant> = match mutation {
+            ServantMutation::Intact => Box::new(DedupCounterServant::new(state.clone())),
+            ServantMutation::DropDedup => Box::new(NoDedupCounterServant {
+                state: state.clone(),
+            }),
+        };
         let app = ReplicaApp::time_server(spec.slot, spec.port, infra)
-            .with_servant(
-                counter_key(),
-                COUNTER_TYPE_ID,
-                Box::new(DedupCounterServant::new(state.clone())),
-            )
+            .with_servant(counter_key(), COUNTER_TYPE_ID, servant)
             .with_rebind(SimDuration::from_millis(150));
         let capture = state.clone();
         let restore = state;
@@ -724,6 +828,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
                 acked: 0,
                 total: cfg.increments,
                 think_time: cfg.think_time,
+                watchdog: cfg.watchdog,
                 slot_rr: 0,
                 slots,
                 policy: RetryPolicy::client_default(),
@@ -739,7 +844,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
     // Unfold the plan into a single sorted timeline of injections and
     // the recoveries they imply, then walk it.
     let mut timeline: Vec<(SimTime, Action)> = Vec::new();
-    for FaultEvent { at, kind } in &plan.events {
+    for FaultEvent { at, kind } in plan.events() {
         match kind {
             FaultKind::CrashGcsDaemon {
                 node,
@@ -914,7 +1019,7 @@ pub fn run_chaos_plan(plan: &FaultPlan, cfg: &ChaosConfig) -> ChaosOutcome {
     }
 
     ChaosOutcome {
-        seed: plan.seed,
+        seed: plan.seed(),
         values,
         completed: done.get() && !gave_up.get(),
         gave_up: gave_up.get(),
@@ -1118,11 +1223,11 @@ pub fn run_chaos_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
     let rm_crash_seeds = plans
         .iter()
         .filter(|p| {
-            p.events
+            p.events()
                 .iter()
                 .any(|e| e.kind == FaultKind::CrashRecoveryManager)
         })
-        .map(|p| p.seed)
+        .map(|p| p.seed())
         .collect();
     let chaos = cfg.chaos.clone();
     let outcomes = run_batch_with(&plans, cfg.threads, move |plan| {
@@ -1159,20 +1264,20 @@ pub fn format_campaign(label: &str, campaign: &CampaignOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faults::FaultPlanBuilder;
 
     #[test]
     fn fault_free_plan_completes_cleanly() {
-        let plan = FaultPlan {
-            seed: 1,
-            events: vec![FaultEvent {
+        let plan = FaultPlanBuilder::new(1)
+            .event(FaultEvent {
                 at: SimTime::from_millis(900),
                 kind: FaultKind::LossBurst {
                     probability: 0.2,
                     duration: SimDuration::from_millis(100),
                 },
-            }],
-            leak_all: false,
-        };
+            })
+            .build(&chaos_plan_space(0))
+            .expect("valid plan");
         let cfg = ChaosConfig {
             increments: 60,
             ..ChaosConfig::default()

@@ -27,7 +27,8 @@ pub mod workload;
 pub use adaptive::{format_adaptive, run_adaptive_comparison, AdaptiveRow};
 pub use chaos::{
     chaos_plan_space, chaos_plan_space_for, format_campaign, run_chaos_campaign, run_chaos_plan,
-    CampaignConfig, CampaignOutcome, ChaosConfig, ChaosOutcome,
+    run_chaos_plan_with, CampaignConfig, CampaignOutcome, ChaosConfig, ChaosOutcome,
+    ServantMutation,
 };
 pub use cli::{cli_from_args, positional_or, render_trace_sections, take_flag, Cli};
 pub use counter::{counter_key, run_counter_scenario, CounterConfig, CounterOutcome};
@@ -41,14 +42,14 @@ pub use fleet::{group_configs, run_fleet, FleetConfig, FleetOutcome, CLIENTS_PER
 pub use jitter::{format_jitter, jitter_stats, run_jitter_suite, JitterStats};
 pub use report::{
     failover_episodes_ms, format_table1, run_table1, steady_state_rtt_ms, table1_row, trace_ascii,
-    trace_csv, Table1Row,
+    trace_csv, Table1Row, ViolationRecord, ViolationReport, VIOLATION_REPORT_SCHEMA,
 };
 pub use runner::{default_threads, run_batch, run_batch_with};
 pub use scenario::{paper_workload, run_scenario, ScenarioConfig, ScenarioOutcome};
 pub use stats::{percentile, Summary};
 pub use sweep::{
     expand_sweep, format_sweep, parse_sweep, run_sweep, scheme_from_name, scheme_name,
-    violations_json, SweepOutcome, SweepSpec, SweepUnit, SweepViolation, TopologySpec,
+    SweepOutcome, SweepSpec, SweepUnit, TopologySpec,
 };
 pub use workload::{
     ClientPolicy, ClientWorkload, InvocationRecord, ReportHandle, WorkloadConfig, WorkloadReport,

@@ -235,3 +235,118 @@ pub fn trace_ascii(outcome: &ScenarioOutcome, buckets: usize, full_scale_ms: f64
     }
     out
 }
+
+/// Schema tag stamped into every [`ViolationReport`] document; bump the
+/// suffix when the shape of the JSON changes.
+pub const VIOLATION_REPORT_SCHEMA: &str = "violation-report/1";
+
+/// One run's invariant violations, labelled for machine consumption.
+///
+/// `cell` names where the run came from — a sweep matrix cell, a chaos
+/// campaign mode, or an explorer interleaving — and `seed` identifies
+/// the plan, so a violated run can be reproduced from the report alone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// The matrix cell / campaign mode / interleaving the run belongs to.
+    pub cell: String,
+    /// The plan's seed.
+    pub seed: u64,
+    /// The violated invariants, verbatim from the chaos executor.
+    pub violations: Vec<String>,
+}
+
+/// The versioned machine-readable violation report every chaos-family
+/// binary (`chaos`, `sweep`, `explore`) emits behind `--violations`: one
+/// JSON object carrying the schema tag, the scenario label, the violated
+/// run count and one [`ViolationRecord`] per violated run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViolationReport {
+    /// Scenario label (`"chaos"`, the sweep's name, `"explore"`, ...).
+    pub scenario: String,
+    /// One record per violated run, in run order.
+    pub records: Vec<ViolationRecord>,
+}
+
+impl ViolationReport {
+    /// Assembles a report for `scenario` from per-run records.
+    pub fn new(scenario: impl Into<String>, records: Vec<ViolationRecord>) -> Self {
+        ViolationReport {
+            scenario: scenario.into(),
+            records,
+        }
+    }
+
+    /// Renders the report as its single-object JSON document (trailing
+    /// newline included), the exact bytes written to `--violations`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"scenario\":\"{}\",\"violated_plans\":{},\"violations\":[",
+            json_escape(VIOLATION_REPORT_SCHEMA),
+            json_escape(&self.scenario),
+            self.records.len()
+        ));
+        for (i, v) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"cell\":\"{}\",\"seed\":{},\"violations\":[",
+                json_escape(&v.cell),
+                v.seed
+            ));
+            for (j, msg) in v.violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", json_escape(msg)));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod violation_tests {
+    use super::*;
+
+    #[test]
+    fn violation_report_json_is_well_formed() {
+        let report = ViolationReport::new(
+            "smoke",
+            vec![ViolationRecord {
+                cell: "paper/mead_failover/classic".to_string(),
+                seed: 7,
+                violations: vec!["client \"gave\tup\"".to_string()],
+            }],
+        );
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema\":\"violation-report/1\",\"scenario\":\"smoke\""));
+        assert!(json.contains("\"seed\":7"));
+        assert!(json.contains("\\\"gave\\tup\\\""));
+        let empty = ViolationReport::new("smoke", Vec::new()).to_json();
+        assert_eq!(
+            empty,
+            "{\"schema\":\"violation-report/1\",\"scenario\":\"smoke\",\
+             \"violated_plans\":0,\"violations\":[]}\n"
+        );
+    }
+}

@@ -18,13 +18,14 @@
 //! reviewable timeline.
 
 use faults::config::{fault_from_table, mix_from_table};
-use faults::{ConfigError, FaultEvent, FaultPlan, NamedMix};
+use faults::{ConfigError, FaultEvent, FaultPlan, FaultPlanBuilder, NamedMix};
 use mead::RecoveryScheme;
 use simnet::SimDuration;
 use tomlite::{Table, Value};
 
 use crate::chaos::{chaos_plan_space_for, run_chaos_plan, ChaosConfig, ChaosOutcome, Fnv};
 use crate::fleet::splitmix64;
+use crate::report::ViolationRecord;
 use crate::runner::run_batch_with;
 
 /// One topology axis entry: the chaos executor's node layout is derived
@@ -309,6 +310,7 @@ pub fn expand_sweep(spec: &SweepSpec) -> Result<Vec<SweepUnit>, ConfigError> {
                     slots: topo.slots,
                     scheme,
                     goodput_budget: spec.goodput_budget,
+                    ..ChaosConfig::default()
                 };
                 let cell = format!("{}/{}/{}", topo.name, scheme_name(scheme), named.name);
                 for i in 0..spec.plans_per_cell {
@@ -331,14 +333,12 @@ pub fn expand_sweep(spec: &SweepSpec) -> Result<Vec<SweepUnit>, ConfigError> {
             if !spec.explicit.is_empty() {
                 let cell = format!("{}/{}/explicit", topo.name, scheme_name(scheme));
                 let seed = splitmix64(spec.base_seed ^ (cell_index << 32));
-                let plan = FaultPlan {
-                    seed,
-                    events: spec.explicit.clone(),
-                    leak_all: false,
-                };
-                plan.validate(&space).map_err(|e| {
-                    ConfigError::new(format!("cell {cell}"), format!("explicit plan: {e}"))
-                })?;
+                let plan = FaultPlanBuilder::new(seed)
+                    .events(spec.explicit.iter().cloned())
+                    .build(&space)
+                    .map_err(|e| {
+                        ConfigError::new(format!("cell {cell}"), format!("explicit plan: {e}"))
+                    })?;
                 units.push(SweepUnit {
                     cell,
                     plan,
@@ -349,6 +349,7 @@ pub fn expand_sweep(spec: &SweepSpec) -> Result<Vec<SweepUnit>, ConfigError> {
                         slots: topo.slots,
                         scheme,
                         goodput_budget: spec.goodput_budget,
+                        ..ChaosConfig::default()
                     },
                 });
                 cell_index += 1;
@@ -356,17 +357,6 @@ pub fn expand_sweep(spec: &SweepSpec) -> Result<Vec<SweepUnit>, ConfigError> {
         }
     }
     Ok(units)
-}
-
-/// One plan's invariant violations, labelled for machine consumption.
-#[derive(Clone, Debug)]
-pub struct SweepViolation {
-    /// The matrix cell the plan belongs to.
-    pub cell: String,
-    /// The plan's seed.
-    pub seed: u64,
-    /// The violated invariants, verbatim from the chaos executor.
-    pub violations: Vec<String>,
 }
 
 /// Aggregated sweep results, in matrix order.
@@ -380,11 +370,11 @@ pub struct SweepOutcome {
 
 impl SweepOutcome {
     /// Every plan with at least one invariant violation.
-    pub fn violations(&self) -> Vec<SweepViolation> {
+    pub fn violations(&self) -> Vec<ViolationRecord> {
         self.results
             .iter()
             .filter(|(_, o)| !o.violations.is_empty())
-            .map(|(cell, o)| SweepViolation {
+            .map(|(cell, o)| ViolationRecord {
                 cell: cell.clone(),
                 seed: o.seed,
                 violations: o.violations.clone(),
@@ -419,53 +409,6 @@ pub fn run_sweep(spec: &SweepSpec, threads: usize) -> Result<SweepOutcome, Confi
         name: spec.name.clone(),
         results,
     })
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders violations as the machine-readable `violations.json` document
-/// both chaos binaries emit: an object with the scenario label, the
-/// violation count and one record per violated plan.
-pub fn violations_json(label: &str, violations: &[SweepViolation]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\"scenario\":\"{}\",\"violated_plans\":{},\"violations\":[",
-        json_escape(label),
-        violations.len()
-    ));
-    for (i, v) in violations.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"cell\":\"{}\",\"seed\":{},\"violations\":[",
-            json_escape(&v.cell),
-            v.seed
-        ));
-        for (j, msg) in v.violations.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{}\"", json_escape(msg)));
-        }
-        out.push_str("]}");
-    }
-    out.push_str("]}\n");
-    out
 }
 
 /// Human-readable sweep summary: per-cell plan counts, violation counts,
@@ -570,7 +513,7 @@ slots = [0, 2]
         assert_eq!(units[0].cell, "paper/mead_failover/classic");
         assert_eq!(units[4].cell, "paper/mead_failover/explicit");
         // Different cells draw different seeds.
-        assert_ne!(units[0].plan.seed, units[2].plan.seed);
+        assert_ne!(units[0].plan.seed(), units[2].plan.seed());
     }
 
     #[test]
@@ -592,25 +535,5 @@ slots = [0, 2]
         assert!(parse_sweep(&unknown).is_err());
         let bad_scheme = SMOKE.replace("mead_failover", "quantum");
         assert!(parse_sweep(&bad_scheme).is_err());
-    }
-
-    #[test]
-    fn violations_json_is_well_formed() {
-        let json = violations_json(
-            "smoke",
-            &[SweepViolation {
-                cell: "paper/mead_failover/classic".to_string(),
-                seed: 7,
-                violations: vec!["client \"gave\tup\"".to_string()],
-            }],
-        );
-        assert!(json.starts_with("{\"scenario\":\"smoke\""));
-        assert!(json.contains("\"seed\":7"));
-        assert!(json.contains("\\\"gave\\tup\\\""));
-        let empty = violations_json("smoke", &[]);
-        assert_eq!(
-            empty,
-            "{\"scenario\":\"smoke\",\"violated_plans\":0,\"violations\":[]}\n"
-        );
     }
 }

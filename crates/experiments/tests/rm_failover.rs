@@ -2,27 +2,24 @@
 //! point of failure (a stall the chaos campaign reproduces), while the
 //! warm-passive replicated RM elects a new leader and finishes the run.
 
-use experiments::{run_chaos_plan, ChaosConfig};
-use faults::{FaultEvent, FaultKind, FaultPlan};
+use experiments::{chaos_plan_space, run_chaos_plan, ChaosConfig};
+use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
 use simnet::{SimDuration, SimTime};
 
 /// Kill the RM, then a replica: recovery of slot 0 now depends entirely
 /// on whoever manages the group after the RM is gone.
 fn rm_then_replica_crash() -> FaultPlan {
-    FaultPlan {
-        seed: 42,
-        events: vec![
-            FaultEvent {
-                at: SimTime::ZERO + SimDuration::from_millis(900),
-                kind: FaultKind::CrashRecoveryManager,
-            },
-            FaultEvent {
-                at: SimTime::ZERO + SimDuration::from_millis(1_600),
-                kind: FaultKind::CrashReplica { slot: 0 },
-            },
-        ],
-        leak_all: false,
-    }
+    FaultPlanBuilder::new(42)
+        .event(FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_millis(900),
+            kind: FaultKind::CrashRecoveryManager,
+        })
+        .event(FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_millis(1_600),
+            kind: FaultKind::CrashReplica { slot: 0 },
+        })
+        .build(&chaos_plan_space(1))
+        .expect("schedule fits the chaos space")
 }
 
 #[test]

@@ -1,0 +1,198 @@
+//! Schedule-space exploration driver (DESIGN §13).
+//!
+//! Enumerates alternative event interleavings of small chaos scenarios
+//! under a pluggable kernel scheduler, checks every invariant on every
+//! interleaving, and — given `--seeded-bug` — proves the pipeline
+//! end-to-end: a seeded protocol mutation invisible to the FIFO schedule
+//! is caught, minimized to a short failing schedule, and replayed by
+//! digest.
+//!
+//! Usage: `explore [--threads N] [--runs N] [--depth N] [--smoke]
+//! [--seeded-bug] [--violations out.json] [--trace out.jsonl]`.
+//! `--smoke` shrinks the per-fixture run budget for CI; `--trace` writes
+//! the minimized failing schedule (requires `--seeded-bug`). Exits
+//! non-zero when any fixture's exploration misbehaves or the seeded bug
+//! is not caught, minimized and replayed.
+
+use experiments::{
+    cli_from_args, run_chaos_plan_with, take_flag, ViolationRecord, ViolationReport,
+};
+use explore::{explore, fixtures, minimize, ExploreConfig};
+use simnet::ReplayScheduler;
+
+/// Decisions the minimized seeded-bug schedule may keep (the acceptance
+/// bound: the reproducer must be human-readable).
+const MAX_MINIMIZED_DECISIONS: usize = 10;
+
+fn main() {
+    let cli = cli_from_args();
+    let threads = cli.threads;
+    let smoke = cli.args.iter().any(|a| a == "--smoke");
+    let seeded = cli.args.iter().any(|a| a == "--seeded-bug");
+    let mut positional: Vec<String> = cli
+        .args
+        .iter()
+        .filter(|a| *a != "--smoke" && *a != "--seeded-bug")
+        .cloned()
+        .collect();
+    let violations_path = take_flag(&mut positional, "--violations");
+    let runs_flag = take_flag(&mut positional, "--runs");
+    let depth_flag = take_flag(&mut positional, "--depth");
+    let default_runs = if smoke { 384 } else { 1024 };
+    let max_runs: usize = runs_flag
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_runs);
+    let max_depth: usize = depth_flag.and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let mut failed = false;
+    let mut records: Vec<ViolationRecord> = Vec::new();
+
+    // Fault-free-protocol fixtures: enumerate interleavings and demand
+    // zero invariant violations on every one (the protocol must tolerate
+    // any physically plausible delivery order).
+    for fixture in [fixtures::pair(), fixtures::trio()] {
+        let cfg = ExploreConfig {
+            gate: fixture.gate,
+            max_runs,
+            max_depth,
+            threads,
+        };
+        let outcome = explore(&fixture.plan, &fixture.chaos, &cfg);
+        println!(
+            "explore {}: {} runs, {} distinct outcomes, {} violating, exhausted={}, digest {:016x}",
+            fixture.name,
+            outcome.executed,
+            outcome.outcome_digests.len(),
+            outcome.failures.len(),
+            outcome.exhausted,
+            outcome.digest,
+        );
+        for failure in &outcome.failures {
+            records.push(ViolationRecord {
+                cell: format!("{}/schedule-{:016x}", fixture.name, failure.trace.digest()),
+                seed: fixture.plan.seed(),
+                violations: failure.violations.clone(),
+            });
+        }
+        if !outcome.failures.is_empty() {
+            println!(
+                "  FAIL: {} interleaving(s) violated invariants",
+                outcome.failures.len()
+            );
+            failed = true;
+        } else {
+            println!("  PASS: all enumerated interleavings hold every invariant");
+        }
+    }
+
+    // Seeded-bug pipeline: the mutation must be invisible to FIFO,
+    // caught by the search, minimized small, and replayable by digest.
+    if seeded {
+        failed |= !run_seeded_bug(threads, max_runs, max_depth, cli.trace.as_ref());
+    }
+
+    if let Some(path) = &violations_path {
+        let body = ViolationReport::new("explore", records).to_json();
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write violations to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("violations written to {path}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Runs the seeded-bug fixture end to end; returns `true` on success.
+fn run_seeded_bug(
+    threads: usize,
+    max_runs: usize,
+    max_depth: usize,
+    trace_path: Option<&std::path::PathBuf>,
+) -> bool {
+    let fixture = fixtures::seeded_bug();
+    let cfg = ExploreConfig {
+        gate: fixture.gate,
+        max_runs,
+        max_depth,
+        threads,
+    };
+
+    // Under the default schedule the mutation stays dormant.
+    let fifo = explore::run_prefix(&fixture.plan, &fixture.chaos, fixture.gate, &[]);
+    if !fifo.violations.is_empty() {
+        println!(
+            "seeded-bug: FAIL — FIFO schedule already violates: {:?}",
+            fifo.violations
+        );
+        return false;
+    }
+    println!("seeded-bug: FIFO schedule passes (mutation dormant)");
+
+    let outcome = explore(&fixture.plan, &fixture.chaos, &cfg);
+    println!(
+        "seeded-bug: {} runs explored, {} violating interleaving(s)",
+        outcome.executed,
+        outcome.failures.len()
+    );
+    let Some(first) = outcome.failures.first() else {
+        println!("seeded-bug: FAIL — search did not expose the seeded mutation");
+        return false;
+    };
+    let witness: Vec<u64> = first.trace.decisions.iter().map(|d| d.chosen).collect();
+    println!(
+        "seeded-bug: caught: {}",
+        first.violations.first().map(String::as_str).unwrap_or("?")
+    );
+
+    let Some(minimal) = minimize(&fixture.plan, &fixture.chaos, fixture.gate, &witness, 200) else {
+        println!("seeded-bug: FAIL — minimizer could not reproduce the failure");
+        return false;
+    };
+    println!(
+        "seeded-bug: minimized to {} decision(s) ({} deviation(s)) in {} runs, trace digest {:016x}",
+        minimal.choices.len(),
+        minimal.trace.deviations(),
+        minimal.runs_used,
+        minimal.trace.digest(),
+    );
+    if minimal.choices.len() > MAX_MINIMIZED_DECISIONS {
+        println!(
+            "seeded-bug: FAIL — minimal schedule keeps {} decisions (bound {})",
+            minimal.choices.len(),
+            MAX_MINIMIZED_DECISIONS
+        );
+        return false;
+    }
+
+    // Replay the minimized trace through the independent ReplayScheduler
+    // and demand bit-identical behaviour.
+    let replayed = run_chaos_plan_with(
+        &fixture.plan,
+        &fixture.chaos,
+        Box::new(ReplayScheduler::from_trace(&minimal.trace)),
+    );
+    if replayed.digest() != minimal.outcome_digest || replayed.violations.is_empty() {
+        println!(
+            "seeded-bug: FAIL — replay digest {:016x} != minimized run digest {:016x}",
+            replayed.digest(),
+            minimal.outcome_digest
+        );
+        return false;
+    }
+    println!(
+        "seeded-bug: replay digest {:016x} matches — PASS",
+        replayed.digest()
+    );
+
+    if let Some(path) = trace_path {
+        if let Err(e) = std::fs::write(path, minimal.trace.to_jsonl()) {
+            eprintln!("error: cannot write trace to {}: {e}", path.display());
+            return false;
+        }
+        eprintln!("minimized decision trace written to {}", path.display());
+    }
+    true
+}

@@ -1,0 +1,152 @@
+//! The recording scheduler driving the search: follows a prescribed
+//! choice prefix, defaults afterwards, and records every gated decision
+//! together with the DPOR-lite branch set discovered there.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::sched::{Decision, Gate};
+use simnet::{Candidate, ChoicePoint, GateCfg, Scheduler, SimDuration};
+
+/// Whether reordering `a` and `b` is observable (they *conflict*): both
+/// land on the same process, or ride the same connection. Commuting
+/// pairs — independent processes, independent connections — produce the
+/// same global state in either order, so the explorer never branches on
+/// them. This is the partial-order reduction that keeps the search
+/// bounded.
+pub fn conflicts(a: &Candidate, b: &Candidate) -> bool {
+    (a.target.is_some() && a.target == b.target) || (a.conn.is_some() && a.conn == b.conn)
+}
+
+/// Everything one run teaches the explorer: the gated decisions that
+/// were made, and — per decision — the alternative candidate indices
+/// worth trying instead (eligible and conflicting with the pick).
+#[derive(Clone, Debug, Default)]
+pub struct RunRecord {
+    /// Every gated decision, in ordinal order.
+    pub decisions: Vec<Decision>,
+    /// `branches[i]` lists the candidate indices at decision `i` that
+    /// are eligible, differ from the pick, and conflict with it.
+    pub branches: Vec<Vec<u64>>,
+}
+
+/// A [`Scheduler`] that plays a choice prefix, then the kernel default,
+/// recording decisions and branch sets into a shared [`RunRecord`].
+///
+/// The scheduler is moved into the simulation, so the record is shared
+/// via `Rc` and read back by the caller after the run completes.
+#[derive(Clone, Debug)]
+pub struct ExploreScheduler {
+    gate: Gate,
+    prefix: Vec<u64>,
+    record: Rc<RefCell<RunRecord>>,
+}
+
+impl ExploreScheduler {
+    /// A scheduler over `gate` that picks `prefix[i]` at gated decision
+    /// `i` (clamped exactly as the kernel clamps) and candidate 0 past
+    /// the prefix, filling `record` as it goes.
+    pub fn new(gate: GateCfg, prefix: Vec<u64>, record: Rc<RefCell<RunRecord>>) -> Self {
+        ExploreScheduler {
+            gate: Gate::new(gate),
+            prefix,
+            record,
+        }
+    }
+}
+
+impl Scheduler for ExploreScheduler {
+    fn choose(&mut self, cp: &ChoicePoint) -> usize {
+        let Some(ordinal) = self.gate.admit(cp) else {
+            return 0;
+        };
+        let want = self.prefix.get(ordinal as usize).copied().unwrap_or(0) as usize;
+        // Mirror the kernel's clamp so the recorded pick is the
+        // dispatched pick even when the prefix is stale for this branch
+        // of the schedule tree.
+        let chosen = match cp.candidates.get(want) {
+            Some(c) if c.eligible => want,
+            _ => 0,
+        };
+        let alternatives: Vec<u64> = match cp.candidates.get(chosen) {
+            Some(picked) => cp
+                .candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| *i != chosen && c.eligible && conflicts(picked, c))
+                .map(|(i, _)| i as u64)
+                .collect(),
+            None => Vec::new(),
+        };
+        let mut record = self.record.borrow_mut();
+        record.decisions.push(Decision {
+            step: ordinal,
+            at_ns: cp.now.as_nanos(),
+            n: cp.candidates.len() as u64,
+            chosen: chosen as u64,
+        });
+        record.branches.push(alternatives);
+        chosen
+    }
+
+    fn slack(&self) -> SimDuration {
+        self.gate.cfg().slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::sched::CandidateKind;
+    use simnet::testkit::candidate;
+    use simnet::SimTime;
+
+    fn cand(target: u64, conn: Option<u64>, eligible: bool) -> Candidate {
+        candidate(
+            SimTime::from_nanos(100),
+            target,
+            CandidateKind::Notify,
+            Some(target),
+            conn,
+            eligible,
+        )
+    }
+
+    #[test]
+    fn conflict_is_same_target_or_same_conn() {
+        assert!(conflicts(&cand(1, None, true), &cand(1, None, true)));
+        assert!(conflicts(&cand(1, Some(7), true), &cand(2, Some(7), true)));
+        assert!(!conflicts(&cand(1, Some(7), true), &cand(2, Some(8), true)));
+        assert!(!conflicts(&cand(1, None, true), &cand(2, None, true)));
+    }
+
+    #[test]
+    fn records_prefix_clamps_and_branches() {
+        let record = Rc::new(RefCell::new(RunRecord::default()));
+        let mut sched = ExploreScheduler::new(GateCfg::default(), vec![1, 9], Rc::clone(&record));
+        let cp = ChoicePoint {
+            step: 0,
+            now: SimTime::from_nanos(100),
+            candidates: vec![
+                cand(1, None, true),
+                cand(1, None, true),
+                cand(2, None, true),
+                cand(1, Some(3), false),
+            ],
+        };
+        // Decision 0: prefix says 1, candidate 1 is eligible -> taken.
+        assert_eq!(sched.choose(&cp), 1);
+        // Decision 1: prefix says 9 (out of range) -> clamped to 0.
+        assert_eq!(sched.choose(&cp), 0);
+        // Decision 2: past the prefix -> default 0.
+        assert_eq!(sched.choose(&cp), 0);
+        let rec = record.borrow();
+        assert_eq!(rec.decisions.len(), 3);
+        assert_eq!(rec.decisions[0].chosen, 1);
+        assert_eq!(rec.decisions[1].chosen, 0);
+        // Branches at decision 1 (picked candidate 0, target pid 1):
+        // candidate 1 conflicts (same target), candidate 2 commutes
+        // (different target, no conn), candidate 3 is ineligible.
+        assert_eq!(rec.branches[1], vec![1]);
+    }
+}

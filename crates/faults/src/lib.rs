@@ -42,8 +42,9 @@ pub use config::{ConfigError, NamedMix};
 pub use crash::CrashSchedule;
 pub use memleak::{LeakConfig, MemoryLeak};
 pub use plan::{
-    FaultEvent, FaultKind, FaultMix, FaultPlan, PlanError, PlanSpace, MAX_BURST, MAX_CROWD,
-    MAX_CROWD_SPREAD, MAX_JITTER_BOUND, MAX_JITTER_SPAN, MAX_PARTITION, MAX_RESTART, MIN_CRASH_GAP,
+    FaultEvent, FaultKind, FaultMix, FaultPlan, FaultPlanBuilder, PlanError, PlanSpace, MAX_BURST,
+    MAX_CROWD, MAX_CROWD_SPREAD, MAX_JITTER_BOUND, MAX_JITTER_SPAN, MAX_PARTITION, MAX_RESTART,
+    MIN_CRASH_GAP,
 };
 pub use pressure::{PressureConfig, PressureKind, ResourcePressure};
 pub use resource::{ResourceMonitor, ThresholdAction, ThresholdError};

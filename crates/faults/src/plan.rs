@@ -215,15 +215,100 @@ pub struct FaultEvent {
 }
 
 /// A complete seeded chaos schedule.
+///
+/// Fields are private so every plan in circulation has passed
+/// [`FaultPlan::validate`]: construct plans with the generators
+/// ([`FaultPlan::generate`], [`FaultPlan::generate_with`]) or explicitly
+/// via [`FaultPlanBuilder`], which refuses schedules the validator
+/// rejects.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
     /// The seed this plan was generated from (also seeds the scenario).
-    pub seed: u64,
+    seed: u64,
     /// Events sorted by [`FaultEvent::at`].
-    pub events: Vec<FaultEvent>,
+    events: Vec<FaultEvent>,
     /// When `true`, every server replica runs the paper's memory leak —
     /// the multi-replica-leak composition from the campaign brief.
-    pub leak_all: bool,
+    leak_all: bool,
+}
+
+/// Checked constructor for [`FaultPlan`] — the only way code outside the
+/// generator can assemble a plan, so [`FaultPlan::validate`] is
+/// unavoidable.
+///
+/// ```
+/// use faults::{FaultEvent, FaultKind, FaultPlanBuilder, PlanSpace};
+/// use simnet::{SimDuration, SimTime};
+///
+/// let space = PlanSpace {
+///     replica_slots: 3,
+///     daemon_nodes: vec![],
+///     naming: false,
+///     rm_crashes: 0,
+///     partition_pairs: vec![],
+///     loss: true,
+///     start: SimTime::from_millis(500),
+///     end: SimTime::from_secs(9),
+/// };
+/// let plan = FaultPlanBuilder::new(42)
+///     .event(FaultEvent {
+///         at: SimTime::from_millis(900),
+///         kind: FaultKind::LossBurst {
+///             probability: 0.2,
+///             duration: SimDuration::from_millis(150),
+///         },
+///     })
+///     .build(&space)
+///     .expect("schedule fits the space");
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    leak_all: bool,
+}
+
+impl FaultPlanBuilder {
+    /// Starts an empty plan for `seed` (no events, no leak).
+    pub fn new(seed: u64) -> Self {
+        FaultPlanBuilder {
+            seed,
+            events: Vec::new(),
+            leak_all: false,
+        }
+    }
+
+    /// Appends one fault event.
+    pub fn event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Appends a batch of fault events.
+    pub fn events(mut self, events: impl IntoIterator<Item = FaultEvent>) -> Self {
+        self.events.extend(events);
+        self
+    }
+
+    /// Sets the all-replica memory-leak composition flag.
+    pub fn leak_all(mut self, leak_all: bool) -> Self {
+        self.leak_all = leak_all;
+        self
+    }
+
+    /// Sorts the schedule and runs [`FaultPlan::validate`] against
+    /// `space`; only a plan the validator accepts is returned.
+    pub fn build(mut self, space: &PlanSpace) -> Result<FaultPlan, PlanError> {
+        self.events.sort_by_key(|e| e.at);
+        let plan = FaultPlan {
+            seed: self.seed,
+            events: self.events,
+            leak_all: self.leak_all,
+        };
+        plan.validate(space)?;
+        Ok(plan)
+    }
 }
 
 /// What the target topology can absorb; bounds the generator's draws.
@@ -435,6 +520,21 @@ impl fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 impl FaultPlan {
+    /// The seed this plan was generated from (also seeds the scenario).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The schedule, sorted by [`FaultEvent::at`].
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether every server replica runs the paper's memory leak.
+    pub fn leak_all(&self) -> bool {
+        self.leak_all
+    }
+
     /// Deterministically generates a plan from `seed` within `space`.
     pub fn generate(seed: u64, space: &PlanSpace) -> FaultPlan {
         let mut rng = SimRng::for_kernel(seed, 0xC4A05);

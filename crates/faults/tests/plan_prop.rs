@@ -68,7 +68,7 @@ proptest! {
         let plan = FaultPlan::generate_with(seed, &space, &mix_from_bits(bits));
         prop_assert!(plan.validate(&space).is_ok(), "plan: {plan:?}");
         let mut crashes: Vec<SimTime> = plan
-            .events
+            .events()
             .iter()
             .flat_map(|e| e.kind.crash_instants(e.at))
             .collect();
@@ -91,7 +91,7 @@ proptest! {
         let space = space();
         let plan = FaultPlan::generate_with(seed, &space, &mix_from_bits(bits));
         let settled = plan.settled_by();
-        for e in &plan.events {
+        for e in plan.events() {
             prop_assert!(settled >= e.at);
         }
         prop_assert!(

@@ -122,6 +122,7 @@ impl Default for Contract {
             "crates/mead/src",
             "crates/faults/src",
             "crates/experiments/src",
+            "crates/explore/src",
         ];
         // The lint engine and its parser must themselves be deterministic:
         // their output feeds CI gates, so they are in scope for R1/R2.

@@ -55,6 +55,7 @@ mod metrics;
 mod process;
 mod recv_queue;
 mod rng;
+pub mod sched;
 mod sim;
 mod table;
 pub mod testkit;
@@ -68,6 +69,10 @@ pub use metrics::{ByteRecord, Metrics};
 pub use process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
 pub use recv_queue::RecvQueue;
 pub use rng::SimRng;
+pub use sched::{
+    Candidate, CandidateKind, ChoicePoint, DecisionTrace, FifoScheduler, GateCfg, ReplayScheduler,
+    Scheduler,
+};
 pub use sim::{KernelStats, RunOutcome, SimConfig, Simulation};
 pub use table::{IdTable, Slab, SlotKey};
 pub use time::{SimDuration, SimTime};

@@ -38,6 +38,7 @@ use crate::metrics::Metrics;
 use crate::process::{Event, ExitReason, Process, ProcessFactory, ReadOutcome, SysApi};
 use crate::recv_queue::RecvQueue;
 use crate::rng::SimRng;
+use crate::sched::{self, FifoScheduler, Scheduler};
 use crate::table::{IdTable, Slab, SlotKey};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
@@ -303,11 +304,33 @@ pub struct Simulation {
     /// entries (batch length − 1 each), so
     /// [`KernelStats::pending_events`] keeps counting individual events.
     batched_extra: u64,
+    /// The event-ordering policy (DESIGN §13). [`FifoScheduler`] keeps
+    /// the kernel on its historical dispatch loop; anything else routes
+    /// same-window ties through [`sched::ChoicePoint`]s.
+    scheduler: Box<dyn Scheduler>,
+    /// Cached `scheduler.is_fifo()`, checked once per `run_until` rather
+    /// than through the vtable on the dispatch hot path.
+    sched_fifo: bool,
+    /// Choice points surfaced so far (multi-candidate pools only).
+    sched_steps: u64,
 }
 
 impl Simulation {
-    /// Creates an empty simulation.
+    /// Creates an empty simulation under the default
+    /// [`FifoScheduler`] — shorthand for
+    /// [`with_scheduler`](Self::with_scheduler) with the historical
+    /// `(at, seq)` dispatch order.
     pub fn new(cfg: SimConfig) -> Self {
+        Simulation::with_scheduler(cfg, Box::new(FifoScheduler))
+    }
+
+    /// Creates an empty simulation driven by `scheduler` — the single
+    /// construction path (DESIGN §13). The default [`FifoScheduler`]
+    /// reproduces the kernel's historical total order bit for bit; any
+    /// other scheduler is offered a [`sched::ChoicePoint`] whenever
+    /// several queued events are due within its reorder window.
+    pub fn with_scheduler(cfg: SimConfig, scheduler: Box<dyn Scheduler>) -> Self {
+        let sched_fifo = scheduler.is_fifo();
         let net_rng = SimRng::for_kernel(cfg.seed, 1);
         Simulation {
             cfg,
@@ -335,7 +358,16 @@ impl Simulation {
             pending_bounce: None,
             bounce_spare: VecDeque::new(),
             batched_extra: 0,
+            scheduler,
+            sched_fifo,
+            sched_steps: 0,
         }
+    }
+
+    /// Choice points surfaced to the scheduler so far (always 0 under
+    /// the default [`FifoScheduler`]).
+    pub fn choice_points(&self) -> u64 {
+        self.sched_steps
     }
 
     /// Adds a node (host) and returns its id.
@@ -798,6 +830,18 @@ impl Simulation {
     }
 
     fn dispatch_until(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
+        if self.sched_fifo {
+            self.dispatch_until_fifo(deadline, event_limit)
+        } else {
+            self.dispatch_until_choosing(deadline, event_limit)
+        }
+    }
+
+    /// The historical dispatch loop, taken under the default
+    /// [`FifoScheduler`]: strict `(at, seq)` order, notify-wave
+    /// coalescing enabled, no choice points. Every pinned scenario
+    /// digest is produced by this path, unchanged.
+    fn dispatch_until_fifo(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
         let mut dispatched = 0u64;
         loop {
             if dispatched >= event_limit {
@@ -865,6 +909,183 @@ impl Simulation {
         }
     }
 
+    /// The choice-point dispatch loop, taken under any non-FIFO
+    /// [`Scheduler`]: each iteration pools every queued event due within
+    /// the scheduler's reorder window of the earliest pending one
+    /// (bounded by [`sched::MAX_CANDIDATES`]), surfaces multi-candidate
+    /// pools as a [`sched::ChoicePoint`], dispatches the pick and
+    /// re-queues the rest under their original `(at, seq)` keys.
+    ///
+    /// Differences from the FIFO path, both semantics-preserving for
+    /// the single-candidate case:
+    ///
+    /// * notify-wave coalescing is disabled ([`Self::bounce`] pushes
+    ///   individually reorderable entries), so `pending_bounce` is
+    ///   always `None` here and no pop-window cap applies;
+    /// * picking a later candidate advances the clock to its timestamp
+    ///   and the deferred earlier candidates dispatch *late* — the clock
+    ///   never runs backwards, so a chosen schedule is always a
+    ///   physically plausible late-delivery history.
+    ///
+    /// Every iteration dispatches exactly one event, so the loop shares
+    /// the FIFO path's termination argument (queue drain, deadline or
+    /// event budget). A deferred candidate also pins the window: pools
+    /// are collected from the earliest pending event, so after at most
+    /// [`sched::MAX_CANDIDATES`] deferrals the earliest candidate is
+    /// index 0 of a pool whose scheduler must pick *something*, and the
+    /// clamp guarantees eligibility — no starvation.
+    fn dispatch_until_choosing(&mut self, deadline: SimTime, event_limit: u64) -> RunOutcome {
+        let slack = self.scheduler.slack();
+        let mut dispatched = 0u64;
+        loop {
+            if dispatched >= event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let Some((at, seq, action)) = self.queue.pop_due(deadline.as_nanos()) else {
+                if self.queue.is_empty() {
+                    self.now = deadline.max(self.now);
+                    return RunOutcome::Idle;
+                }
+                self.now = deadline;
+                return RunOutcome::DeadlineReached;
+            };
+            let first_at = SimTime::from_nanos(at);
+            // Pool everything due within the reorder window. The pool
+            // bound caps both this loop and the explorer's branching.
+            let cap = at.saturating_add(slack.as_nanos()).min(deadline.as_nanos());
+            let mut pool = vec![(first_at, seq, action)];
+            while pool.len() < sched::MAX_CANDIDATES {
+                let Some((c_at, c_seq, c_action)) = self.queue.pop_due(cap) else {
+                    break;
+                };
+                pool.push((SimTime::from_nanos(c_at), c_seq, c_action));
+            }
+            let pick = if pool.len() > 1 {
+                // Per-connection FIFO eligibility: the pool is in
+                // (at, seq) order, so the first candidate seen on each
+                // connection is its earliest — only that one may be
+                // picked. Candidate 0 is always eligible.
+                let mut seen_conns: Vec<ConnId> = Vec::new();
+                let candidates: Vec<sched::Candidate> = pool
+                    .iter()
+                    .map(|(c_at, c_seq, c_action)| {
+                        let conn = Self::action_conn(c_action);
+                        let eligible = match conn {
+                            Some(c) if seen_conns.contains(&c) => false,
+                            Some(c) => {
+                                seen_conns.push(c);
+                                true
+                            }
+                            None => true,
+                        };
+                        sched::Candidate {
+                            at: *c_at,
+                            seq: *c_seq,
+                            kind: Self::action_kind(c_action),
+                            target: self.action_target(c_action),
+                            conn,
+                            eligible,
+                        }
+                    })
+                    .collect();
+                let cp = sched::ChoicePoint {
+                    step: self.sched_steps,
+                    now: first_at,
+                    candidates,
+                };
+                self.sched_steps += 1;
+                let want = self.scheduler.choose(&cp);
+                // Out-of-range or ineligible picks clamp to the default.
+                match cp.candidates.get(want) {
+                    Some(c) if c.eligible => want,
+                    _ => 0,
+                }
+            } else {
+                0
+            };
+            let mut chosen = None;
+            for (i, (c_at, c_seq, c_action)) in pool.into_iter().enumerate() {
+                if i == pick {
+                    chosen = Some((c_at, c_seq, c_action));
+                } else {
+                    // Deferred candidates keep their original keys; they
+                    // surface again at the next choice point.
+                    self.queue.push(c_at.as_nanos(), c_seq, c_action);
+                }
+            }
+            let Some((at, seq, action)) = chosen else {
+                continue; // unreachable: pick < pool.len()
+            };
+            // Late delivery: a deferred event may dispatch after the
+            // clock passed its timestamp; time never runs backwards.
+            self.now = self.now.max(at);
+            let sched = Scheduled { at, seq, action };
+            self.events_processed += 1;
+            dispatched += 1;
+            if self.action_blocked(&sched.action) {
+                self.parked.push(sched);
+                continue;
+            }
+            if self.obs_kernel {
+                let node = self
+                    .action_link(&sched.action)
+                    .map(|(a, _)| a)
+                    .unwrap_or(NodeId(0));
+                self.emit_kernel(
+                    node,
+                    obs::EventKind::Dispatch {
+                        action: Self::action_name(&sched.action),
+                    },
+                );
+            }
+            self.handle(sched.action);
+        }
+    }
+
+    /// The connection an action rides on, if any — the key of the
+    /// per-connection FIFO eligibility check.
+    fn action_conn(action: &Action) -> Option<ConnId> {
+        match action {
+            Action::ConnectAttempt { client_ep, .. } | Action::ConnectResult { client_ep, .. } => {
+                Some(*client_ep)
+            }
+            Action::DeliverData { ep, .. } | Action::DeliverEof { ep } => Some(*ep),
+            _ => None,
+        }
+    }
+
+    /// The scheduler-facing kind of an action (batches report as plain
+    /// notifies; they cannot arise under a choosing scheduler).
+    fn action_kind(action: &Action) -> sched::CandidateKind {
+        match action {
+            Action::StartProcess(_) => sched::CandidateKind::StartProcess,
+            Action::ConnectAttempt { .. } => sched::CandidateKind::ConnectAttempt,
+            Action::ConnectResult { .. } => sched::CandidateKind::ConnectResult,
+            Action::DeliverData { .. } => sched::CandidateKind::DeliverData,
+            Action::DeliverEof { .. } => sched::CandidateKind::DeliverEof,
+            Action::TimerFire { .. } => sched::CandidateKind::TimerFire,
+            Action::Notify { .. } | Action::NotifyBatch { .. } => sched::CandidateKind::Notify,
+        }
+    }
+
+    /// The process an action ultimately targets, when known: two
+    /// candidates with the same target conflict (their order is
+    /// observable by that process).
+    fn action_target(&self, action: &Action) -> Option<ProcessId> {
+        match action {
+            Action::StartProcess(pid)
+            | Action::Notify { pid, .. }
+            | Action::NotifyBatch { pid, .. } => Some(*pid),
+            Action::TimerFire { timer } => self.timers.get(timer.0).map(|ts| ts.pid),
+            Action::ConnectAttempt { client_ep, .. } | Action::ConnectResult { client_ep, .. } => {
+                self.endpoint(*client_ep).map(|ep| ep.owner)
+            }
+            Action::DeliverData { ep, .. } | Action::DeliverEof { ep } => {
+                self.endpoint(*ep).map(|e| e.owner)
+            }
+        }
+    }
+
     /// Static name of an action variant, for `Dispatch` trace events.
     fn action_name(action: &Action) -> &'static str {
         match action {
@@ -896,6 +1117,14 @@ impl Simulation {
     /// purely that a wave of `k` parked notifies re-bounces off a busy
     /// process in O(1) rather than O(k) wheel operations.
     fn bounce(&mut self, pid: ProcessId, at: SimTime, event: Event) {
+        if !self.sched_fifo {
+            // Under a choosing scheduler every parked notify stays an
+            // individually reorderable wheel entry: coalescing would
+            // fuse events the scheduler must be able to interleave.
+            // Sequence allocation is identical either way.
+            self.push(at, Action::Notify { pid, event });
+            return;
+        }
         match &mut self.pending_bounce {
             Some(p) if p.pid == pid && p.at == at => {
                 debug_assert_eq!(p.first_seq + p.events.len() as u64, self.seq);
@@ -922,6 +1151,12 @@ impl Simulation {
     /// elements keep their relative order and receive the same
     /// consecutive sequence numbers the per-entry requeues would have.
     fn bounce_many(&mut self, pid: ProcessId, at: SimTime, mut events: VecDeque<Event>) {
+        if !self.sched_fifo {
+            for event in events {
+                self.push(at, Action::Notify { pid, event });
+            }
+            return;
+        }
         match &mut self.pending_bounce {
             Some(p) if p.pid == pid && p.at == at => {
                 debug_assert_eq!(p.first_seq + p.events.len() as u64, self.seq);

@@ -337,6 +337,27 @@ impl ProcessId {
     }
 }
 
+/// Builds a scheduling [`Candidate`](crate::sched::Candidate) from raw id
+/// values: test support for out-of-crate [`Scheduler`](crate::Scheduler)
+/// implementations (ids are opaque outside the kernel).
+pub fn candidate(
+    at: SimTime,
+    seq: u64,
+    kind: crate::sched::CandidateKind,
+    target: Option<u64>,
+    conn: Option<u64>,
+    eligible: bool,
+) -> crate::sched::Candidate {
+    crate::sched::Candidate {
+        at,
+        seq,
+        kind,
+        target: target.map(ProcessId::from_raw_for_tests),
+        conn: conn.map(ConnId::from_raw_for_tests),
+        eligible,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
