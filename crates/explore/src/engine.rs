@@ -19,15 +19,17 @@
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use experiments::{run_batch_with, run_chaos_plan_with, ChaosConfig};
 use faults::FaultPlan;
 use simnet::{DecisionTrace, GateCfg};
 
+use crate::relation::ConflictRelation;
 use crate::sched::{ExploreScheduler, RunRecord};
 
 /// Search budgets and gating for one exploration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExploreConfig {
     /// Gating shared by every run: decision window, per-run decision
     /// budget, and the reorder slack.
@@ -38,6 +40,10 @@ pub struct ExploreConfig {
     pub max_depth: usize,
     /// Worker threads for each BFS wave.
     pub threads: usize,
+    /// A loaded `conflict-relation/1` artifact refining the syntactic
+    /// conflict test (see [`crate::sched::conflicts_under`]); `None`
+    /// reproduces the pure DPOR-lite tree.
+    pub relation: Option<Arc<ConflictRelation>>,
 }
 
 impl Default for ExploreConfig {
@@ -47,6 +53,7 @@ impl Default for ExploreConfig {
             max_runs: 256,
             max_depth: 32,
             threads: 1,
+            relation: None,
         }
     }
 }
@@ -60,6 +67,9 @@ pub struct RunResult {
     pub trace: DecisionTrace,
     /// Per-decision DPOR-lite branch sets (see [`RunRecord`]).
     pub branches: Vec<Vec<u64>>,
+    /// Per-decision alternatives the conflict relation pruned (empty
+    /// without a loaded relation; see [`RunRecord::pruned`]).
+    pub pruned: Vec<Vec<u64>>,
     /// Invariant violations the chaos executor reported, if any.
     pub violations: Vec<String>,
     /// The chaos outcome digest — two runs with this digest equal are
@@ -75,8 +85,22 @@ pub fn run_prefix(
     gate: GateCfg,
     prefix: &[u64],
 ) -> RunResult {
+    run_prefix_with(plan, chaos, gate, None, prefix)
+}
+
+/// [`run_prefix`] under a conflict-relation artifact: branch sets are
+/// refined by `relation`, and alternatives it proves independent are
+/// reported in [`RunResult::pruned`].
+pub fn run_prefix_with(
+    plan: &FaultPlan,
+    chaos: &ChaosConfig,
+    gate: GateCfg,
+    relation: Option<Arc<ConflictRelation>>,
+    prefix: &[u64],
+) -> RunResult {
     let record = Rc::new(RefCell::new(RunRecord::default()));
-    let scheduler = ExploreScheduler::new(gate, prefix.to_vec(), Rc::clone(&record));
+    let scheduler =
+        ExploreScheduler::with_relation(gate, prefix.to_vec(), relation, Rc::clone(&record));
     let outcome = run_chaos_plan_with(plan, chaos, Box::new(scheduler));
     let record = record.borrow();
     RunResult {
@@ -86,6 +110,7 @@ pub fn run_prefix(
             decisions: record.decisions.clone(),
         },
         branches: record.branches.clone(),
+        pruned: record.pruned.clone(),
         violations: outcome.violations.clone(),
         outcome_digest: outcome.digest(),
     }
@@ -127,7 +152,7 @@ pub fn explore(plan: &FaultPlan, chaos: &ChaosConfig, cfg: &ExploreConfig) -> Ex
         }
         let wave: Vec<Vec<u64>> = frontier.drain(..take).collect();
         let results = run_batch_with(&wave, cfg.threads, |prefix| {
-            run_prefix(plan, chaos, cfg.gate, prefix)
+            run_prefix_with(plan, chaos, cfg.gate, cfg.relation.clone(), prefix)
         });
         executed += results.len();
         for run in results {

@@ -30,8 +30,10 @@
 mod engine;
 pub mod fixtures;
 mod minimize;
+pub mod relation;
 mod sched;
 
-pub use engine::{explore, run_prefix, ExploreConfig, ExploreOutcome, RunResult};
+pub use engine::{explore, run_prefix, run_prefix_with, ExploreConfig, ExploreOutcome, RunResult};
 pub use minimize::{minimize, Minimized};
-pub use sched::{conflicts, ExploreScheduler, RunRecord};
+pub use relation::{ConflictRelation, IndependentPair, RelationError, When, RELATION_SCHEMA};
+pub use sched::{conflicts, conflicts_under, ExploreScheduler, RunRecord};

@@ -8,16 +8,22 @@
 //! digest.
 //!
 //! Usage: `explore [--threads N] [--runs N] [--depth N] [--smoke]
-//! [--seeded-bug] [--violations out.json] [--trace out.jsonl]`.
+//! [--seeded-bug] [--conflict-relation FILE] [--violations out.json]
+//! [--trace out.jsonl]`.
 //! `--smoke` shrinks the per-fixture run budget for CI; `--trace` writes
-//! the minimized failing schedule (requires `--seeded-bug`). Exits
-//! non-zero when any fixture's exploration misbehaves or the seeded bug
-//! is not caught, minimized and replayed.
+//! the minimized failing schedule (requires `--seeded-bug`);
+//! `--conflict-relation` loads a `conflict-relation/1` artifact (from
+//! `detlint --conflict-report`) that prunes statically proven
+//! independent branches from the search. Exits non-zero when any
+//! fixture's exploration misbehaves or the seeded bug is not caught,
+//! minimized and replayed.
+
+use std::sync::Arc;
 
 use experiments::{
     cli_from_args, run_chaos_plan_with, take_flag, ViolationRecord, ViolationReport,
 };
-use explore::{explore, fixtures, minimize, ExploreConfig};
+use explore::{explore, fixtures, minimize, ConflictRelation, ExploreConfig};
 use simnet::ReplayScheduler;
 
 /// Decisions the minimized seeded-bug schedule may keep (the acceptance
@@ -38,6 +44,22 @@ fn main() {
     let violations_path = take_flag(&mut positional, "--violations");
     let runs_flag = take_flag(&mut positional, "--runs");
     let depth_flag = take_flag(&mut positional, "--depth");
+    let relation_path = take_flag(&mut positional, "--conflict-relation");
+    let relation: Option<Arc<ConflictRelation>> = relation_path.as_deref().map(|path| {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read conflict relation {path}: {e}");
+            std::process::exit(1);
+        });
+        let rel = ConflictRelation::parse(&src).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "conflict relation loaded from {path}: {} independent pair(s)",
+            rel.independent.len()
+        );
+        Arc::new(rel)
+    });
     let default_runs = if smoke { 384 } else { 1024 };
     let max_runs: usize = runs_flag
         .and_then(|s| s.parse().ok())
@@ -56,6 +78,7 @@ fn main() {
             max_runs,
             max_depth,
             threads,
+            relation: relation.clone(),
         };
         let outcome = explore(&fixture.plan, &fixture.chaos, &cfg);
         println!(
@@ -88,7 +111,13 @@ fn main() {
     // Seeded-bug pipeline: the mutation must be invisible to FIFO,
     // caught by the search, minimized small, and replayable by digest.
     if seeded {
-        failed |= !run_seeded_bug(threads, max_runs, max_depth, cli.trace.as_ref());
+        failed |= !run_seeded_bug(
+            threads,
+            max_runs,
+            max_depth,
+            relation.clone(),
+            cli.trace.as_ref(),
+        );
     }
 
     if let Some(path) = &violations_path {
@@ -110,6 +139,7 @@ fn run_seeded_bug(
     threads: usize,
     max_runs: usize,
     max_depth: usize,
+    relation: Option<Arc<ConflictRelation>>,
     trace_path: Option<&std::path::PathBuf>,
 ) -> bool {
     let fixture = fixtures::seeded_bug();
@@ -118,6 +148,7 @@ fn run_seeded_bug(
         max_runs,
         max_depth,
         threads,
+        relation,
     };
 
     // Under the default schedule the mutation stays dormant.

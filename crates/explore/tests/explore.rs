@@ -46,6 +46,7 @@ fn explore_digest_is_thread_count_independent() {
                 max_runs: 48,
                 max_depth: 8,
                 threads,
+                relation: None,
             },
         )
     };
@@ -112,6 +113,7 @@ fn seeded_bug_is_caught_minimized_and_replayable() {
             max_runs: 256,
             max_depth: 12,
             threads: 2,
+            relation: None,
         },
     );
     let first = outcome

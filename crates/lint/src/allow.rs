@@ -75,7 +75,9 @@ impl std::fmt::Display for AllowError {
 impl std::error::Error for AllowError {}
 
 /// Rule ids that may appear in `rule = "..."`.
-const KNOWN_RULES: [&str; 10] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"];
+const KNOWN_RULES: [&str; 12] = [
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11", "R12",
+];
 
 impl AllowList {
     /// An empty list (suppresses nothing).
@@ -320,13 +322,13 @@ justification = "wall-clock accounting only"
 
     #[test]
     fn unknown_rule_or_key_is_an_error() {
-        // R9/R10 are valid rule ids as of detlint v3; R11 is not.
+        // R11/R12 are valid rule ids as of detlint v4; R13 is not.
         assert!(AllowList::parse(
-            "[[allow]]\nrule = \"R9\"\npath = \"a\"\njustification = \"j\"\n"
+            "[[allow]]\nrule = \"R11\"\npath = \"a\"\njustification = \"j\"\n"
         )
         .is_ok());
         assert!(AllowList::parse(
-            "[[allow]]\nrule = \"R11\"\npath = \"a\"\njustification = \"j\"\n"
+            "[[allow]]\nrule = \"R13\"\npath = \"a\"\njustification = \"j\"\n"
         )
         .is_err());
         assert!(AllowList::parse(

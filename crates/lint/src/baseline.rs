@@ -53,22 +53,38 @@ impl Baseline {
         self.keys.contains(&key(f.rule, &f.path, &f.message))
     }
 
-    /// Renders `findings` as baseline text (sorted, deduplicated).
+    /// Renders `findings` as baseline text, deduplicated and sorted by
+    /// (numeric rule, path, message) — `R2` before `R10`, not the
+    /// lexicographic `"R10" < "R2"` a plain string sort would give.
     pub fn render(findings: &[Finding]) -> String {
-        let keys: BTreeSet<String> = findings
+        let mut entries: Vec<(u32, &str, &str, &str)> = findings
             .iter()
-            .map(|f| key(f.rule, &f.path, &f.message))
+            .map(|f| {
+                (
+                    rule_ordinal(f.rule),
+                    f.rule,
+                    f.path.as_str(),
+                    f.message.as_str(),
+                )
+            })
             .collect();
+        entries.sort();
+        entries.dedup();
         let mut out = String::from(
             "# detlint baseline — accepted findings, one `rule|path|message` per line.\n\
              # Must be empty on main; see DESIGN §9.\n",
         );
-        for k in keys {
-            out.push_str(&k);
+        for (_, rule, path, message) in entries {
+            out.push_str(&key(rule, path, message));
             out.push('\n');
         }
         out
     }
+}
+
+/// The numeric part of a rule id (`"R10"` → 10), for ordering.
+fn rule_ordinal(rule: &str) -> u32 {
+    rule.trim_start_matches('R').parse().unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]
@@ -102,6 +118,29 @@ mod tests {
         )));
         // Different message is not.
         assert!(!parsed.contains(&finding("R6", "crates/giop/src/cdr.rs", 120, "other")));
+    }
+
+    #[test]
+    fn render_orders_rules_numerically() {
+        // Regression: a plain string sort puts "R10" before "R2"; the
+        // baseline must come out in numeric (rule, path) order.
+        let text = Baseline::render(&[
+            finding("R10", "b.rs", 1, "later rule"),
+            finding("R2", "z.rs", 1, "early rule"),
+            finding("R2", "a.rs", 1, "early rule"),
+            finding("R11", "a.rs", 1, "newest rule"),
+            finding("R2", "a.rs", 9, "early rule"), // dup key, dropped
+        ]);
+        let keys: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            keys,
+            [
+                "R2|a.rs|early rule",
+                "R2|z.rs|early rule",
+                "R10|b.rs|later rule",
+                "R11|a.rs|newest rule",
+            ]
+        );
     }
 
     #[test]

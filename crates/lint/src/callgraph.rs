@@ -165,6 +165,23 @@ impl CallGraph {
         }
     }
 
+    /// The subgraph induced by files matching `keep`: nodes are filtered
+    /// in order and every call site re-resolved against the reduced
+    /// table, so the result is identical to [`CallGraph::build`] over
+    /// the filtered file set (shared-graph path for scoped passes).
+    pub fn restrict(&self, keep: impl Fn(&str) -> bool) -> CallGraph {
+        let mut graph = CallGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .filter(|n| keep(&n.file))
+                .cloned()
+                .collect(),
+        };
+        graph.resolve();
+        graph
+    }
+
     /// Node indices whose qualified or bare name equals `name`.
     pub fn matching(&self, name: &str) -> Vec<usize> {
         self.nodes

@@ -119,7 +119,27 @@ pub struct SpecTransition {
     pub dir: Dir,
     /// Message (`Enum::Variant` or a codec struct name).
     pub msg: String,
+    /// Cells the handler may read (recv transitions only; R11).
+    pub reads: Vec<String>,
+    /// Cells the handler may write (recv transitions only; R11).
+    pub writes: Vec<String>,
     /// `[[transition]]` header line in the spec file.
+    pub line: u32,
+}
+
+/// Commutativity kinds an abstract state cell may declare.
+pub const CELL_KINDS: [&str; 6] = ["counter", "set", "map", "queue", "scalar", "dedup"];
+
+/// One declared abstract state cell (the effect vocabulary for R11/R12).
+#[derive(Clone, Debug)]
+pub struct SpecCell {
+    /// Cell name, referenced by transition `reads`/`writes` clauses.
+    pub name: String,
+    /// Commutativity kind, one of [`CELL_KINDS`].
+    pub kind: String,
+    /// Concrete fields the cell abstracts: `Type::field` or bare `field`.
+    pub fields: Vec<String>,
+    /// `[[cell]]` header line in the spec file.
     pub line: u32,
 }
 
@@ -134,6 +154,8 @@ pub struct Spec {
     pub states: Vec<SpecState>,
     /// Declared roles.
     pub roles: Vec<SpecRole>,
+    /// Declared abstract state cells.
+    pub cells: Vec<SpecCell>,
     /// Declared transitions.
     pub transitions: Vec<SpecTransition>,
 }
@@ -247,6 +269,36 @@ fn req_str(table: &tomlite::Table, key: &str, at: u32, what: &str) -> Result<Str
     }
 }
 
+fn opt_str_array(
+    table: &tomlite::Table,
+    key: &str,
+    at: u32,
+    what: &str,
+) -> Result<Vec<String>, SpecError> {
+    match table.get(key) {
+        None => Ok(Vec::new()),
+        Some(tomlite::Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_string).ok_or_else(|| SpecError {
+                    line: at,
+                    message: format!(
+                        "{what}: `{key}` must be an array of strings, got {}",
+                        v.type_name()
+                    ),
+                })
+            })
+            .collect(),
+        Some(other) => Err(SpecError {
+            line: at,
+            message: format!(
+                "{what}: `{key}` must be an array of strings, got {}",
+                other.type_name()
+            ),
+        }),
+    }
+}
+
 fn spec_from_tracked(tracked: &tomlite::Tracked) -> Result<Spec, SpecError> {
     let machine = tracked
         .table
@@ -289,6 +341,34 @@ fn spec_from_tracked(tracked: &tomlite::Tracked) -> Result<Spec, SpecError> {
             message: format!("initial state `{initial}` is not a declared [[state]]"),
         });
     }
+    let mut cells: Vec<SpecCell> = Vec::new();
+    for (table, at) in array_of(tracked, "cell")? {
+        let name = req_str(table, "name", at, "`[[cell]]`")?;
+        let kind = req_str(table, "kind", at, "`[[cell]]`")?;
+        if !CELL_KINDS.contains(&kind.as_str()) {
+            return Err(SpecError {
+                line: at,
+                message: format!(
+                    "cell `{name}` has unknown kind `{kind}` (expected one of {})",
+                    CELL_KINDS.join("/")
+                ),
+            });
+        }
+        if cells.iter().any(|c| c.name == name) {
+            return Err(SpecError {
+                line: at,
+                message: format!("duplicate cell `{name}`"),
+            });
+        }
+        let fields = opt_str_array(table, "fields", at, "`[[cell]]`")?;
+        cells.push(SpecCell {
+            name,
+            kind,
+            fields,
+            line: at,
+        });
+    }
+    let cell_names: BTreeSet<&str> = cells.iter().map(|c| c.name.as_str()).collect();
     let mut transitions = Vec::new();
     for (table, at) in array_of(tracked, "transition")? {
         let from = req_str(table, "from", at, "`[[transition]]`")?;
@@ -322,12 +402,31 @@ fn spec_from_tracked(tracked: &tomlite::Tracked) -> Result<Spec, SpecError> {
             line: at,
             message: "`send`/`recv` must be a string message name".to_string(),
         })?;
+        let reads = opt_str_array(table, "reads", at, "`[[transition]]`")?;
+        let writes = opt_str_array(table, "writes", at, "`[[transition]]`")?;
+        if dir == Dir::Send && (!reads.is_empty() || !writes.is_empty()) {
+            return Err(SpecError {
+                line: at,
+                message: "effect clauses (`reads`/`writes`) are only valid on recv transitions"
+                    .to_string(),
+            });
+        }
+        for cell in reads.iter().chain(writes.iter()) {
+            if !cell_names.contains(cell.as_str()) {
+                return Err(SpecError {
+                    line: at,
+                    message: format!("transition references undeclared cell `{cell}`"),
+                });
+            }
+        }
         transitions.push(SpecTransition {
             from,
             to,
             role,
             dir,
             msg,
+            reads,
+            writes,
             line: at,
         });
     }
@@ -336,12 +435,19 @@ fn spec_from_tracked(tracked: &tomlite::Tracked) -> Result<Spec, SpecError> {
         initial,
         states,
         roles,
+        cells,
         transitions,
     })
 }
 
-/// Runs the full R9 analysis over the parsed workspace.
-pub fn check(files: &[FileAst], cfg: &FsmConfig, spec_src: &str) -> Result<Analysis, SpecError> {
+/// Runs the full R9 analysis over the parsed workspace. `graph` is the
+/// shared workspace call graph (built once per detlint invocation).
+pub fn check(
+    files: &[FileAst],
+    cfg: &FsmConfig,
+    spec_src: &str,
+    graph: &CallGraph,
+) -> Result<Analysis, SpecError> {
     let spec = parse_spec(spec_src)?;
     let enums: BTreeSet<&str> = cfg.enums.iter().map(String::as_str).collect();
     let codecs: BTreeSet<&str> = cfg.codec_structs.iter().map(String::as_str).collect();
@@ -399,10 +505,9 @@ pub fn check(files: &[FileAst], cfg: &FsmConfig, spec_src: &str) -> Result<Analy
     }
     sites.sort_by(|a, b| (&a.path, a.span, &a.msg, a.dir).cmp(&(&b.path, b.span, &b.msg, b.dir)));
 
-    let graph = CallGraph::build(files);
     let mut findings = Vec::new();
     diff_missing(&spec, &sites, cfg, &mut findings);
-    diff_undeclared(&spec, &sites, cfg, &graph, &mut findings);
+    diff_undeclared(&spec, &sites, cfg, graph, &mut findings);
     diff_unreachable(&spec, cfg, &mut findings);
     diff_dead_variants(&spec, &variants, &codec_decls, &mut findings);
 

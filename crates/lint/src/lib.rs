@@ -29,6 +29,19 @@
 //!   an interval abstract interpretation over lowered CFGs: every
 //!   subtraction, index, split, and narrowing conversion in the GIOP
 //!   decoders and the simnet receive queue must be dominated by a check.
+//! - **R11/R12** (see [`effects`]) infer each protocol handler's
+//!   read/write footprint over the abstract state cells declared in the
+//!   spec and check it against the per-transition `reads`/`writes`
+//!   clauses (R11) and retry-idempotence (R12: handlers of messages a
+//!   retry path can re-send must not write non-commutative cells
+//!   without a dedup guard). The same analysis derives the
+//!   `conflict-relation/1` artifact (`--conflict-report`) that
+//!   `explore --conflict-relation` uses for persistent-set pruning.
+//!
+//! The workspace call graph is built **once** per invocation and shared
+//! by every interprocedural pass (R5 uses the induced subgraph of its
+//! scope, R9/R11/R12 the full graph); `--timings` reports its cost as
+//! the `callgraph` row.
 //!
 //! Suppressions are allowed only through a justified
 //! [`lint-allow.toml`](allow) entry; stale entries are configuration
@@ -42,6 +55,7 @@ pub mod baseline;
 pub mod callgraph;
 pub mod conformance;
 pub mod dataflow;
+pub mod effects;
 pub mod fsm;
 pub mod rules;
 pub mod sarif;
@@ -111,6 +125,10 @@ pub struct Contract {
     pub fsm: Option<fsm::FsmConfig>,
     /// R10 interval-dataflow proofs; `None` disables the pass.
     pub dataflow: Option<dataflow::DataflowConfig>,
+    /// R11/R12 effect & idempotence analysis; `None` disables the pass.
+    /// Runs only when the R9 spec is also loaded (it shares the spec's
+    /// cell vocabulary and site extraction).
+    pub effects: Option<effects::EffectsConfig>,
 }
 
 impl Default for Contract {
@@ -179,6 +197,7 @@ impl Default for Contract {
             conformance: Some(ConformanceConfig::default()),
             fsm: Some(fsm::FsmConfig::default()),
             dataflow: Some(dataflow::DataflowConfig::default()),
+            effects: Some(effects::EffectsConfig::default()),
         }
     }
 }
@@ -249,6 +268,8 @@ impl Report {
             ("R8", 0),
             ("R9", 0),
             ("R10", 0),
+            ("R11", 0),
+            ("R12", 0),
         ]
         .into();
         for f in &self.findings {
@@ -257,10 +278,10 @@ impl Report {
         counts
     }
 
-    /// Machine-readable JSON summary (schema `detlint/3`).
+    /// Machine-readable JSON summary (schema `detlint/4`).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"detlint/3\",\n");
+        out.push_str("{\n  \"schema\": \"detlint/4\",\n");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"total\": {},", self.findings.len());
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed.len());
@@ -373,6 +394,11 @@ pub fn lint_files(
         file_asts.push(FileAst::parse(rel, &trees, src));
     }
 
+    // The workspace call graph, built once and shared by every
+    // interprocedural pass (R5 restricts it to its scope; R9/R11/R12
+    // use it whole).
+    let graph = CallGraph::build(&file_asts);
+
     // R5: interprocedural taint over the call graph of in-scope files.
     if !contract.r5_sinks.is_empty() {
         let r5_files: Vec<FileAst> = file_asts
@@ -381,9 +407,9 @@ pub fn lint_files(
             .cloned()
             .collect();
         if !r5_files.is_empty() {
-            let graph = CallGraph::build(&r5_files);
+            let r5_graph = graph.restrict(|file| contract.in_r5_scope(file));
             let (mut found, mut silenced) = taint::check(
-                &graph,
+                &r5_graph,
                 &r5_files,
                 &contract.r5_sinks,
                 allow,
@@ -420,12 +446,26 @@ pub fn lint_files(
     }
 
     // R9: protocol-FSM conformance against the declared state machine.
+    // The analysis (parsed spec + extracted sites) is kept for R11/R12.
+    let mut fsm_analysis: Option<fsm::Analysis> = None;
     if let Some(cfg) = &contract.fsm {
         if let Some(spec_src) = &cfg.spec_src {
-            let analysis = fsm::check(&file_asts, cfg, spec_src).map_err(|e| EngineError {
-                message: format!("{}:{}: {}", cfg.spec_path, e.line, e.message),
-            })?;
-            for f in analysis.findings {
+            let mut analysis =
+                fsm::check(&file_asts, cfg, spec_src, &graph).map_err(|e| EngineError {
+                    message: format!("{}:{}: {}", cfg.spec_path, e.line, e.message),
+                })?;
+            for f in std::mem::take(&mut analysis.findings) {
+                route(f, &mut report, &mut allow_used);
+            }
+            fsm_analysis = Some(analysis);
+        }
+    }
+
+    // R11/R12: effect-footprint conformance and retry idempotence over
+    // the spec's cell vocabulary (needs the R9 extraction).
+    if let Some(cfg) = &contract.effects {
+        if let Some(analysis) = &fsm_analysis {
+            for f in effects::check(&graph, analysis, cfg) {
                 route(f, &mut report, &mut allow_used);
             }
         }
@@ -557,10 +597,42 @@ pub fn fsm_report(
         })?;
         file_asts.push(FileAst::parse(rel, &trees, src));
     }
-    let analysis = fsm::check(&file_asts, cfg, spec_src).map_err(|e| EngineError {
+    let graph = CallGraph::build(&file_asts);
+    let analysis = fsm::check(&file_asts, cfg, spec_src, &graph).map_err(|e| EngineError {
         message: format!("{}:{}: {}", cfg.spec_path, e.line, e.message),
     })?;
     Ok(fsm::report_json(&analysis))
+}
+
+/// Derives the `conflict-relation/1` artifact for
+/// `explore --conflict-relation` (CLI `--conflict-report`): statically
+/// proven-independent kernel wake-up pairs, justified by the drain-
+/// idempotence analysis in [`effects::conflict_report`].
+pub fn conflict_report(
+    sources: &[(String, String)],
+    contract: &Contract,
+) -> Result<String, EngineError> {
+    let fsm_cfg = contract.fsm.as_ref().ok_or_else(|| EngineError {
+        message: "conflict report: the R9 pass is disabled in this contract".to_string(),
+    })?;
+    let spec_src = fsm_cfg.spec_src.as_ref().ok_or_else(|| EngineError {
+        message: format!("conflict report: spec {} not loaded", fsm_cfg.spec_path),
+    })?;
+    let effects_cfg = contract.effects.as_ref().ok_or_else(|| EngineError {
+        message: "conflict report: the R11/R12 pass is disabled in this contract".to_string(),
+    })?;
+    let spec = fsm::parse_spec(spec_src).map_err(|e| EngineError {
+        message: format!("{}:{}: {}", fsm_cfg.spec_path, e.line, e.message),
+    })?;
+    let mut file_asts = Vec::with_capacity(sources.len());
+    for (rel, src) in sources {
+        let trees = synlite::parse_file(src).map_err(|e| EngineError {
+            message: format!("lexing {rel}: {e}"),
+        })?;
+        file_asts.push(FileAst::parse(rel, &trees, src));
+    }
+    let graph = CallGraph::build(&file_asts);
+    Ok(effects::conflict_report(&graph, &spec, effects_cfg))
 }
 
 /// One contract per rule with every other pass disabled, so each rule's
@@ -579,6 +651,7 @@ fn per_rule_contracts(full: &Contract) -> Vec<(&'static str, Contract)> {
         conformance: None,
         fsm: None,
         dataflow: None,
+        effects: None,
     };
     vec![
         (
@@ -649,6 +722,16 @@ fn per_rule_contracts(full: &Contract) -> Vec<(&'static str, Contract)> {
             "R10",
             Contract {
                 dataflow: full.dataflow.clone(),
+                ..base.clone()
+            },
+        ),
+        // R11/R12 cannot run without the R9 extraction they share, so
+        // their row includes it; subtract the R9 row for the pass alone.
+        (
+            "R11+R12",
+            Contract {
+                fsm: full.fsm.clone(),
+                effects: full.effects.clone(),
                 ..base
             },
         ),
@@ -673,7 +756,7 @@ fn files_for_rule(rule: &str, contract: &Contract, sources: &[(String, String)])
         "R5" => scope_count(&contract.r5_scopes),
         "R6" => scope_count(&contract.r6_scopes),
         "R7" => scope_count(&contract.r7_scopes),
-        "R8" | "R9" => sources.len(),
+        "R8" | "R9" | "R11+R12" | "callgraph" => sources.len(),
         "R10" => contract
             .dataflow
             .as_ref()
@@ -702,6 +785,7 @@ pub fn cli_main_with_clock(args: &[String], now_nanos: &dyn Fn() -> u64) -> i32 
     let mut write_baseline = false;
     let mut timings = false;
     let mut fsm_report_path: Option<PathBuf> = None;
+    let mut conflict_report_path: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -736,6 +820,13 @@ pub fn cli_main_with_clock(args: &[String], now_nanos: &dyn Fn() -> u64) -> i32 
                 };
                 fsm_report_path = Some(PathBuf::from(v));
             }
+            "--conflict-report" => {
+                let Some(v) = it.next() else {
+                    eprintln!("detlint: --conflict-report needs a value");
+                    return 2;
+                };
+                conflict_report_path = Some(PathBuf::from(v));
+            }
             "--json" => format = Format::Json,
             "--format" => {
                 let Some(v) = it.next() else {
@@ -759,6 +850,7 @@ pub fn cli_main_with_clock(args: &[String], now_nanos: &dyn Fn() -> u64) -> i32 
                      USAGE: detlint [--root DIR] [--allow FILE] [--baseline FILE]\n\
                      \x20              [--format text|json|sarif] [--write-baseline]\n\
                      \x20              [--timings] [--fsm-report FILE]\n\
+                     \x20              [--conflict-report FILE]\n\
                      \n\
                      --root DIR        workspace root to scan (default: .)\n\
                      --allow FILE      suppression list (default: <root>/lint-allow.toml)\n\
@@ -769,6 +861,9 @@ pub fn cli_main_with_clock(args: &[String], now_nanos: &dyn Fn() -> u64) -> i32 
                      --write-baseline  snapshot current findings into the baseline file\n\
                      --timings         print per-rule wall-clock and file counts to stderr\n\
                      --fsm-report FILE write the R9 state-machine extraction report (JSON)\n\
+                     --conflict-report FILE\n\
+                     \x20                 write the statically derived conflict-relation/1\n\
+                     \x20                 artifact for `explore --conflict-relation`\n\
                      \n\
                      Exit codes: 0 clean, 1 unsuppressed findings, 2 configuration\n\
                      error (bad flags, malformed or stale allowlist, unreadable tree,\n\
@@ -862,19 +957,54 @@ pub fn cli_main_with_clock(args: &[String], now_nanos: &dyn Fn() -> u64) -> i32 
         }
         eprintln!("detlint: wrote fsm report to {}", path.display());
     }
+    if let Some(path) = &conflict_report_path {
+        let json = match conflict_report(&sources, &contract) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("detlint: writing {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!("detlint: wrote conflict relation to {}", path.display());
+    }
     if timings {
         // Re-run each rule in isolation against the already-loaded
         // sources; the empty allowlist keeps suppression cost out of the
         // per-rule numbers.
         let no_allow = AllowList::empty();
         eprintln!("detlint: per-rule timings:");
+        // The shared call graph is built once per lint_files invocation;
+        // time it standalone so the saving over per-pass builds is
+        // visible.
+        {
+            let t0 = now_nanos();
+            let mut file_asts = Vec::with_capacity(sources.len());
+            for (rel, src) in &sources {
+                if let Ok(trees) = synlite::parse_file(src) {
+                    file_asts.push(FileAst::parse(rel, &trees, src));
+                }
+            }
+            let graph = CallGraph::build(&file_asts);
+            let dt = now_nanos().saturating_sub(t0);
+            eprintln!(
+                "detlint:   {name:<7} {ms:>9.2}ms  {n} file(s), {k} node(s) — built once, shared by R5/R9/R11+R12",
+                name = "callgraph",
+                ms = dt as f64 / 1e6,
+                n = files_for_rule("callgraph", &contract, &sources),
+                k = graph.nodes.len(),
+            );
+        }
         for (name, rule_contract) in per_rule_contracts(&contract) {
             let n = files_for_rule(name, &contract, &sources);
             let t0 = now_nanos();
             let _ = lint_files(&sources, &rule_contract, &no_allow);
             let dt = now_nanos().saturating_sub(t0);
             eprintln!(
-                "detlint:   {name:<4} {ms:>9.2}ms  {n} file(s)",
+                "detlint:   {name:<7} {ms:>9.2}ms  {n} file(s)",
                 ms = dt as f64 / 1e6
             );
         }

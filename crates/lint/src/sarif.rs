@@ -1,6 +1,6 @@
 //! SARIF 2.1.0 output for code-scanning upload.
 //!
-//! One run, driver `detlint`, static rule metadata for R1–R10, one result
+//! One run, driver `detlint`, static rule metadata for R1–R12, one result
 //! per unsuppressed finding. Hand-rolled (the build is offline and no
 //! JSON crate is vendored) against the subset of the SARIF 2.1.0 schema
 //! GitHub code scanning consumes: `tool.driver.rules[]`,
@@ -47,6 +47,14 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "R10",
         "Interval-dataflow bounds proof failure (unproven index/arithmetic or silent narrowing in a codec)",
+    ),
+    (
+        "R11",
+        "Handler effect footprint exceeds the spec's declared reads/writes for its transition",
+    ),
+    (
+        "R12",
+        "Retry-exposed handler writes a non-idempotent cell with no dedup-table guard",
     ),
 ];
 

@@ -1,0 +1,22 @@
+//! R11/R12 fixture: the client role. `handle_event` is the configured
+//! retry root, so everything it reaches (Job, Ack via `resend`) is
+//! retry-exposed. Ping rides the one-shot start path only.
+
+pub struct Client {
+    token: u64,
+}
+
+impl Client {
+    pub fn handle_event(&mut self, io: &mut Io) {
+        self.resend(io);
+    }
+
+    fn resend(&mut self, io: &mut Io) {
+        io.send(ToyWire::Job);
+        io.send(ToyWire::Ack);
+    }
+}
+
+pub fn start(io: &mut Io) {
+    io.send(ToyWire::Ping);
+}

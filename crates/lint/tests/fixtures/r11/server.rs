@@ -1,0 +1,49 @@
+//! R11/R12 fixture: the server role. `on_control` handles Ping with a
+//! declared `peers` write, but its `audit` helper also bumps `stats`,
+//! which the spec does not declare — the R11 finding lands on the Ping
+//! arm and names the cell reached through the call. `on_job` handles
+//! the retry-exposed Job with an unguarded queue write (R12). `on_ack`
+//! makes the same queue write behind a dedup probe and stays clean.
+
+pub struct Server {
+    peers: PeerSet,
+    jobs: JobQueue,
+    stats: u64,
+    seen: DedupTable,
+}
+
+impl Server {
+    pub fn on_control(&mut self, io: &mut Io, msg: ToyWire) {
+        match msg {
+            ToyWire::Ping => {
+                self.peers.insert(io.peer());
+                self.audit();
+            }
+            _ => {}
+        }
+    }
+
+    pub fn on_job(&mut self, msg: ToyWire) {
+        match msg {
+            ToyWire::Job => {
+                self.jobs.push(msg);
+            }
+            _ => {}
+        }
+    }
+
+    pub fn on_ack(&mut self, msg: ToyWire) {
+        match msg {
+            ToyWire::Ack => {
+                if self.seen.insert(msg.token()) {
+                    self.jobs.push(msg);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn audit(&mut self) {
+        self.stats += 1;
+    }
+}

@@ -1,0 +1,9 @@
+//! R11/R12 fixture: the toy wire protocol. Every variant appears in a
+//! spec transition, so R9 stays quiet and the suite isolates the
+//! effect rules.
+
+pub enum ToyWire {
+    Ping,
+    Job,
+    Ack,
+}

@@ -29,6 +29,7 @@ fn empty_contract() -> Contract {
         conformance: None,
         fsm: None,
         dataflow: None,
+        effects: None,
     }
 }
 

@@ -151,6 +151,7 @@ fn r5_contract() -> Contract {
         conformance: None,
         fsm: None,
         dataflow: None,
+        effects: None,
     }
 }
 
@@ -241,6 +242,7 @@ fn r8_conformance_fixture() {
         }),
         fsm: None,
         dataflow: None,
+        effects: None,
     };
     let report = lint_files(&sources, &contract, &AllowList::empty()).expect("lints");
     assert_eq!(

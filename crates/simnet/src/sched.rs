@@ -97,6 +97,13 @@ pub struct Candidate {
     pub seq: u64,
     /// Action kind, for commutativity/conflict analysis.
     pub kind: CandidateKind,
+    /// The handler class dispatching this candidate will invoke on the
+    /// target process: the process-facing `Event` variant name
+    /// (`"data_readable"`, `"timer_fired"`, `"conn_established"`, …),
+    /// `"on_start"` for process launches, or the action name for
+    /// kernel-internal steps with no process handler. This is the key
+    /// a `conflict-relation/1` artifact uses to refine conflicts.
+    pub class: &'static str,
     /// The process the action ultimately targets, when known: the
     /// notified/started process, the timer's owner, or the endpoint's
     /// owner. Two candidates targeting the same process *conflict* —
@@ -106,6 +113,13 @@ pub struct Candidate {
     /// one connection never commute (per-connection FIFO), so only the
     /// earliest is [`eligible`](Candidate::eligible).
     pub conn: Option<ConnId>,
+    /// The connection whose kernel-side state the dispatched handler
+    /// will touch, when any: the delivery endpoint for data/EOF, or the
+    /// connection named by a parked notification's event. Unlike
+    /// [`conn`](Candidate::conn) this carries no FIFO-eligibility
+    /// meaning — it exists so a conflict relation can tell a re-drain
+    /// of one connection's queue from reads of two distinct queues.
+    pub touch_conn: Option<ConnId>,
     /// Whether the kernel will accept this candidate as a pick. The
     /// first candidate of every connection is eligible; later ones are
     /// not. Index 0 is always eligible.

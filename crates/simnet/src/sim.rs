@@ -982,8 +982,10 @@ impl Simulation {
                             at: *c_at,
                             seq: *c_seq,
                             kind: Self::action_kind(c_action),
+                            class: Self::action_class(c_action),
                             target: self.action_target(c_action),
                             conn,
+                            touch_conn: Self::action_touch_conn(c_action),
                             eligible,
                         }
                     })
@@ -1087,6 +1089,64 @@ impl Simulation {
     }
 
     /// Static name of an action variant, for `Dispatch` trace events.
+    /// The handler class dispatching an action will invoke on its
+    /// target process: the process-facing [`Event`] variant name,
+    /// `"on_start"` for launches, or the action name for kernel-internal
+    /// steps (connect SYNs, coalesced batches) with no single handler.
+    /// This is [`sched::Candidate::class`] — the key the explorer's
+    /// conflict-relation artifact refines conflicts by.
+    fn action_class(action: &Action) -> &'static str {
+        match action {
+            Action::StartProcess(_) => "on_start",
+            Action::ConnectAttempt { .. } => "connect_attempt",
+            Action::ConnectResult { ok: true, .. } => "conn_established",
+            Action::ConnectResult { ok: false, .. } => "conn_refused",
+            Action::DeliverData { .. } => "data_readable",
+            Action::DeliverEof { .. } => "peer_closed",
+            Action::TimerFire { .. } => "timer_fired",
+            Action::Notify { event, .. } => Self::event_class(event),
+            Action::NotifyBatch { .. } => "notify_batch",
+        }
+    }
+
+    /// The connection whose kernel-side state the dispatched handler
+    /// will touch ([`sched::Candidate::touch_conn`]): the delivery
+    /// endpoint, or the connection a parked notification names.
+    fn action_touch_conn(action: &Action) -> Option<ConnId> {
+        match action {
+            Action::ConnectAttempt { client_ep, .. } | Action::ConnectResult { client_ep, .. } => {
+                Some(*client_ep)
+            }
+            Action::DeliverData { ep, .. } | Action::DeliverEof { ep } => Some(*ep),
+            Action::Notify { event, .. } => Self::event_conn(event),
+            Action::StartProcess(_) | Action::TimerFire { .. } | Action::NotifyBatch { .. } => None,
+        }
+    }
+
+    /// The connection a parked [`Event`] names, if any.
+    fn event_conn(event: &Event) -> Option<ConnId> {
+        match event {
+            Event::ConnEstablished { conn }
+            | Event::ConnRefused { conn }
+            | Event::Accepted { conn, .. }
+            | Event::DataReadable { conn }
+            | Event::PeerClosed { conn } => Some(*conn),
+            Event::TimerFired { .. } => None,
+        }
+    }
+
+    /// [`action_class`](Self::action_class) for a parked [`Event`].
+    fn event_class(event: &Event) -> &'static str {
+        match event {
+            Event::TimerFired { .. } => "timer_fired",
+            Event::ConnEstablished { .. } => "conn_established",
+            Event::ConnRefused { .. } => "conn_refused",
+            Event::Accepted { .. } => "accepted",
+            Event::DataReadable { .. } => "data_readable",
+            Event::PeerClosed { .. } => "peer_closed",
+        }
+    }
+
     fn action_name(action: &Action) -> &'static str {
         match action {
             Action::StartProcess(_) => "start_process",

@@ -337,23 +337,34 @@ impl ProcessId {
     }
 }
 
+/// Builds a [`ConnId`] from a raw value: test support for out-of-crate
+/// code that keys behaviour on connection identity.
+pub fn conn_id(raw: u64) -> ConnId {
+    ConnId::from_raw_for_tests(raw)
+}
+
 /// Builds a scheduling [`Candidate`](crate::sched::Candidate) from raw id
 /// values: test support for out-of-crate [`Scheduler`](crate::Scheduler)
 /// implementations (ids are opaque outside the kernel).
+#[allow(clippy::too_many_arguments)]
 pub fn candidate(
     at: SimTime,
     seq: u64,
     kind: crate::sched::CandidateKind,
+    class: &'static str,
     target: Option<u64>,
     conn: Option<u64>,
+    touch_conn: Option<u64>,
     eligible: bool,
 ) -> crate::sched::Candidate {
     crate::sched::Candidate {
         at,
         seq,
         kind,
+        class,
         target: target.map(ProcessId::from_raw_for_tests),
         conn: conn.map(ConnId::from_raw_for_tests),
+        touch_conn: touch_conn.map(ConnId::from_raw_for_tests),
         eligible,
     }
 }

@@ -762,6 +762,178 @@ pub fn match_arms(body: &[TokenTree]) -> Vec<MatchArm<'_>> {
     arms
 }
 
+/// How a [`FieldAccess`] uses the accessed field, judged purely from
+/// the surrounding tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    /// The field is read (including method receivers — whether the
+    /// named [`FieldAccess::method`] mutates is the caller's policy).
+    Read,
+    /// Plain assignment: `base.field = ..` (or through a trailing
+    /// index / sub-field chain).
+    Write,
+    /// Compound assignment (`+=`, `|=`, ...) or a `&mut` borrow of the
+    /// field — the old value is observable and a new one is stored.
+    ReadWrite,
+}
+
+/// One `base.field[...][.more]` postfix access extracted from a token
+/// stream: the receiver identifier, the chain of field names, how the
+/// access uses the place, and the first method invoked on it (if the
+/// chain ends in a call).
+#[derive(Clone, Debug)]
+pub struct FieldAccess {
+    /// Position of the first field name.
+    pub span: Span,
+    /// The receiver identifier (`self`, a local, a parameter).
+    pub base: String,
+    /// Consecutive field names in the chain (`self.st.dir` → `["st",
+    /// "dir"]`). Never empty.
+    pub fields: Vec<String>,
+    /// Syntactic usage mode.
+    pub mode: AccessMode,
+    /// The method terminating the chain, when the access is a method
+    /// call on the place (`self.seen.insert(k)` → `Some("insert")`).
+    pub method: Option<String>,
+}
+
+/// Extracts every field access (`ident.field...`) from `trees`,
+/// recursing into nested groups. Method calls directly on an identifier
+/// (`sys.read(..)` — no field in between) are *not* field accesses;
+/// [`call_sites`] reports those.
+pub fn field_accesses(trees: &[TokenTree]) -> Vec<FieldAccess> {
+    let mut out = Vec::new();
+    collect_field_accesses(trees, &mut out);
+    out
+}
+
+fn collect_field_accesses(trees: &[TokenTree], out: &mut Vec<FieldAccess>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if let Tok::Group(_, inner) = &trees[i].tok {
+            collect_field_accesses(inner, out);
+            i += 1;
+            continue;
+        }
+        // A receiver is an identifier not itself preceded by `.` or `::`
+        // (those are field/path positions) and followed by `.ident` where
+        // the ident is not immediately called (that is a plain method
+        // call on the receiver, not a field access).
+        let Some(base) = trees[i].ident() else {
+            i += 1;
+            continue;
+        };
+        let preceded = i > 0
+            && (trees[i - 1].is_punct('.')
+                || trees[i - 1].is_punct(':')
+                || trees[i - 1].is_ident("fn"));
+        if preceded || CALL_KEYWORDS.contains(&base) {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        let mut fields: Vec<String> = Vec::new();
+        let mut span = trees[i].span;
+        let mut method = None;
+        // Walk the postfix chain: `.field`, `.method(..)`, `[index]`, `?`.
+        loop {
+            if matches!(trees.get(j + 1), Some(n) if n.is_punct('.')) {
+                let Some(name_tok) = trees.get(j + 2) else {
+                    break;
+                };
+                // `.await` / `.0` tuple fields end the chain for our
+                // purposes; only named members continue it.
+                let Some(name) = name_tok.ident() else {
+                    break;
+                };
+                let after = skip_turbofish(trees, j + 3);
+                if matches!(trees.get(after), Some(n) if n.group(Delim::Paren).is_some()) {
+                    if !fields.is_empty() {
+                        method = Some(name.to_string());
+                    }
+                    break;
+                }
+                if fields.is_empty() {
+                    span = name_tok.span;
+                }
+                fields.push(name.to_string());
+                j += 2;
+                continue;
+            }
+            if !fields.is_empty()
+                && (matches!(trees.get(j + 1), Some(n) if n.group(Delim::Bracket).is_some())
+                    || matches!(trees.get(j + 1), Some(n) if n.is_punct('?')))
+            {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        if fields.is_empty() {
+            i += 1;
+            continue;
+        }
+        // Everything the chain consumed has been looked at; classify by
+        // what follows (and by a preceding `&mut` borrow).
+        let end = if method.is_some() { j + 2 } else { j + 1 };
+        let mode = if i >= 2 && trees[i - 1].is_ident("mut") && trees[i - 2].is_punct('&') {
+            AccessMode::ReadWrite
+        } else if method.is_none() {
+            classify_assignment(trees, end)
+        } else {
+            AccessMode::Read
+        };
+        out.push(FieldAccess {
+            span,
+            base: base.to_string(),
+            fields,
+            mode,
+            method,
+        });
+        // Resume after the last field name so chained receivers inside
+        // argument groups are still visited (groups recurse above).
+        i = j + 1;
+    }
+}
+
+/// Classifies the tokens following a place expression: `= ..` is a
+/// write, `op= ..` is a read-modify-write, anything else is a read.
+fn classify_assignment(trees: &[TokenTree], at: usize) -> AccessMode {
+    let (Some(a), b) = (trees.get(at), trees.get(at + 1)) else {
+        return AccessMode::Read;
+    };
+    let b_eq = matches!(b, Some(n) if n.is_punct('='));
+    if a.is_punct('=') {
+        // `==` is comparison, `=>` ends a match arm pattern.
+        if b_eq || matches!(b, Some(n) if n.is_punct('>')) {
+            return AccessMode::Read;
+        }
+        return AccessMode::Write;
+    }
+    if b_eq {
+        if let Tok::Punct(op) = &a.tok {
+            if "+-*/%&|^".contains(*op) {
+                return AccessMode::ReadWrite;
+            }
+            // `<<=` / `>>=` arrive as `<` `<` `=` — the shift case is
+            // caught by the first `<`/`>` here only when doubled.
+            if (*op == '<' || *op == '>') && trees.get(at.wrapping_sub(1)).is_some() {
+                return AccessMode::Read;
+            }
+        }
+    }
+    // Shift-assign: `<< =` with the operator split across two puncts.
+    if let (Tok::Punct(x), Some(nx)) = (&a.tok, b) {
+        if (*x == '<' || *x == '>')
+            && nx.is_punct(*x)
+            && matches!(trees.get(at + 2), Some(n) if n.is_punct('='))
+        {
+            return AccessMode::ReadWrite;
+        }
+    }
+    AccessMode::Read
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -904,5 +1076,73 @@ mod tests {
         assert!(arms[0].pattern[0].tok == Tok::Lit("0".to_string()));
         // `_` lexes as an identifier, not punctuation.
         assert!(arms[2].pattern[0].is_ident("_"));
+    }
+
+    fn accesses_of(src: &str) -> Vec<FieldAccess> {
+        field_accesses(&parse_file(src).expect("lexes"))
+    }
+
+    #[test]
+    fn field_access_modes() {
+        let acc = accesses_of(
+            "fn f(&mut self) {\n\
+                 self.count += 1;\n\
+                 self.flag = true;\n\
+                 if self.flag == other.flag { }\n\
+                 let x = self.cfg.interval;\n\
+                 take(&mut self.queue);\n\
+             }",
+        );
+        assert_eq!(acc.len(), 6);
+        assert_eq!(acc[0].fields, vec!["count"]);
+        assert_eq!(acc[0].mode, AccessMode::ReadWrite);
+        assert_eq!(acc[1].fields, vec!["flag"]);
+        assert_eq!(acc[1].mode, AccessMode::Write);
+        assert_eq!(acc[2].mode, AccessMode::Read);
+        assert_eq!(acc[3].base, "other");
+        assert_eq!(acc[3].mode, AccessMode::Read);
+        assert_eq!(acc[4].fields, vec!["cfg", "interval"]);
+        assert_eq!(acc[4].mode, AccessMode::Read);
+        assert_eq!(acc[5].base, "self");
+        assert_eq!(acc[5].fields, vec!["queue"]);
+        assert_eq!(acc[5].mode, AccessMode::ReadWrite);
+    }
+
+    #[test]
+    fn field_access_methods_and_chains() {
+        let acc = accesses_of(
+            "fn f(&mut self) {\n\
+                 self.seen.insert(key);\n\
+                 self.st.dir.slots[i] = v;\n\
+                 sys.read(conn, usize::MAX);\n\
+                 stream.stage_eof = true;\n\
+             }",
+        );
+        assert_eq!(acc.len(), 3, "plain method calls are not field accesses");
+        assert_eq!(acc[0].fields, vec!["seen"]);
+        assert_eq!(acc[0].method.as_deref(), Some("insert"));
+        assert_eq!(acc[0].mode, AccessMode::Read);
+        assert_eq!(acc[1].fields, vec!["st", "dir", "slots"]);
+        assert_eq!(acc[1].mode, AccessMode::Write);
+        assert_eq!(acc[2].base, "stream");
+        assert_eq!(acc[2].fields, vec!["stage_eof"]);
+        assert_eq!(acc[2].mode, AccessMode::Write);
+    }
+
+    #[test]
+    fn field_access_recurses_into_groups_and_arms() {
+        let acc = accesses_of(
+            "fn f(&mut self) {\n\
+                 match ev {\n\
+                     E::A => { self.a = 1; }\n\
+                     E::B => helper(self.b),\n\
+                 }\n\
+             }",
+        );
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].fields, vec!["a"]);
+        assert_eq!(acc[0].mode, AccessMode::Write);
+        assert_eq!(acc[1].fields, vec!["b"]);
+        assert_eq!(acc[1].mode, AccessMode::Read);
     }
 }
